@@ -1,0 +1,43 @@
+"""Ablation benches for the design choices DESIGN.md calls out (§5)."""
+
+from benchmarks.conftest import run_experiment
+from repro.experiments import ablations
+
+
+def bench_ablation_block_size(benchmark, report):
+    result = run_experiment(benchmark, ablations.run_block_size, report)
+    assert len(result.rows) >= 2
+
+
+def bench_ablation_predictor(benchmark, report):
+    result = run_experiment(benchmark, ablations.run_predictor, report)
+    interp, lorenzo = result.rows
+    benchmark.extra_info["interp_bitrate"] = round(interp["bit_rate"], 3)
+    benchmark.extra_info["lorenzo_bitrate"] = round(lorenzo["bit_rate"], 3)
+
+
+def bench_ablation_thresholds(benchmark, report):
+    result = run_experiment(benchmark, ablations.run_thresholds, report)
+    # The hybrid should track the best forced strategy per dataset.  At
+    # reduced grid scale the GSP/OpST crossover shifts slightly above the
+    # paper's T2=60%, so allow 30% slack and surface the numbers instead.
+    by_ds = {}
+    for row in result.rows:
+        by_ds.setdefault(row["dataset"], {})[row["strategy"]] = row["bit_rate"]
+    worst = 0.0
+    for name, entries in by_ds.items():
+        best = min(v for k, v in entries.items() if k != "hybrid")
+        worst = max(worst, entries["hybrid"] / best)
+        assert entries["hybrid"] <= best * 1.3, (name, entries)
+    benchmark.extra_info["hybrid_vs_best_forced"] = round(worst, 3)
+
+
+def bench_ablation_split_rule(benchmark, report):
+    result = run_experiment(benchmark, ablations.run_split_rule, report)
+    for row in result.rows:
+        assert row["adaptive_leaves"] <= row["fixed_leaves"] * 1.2, row
+
+
+def bench_ablation_gsp_layers(benchmark, report):
+    result = run_experiment(benchmark, ablations.run_gsp_layers, report)
+    assert len(result.rows) >= 4

@@ -1,0 +1,12 @@
+"""Fig. 7 — NaST vs OpST on the z10 fine level (paper: OpST wins both)."""
+
+from benchmarks.conftest import run_experiment
+from repro.experiments import fig07
+
+
+def bench_fig07_nast_vs_opst(benchmark, report):
+    result = run_experiment(benchmark, fig07.run, report)
+    nast, opst = result.rows
+    benchmark.extra_info["nast_ratio"] = round(nast["ratio"], 3)
+    benchmark.extra_info["opst_ratio"] = round(opst["ratio"], 3)
+    assert opst["ratio"] > nast["ratio"], "paper shape: OpST ratio above NaST"

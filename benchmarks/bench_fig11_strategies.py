@@ -1,0 +1,13 @@
+"""Fig. 11 — OpST vs AKDTree vs GSP across six level densities."""
+
+from benchmarks.conftest import run_experiment
+from repro.experiments import fig11
+
+
+def bench_fig11_strategy_rd(benchmark, report):
+    result = run_experiment(benchmark, fig11.run, report)
+    # Paper shape: OpST ~ AKDTree at every density.
+    for row in result.rows:
+        ratio = row["opst_bitrate"] / row["akdtree_bitrate"]
+        assert 0.6 < ratio < 1.7, row
+    benchmark.extra_info["panels"] = len({r["panel"] for r in result.rows})

@@ -1,0 +1,12 @@
+"""Fig. 12 — zero filling vs ghost-shell padding on the z10 coarse level."""
+
+from benchmarks.conftest import run_experiment
+from repro.experiments import fig12
+
+
+def bench_fig12_zf_vs_gsp(benchmark, report):
+    result = run_experiment(benchmark, fig12.run, report)
+    zf, gsp = result.rows
+    benchmark.extra_info["zf_ratio"] = round(zf["ratio"], 3)
+    benchmark.extra_info["gsp_ratio"] = round(gsp["ratio"], 3)
+    assert gsp["ratio"] >= zf["ratio"] * 0.98, "paper shape: GSP not worse than ZF"

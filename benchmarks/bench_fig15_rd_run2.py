@@ -1,0 +1,12 @@
+"""Fig. 15 — rate-distortion on the three Run 2 datasets (sparse finest)."""
+
+from benchmarks.conftest import run_experiment
+from repro.experiments import fig15
+
+
+def bench_fig15_rate_distortion_run2(benchmark, report):
+    result = run_experiment(benchmark, fig15.run, report)
+    # Paper shape: TAC dominates the 3D baseline on every Run 2 dataset.
+    for row in result.rows:
+        assert row["tac_bitrate"] < row["baseline_3d_bitrate"], row
+    benchmark.extra_info["points"] = len(result.rows)

@@ -1,0 +1,17 @@
+"""Fig. 18 — per-level bit-rate vs error bound on Run1_Z2."""
+
+from benchmarks.conftest import run_experiment
+from repro.experiments import fig18
+
+
+def bench_fig18_eb_sweep(benchmark, report):
+    result = run_experiment(benchmark, fig18.run, report)
+    rows = result.rows  # loose -> tight bounds
+    # Paper shape: bit-rate flattens at loose bounds — the marginal rate
+    # saved per bound doubling shrinks.
+    fine = [r["fine_bitrate"] for r in rows]
+    loose_gain = fine[1] - fine[0]
+    tight_gain = fine[-1] - fine[-2]
+    benchmark.extra_info["loose_gain_bpv"] = round(loose_gain, 4)
+    benchmark.extra_info["tight_gain_bpv"] = round(tight_gain, 4)
+    assert loose_gain < tight_gain, "rate curve should flatten at loose bounds"

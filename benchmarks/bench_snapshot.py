@@ -1,0 +1,35 @@
+"""Snapshot archive benchmark (shared structure, multi-field; §5 extension).
+
+Not a paper figure — measures the production packaging built on TAC: six
+fields, masks stored once, optional thread-parallel field compression.
+"""
+
+import pytest
+
+from benchmarks.conftest import SCALE
+from repro.core.snapshot import SnapshotCompressor
+from repro.sim.datasets import make_dataset
+from repro.sim.nyx import NYX_FIELDS
+
+
+@pytest.fixture(scope="module")
+def snapshot_fields():
+    return {f: make_dataset("Run1_Z2", scale=SCALE, field=f) for f in NYX_FIELDS}
+
+
+@pytest.mark.parametrize("workers", [1, 4])
+def bench_snapshot_compress(benchmark, snapshot_fields, workers):
+    snap = SnapshotCompressor(workers=workers)
+    archive = benchmark.pedantic(
+        snap.compress, args=(snapshot_fields, 1e-4), rounds=1, iterations=1
+    )
+    benchmark.extra_info["ratio"] = round(archive.ratio(), 2)
+    benchmark.extra_info["fields"] = len(NYX_FIELDS)
+    assert sorted(archive.meta["fields"]) == sorted(NYX_FIELDS)
+
+
+def bench_snapshot_selective_decompress(benchmark, snapshot_fields):
+    snap = SnapshotCompressor()
+    archive = snap.compress(snapshot_fields, 1e-4)
+    out = benchmark(snap.decompress, archive, ["baryon_density"])
+    assert list(out) == ["baryon_density"]

@@ -1,0 +1,46 @@
+"""Micro-benchmarks of the SZ substrate itself (codec throughput).
+
+Not a paper figure — this pins the compressor's own speed so regressions in
+the substrate are visible independently of the TAC pipeline.
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import SCALE
+from repro.sim.nyx import generate_field
+from repro.sz import SZCompressor, SZConfig
+
+
+@pytest.fixture(scope="module")
+def field():
+    n = max(512 // SCALE, 32)
+    return generate_field("baryon_density", n, seed=42)
+
+
+@pytest.mark.parametrize("predictor", ["interp", "lorenzo"])
+def bench_sz_compress(benchmark, field, predictor):
+    codec = SZCompressor(SZConfig(predictor=predictor))
+    blob = benchmark(codec.compress, field, 1e-3, "rel")
+    benchmark.extra_info["ratio"] = round(field.nbytes / len(blob), 2)
+    benchmark.extra_info["mb"] = round(field.nbytes / 1e6, 1)
+
+
+@pytest.mark.parametrize("predictor", ["interp", "lorenzo"])
+def bench_sz_decompress(benchmark, field, predictor):
+    codec = SZCompressor(SZConfig(predictor=predictor))
+    blob = codec.compress(field, 1e-3, "rel")
+    out = benchmark(codec.decompress, blob)
+    assert out.shape == field.shape
+
+
+def bench_sz_huffman_decode(benchmark):
+    from repro.sz.huffman import HuffmanCodec
+
+    rng = np.random.default_rng(0)
+    symbols = rng.geometric(0.3, size=500_000) + 4096 - 1
+    symbols = np.clip(symbols, 0, 8192)
+    codec = HuffmanCodec.from_symbols(symbols, alphabet_size=8193)
+    encoded = codec.encode(symbols)
+    decoded = benchmark(codec.decode, encoded)
+    assert np.array_equal(decoded, symbols)

@@ -1,0 +1,10 @@
+"""Table 1 — regenerate the dataset inventory (grids, densities)."""
+
+from benchmarks.conftest import run_experiment
+from repro.experiments import table1
+
+
+def bench_table1_datasets(benchmark, report):
+    result = run_experiment(benchmark, table1.run, report)
+    assert len(result.rows) == 7
+    benchmark.extra_info["datasets"] = len(result.rows)

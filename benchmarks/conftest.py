@@ -1,0 +1,56 @@
+"""Shared fixtures for the per-figure/table benchmark harness.
+
+Each ``bench_*`` module reproduces one table or figure of the paper: it runs
+the corresponding :mod:`repro.experiments` module once under
+pytest-benchmark (wall time recorded), prints the result table next to the
+paper's claim, and writes it to ``benchmarks/results/<experiment>.txt``.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+
+Grid scale: ``REPRO_SCALE`` env var (default 4 → Run 1 at 128³/64³;
+``REPRO_SCALE=8`` for a quick smoke pass, ``1`` for paper-size grids if you
+have the patience).
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+#: Grid divisor used by every benchmark in this directory.
+SCALE = int(os.environ.get("REPRO_SCALE", "4"))
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture
+def report(results_dir):
+    """Print an ExperimentResult and persist it under benchmarks/results/."""
+
+    def _report(result, extra_note: str = ""):
+        text = result.report()
+        if extra_note:
+            text += f"\n{extra_note}"
+        print("\n" + text)
+        (results_dir / f"{result.experiment}.txt").write_text(text + "\n")
+        return result
+
+    return _report
+
+
+def run_experiment(benchmark, runner, report, **kwargs):
+    """Standard shape of a figure/table bench: one timed experiment run."""
+    kwargs.setdefault("scale", SCALE)
+    result = benchmark.pedantic(runner, kwargs=kwargs, rounds=1, iterations=1)
+    report(result)
+    return result

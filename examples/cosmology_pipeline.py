@@ -1,0 +1,80 @@
+"""The paper's motivating workflow: in-situ compression of a cosmology dump.
+
+Run:  python examples/cosmology_pipeline.py [scale]
+
+A Nyx snapshot dumps six fields; an in-situ pipeline must compress them all
+before they hit the parallel file system, and the archived data must still
+support the two post-analyses cosmologists run (power spectrum, halo
+finder).  This example:
+
+1. synthesizes a consistent six-field AMR snapshot (Run1_Z2 structure),
+2. compresses every field with TAC under one relative bound,
+3. reconstructs the baryon density and checks the paper's acceptance
+   criterion — power-spectrum error < 1% at low wavenumbers — plus the
+   halo-finder distortion of the biggest halo.
+"""
+
+import sys
+
+from repro import TACCompressor, make_dataset
+from repro.analysis import (
+    compare_biggest_halo,
+    find_halos,
+    max_error_below_k,
+    power_spectrum,
+)
+from repro.sim import NYX_FIELDS
+
+ERROR_BOUND = 5e-4  # value-range relative
+
+
+def main(scale: int = 8) -> None:
+    tac = TACCompressor()
+    total_original = 0
+    total_compressed = 0
+    baryon_pair = None
+
+    print(f"compressing a six-field Run1_Z2 snapshot (scale {scale}) ...")
+    for field in NYX_FIELDS:
+        dataset = make_dataset("Run1_Z2", scale=scale, field=field)
+        compressed = tac.compress(dataset, ERROR_BOUND, mode="rel")
+        total_original += compressed.original_bytes
+        total_compressed += compressed.compressed_bytes()
+        print(
+            f"  {field:20s} ratio {compressed.ratio():7.2f}x   "
+            f"bit-rate {compressed.bit_rate():6.3f} b/v"
+        )
+        if field == "baryon_density":
+            baryon_pair = (dataset, tac.decompress(compressed))
+
+    print(f"\nsnapshot ratio: {total_original / total_compressed:.2f}x "
+          f"({total_original / 1e6:.1f} MB -> {total_compressed / 1e6:.2f} MB)")
+
+    original, restored = baryon_pair
+    uniform_orig = original.to_uniform()
+    uniform_rec = restored.to_uniform()
+
+    # Power spectrum acceptance (the paper's k<10 criterion, rescaled to
+    # this grid size; see repro.experiments.fig19).
+    max_k = 10.0 * original.finest.n / 512
+    spec_orig = power_spectrum(uniform_orig, box_size=original.box_size)
+    spec_rec = power_spectrum(uniform_rec, box_size=original.box_size)
+    ps_err = max_error_below_k(spec_orig, spec_rec, max_k=max_k)
+    verdict = "ACCEPT" if ps_err < 0.01 else "REJECT"
+    print(f"\npower spectrum: max rel error {ps_err:.3%} for k < {max_k:.2f}  [{verdict}]")
+
+    # Halo finder distortion (threshold relaxed for scaled-down grids, as in
+    # repro.experiments.table3).
+    factor = 81.66
+    while factor > 1 and not find_halos(uniform_orig, threshold_factor=factor).n_halos:
+        factor /= 2
+    halos = find_halos(uniform_orig, threshold_factor=factor)
+    cmp_res = compare_biggest_halo(uniform_orig, uniform_rec, threshold_factor=factor)
+    print(
+        f"halo finder ({halos.n_halos} halos @ {factor:g}x mean): biggest halo "
+        f"mass diff {cmp_res.rel_mass_diff:.3e}, cell diff {cmp_res.cell_count_diff}"
+    )
+
+
+if __name__ == "__main__":
+    main(int(sys.argv[1]) if len(sys.argv) > 1 else 8)

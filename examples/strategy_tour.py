@@ -1,0 +1,67 @@
+"""A guided tour of TAC's three pre-process strategies (paper §3).
+
+Run:  python examples/strategy_tour.py [scale]
+
+Walks every Table 1 dataset through the density filter, showing which
+strategy each level gets and why, then zooms into the two head-to-head
+comparisons the paper illustrates:
+
+* NaST vs OpST on a sparse level (Fig. 7) — maximal-cube extraction keeps
+  data off sub-block boundaries;
+* ZF vs GSP on a dense level (Fig. 12) — ghost shells stop the predictor
+  from falling off a cliff at every hole;
+
+and finishes with the OpST/AKDTree time trade-off that motivates T1
+(Fig. 13).
+"""
+
+import sys
+
+from repro import Strategy, make_dataset
+from repro.core import select_strategy
+from repro.experiments.common import single_level_dataset
+from repro.experiments.strategies import measure_level_strategy, preprocess_time
+from repro.sim import TABLE1
+
+
+def main(scale: int = 8) -> None:
+    print("=== the density filter across Table 1 ===")
+    for name in TABLE1:
+        dataset = make_dataset(name, scale=scale)
+        picks = ", ".join(
+            f"L{lvl.level}({lvl.density():.1%}->{select_strategy(lvl.density()).value})"
+            for lvl in dataset.levels
+        )
+        print(f"  {name:9s} {picks}")
+
+    z10 = make_dataset("Run1_Z10", scale=scale)
+
+    print("\n=== NaST vs OpST on the sparse fine level (Fig. 7) ===")
+    fine = single_level_dataset(z10.levels[0], "z10/fine", z10)
+    for strategy in (Strategy.NAST, Strategy.OPST):
+        m = measure_level_strategy(fine, strategy, 4.8e-4)
+        print(
+            f"  {strategy.value:5s} ratio {m['ratio']:7.2f}x  "
+            f"PSNR {m['psnr']:.2f} dB  ({m['preprocess_seconds'] * 1e3:.1f} ms preprocess)"
+        )
+
+    print("\n=== ZF vs GSP on the dense coarse level (Fig. 12) ===")
+    coarse = single_level_dataset(z10.levels[1], "z10/coarse", z10)
+    for strategy in (Strategy.ZF, Strategy.GSP):
+        m = measure_level_strategy(coarse, strategy, 6.7e-3)
+        print(f"  {strategy.value:5s} ratio {m['ratio']:7.2f}x  PSNR {m['psnr']:.2f} dB")
+
+    print("\n=== OpST vs AKDTree pre-process time (Fig. 13) ===")
+    for name, idx in (("Run1_Z10", 0), ("Run1_Z5", 0), ("Run1_Z3", 0)):
+        level = make_dataset(name, scale=scale).levels[idx]
+        opst_t = preprocess_time(level, Strategy.OPST, repeats=2)
+        akd_t = preprocess_time(level, Strategy.AKDTREE, repeats=2)
+        print(
+            f"  {name}/L{idx} (d={level.density():.0%}): "
+            f"OpST {opst_t * 1e3:7.1f} ms   AKDTree {akd_t * 1e3:6.1f} ms"
+        )
+    print("\n(the hybrid rule: OpST below 50%, AKDTree to 60%, GSP above)")
+
+
+if __name__ == "__main__":
+    main(int(sys.argv[1]) if len(sys.argv) > 1 else 8)

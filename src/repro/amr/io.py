@@ -1,0 +1,62 @@
+"""Disk persistence for AMR datasets (compressed ``.npz`` containers).
+
+A thin, explicit format: one array pair (``data``/``mask``) per level plus a
+metadata record.  Useful for caching synthetic runs between benchmark
+invocations and for shipping reproduction datasets.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro.amr.hierarchy import AMRDataset, AMRLevel
+
+_FORMAT_VERSION = 1
+
+
+def save_dataset(dataset: AMRDataset, path) -> None:
+    """Write ``dataset`` to ``path`` as a compressed ``.npz``."""
+    path = Path(path)
+    arrays: dict[str, np.ndarray] = {}
+    for lvl in dataset.levels:
+        arrays[f"data_{lvl.level}"] = lvl.data
+        arrays[f"mask_{lvl.level}"] = np.packbits(lvl.mask.ravel())
+    meta = {
+        "version": _FORMAT_VERSION,
+        "name": dataset.name,
+        "field": dataset.field,
+        "ratio": dataset.ratio,
+        "box_size": dataset.box_size,
+        "n_levels": dataset.n_levels,
+        "shapes": [list(lvl.shape) for lvl in dataset.levels],
+        "meta": dataset.meta,
+    }
+    arrays["__meta__"] = np.frombuffer(json.dumps(meta).encode("utf-8"), dtype=np.uint8)
+    np.savez_compressed(path, **arrays)
+
+
+def load_dataset(path) -> AMRDataset:
+    """Read a dataset written by :func:`save_dataset`."""
+    path = Path(path)
+    with np.load(path) as archive:
+        meta = json.loads(bytes(archive["__meta__"]).decode("utf-8"))
+        if meta.get("version") != _FORMAT_VERSION:
+            raise ValueError(f"unsupported AMR file version {meta.get('version')!r}")
+        levels = []
+        for idx in range(meta["n_levels"]):
+            shape = tuple(meta["shapes"][idx])
+            size = int(np.prod(shape))
+            data = archive[f"data_{idx}"]
+            mask = np.unpackbits(archive[f"mask_{idx}"])[:size].astype(bool).reshape(shape)
+            levels.append(AMRLevel(data=data, mask=mask, level=idx))
+    return AMRDataset(
+        levels=levels,
+        name=meta["name"],
+        field=meta["field"],
+        ratio=meta["ratio"],
+        box_size=meta["box_size"],
+        meta=meta.get("meta", {}),
+    )

@@ -1,0 +1,82 @@
+"""Generic compression-quality metrics (paper §4.2, metrics 1–4).
+
+Definitions follow the paper exactly:
+
+* compression ratio = original bytes / compressed bytes;
+* bit-rate = amortized bits per stored value (CR · bit-rate = 32 for
+  single-precision input);
+* PSNR = ``20·log10(range) − 10·log10(MSE)`` with ``range`` the value range
+  of the *original* data.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def value_range(data: np.ndarray) -> float:
+    """Peak-to-peak range of a dataset (PSNR reference)."""
+    data = np.asarray(data)
+    if data.size == 0:
+        return 0.0
+    return float(data.max()) - float(data.min())
+
+
+def mse(original: np.ndarray, reconstructed: np.ndarray) -> float:
+    """Mean squared error in float64."""
+    a = np.asarray(original, dtype=np.float64)
+    b = np.asarray(reconstructed, dtype=np.float64)
+    if a.shape != b.shape:
+        raise ValueError(f"shape mismatch: {a.shape} vs {b.shape}")
+    if a.size == 0:
+        return 0.0
+    return float(np.mean((a - b) ** 2))
+
+
+def psnr(original: np.ndarray, reconstructed: np.ndarray) -> float:
+    """Peak signal-to-noise ratio in dB (``inf`` for exact reconstruction)."""
+    rng = value_range(original)
+    err = mse(original, reconstructed)
+    if err == 0.0:
+        return float("inf")
+    if rng == 0.0:
+        return float("-inf") if err > 0 else float("inf")
+    return 20.0 * np.log10(rng) - 10.0 * np.log10(err)
+
+
+def nrmse(original: np.ndarray, reconstructed: np.ndarray) -> float:
+    """Range-normalized RMSE (the quantity PSNR log-scales)."""
+    rng = value_range(original)
+    if rng == 0.0:
+        return 0.0
+    return float(np.sqrt(mse(original, reconstructed))) / rng
+
+
+def max_abs_error(original: np.ndarray, reconstructed: np.ndarray) -> float:
+    """L∞ error — the quantity an absolute error bound constrains."""
+    a = np.asarray(original, dtype=np.float64)
+    b = np.asarray(reconstructed, dtype=np.float64)
+    if a.size == 0:
+        return 0.0
+    return float(np.max(np.abs(a - b)))
+
+
+def compression_ratio(original_bytes: int, compressed_bytes: int) -> float:
+    """CR = original / compressed."""
+    if compressed_bytes <= 0:
+        return float("inf")
+    return original_bytes / compressed_bytes
+
+
+def bit_rate(compressed_bytes: int, n_values: int) -> float:
+    """Amortized bits per value."""
+    if n_values <= 0:
+        return 0.0
+    return 8.0 * compressed_bytes / n_values
+
+
+def throughput_mb_s(n_bytes: int, seconds: float) -> float:
+    """Throughput in MB/s over the *original* data size (paper metric 3)."""
+    if seconds <= 0:
+        return float("inf")
+    return n_bytes / 1e6 / seconds

@@ -1,0 +1,13 @@
+"""The paper's three comparison baselines (§2.3, §4.1)."""
+
+from repro.baselines.naive1d import Naive1DCompressor
+from repro.baselines.uniform3d import Uniform3DCompressor
+from repro.baselines.zmesh import ZMeshCompressor, level_traversal_keys, zmesh_order
+
+__all__ = [
+    "Naive1DCompressor",
+    "ZMeshCompressor",
+    "Uniform3DCompressor",
+    "zmesh_order",
+    "level_traversal_keys",
+]

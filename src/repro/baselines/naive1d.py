@@ -1,0 +1,134 @@
+"""1D baseline: compress each AMR level's values as a flat 1D array.
+
+This is the paper's "naive" comparator (§2.3.1, Figs. 14–15): every level's
+stored values — in C scan order of its valid cells — go through the 1D
+compressor independently.  Spatial context is mostly lost (neighbours in
+the 1D stream are often far apart in space), which is exactly why TAC's 3D
+level-wise compression beats it; but it has no pre-processing cost, making
+it the throughput winner on Run 1 (Table 2).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.amr.hierarchy import AMRDataset, AMRLevel
+from repro.core.container import (
+    MASK_PREFIX,
+    CompressedDataset,
+    pack_mask,
+    resolve_global_eb,
+    unpack_mask,
+)
+from repro.sz.compressor import SZCompressor, SZConfig
+from repro.utils.timer import TimingRecord, timed
+
+
+class Naive1DCompressor:
+    """Per-level 1D compression (the paper's 1D baseline)."""
+
+    method_name = "baseline_1d"
+
+    def __init__(self, sz: SZConfig | None = None, store_masks: bool = True):
+        self.codec = SZCompressor(sz or SZConfig())
+        self.store_masks = store_masks
+
+    def compress(
+        self,
+        dataset: AMRDataset,
+        error_bound: float,
+        mode: str = "rel",
+        per_level_scale=None,
+        timings: TimingRecord | None = None,
+    ) -> CompressedDataset:
+        """Compress each level's masked values as one 1D stream.
+
+        ``per_level_scale`` multiplies the resolved absolute bound per level
+        (level-wise methods support adaptive bounds; see §4.5).
+        """
+        timings = timings if timings is not None else TimingRecord()
+        base_eb = resolve_global_eb(dataset, error_bound, mode)
+        scales = _resolve_scales(per_level_scale, dataset.n_levels)
+        out = CompressedDataset(
+            method=self.method_name,
+            dataset_name=dataset.name,
+            original_bytes=dataset.original_bytes(),
+            n_values=dataset.total_points(),
+            timings=timings,
+        )
+        level_ebs = []
+        for lvl in dataset.levels:
+            eb_abs = base_eb * scales[lvl.level]
+            level_ebs.append(eb_abs)
+            with timed(timings, "compress"):
+                values = lvl.values()
+                blob = self.codec.compress(values, eb_abs, mode="abs")
+            out.parts[f"L{lvl.level}/values"] = blob
+            if self.store_masks:
+                out.parts[f"{MASK_PREFIX}L{lvl.level}"] = pack_mask(lvl.mask)
+        out.meta = _dataset_meta(dataset, level_ebs)
+        return out
+
+    def decompress(
+        self,
+        comp: CompressedDataset,
+        structure: AMRDataset | None = None,
+        timings: TimingRecord | None = None,
+    ) -> AMRDataset:
+        """Rebuild the dataset; masks come from the blob or ``structure``."""
+        meta = comp.meta
+        levels = []
+        for idx, shape in enumerate(meta["shapes"]):
+            shape = tuple(shape)
+            mask = _level_mask(comp, structure, idx, shape)
+            with timed(timings, "decompress"):
+                values = self.codec.decompress(comp.parts[f"L{idx}/values"])
+            data = np.zeros(shape, dtype=values.dtype)
+            data[mask] = values
+            levels.append(AMRLevel(data=data, mask=mask, level=idx))
+        return _rebuild(meta, levels)
+
+
+def _resolve_scales(per_level_scale, n_levels: int) -> list[float]:
+    """Normalize a per-level error-bound multiplier spec."""
+    if per_level_scale is None:
+        return [1.0] * n_levels
+    scales = [float(s) for s in per_level_scale]
+    if len(scales) != n_levels:
+        raise ValueError(f"per_level_scale needs {n_levels} entries, got {len(scales)}")
+    if any(s <= 0 for s in scales):
+        raise ValueError("per_level_scale entries must be positive")
+    return scales
+
+
+def _dataset_meta(dataset: AMRDataset, level_ebs: list[float]) -> dict:
+    return {
+        "name": dataset.name,
+        "field": dataset.field,
+        "ratio": dataset.ratio,
+        "box_size": dataset.box_size,
+        "shapes": [list(lvl.shape) for lvl in dataset.levels],
+        "level_ebs": level_ebs,
+    }
+
+
+def _level_mask(comp: CompressedDataset, structure, idx: int, shape) -> np.ndarray:
+    key = f"{MASK_PREFIX}L{idx}"
+    if key in comp.parts:
+        return unpack_mask(comp.parts[key], shape)
+    if structure is None:
+        raise ValueError(
+            "masks were not stored in the blob; pass the original dataset "
+            "as `structure` to supply the AMR layout"
+        )
+    return structure.levels[idx].mask
+
+
+def _rebuild(meta: dict, levels) -> AMRDataset:
+    return AMRDataset(
+        levels=levels,
+        name=meta["name"],
+        field=meta["field"],
+        ratio=meta["ratio"],
+        box_size=meta["box_size"],
+    )

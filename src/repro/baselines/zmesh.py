@@ -1,0 +1,148 @@
+"""zMesh baseline: level-interleaved reordering + 1D compression [Luo'21].
+
+zMesh re-orders AMR values so points that are geometric neighbours sit next
+to each other in one 1D array, then compresses that array.  Following the
+paper's Fig. 16, we traverse the AMR tree depth-first from the coarsest
+grid: visiting a coarse cell emits its value if it is stored at that level,
+otherwise descends into its 2×2×2 children on the next finer level — which
+interleaves all levels along a spatial path.
+
+On *tree-based* (non-redundant) data this traversal jumps between levels
+whose values differ systematically (finer cells only exist where values
+exceeded a refinement threshold), injecting artificial discontinuities —
+the reason the paper measures zMesh slightly *worse* than the plain 1D
+baseline on Nyx data (§4.4), a shape our reproduction preserves.
+
+The traversal key of a stored cell is its root-to-cell path in base 8,
+zero-padded to the maximum depth; sorting all stored cells by key realizes
+the DFS order without materializing the tree.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.amr.hierarchy import AMRDataset, AMRLevel
+from repro.baselines.naive1d import _dataset_meta, _level_mask, _rebuild
+from repro.core.container import (
+    MASK_PREFIX,
+    CompressedDataset,
+    pack_mask,
+    resolve_global_eb,
+)
+from repro.sz.compressor import SZCompressor, SZConfig
+from repro.utils.timer import TimingRecord, timed
+
+
+def level_traversal_keys(mask: np.ndarray, level: int, n_levels: int) -> np.ndarray:
+    """DFS keys of one level's stored cells (C scan order of the mask).
+
+    A cell at level ``level`` (0 = finest) sits ``depth = (L-1) - level``
+    below the coarsest grid.  Its key is the coarsest ancestor's linear
+    index followed by the ``depth`` child octant digits, then padded with
+    zero digits to the maximum depth so stored ancestors sort before the
+    subtree positions they would have contained (no stored cell's path
+    prefixes another's — tree-based AMR stores each point once).
+    """
+    coords = np.argwhere(mask)
+    if coords.size == 0:
+        return np.zeros(0, dtype=np.int64)
+    depth = (n_levels - 1) - level
+    i, j, k = coords[:, 0], coords[:, 1], coords[:, 2]
+    n_coarse = mask.shape[0] >> depth
+    ci, cj, ck = i >> depth, j >> depth, k >> depth
+    keys = ((ci * n_coarse + cj) * n_coarse + ck).astype(np.int64)
+    for step in range(1, depth + 1):
+        shift = depth - step
+        digit = (((i >> shift) & 1) << 2) | (((j >> shift) & 1) << 1) | ((k >> shift) & 1)
+        keys = keys * 8 + digit
+    # Pad to uniform depth (max over the dataset).
+    keys <<= 3 * (n_levels - 1 - depth)
+    return keys
+
+
+def zmesh_order(dataset: AMRDataset) -> np.ndarray:
+    """Permutation applying the zMesh traversal to the concatenation of
+    all levels' values (finest-first concatenation order)."""
+    keys = [
+        level_traversal_keys(lvl.mask, lvl.level, dataset.n_levels)
+        for lvl in dataset.levels
+    ]
+    all_keys = np.concatenate(keys) if keys else np.zeros(0, dtype=np.int64)
+    return np.argsort(all_keys, kind="stable")
+
+
+class ZMeshCompressor:
+    """zMesh re-ordering + single-stream 1D compression."""
+
+    method_name = "zmesh"
+
+    def __init__(self, sz: SZConfig | None = None, store_masks: bool = True):
+        self.codec = SZCompressor(sz or SZConfig())
+        self.store_masks = store_masks
+
+    def compress(
+        self,
+        dataset: AMRDataset,
+        error_bound: float,
+        mode: str = "rel",
+        per_level_scale=None,
+        timings: TimingRecord | None = None,
+    ) -> CompressedDataset:
+        if per_level_scale is not None:
+            raise ValueError(
+                "zMesh interleaves all levels into one stream and cannot "
+                "apply per-level error bounds (one of TAC's advantages)"
+            )
+        timings = timings if timings is not None else TimingRecord()
+        eb_abs = resolve_global_eb(dataset, error_bound, mode)
+        with timed(timings, "preprocess"):
+            values = np.concatenate([lvl.values() for lvl in dataset.levels])
+            order = zmesh_order(dataset)
+            reordered = values[order]
+        with timed(timings, "compress"):
+            blob = self.codec.compress(reordered, eb_abs, mode="abs")
+        out = CompressedDataset(
+            method=self.method_name,
+            dataset_name=dataset.name,
+            original_bytes=dataset.original_bytes(),
+            n_values=dataset.total_points(),
+            timings=timings,
+        )
+        out.parts["stream"] = blob
+        if self.store_masks:
+            for lvl in dataset.levels:
+                out.parts[f"{MASK_PREFIX}L{lvl.level}"] = pack_mask(lvl.mask)
+        out.meta = _dataset_meta(dataset, [eb_abs] * dataset.n_levels)
+        return out
+
+    def decompress(
+        self,
+        comp: CompressedDataset,
+        structure: AMRDataset | None = None,
+        timings: TimingRecord | None = None,
+    ) -> AMRDataset:
+        meta = comp.meta
+        shapes = [tuple(s) for s in meta["shapes"]]
+        masks = [_level_mask(comp, structure, idx, shape) for idx, shape in enumerate(shapes)]
+        with timed(timings, "decompress"):
+            reordered = self.codec.decompress(comp.parts["stream"])
+        with timed(timings, "postprocess"):
+            # Rebuild the permutation from the masks and invert it.
+            levels_stub = [
+                AMRLevel(data=np.zeros(shape, dtype=reordered.dtype), mask=mask, level=idx)
+                for idx, (shape, mask) in enumerate(zip(shapes, masks))
+            ]
+            stub = _rebuild(meta, levels_stub)
+            order = zmesh_order(stub)
+            values = np.empty_like(reordered)
+            values[order] = reordered
+            levels = []
+            start = 0
+            for idx, (shape, mask) in enumerate(zip(shapes, masks)):
+                count = int(mask.sum())
+                data = np.zeros(shape, dtype=reordered.dtype)
+                data[mask] = values[start : start + count]
+                start += count
+                levels.append(AMRLevel(data=data, mask=mask, level=idx))
+        return _rebuild(meta, levels)

@@ -1,0 +1,178 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``make``        synthesize a Table 1 dataset to an ``.npz`` file
+``info``        summarize an AMR ``.npz`` (levels, grids, densities)
+``compress``    compress an AMR ``.npz`` with TAC or a baseline
+``decompress``  restore an AMR ``.npz`` from a compressed archive
+``experiments`` run paper experiments and print their report tables
+
+The binary archive format is the one produced by
+:meth:`repro.core.container.CompressedDataset.to_bytes`.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.amr.io import load_dataset, save_dataset
+from repro.baselines import Naive1DCompressor, Uniform3DCompressor, ZMeshCompressor
+from repro.core.container import CompressedDataset
+from repro.core.tac import TACCompressor, TACConfig
+from repro.sim.datasets import TABLE1, make_dataset
+from repro.sz.compressor import SZConfig
+
+_METHODS = {
+    "tac": lambda: TACCompressor(),
+    "tac-hybrid": lambda: TACCompressor(TACConfig(adaptive_baseline=True)),
+    "1d": Naive1DCompressor,
+    "zmesh": ZMeshCompressor,
+    "3d": Uniform3DCompressor,
+}
+
+#: Decompressors by the method name recorded in the archive.
+_BY_METHOD_NAME = {
+    "tac": lambda: TACCompressor(),
+    "baseline_1d": Naive1DCompressor,
+    "zmesh": ZMeshCompressor,
+    "baseline_3d": Uniform3DCompressor,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="TAC: error-bounded lossy compression for 3D AMR data (HPDC'22 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_make = sub.add_parser("make", help="synthesize a Table 1 dataset")
+    p_make.add_argument("name", choices=sorted(TABLE1), help="dataset name")
+    p_make.add_argument("-o", "--output", required=True, type=Path)
+    p_make.add_argument("--scale", type=int, default=4, help="grid divisor (power of two)")
+    p_make.add_argument("--field", default="baryon_density")
+    p_make.add_argument("--seed", type=int, default=None)
+
+    p_info = sub.add_parser("info", help="summarize an AMR .npz file")
+    p_info.add_argument("path", type=Path)
+
+    p_comp = sub.add_parser("compress", help="compress an AMR .npz file")
+    p_comp.add_argument("path", type=Path)
+    p_comp.add_argument("-o", "--output", required=True, type=Path)
+    p_comp.add_argument("--eb", type=float, default=1e-4, help="error bound")
+    p_comp.add_argument("--mode", choices=["rel", "abs"], default="rel")
+    p_comp.add_argument("--method", choices=sorted(_METHODS), default="tac")
+    p_comp.add_argument(
+        "--level-scale",
+        type=float,
+        nargs="+",
+        default=None,
+        help="per-level error-bound multipliers, finest first (e.g. 3 1)",
+    )
+    p_comp.add_argument("--predictor", choices=["interp", "lorenzo"], default="interp")
+
+    p_dec = sub.add_parser("decompress", help="restore an AMR .npz from an archive")
+    p_dec.add_argument("path", type=Path)
+    p_dec.add_argument("-o", "--output", required=True, type=Path)
+
+    p_exp = sub.add_parser("experiments", help="run paper experiments")
+    p_exp.add_argument(
+        "names", nargs="*", help="experiment ids (default: all paper experiments)"
+    )
+    p_exp.add_argument("--scale", type=int, default=None)
+    p_exp.add_argument("--list", action="store_true", help="list available experiments")
+
+    return parser
+
+
+def cmd_make(args) -> int:
+    dataset = make_dataset(args.name, scale=args.scale, field=args.field, seed=args.seed)
+    save_dataset(dataset, args.output)
+    print(dataset.summary())
+    print(f"wrote {args.output} ({args.output.stat().st_size} bytes)")
+    return 0
+
+
+def cmd_info(args) -> int:
+    dataset = load_dataset(args.path)
+    print(dataset.summary())
+    print(f"field       : {dataset.field}")
+    print(f"stored      : {dataset.total_points()} values "
+          f"({dataset.original_bytes() / 1e6:.2f} MB)")
+    for lvl in dataset.levels:
+        print(f"  level {lvl.level}: grid {lvl.n}^3, density {lvl.density():.4%}, "
+              f"{lvl.n_points()} values")
+    return 0
+
+
+def cmd_compress(args) -> int:
+    dataset = load_dataset(args.path)
+    factory = _METHODS[args.method]
+    compressor = factory()
+    if args.method.startswith("tac") and args.predictor != "interp":
+        compressor = TACCompressor(TACConfig(sz=SZConfig(predictor=args.predictor)))
+    kwargs = {}
+    if args.level_scale is not None:
+        kwargs["per_level_scale"] = args.level_scale
+    compressed = compressor.compress(dataset, args.eb, mode=args.mode, **kwargs)
+    args.output.write_bytes(compressed.to_bytes())
+    print(f"method      : {compressed.method}")
+    print(f"ratio       : {compressed.ratio():.2f}x "
+          f"({compressed.original_bytes} -> {compressed.compressed_bytes()} bytes)")
+    print(f"bit rate    : {compressed.bit_rate():.3f} bits/value")
+    for name, size in sorted(compressed.part_sizes().items()):
+        print(f"  {name:16s} {size} B")
+    print(f"wrote {args.output}")
+    return 0
+
+
+def cmd_decompress(args) -> int:
+    archive = CompressedDataset.from_bytes(args.path.read_bytes())
+    factory = _BY_METHOD_NAME.get(archive.method)
+    if factory is None:
+        print(f"error: unknown archive method {archive.method!r}", file=sys.stderr)
+        return 2
+    dataset = factory().decompress(archive)
+    save_dataset(dataset, args.output)
+    print(dataset.summary())
+    print(f"wrote {args.output}")
+    return 0
+
+
+def cmd_experiments(args) -> int:
+    from repro.experiments import ABLATIONS, PAPER_EXPERIMENTS
+
+    registry = {**PAPER_EXPERIMENTS, **ABLATIONS}
+    if args.list:
+        for name in registry:
+            print(name)
+        return 0
+    names = args.names or list(PAPER_EXPERIMENTS)
+    unknown = [n for n in names if n not in registry]
+    if unknown:
+        print(f"error: unknown experiments {unknown}; see --list", file=sys.stderr)
+        return 2
+    for name in names:
+        result = registry[name](scale=args.scale)
+        print(result.report())
+        print()
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    handler = {
+        "make": cmd_make,
+        "info": cmd_info,
+        "compress": cmd_compress,
+        "decompress": cmd_decompress,
+        "experiments": cmd_experiments,
+    }[args.command]
+    return handler(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,55 @@
+"""TAC core: pre-process strategies, density filter, hybrid compressor."""
+
+from repro.core.adaptive_eb import suggest_scales, tempered_ratio, volume_upsample_rate
+from repro.core.akdtree import akdtree_extract, akdtree_plan, akdtree_restore
+from repro.core.blocks import BlockExtraction, block_occupancy, integral_image
+from repro.core.container import CompressedDataset, pack_mask, resolve_global_eb, unpack_mask
+from repro.core.density import (
+    DEFAULT_T1,
+    DEFAULT_T2,
+    Strategy,
+    level_density,
+    select_strategy,
+    use_3d_baseline,
+)
+from repro.core.gsp import GSPResult, gsp_pad, zero_fill
+from repro.core.nast import nast_extract, nast_restore
+from repro.core.opst import compute_bs, opst_extract, opst_plan, opst_restore
+from repro.core.snapshot import SnapshotCompressor, snapshot_savings
+from repro.core.tac import TACCompressor, TACConfig, default_unit_block
+
+__all__ = [
+    "TACCompressor",
+    "TACConfig",
+    "SnapshotCompressor",
+    "snapshot_savings",
+    "Strategy",
+    "CompressedDataset",
+    "select_strategy",
+    "use_3d_baseline",
+    "level_density",
+    "DEFAULT_T1",
+    "DEFAULT_T2",
+    "default_unit_block",
+    "nast_extract",
+    "nast_restore",
+    "opst_extract",
+    "opst_restore",
+    "opst_plan",
+    "compute_bs",
+    "akdtree_extract",
+    "akdtree_restore",
+    "akdtree_plan",
+    "gsp_pad",
+    "zero_fill",
+    "GSPResult",
+    "BlockExtraction",
+    "block_occupancy",
+    "integral_image",
+    "pack_mask",
+    "unpack_mask",
+    "resolve_global_eb",
+    "suggest_scales",
+    "tempered_ratio",
+    "volume_upsample_rate",
+]

@@ -1,0 +1,201 @@
+"""Unit-block partitioning, occupancy, and sub-block gather/scatter.
+
+All three TAC pre-process strategies view a level as a grid of small *unit
+blocks* (paper: e.g. 16³ blocks of a 512³ level).  This module provides the
+shared machinery:
+
+* zero-padding a level to a whole number of unit blocks;
+* the block **occupancy** grid (a block is *empty* iff every cell in it is
+  outside the level's mask) — paper's "empty regions";
+* a 3D **integral image** (summed-area table) over occupancy, giving O(1)
+  box-population queries that both OpST's max-cube DP and AKDTree's split
+  scoring rely on;
+* gather/scatter of cell-space sub-blocks into stacked 4D arrays, plus the
+  :class:`BlockExtraction` container with honest metadata accounting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.utils.validation import check_positive_int
+
+#: Axis permutations used to align same-size, differently-oriented AKDTree
+#: sub-blocks (paper §3.2 "align the sub-blocks ... based on their splitting
+#: dimensions").  Index into this tuple is the stored orientation id.
+AXIS_PERMS: tuple[tuple[int, int, int], ...] = (
+    (0, 1, 2),
+    (0, 2, 1),
+    (1, 0, 2),
+    (1, 2, 0),
+    (2, 0, 1),
+    (2, 1, 0),
+)
+
+_PERM_INDEX = {perm: idx for idx, perm in enumerate(AXIS_PERMS)}
+
+
+def invert_perm(perm: tuple[int, int, int]) -> tuple[int, int, int]:
+    """Inverse axis permutation (transpose that undoes ``perm``)."""
+    inv = [0, 0, 0]
+    for position, axis in enumerate(perm):
+        inv[axis] = position
+    return tuple(inv)
+
+
+def canonical_orientation(shape: tuple[int, int, int]) -> tuple[tuple[int, int, int], int]:
+    """Canonical (sorted-descending) shape and the perm id that achieves it."""
+    order = tuple(int(ax) for ax in np.argsort([-s for s in shape], kind="stable"))
+    canonical = tuple(shape[ax] for ax in order)
+    return canonical, _PERM_INDEX[order]
+
+
+def pad_to_blocks(data: np.ndarray, block: int) -> np.ndarray:
+    """Zero-pad a 3D array so every dimension is a multiple of ``block``."""
+    block = check_positive_int(block, name="block")
+    pads = [(0, (-dim) % block) for dim in data.shape]
+    if not any(hi for _, hi in pads):
+        return data
+    return np.pad(data, pads, mode="constant")
+
+
+def block_occupancy(mask: np.ndarray, block: int) -> np.ndarray:
+    """Occupancy grid: True where a unit block contains any valid cell."""
+    block = check_positive_int(block, name="block")
+    padded = pad_to_blocks(np.asarray(mask, dtype=bool), block)
+    nb = [dim // block for dim in padded.shape]
+    view = padded.reshape(nb[0], block, nb[1], block, nb[2], block)
+    return view.any(axis=(1, 3, 5))
+
+
+def block_counts(mask: np.ndarray, block: int) -> np.ndarray:
+    """Number of valid cells per unit block (for density diagnostics)."""
+    block = check_positive_int(block, name="block")
+    padded = pad_to_blocks(np.asarray(mask, dtype=np.int64), block)
+    nb = [dim // block for dim in padded.shape]
+    view = padded.reshape(nb[0], block, nb[1], block, nb[2], block)
+    return view.sum(axis=(1, 3, 5))
+
+
+def integral_image(occ: np.ndarray) -> np.ndarray:
+    """Summed-area table with a zero border: ``S[i,j,k] = occ[:i,:j,:k].sum()``."""
+    occ = np.asarray(occ)
+    table = np.zeros(tuple(dim + 1 for dim in occ.shape), dtype=np.int64)
+    table[1:, 1:, 1:] = occ.astype(np.int64)
+    for axis in range(3):
+        np.cumsum(table, axis=axis, out=table)
+    return table
+
+
+def box_count(table: np.ndarray, lo, hi) -> np.ndarray:
+    """Population of the half-open box ``[lo, hi)`` from an integral image.
+
+    ``lo``/``hi`` may be scalars-per-axis or broadcastable index arrays,
+    enabling vectorized queries over many boxes at once.
+    """
+    x0, y0, z0 = lo
+    x1, y1, z1 = hi
+    return (
+        table[x1, y1, z1]
+        - table[x0, y1, z1]
+        - table[x1, y0, z1]
+        - table[x1, y1, z0]
+        + table[x0, y0, z1]
+        + table[x0, y1, z0]
+        + table[x1, y0, z0]
+        - table[x0, y0, z0]
+    )
+
+
+@dataclass
+class BlockExtraction:
+    """Sub-blocks extracted from a level, grouped by canonical shape.
+
+    Attributes
+    ----------
+    groups:
+        ``{canonical_shape: stacked}`` where ``stacked`` is a 4D array of
+        shape ``(m, *canonical_shape)`` ready for 4D compression.
+    coords:
+        ``{canonical_shape: (m, 3) int32}`` cell-space origin of each block
+        in the *padded* grid.
+    perms:
+        ``{canonical_shape: (m,) uint8}`` orientation id (index into
+        :data:`AXIS_PERMS`) mapping the in-grid block onto its canonical
+        shape.  All-zero for cube-only strategies (NaST/OpST).
+    padded_shape / orig_shape:
+        Grid extents before/after unit-block padding.
+    """
+
+    padded_shape: tuple[int, int, int]
+    orig_shape: tuple[int, int, int]
+    block_size: int
+    groups: dict[tuple[int, int, int], np.ndarray] = field(default_factory=dict)
+    coords: dict[tuple[int, int, int], np.ndarray] = field(default_factory=dict)
+    perms: dict[tuple[int, int, int], np.ndarray] = field(default_factory=dict)
+
+    # -- stats -----------------------------------------------------------
+    def n_blocks(self) -> int:
+        return sum(arr.shape[0] for arr in self.groups.values())
+
+    def total_cells(self) -> int:
+        return sum(arr.size for arr in self.groups.values())
+
+    def metadata_cells(self) -> int:
+        """Metadata entries (coords + perms) — the paper's ~0.1% overhead."""
+        return sum(c.size for c in self.coords.values()) + sum(
+            p.size for p in self.perms.values()
+        )
+
+    # -- scatter back ------------------------------------------------------
+    def reassemble(self, dtype=None, out: np.ndarray | None = None) -> np.ndarray:
+        """Scatter all sub-blocks back into a dense padded grid."""
+        if out is None:
+            if dtype is None:
+                dtype = next(iter(self.groups.values())).dtype if self.groups else np.float32
+            out = np.zeros(self.padded_shape, dtype=dtype)
+        elif out.shape != self.padded_shape:
+            raise ValueError(f"out shape {out.shape} != padded {self.padded_shape}")
+        for shape, stacked in self.groups.items():
+            origin = self.coords[shape]
+            perm_ids = self.perms[shape]
+            for idx in range(stacked.shape[0]):
+                block = stacked[idx]
+                perm = AXIS_PERMS[int(perm_ids[idx])]
+                if perm != (0, 1, 2):
+                    block = block.transpose(invert_perm(perm))
+                x, y, z = (int(v) for v in origin[idx])
+                sx, sy, sz = block.shape
+                out[x : x + sx, y : y + sy, z : z + sz] = block
+        return out
+
+    def crop(self, arr: np.ndarray) -> np.ndarray:
+        """Trim a padded grid back to the original level extents."""
+        ox, oy, oz = self.orig_shape
+        return arr[:ox, :oy, :oz]
+
+
+def gather_blocks(
+    data: np.ndarray,
+    origins: np.ndarray,
+    shape: tuple[int, int, int],
+    perm_ids: np.ndarray | None = None,
+) -> np.ndarray:
+    """Stack sub-blocks of identical canonical ``shape`` into a 4D array.
+
+    ``origins`` are cell-space corners; ``perm_ids`` (optional) transpose
+    each in-grid block onto the canonical orientation before stacking.
+    """
+    m = origins.shape[0]
+    out = np.empty((m, *shape), dtype=data.dtype)
+    for idx in range(m):
+        x, y, z = (int(v) for v in origins[idx])
+        perm = AXIS_PERMS[int(perm_ids[idx])] if perm_ids is not None else (0, 1, 2)
+        in_shape = tuple(shape[perm.index(axis)] for axis in range(3)) if perm != (0, 1, 2) else shape
+        block = data[x : x + in_shape[0], y : y + in_shape[1], z : z + in_shape[2]]
+        if perm != (0, 1, 2):
+            block = block.transpose(perm)
+        out[idx] = block
+    return out

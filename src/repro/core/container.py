@@ -1,0 +1,159 @@
+"""Shared container for compressed AMR datasets (all methods).
+
+TAC and every baseline produce the same artifact — a set of named binary
+parts plus JSON-able metadata — so experiments can treat methods uniformly
+and compression accounting is identical everywhere:
+
+* ``compressed_bytes()`` sums every part, including layout metadata and
+  (by default) the per-level validity masks, mirroring the paper's "the
+  metadata overhead ... is negligible" accounting but making it auditable;
+* bit-rate is always relative to the dataset's *stored* AMR values (the 3D
+  baseline compresses an inflated uniform grid but is charged per stored
+  value, exactly as in Figs. 14–15);
+* ``to_bytes``/``from_bytes`` give a stable on-disk form.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+import zlib
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.utils.timer import TimingRecord
+
+_MAGIC = b"RPAM"
+_VERSION = 1
+
+#: Part-name prefix for per-level validity masks.
+MASK_PREFIX = "mask/"
+
+
+def pack_mask(mask: np.ndarray, level: int = 1) -> bytes:
+    """Bit-pack and DEFLATE a boolean mask (blocky masks compress well)."""
+    return zlib.compress(np.packbits(np.asarray(mask, dtype=bool).ravel()).tobytes(), level)
+
+
+def unpack_mask(payload: bytes, shape: tuple[int, ...]) -> np.ndarray:
+    """Invert :func:`pack_mask` for a known shape."""
+    size = int(np.prod(shape))
+    bits = np.unpackbits(np.frombuffer(zlib.decompress(payload), dtype=np.uint8))
+    if bits.size < size:
+        raise ValueError("mask payload shorter than the declared shape")
+    return bits[:size].astype(bool).reshape(shape)
+
+
+@dataclass
+class CompressedDataset:
+    """Every compressor's output: named parts + metadata + accounting."""
+
+    method: str
+    dataset_name: str
+    parts: dict[str, bytes] = field(default_factory=dict)
+    meta: dict = field(default_factory=dict)
+    original_bytes: int = 0
+    n_values: int = 0
+    timings: TimingRecord = field(default_factory=TimingRecord)
+
+    # -- accounting -------------------------------------------------------
+    def compressed_bytes(self, include_masks: bool = True) -> int:
+        """Total stored bytes; masks can be excluded for paper-style ratios
+        (the AMR grid structure is simulation metadata every method and even
+        uncompressed storage must keep)."""
+        total = 0
+        for name, payload in self.parts.items():
+            if not include_masks and name.startswith(MASK_PREFIX):
+                continue
+            total += len(payload)
+        return total
+
+    def ratio(self, include_masks: bool = True) -> float:
+        compressed = self.compressed_bytes(include_masks)
+        return self.original_bytes / compressed if compressed else float("inf")
+
+    def bit_rate(self, include_masks: bool = True) -> float:
+        """Amortized bits per stored AMR value."""
+        if not self.n_values:
+            return 0.0
+        return 8.0 * self.compressed_bytes(include_masks) / self.n_values
+
+    def part_sizes(self) -> dict[str, int]:
+        return {name: len(payload) for name, payload in self.parts.items()}
+
+    # -- serialization ------------------------------------------------------
+    def to_bytes(self) -> bytes:
+        """Stable binary serialization (JSON header + length-prefixed parts)."""
+        head = json.dumps(
+            {
+                "method": self.method,
+                "dataset_name": self.dataset_name,
+                "meta": self.meta,
+                "original_bytes": self.original_bytes,
+                "n_values": self.n_values,
+                "part_names": list(self.parts),
+            },
+            sort_keys=True,
+        ).encode("utf-8")
+        out = bytearray()
+        out += _MAGIC
+        out += struct.pack("<BQ", _VERSION, len(head))
+        out += head
+        for name in self.parts:
+            payload = self.parts[name]
+            out += struct.pack("<Q", len(payload))
+            out += payload
+        return bytes(out)
+
+    @classmethod
+    def from_bytes(cls, blob: bytes) -> "CompressedDataset":
+        view = memoryview(blob)
+        if bytes(view[:4]) != _MAGIC:
+            raise ValueError("not a CompressedDataset blob")
+        version, head_len = struct.unpack_from("<BQ", view, 4)
+        if version != _VERSION:
+            raise ValueError(f"unsupported container version {version}")
+        offset = 4 + struct.calcsize("<BQ")
+        head = json.loads(bytes(view[offset : offset + head_len]).decode("utf-8"))
+        offset += head_len
+        parts: dict[str, bytes] = {}
+        for name in head["part_names"]:
+            (length,) = struct.unpack_from("<Q", view, offset)
+            offset += 8
+            parts[name] = bytes(view[offset : offset + length])
+            offset += length
+        if offset != len(view):
+            raise ValueError("trailing bytes after last part")
+        return cls(
+            method=head["method"],
+            dataset_name=head["dataset_name"],
+            parts=parts,
+            meta=head["meta"],
+            original_bytes=head["original_bytes"],
+            n_values=head["n_values"],
+        )
+
+
+def resolve_global_eb(dataset, error_bound: float, mode: str) -> float:
+    """Dataset-scope absolute error bound shared by all methods.
+
+    ``rel`` uses the value range over the *stored* values of all levels, so
+    level-wise methods and the 3D baseline resolve identical absolute
+    bounds (the merged uniform grid contains exactly the stored values).
+    """
+    mode = str(mode)
+    if mode == "abs":
+        return float(error_bound)
+    if mode != "rel":
+        raise ValueError(f"dataset-scope bounds support modes 'abs'/'rel', got {mode!r}")
+    lo = np.inf
+    hi = -np.inf
+    for lvl in dataset.levels:
+        if lvl.n_points():
+            vals = lvl.values()
+            lo = min(lo, float(vals.min()))
+            hi = max(hi, float(vals.max()))
+    if not np.isfinite(lo) or hi <= lo:
+        return 0.0
+    return float(error_bound) * (hi - lo)

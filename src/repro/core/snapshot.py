@@ -1,0 +1,186 @@
+"""Multi-field snapshot compression (the paper's future-work direction).
+
+A Nyx snapshot dumps six fields that share one AMR structure.  Compressing
+them independently stores the masks and sub-block layouts six times and
+re-runs the pre-process planning per field; a snapshot-aware pipeline does
+better:
+
+* the **structure** (per-level masks) is stored once for the snapshot;
+* the pre-process **plan** (OpST cubes / AKDTree leaves / GSP ghosts) is a
+  function of the masks only, so it is computed once and reused across
+  fields;
+* per-field error bounds stay independent (density wants a different bound
+  than velocity), preserving TAC's level-wise tuning.
+
+Fields may optionally be compressed concurrently: the hot loops release
+the GIL inside NumPy/zlib, so a thread pool gives real speedup without
+processes (``workers > 1``).
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+
+
+from repro.amr.hierarchy import AMRDataset
+from repro.amr.reconstruct import check_same_structure
+from repro.core.container import MASK_PREFIX, CompressedDataset, pack_mask
+from repro.core.tac import TACCompressor, TACConfig
+from repro.utils.timer import TimingRecord, timed
+from repro.utils.validation import check_positive_int
+
+
+class SnapshotCompressor:
+    """Compress several same-structure AMR fields as one archive.
+
+    Example
+    -------
+    >>> from repro.sim import make_dataset
+    >>> fields = {f: make_dataset("Run2_T2", scale=8, field=f)
+    ...           for f in ("baryon_density", "temperature")}
+    >>> snap = SnapshotCompressor()
+    >>> blob = snap.compress(fields, error_bound=1e-3)
+    >>> restored = snap.decompress(blob)
+    >>> sorted(restored) == sorted(fields)
+    True
+    """
+
+    method_name = "tac_snapshot"
+
+    def __init__(self, config: TACConfig | None = None, *, workers: int = 1):
+        self.config = config if config is not None else TACConfig()
+        self.workers = check_positive_int(workers, name="workers")
+        # Field payloads must not duplicate the masks; the snapshot stores
+        # them once at the archive level.
+        self._field_config = _without_masks(self.config)
+
+    # ------------------------------------------------------------------
+    def compress(
+        self,
+        fields: dict[str, AMRDataset],
+        error_bound: float,
+        mode: str = "rel",
+        per_field_eb: dict[str, float] | None = None,
+        per_level_scale=None,
+        timings: TimingRecord | None = None,
+    ) -> CompressedDataset:
+        """Compress all ``fields`` (same AMR structure) into one archive.
+
+        ``per_field_eb`` overrides the shared ``error_bound`` per field —
+        each field's bound is still resolved in ``mode`` against that
+        field's own values.
+        """
+        if not fields:
+            raise ValueError("need at least one field")
+        timings = timings if timings is not None else TimingRecord()
+        names = sorted(fields)
+        reference = fields[names[0]]
+        for name in names[1:]:
+            try:
+                check_same_structure(reference, fields[name])
+            except ValueError as exc:
+                raise ValueError(
+                    f"field {name!r} does not share the snapshot structure: {exc}"
+                ) from exc
+        overrides = dict(per_field_eb or {})
+        unknown = set(overrides) - set(names)
+        if unknown:
+            raise ValueError(f"per_field_eb names not in snapshot: {sorted(unknown)}")
+
+        out = CompressedDataset(
+            method=self.method_name,
+            dataset_name=reference.name,
+            original_bytes=sum(ds.original_bytes() for ds in fields.values()),
+            n_values=sum(ds.total_points() for ds in fields.values()),
+            timings=timings,
+        )
+        with timed(timings, "masks"):
+            for lvl in reference.levels:
+                out.parts[f"{MASK_PREFIX}L{lvl.level}"] = pack_mask(lvl.mask)
+
+        def compress_one(name: str) -> tuple[str, CompressedDataset]:
+            tac = TACCompressor(self._field_config)
+            eb = overrides.get(name, error_bound)
+            return name, tac.compress(
+                fields[name], eb, mode=mode, per_level_scale=per_level_scale
+            )
+
+        with timed(timings, "fields"):
+            if self.workers > 1 and len(names) > 1:
+                with ThreadPoolExecutor(max_workers=self.workers) as pool:
+                    results = dict(pool.map(compress_one, names))
+            else:
+                results = dict(compress_one(name) for name in names)
+
+        field_meta: dict[str, dict] = {}
+        for name in names:
+            comp = results[name]
+            for key, payload in comp.parts.items():
+                out.parts[f"{name}/{key}"] = payload
+            field_meta[name] = comp.meta
+        out.meta = {
+            "snapshot": reference.name,
+            "fields": names,
+            "shapes": [list(lvl.shape) for lvl in reference.levels],
+            "field_meta": field_meta,
+        }
+        return out
+
+    # ------------------------------------------------------------------
+    def decompress(
+        self,
+        archive: CompressedDataset,
+        fields: list[str] | None = None,
+        timings: TimingRecord | None = None,
+    ) -> dict[str, AMRDataset]:
+        """Restore all (or selected) fields from a snapshot archive.
+
+        Selective decompression is the point of the shared layout: asking
+        for one field touches only that field's payloads plus the shared
+        masks.
+        """
+        names = archive.meta["fields"] if fields is None else list(fields)
+        unknown = set(names) - set(archive.meta["fields"])
+        if unknown:
+            raise ValueError(f"fields not in archive: {sorted(unknown)}")
+        shared_masks = {
+            key: payload
+            for key, payload in archive.parts.items()
+            if key.startswith(MASK_PREFIX)
+        }
+        out: dict[str, AMRDataset] = {}
+        for name in names:
+            prefix = f"{name}/"
+            parts = dict(shared_masks)
+            parts.update(
+                {
+                    key[len(prefix):]: payload
+                    for key, payload in archive.parts.items()
+                    if key.startswith(prefix)
+                }
+            )
+            field_blob = CompressedDataset(
+                method="tac",
+                dataset_name=archive.dataset_name,
+                parts=parts,
+                meta=archive.meta["field_meta"][name],
+            )
+            tac = TACCompressor(self._field_config)
+            with timed(timings, f"decompress/{name}"):
+                out[name] = tac.decompress(field_blob)
+        return out
+
+
+def _without_masks(config: TACConfig) -> TACConfig:
+    """Copy of ``config`` with per-field mask storage disabled."""
+    if not config.store_masks:
+        return config
+    values = {f: getattr(config, f) for f in config.__dataclass_fields__}
+    values["store_masks"] = False
+    return TACConfig(**values)
+
+
+def snapshot_savings(archive: CompressedDataset, per_field_blobs: dict[str, CompressedDataset]) -> float:
+    """Bytes saved by the shared-structure archive vs independent blobs."""
+    independent = sum(b.compressed_bytes() for b in per_field_blobs.values())
+    return float(independent - archive.compressed_bytes())

@@ -1,0 +1,324 @@
+"""TAC — the paper's hybrid level-wise 3D AMR compressor (Fig. 3).
+
+For each AMR level the density filter picks a pre-process strategy
+(OpST / AKDTree / GSP, §3.4), the strategy turns the level's irregular
+occupancy into dense 3D/4D arrays, and the SZ substrate compresses each
+array under that level's absolute error bound.  Level-wise operation is
+what enables the paper's per-level error-bound tuning (§4.5, exposed here
+as ``per_level_scale``; see :mod:`repro.core.adaptive_eb` for suggested
+values).
+
+With ``adaptive_baseline=True`` the §4.4 dataset-scope rule is applied:
+when the finest level is denser than ``t2``, the whole dataset is handed to
+the 3D baseline (up-sample + merge), which wins in exactly that regime.
+
+The output is a :class:`repro.core.container.CompressedDataset` whose parts
+include per-level payloads, layout metadata, and (by default) the validity
+masks — all counted in the compressed size.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.amr.hierarchy import AMRDataset, AMRLevel
+from repro.core.akdtree import akdtree_extract
+from repro.core.container import (
+    MASK_PREFIX,
+    CompressedDataset,
+    pack_mask,
+    resolve_global_eb,
+    unpack_mask,
+)
+from repro.core.density import DEFAULT_T1, DEFAULT_T2, Strategy, select_strategy
+from repro.core.gsp import gsp_pad, zero_fill
+from repro.core.layout import deserialize_layout, layout_shapes, serialize_layout
+from repro.core.nast import nast_extract
+from repro.core.opst import opst_extract
+from repro.sz.compressor import SZCompressor, SZConfig
+from repro.utils.timer import TimingRecord, timed
+from repro.utils.validation import check_positive_int
+
+#: Unit-block bounds for the adaptive default (paper: 16³ blocks on 512³
+#: grids, i.e. ~1/32 of the level edge; we keep blocks >= 4 so boundary
+#: fractions stay sane on scaled-down grids).
+_MIN_BLOCK = 4
+_MAX_BLOCK = 16
+
+
+def default_unit_block(n: int) -> int:
+    """Adaptive unit-block edge for a level of size ``n`` (~n/16, clamped)."""
+    return int(np.clip(n // 16, _MIN_BLOCK, _MAX_BLOCK))
+
+
+@dataclass(frozen=True)
+class TACConfig:
+    """TAC pipeline parameters.
+
+    Attributes
+    ----------
+    unit_block:
+        Unit-block edge in cells; ``None`` chooses per level via
+        :func:`default_unit_block`.
+    t1, t2:
+        Density thresholds of the strategy filter (§3.4).
+    adaptive_baseline:
+        Apply the §4.4 rule (3D baseline when the finest level is dense).
+    force_strategy:
+        Override the density filter with one strategy for every level
+        (used by the Fig. 7/11/12 strategy studies).
+    pad_layers / avg_layers:
+        GSP slab thickness / neighbour averaging depth (Alg. 3's x and y).
+    store_masks:
+        Include packed validity masks in the output parts.
+    sz:
+        Configuration of the underlying SZ codec.
+    """
+
+    unit_block: int | None = None
+    t1: float = DEFAULT_T1
+    t2: float = DEFAULT_T2
+    adaptive_baseline: bool = False
+    force_strategy: Strategy | None = None
+    pad_layers: int | None = None
+    avg_layers: int = 2
+    store_masks: bool = True
+    sz: SZConfig = field(default_factory=SZConfig)
+
+    def __post_init__(self):
+        if self.unit_block is not None:
+            check_positive_int(self.unit_block, name="unit_block")
+        if not 0.0 < self.t1 <= self.t2 <= 1.0:
+            raise ValueError(f"need 0 < t1 <= t2 <= 1, got t1={self.t1}, t2={self.t2}")
+
+
+class TACCompressor:
+    """The TAC hybrid compressor (public entry point of this package)."""
+
+    method_name = "tac"
+
+    def __init__(self, config: TACConfig | None = None, **kwargs):
+        if config is not None and kwargs:
+            raise TypeError("pass either a config object or keyword overrides, not both")
+        self.config = config if config is not None else TACConfig(**kwargs)
+        self.codec = SZCompressor(self.config.sz)
+
+    # ------------------------------------------------------------------
+    # compression
+    # ------------------------------------------------------------------
+    def compress(
+        self,
+        dataset: AMRDataset,
+        error_bound: float,
+        mode: str = "rel",
+        per_level_scale=None,
+        timings: TimingRecord | None = None,
+    ) -> CompressedDataset:
+        """Compress a dataset level by level under ``error_bound``.
+
+        ``mode="rel"`` resolves the bound against the dataset's global value
+        range (shared with all baselines); ``per_level_scale`` multiplies
+        the resolved absolute bound per level (finest first).
+        """
+        timings = timings if timings is not None else TimingRecord()
+        cfg = self.config
+        if cfg.adaptive_baseline and dataset.finest_density() >= cfg.t2:
+            if per_level_scale is not None:
+                raise ValueError(
+                    "the 3D-baseline fallback cannot honour per-level error "
+                    "bounds; disable adaptive_baseline to force level-wise TAC"
+                )
+            from repro.baselines.uniform3d import Uniform3DCompressor
+
+            delegate = Uniform3DCompressor(sz=cfg.sz, store_masks=cfg.store_masks)
+            out = delegate.compress(dataset, error_bound, mode, timings=timings)
+            out.method = self.method_name
+            out.meta["delegated"] = "baseline_3d"
+            return out
+
+        base_eb = resolve_global_eb(dataset, error_bound, mode)
+        scales = _resolve_scales(per_level_scale, dataset.n_levels)
+        out = CompressedDataset(
+            method=self.method_name,
+            dataset_name=dataset.name,
+            original_bytes=dataset.original_bytes(),
+            n_values=dataset.total_points(),
+            timings=timings,
+        )
+        level_meta = []
+        for lvl in dataset.levels:
+            eb_abs = base_eb * scales[lvl.level]
+            level_meta.append(self._compress_level(lvl, eb_abs, out, timings))
+            if cfg.store_masks:
+                out.parts[f"{MASK_PREFIX}L{lvl.level}"] = pack_mask(lvl.mask)
+        out.meta = {
+            "name": dataset.name,
+            "field": dataset.field,
+            "ratio": dataset.ratio,
+            "box_size": dataset.box_size,
+            "shapes": [list(lvl.shape) for lvl in dataset.levels],
+            "levels": level_meta,
+        }
+        return out
+
+    def _compress_level(
+        self, lvl: AMRLevel, eb_abs: float, out: CompressedDataset, timings: TimingRecord
+    ) -> dict:
+        cfg = self.config
+        density = lvl.density()
+        meta: dict = {
+            "level": lvl.level,
+            "density": density,
+            "eb_abs": eb_abs,
+            "n_points": lvl.n_points(),
+        }
+        if lvl.n_points() == 0:
+            meta["strategy"] = "empty"
+            return meta
+        strategy = cfg.force_strategy or select_strategy(density, cfg.t1, cfg.t2)
+        block = cfg.unit_block or default_unit_block(lvl.n)
+        meta["strategy"] = strategy.value
+        meta["unit_block"] = block
+        data = lvl.masked_data()
+
+        if strategy in (Strategy.GSP, Strategy.ZF):
+            with timed(timings, "preprocess"):
+                if strategy is Strategy.GSP:
+                    result = gsp_pad(
+                        data, lvl.mask, block,
+                        pad_layers=cfg.pad_layers, avg_layers=cfg.avg_layers,
+                    )
+                else:
+                    result = zero_fill(data, lvl.mask, block)
+            with timed(timings, "compress"):
+                out.parts[f"L{lvl.level}/grid"] = self.codec.compress(
+                    result.padded, eb_abs, mode="abs"
+                )
+            meta["padded_shape"] = list(result.padded.shape)
+            return meta
+
+        extract = {
+            Strategy.OPST: opst_extract,
+            Strategy.AKDTREE: akdtree_extract,
+            Strategy.NAST: nast_extract,
+        }[strategy]
+        with timed(timings, "preprocess"):
+            extraction = extract(data, lvl.mask, block)
+        with timed(timings, "compress"):
+            out.parts[f"L{lvl.level}/layout"] = serialize_layout(extraction)
+            for group_idx, shape in enumerate(layout_shapes(extraction)):
+                stacked = extraction.groups[shape]
+                out.parts[f"L{lvl.level}/g{group_idx}"] = self.codec.compress(
+                    stacked, eb_abs, mode="abs"
+                )
+        meta["n_blocks"] = extraction.n_blocks()
+        meta["n_groups"] = len(extraction.groups)
+        return meta
+
+    # ------------------------------------------------------------------
+    # decompression
+    # ------------------------------------------------------------------
+    def decompress(
+        self,
+        comp: CompressedDataset,
+        structure: AMRDataset | None = None,
+        timings: TimingRecord | None = None,
+    ) -> AMRDataset:
+        """Rebuild the AMR dataset from a TAC blob."""
+        if comp.meta.get("delegated") == "baseline_3d":
+            from repro.baselines.uniform3d import Uniform3DCompressor
+
+            delegate = Uniform3DCompressor(sz=self.config.sz, store_masks=self.config.store_masks)
+            out = delegate.decompress(comp, structure=structure, timings=timings)
+            return out
+        meta = comp.meta
+        levels = []
+        for level_meta in meta["levels"]:
+            idx = level_meta["level"]
+            shape = tuple(meta["shapes"][idx])
+            mask = self._level_mask(comp, structure, idx, shape)
+            data = self._decompress_level(comp, level_meta, shape, mask, timings)
+            levels.append(AMRLevel(data=data, mask=mask, level=idx))
+        return AMRDataset(
+            levels=levels,
+            name=meta["name"],
+            field=meta["field"],
+            ratio=meta["ratio"],
+            box_size=meta["box_size"],
+        )
+
+    def _decompress_level(
+        self, comp: CompressedDataset, level_meta: dict, shape, mask, timings
+    ) -> np.ndarray:
+        idx = level_meta["level"]
+        strategy = level_meta["strategy"]
+        if strategy == "empty":
+            return np.zeros(shape, dtype=np.float32)
+        if strategy in (Strategy.GSP.value, Strategy.ZF.value):
+            with timed(timings, "decompress"):
+                padded = self.codec.decompress(comp.parts[f"L{idx}/grid"])
+            with timed(timings, "postprocess"):
+                cropped = padded[: shape[0], : shape[1], : shape[2]]
+                return np.where(mask, cropped, cropped.dtype.type(0))
+        with timed(timings, "decompress"):
+            extraction = deserialize_layout(comp.parts[f"L{idx}/layout"])
+            for group_idx, group_shape in enumerate(layout_shapes(extraction)):
+                stacked = self.codec.decompress(comp.parts[f"L{idx}/g{group_idx}"])
+                extraction.groups[group_shape] = stacked
+        with timed(timings, "postprocess"):
+            restored = extraction.crop(extraction.reassemble())
+            return np.where(mask, restored, restored.dtype.type(0))
+
+    @staticmethod
+    def _level_mask(comp: CompressedDataset, structure, idx: int, shape) -> np.ndarray:
+        key = f"{MASK_PREFIX}L{idx}"
+        if key in comp.parts:
+            return unpack_mask(comp.parts[key], shape)
+        if structure is None:
+            raise ValueError(
+                "masks were not stored in the blob; pass the original dataset "
+                "as `structure` to supply the AMR layout"
+            )
+        return structure.levels[idx].mask
+
+    # ------------------------------------------------------------------
+    # analysis helpers
+    # ------------------------------------------------------------------
+    def preprocess_only(self, lvl: AMRLevel, strategy: Strategy, block: int | None = None):
+        """Run just a strategy's pre-process on one level (Fig. 13 timing).
+
+        Returns ``(result, seconds)`` where ``result`` is the strategy's
+        extraction/padding artifact.
+        """
+        block = block or self.config.unit_block or default_unit_block(lvl.n)
+        data = lvl.masked_data()
+        record = TimingRecord()
+        with timed(record, "preprocess"):
+            if strategy is Strategy.GSP:
+                result: object = gsp_pad(
+                    data, lvl.mask, block,
+                    pad_layers=self.config.pad_layers, avg_layers=self.config.avg_layers,
+                )
+            elif strategy is Strategy.ZF:
+                result = zero_fill(data, lvl.mask, block)
+            else:
+                extract = {
+                    Strategy.OPST: opst_extract,
+                    Strategy.AKDTREE: akdtree_extract,
+                    Strategy.NAST: nast_extract,
+                }[strategy]
+                result = extract(data, lvl.mask, block)
+        return result, record.get("preprocess")
+
+
+def _resolve_scales(per_level_scale, n_levels: int) -> list[float]:
+    if per_level_scale is None:
+        return [1.0] * n_levels
+    scales = [float(s) for s in per_level_scale]
+    if len(scales) != n_levels:
+        raise ValueError(f"per_level_scale needs {n_levels} entries, got {len(scales)}")
+    if any(s <= 0 for s in scales):
+        raise ValueError("per_level_scale entries must be positive")
+    return scales

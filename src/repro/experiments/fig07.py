@@ -1,0 +1,49 @@
+"""Fig. 7 — NaST vs OpST on the z10 fine level (23% density).
+
+Paper: with the same compressor and bound (value-range-relative 4.8e-4),
+OpST achieves *both* a higher compression ratio (241.1 vs 233.8) and a
+higher PSNR (77.8 vs 76.9 dB) than NaST, because maximal-cube extraction
+leaves far less data on sub-block boundaries.
+"""
+
+from __future__ import annotations
+
+from repro.core.density import Strategy
+from repro.experiments.common import (
+    ExperimentResult,
+    dataset,
+    experiment_scale,
+    single_level_dataset,
+)
+from repro.experiments.strategies import measure_level_strategy
+
+#: The error bound quoted in the figure caption.
+PAPER_ERROR_BOUND = 4.8e-4
+
+
+def run(scale: int | None = None, error_bound: float = PAPER_ERROR_BOUND) -> ExperimentResult:
+    scale = experiment_scale(scale)
+    ds = dataset("Run1_Z10", scale)
+    fine = single_level_dataset(ds.levels[0], "Run1_Z10/fine", ds)
+    result = ExperimentResult(
+        experiment="fig07",
+        title="NaST vs OpST on z10 fine level (baryon density)",
+        paper_claim="OpST beats NaST on BOTH ratio (241.1 vs 233.8) and PSNR (77.8 vs 76.9 dB)",
+    )
+    for strategy in (Strategy.NAST, Strategy.OPST):
+        row = measure_level_strategy(fine, strategy, error_bound, mode="rel")
+        result.rows.append(
+            {
+                "strategy": row["strategy"],
+                "density": row["density"],
+                "ratio": row["ratio"],
+                "psnr_db": row["psnr"],
+                "bit_rate": row["bit_rate"],
+            }
+        )
+    nast, opst = result.rows
+    result.notes = (
+        f"OpST wins ratio: {opst['ratio'] > nast['ratio']}, "
+        f"OpST wins PSNR: {opst['psnr_db'] > nast['psnr_db']}"
+    )
+    return result

@@ -1,0 +1,25 @@
+"""Fig. 15 — rate-distortion on the three Run 2 datasets.
+
+Paper: with finest-level densities of 0.2% down to 3e-5, the up-sampling
+redundancy ruins the 3D baseline and TAC dominates every method across the
+whole bit-rate range (TAC top-left in all three panels).
+"""
+
+from __future__ import annotations
+
+from repro.experiments.common import ExperimentResult, experiment_scale
+from repro.experiments.fig14 import DEFAULT_ERROR_BOUNDS
+from repro.experiments.fig14 import run as _run_rd
+
+DATASETS = ("Run2_T2", "Run2_T3", "Run2_T4")
+
+
+def run(scale: int | None = None, error_bounds=DEFAULT_ERROR_BOUNDS) -> ExperimentResult:
+    scale = experiment_scale(scale)
+    inner = _run_rd(scale=scale, error_bounds=error_bounds, datasets=DATASETS)
+    return ExperimentResult(
+        experiment="fig15",
+        title="Rate-distortion, Run 2 (sparse finest levels)",
+        paper_claim="TAC dominates all baselines on every Run 2 dataset",
+        rows=inner.rows,
+    )

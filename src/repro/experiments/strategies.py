@@ -1,0 +1,56 @@
+"""Per-level strategy measurement used by the Figs. 7/11/12/13 experiments.
+
+These figures study a *single AMR level* under one forced pre-process
+strategy; this helper wraps the level as a standalone dataset, runs TAC
+with ``force_strategy``, and reports rate, distortion (over the level's
+stored values), and the pre-process time in isolation.
+"""
+
+from __future__ import annotations
+
+from repro.amr.hierarchy import AMRDataset, AMRLevel
+from repro.analysis.metrics import psnr
+from repro.core.density import Strategy
+from repro.core.tac import TACCompressor, TACConfig
+from repro.utils.timer import TimingRecord
+
+
+def measure_level_strategy(
+    level_ds: AMRDataset,
+    strategy: Strategy,
+    error_bound: float,
+    *,
+    mode: str = "rel",
+    unit_block: int | None = None,
+) -> dict:
+    """Compress a single-level dataset with one strategy; return metrics."""
+    if level_ds.n_levels != 1:
+        raise ValueError("measure_level_strategy expects a single-level dataset")
+    tac = TACCompressor(TACConfig(force_strategy=strategy, unit_block=unit_block))
+    timings = TimingRecord()
+    comp = tac.compress(level_ds, error_bound, mode=mode, timings=timings)
+    recon = tac.decompress(comp)
+    original = level_ds.levels[0].values()
+    reconstructed = recon.levels[0].values()
+    return {
+        "strategy": strategy.value,
+        "density": level_ds.levels[0].density(),
+        "error_bound": float(error_bound),
+        "bit_rate": comp.bit_rate(include_masks=False),
+        "ratio": comp.ratio(include_masks=False),
+        "psnr": psnr(original, reconstructed),
+        "preprocess_seconds": timings.get("preprocess"),
+        "compress_seconds": timings.total(),
+    }
+
+
+def preprocess_time(
+    level: AMRLevel, strategy: Strategy, unit_block: int | None = None, repeats: int = 3
+) -> float:
+    """Best-of-N pre-process wall time for one strategy on one level."""
+    tac = TACCompressor(TACConfig(unit_block=unit_block))
+    times = []
+    for _ in range(max(1, repeats)):
+        _, seconds = tac.preprocess_only(level, strategy, block=unit_block)
+        times.append(seconds)
+    return min(times)

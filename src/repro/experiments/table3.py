@@ -1,0 +1,99 @@
+"""Table 3 — halo-finder quality with adaptive per-level error bounds.
+
+Paper (Run1_Z2): at matched compression ratio (~198.5), the biggest halo's
+relative mass difference and cell-count difference both shrink from the 3D
+baseline (6.66e-4 / 39 cells) through TAC with a uniform bound
+(4.97e-4 / 28) to TAC with the §4.5-derived 2:1 fine:coarse ratio
+(4.49e-4 / 25) — the adaptive bound spends accuracy where halo candidates
+live.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.halo_finder import (
+    DEFAULT_MIN_CELLS,
+    DEFAULT_THRESHOLD_FACTOR,
+    compare_biggest_halo,
+    find_halos,
+)
+from repro.baselines.uniform3d import Uniform3DCompressor
+from repro.core.adaptive_eb import suggest_scales
+from repro.core.tac import TACCompressor, TACConfig
+from repro.experiments.common import (
+    ExperimentResult,
+    dataset,
+    experiment_scale,
+    match_ratio_error_bound,
+)
+
+DEFAULT_REFERENCE_EB = 2e-3
+
+
+def resolve_threshold(uniform, *, min_cells: int = DEFAULT_MIN_CELLS) -> float:
+    """Largest threshold factor (<= the paper's 81.66) that yields a halo.
+
+    At scaled-down grid resolution the extreme-density tail holds fewer
+    cells than at 512³, so the paper's physical threshold can come up
+    empty; we relax it geometrically and report the value used.
+    """
+    factor = DEFAULT_THRESHOLD_FACTOR
+    while factor > 1.0:
+        if find_halos(uniform, threshold_factor=factor, min_cells=min_cells).n_halos:
+            return factor
+        factor /= 2.0
+    return factor
+
+
+def run(scale: int | None = None, reference_eb: float = DEFAULT_REFERENCE_EB) -> ExperimentResult:
+    scale = experiment_scale(scale)
+    ds = dataset("Run1_Z2", scale)
+    uniform_orig = ds.to_uniform()
+    threshold = resolve_threshold(uniform_orig)
+
+    result = ExperimentResult(
+        experiment="table3",
+        title="Halo-finder distortion at matched CR (Run1_Z2)",
+        paper_claim=(
+            "mass/cell diffs shrink: 3D baseline > TAC(1:1) > TAC(2:1) "
+            "(paper: 6.66e-4/39 > 4.97e-4/28 > 4.49e-4/25)"
+        ),
+    )
+
+    baseline = Uniform3DCompressor()
+    comp = baseline.compress(ds, reference_eb, mode="rel")
+    target_ratio = comp.ratio(include_masks=False)
+    cmp_res = compare_biggest_halo(
+        uniform_orig, baseline.decompress_uniform(comp), threshold_factor=threshold
+    )
+    result.rows.append(_row("baseline_3d", target_ratio, cmp_res))
+
+    tac = TACCompressor(TACConfig())
+    for label, scales in (
+        ("tac_1to1", None),
+        ("tac_2to1", suggest_scales(ds.n_levels, "halo_finder")),
+    ):
+        eb = match_ratio_error_bound(tac, ds, target_ratio, per_level_scale=scales)
+        blob = tac.compress(ds, eb, mode="rel", per_level_scale=scales)
+        recon = tac.decompress(blob)
+        cmp_res = compare_biggest_halo(
+            uniform_orig, recon.to_uniform(), threshold_factor=threshold
+        )
+        result.rows.append(_row(label, blob.ratio(include_masks=False), cmp_res))
+
+    base, tuned = result.rows[0], result.rows[-1]
+    result.notes = (
+        f"halo threshold factor {threshold:g} (paper: 81.66; relaxed when the "
+        "scaled grid's density tail is too thin); TAC(2:1) beats 3D baseline "
+        f"on mass diff: {tuned['rel_mass_diff'] <= base['rel_mass_diff']}"
+    )
+    return result
+
+
+def _row(label: str, ratio: float, cmp_res) -> dict:
+    return {
+        "method": label,
+        "ratio": ratio,
+        "rel_mass_diff": cmp_res.rel_mass_diff,
+        "cell_diff": cmp_res.cell_count_diff,
+        "matched": cmp_res.matched,
+    }

@@ -1,0 +1,20 @@
+"""Synthetic Nyx cosmology substrate: fields, refinement, dataset registry."""
+
+from repro.sim.datasets import DATASET_NAMES, TABLE1, DatasetSpec, make_all, make_dataset
+from repro.sim.gaussian_field import FieldGenerator
+from repro.sim.nyx import NYX_FIELDS, generate_field, generate_snapshot, lognormal_density
+from repro.sim.refinement import build_amr
+
+__all__ = [
+    "FieldGenerator",
+    "NYX_FIELDS",
+    "generate_field",
+    "generate_snapshot",
+    "lognormal_density",
+    "build_amr",
+    "make_dataset",
+    "make_all",
+    "DatasetSpec",
+    "TABLE1",
+    "DATASET_NAMES",
+]

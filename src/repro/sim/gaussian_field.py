@@ -1,0 +1,146 @@
+"""Gaussian random fields with power-law spectra (FFT method).
+
+Cosmological density fields are, to first order, Gaussian random fields with
+a falling power spectrum: large-scale coherence plus small-scale texture.
+We synthesize them the standard way — colour white noise in Fourier space by
+``sqrt(P(k))`` with ``P(k) ∝ k^ns * exp(-(k/k_cut)^2)`` — which gives the
+compressor input the smoothness profile that drives SZ-style rate-distortion
+behaviour on real Nyx data.
+
+The generator caches its Fourier-space noise so the density contrast and the
+(linear-theory) velocity fields derived from the same realization are
+mutually consistent, as they are in a real simulation snapshot.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.validation import check_positive_int
+
+
+def _k_grids(n: int, box_size: float):
+    """Physical wavenumber component grids for an ``n^3`` rfft layout."""
+    k1 = 2.0 * np.pi * np.fft.fftfreq(n, d=box_size / n)
+    k3 = 2.0 * np.pi * np.fft.rfftfreq(n, d=box_size / n)
+    kx = k1[:, None, None]
+    ky = k1[None, :, None]
+    kz = k3[None, None, :]
+    return kx, ky, kz
+
+
+class FieldGenerator:
+    """Seeded generator of correlated cosmology-like fields on an ``n^3`` grid.
+
+    Parameters
+    ----------
+    n:
+        Grid size per dimension.
+    box_size:
+        Physical edge length (Mpc); sets the wavenumber scale of ``P(k)``.
+    seed:
+        RNG seed; identical seeds reproduce identical fields at any call
+        order (the Fourier noise is drawn once and cached).
+    spectral_index:
+        Slope ``ns`` of ``P(k) ∝ k^ns``; more negative = smoother fields.
+        ``-3.0`` approximates the effective slope of the (pressure-smoothed)
+        baryon spectrum on the scales a 64 Mpc box resolves.
+    cutoff_fraction:
+        Gaussian damping scale as a fraction of the Nyquist wavenumber,
+        suppressing grid-scale noise the way pressure smoothing does.
+    """
+
+    def __init__(
+        self,
+        n: int,
+        *,
+        box_size: float = 64.0,
+        seed: int = 0,
+        spectral_index: float = -3.0,
+        cutoff_fraction: float = 0.4,
+    ):
+        self.n = check_positive_int(n, name="n")
+        if box_size <= 0:
+            raise ValueError("box_size must be positive")
+        if not 0 < cutoff_fraction <= 4:
+            raise ValueError("cutoff_fraction must be in (0, 4]")
+        self.box_size = float(box_size)
+        self.seed = int(seed)
+        self.spectral_index = float(spectral_index)
+        self.cutoff_fraction = float(cutoff_fraction)
+        self._noise_k: np.ndarray | None = None
+        self._delta_k: np.ndarray | None = None
+
+    # -- internals -------------------------------------------------------
+    def _noise(self) -> np.ndarray:
+        """White Gaussian noise in rfft space (cached)."""
+        if self._noise_k is None:
+            rng = np.random.default_rng(self.seed)
+            white = rng.standard_normal((self.n, self.n, self.n))
+            self._noise_k = np.fft.rfftn(white)
+        return self._noise_k
+
+    def _spectrum_filter(self) -> np.ndarray:
+        kx, ky, kz = _k_grids(self.n, self.box_size)
+        k2 = kx * kx + ky * ky + kz * kz
+        k = np.sqrt(k2)
+        k_nyq = np.pi * self.n / self.box_size
+        k_cut = self.cutoff_fraction * k_nyq
+        with np.errstate(divide="ignore"):
+            amp = np.where(k > 0, k ** (self.spectral_index / 2.0), 0.0)
+        amp *= np.exp(-0.5 * (k / k_cut) ** 2)
+        amp[0, 0, 0] = 0.0  # zero mean
+        return amp
+
+    def _delta_fourier(self) -> np.ndarray:
+        if self._delta_k is None:
+            self._delta_k = self._noise() * self._spectrum_filter()
+        return self._delta_k
+
+    # -- public fields --------------------------------------------------
+    def delta(self) -> np.ndarray:
+        """Zero-mean, unit-variance density contrast ``δ(x)``."""
+        field = np.fft.irfftn(self._delta_fourier(), s=(self.n, self.n, self.n), axes=(0, 1, 2))
+        std = float(field.std())
+        if std == 0.0:
+            raise RuntimeError("degenerate random field (zero variance)")
+        return (field / std).astype(np.float64)
+
+    def correlated_delta(self, correlation: float, seed_offset: int = 1) -> np.ndarray:
+        """A second unit-variance field with given correlation to :meth:`delta`.
+
+        Used to make dark matter trace baryons imperfectly (``ρ_dm`` follows
+        ``ρ_b`` at ~0.9 correlation in Nyx snapshots).
+        """
+        if not -1.0 <= correlation <= 1.0:
+            raise ValueError("correlation must be in [-1, 1]")
+        other = FieldGenerator(
+            self.n,
+            box_size=self.box_size,
+            seed=self.seed + seed_offset,
+            spectral_index=self.spectral_index,
+            cutoff_fraction=self.cutoff_fraction,
+        )
+        mixed = correlation * self.delta() + np.sqrt(1.0 - correlation**2) * other.delta()
+        std = float(mixed.std())
+        return mixed / std
+
+    def velocities(self, amplitude: float = 1.0) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Linear-theory velocity components ``v ∝ i k / k² · δ_k``.
+
+        The Zel'dovich relation ties velocities to the same density
+        realization; amplitude rescales each component to unit RMS times
+        ``amplitude``.
+        """
+        delta_k = self._delta_fourier()
+        kx, ky, kz = _k_grids(self.n, self.box_size)
+        k2 = kx * kx + ky * ky + kz * kz
+        inv_k2 = np.zeros_like(k2)
+        np.divide(1.0, k2, out=inv_k2, where=k2 > 0)
+        comps = []
+        for kc in (kx, ky, kz):
+            vk = 1j * kc * inv_k2 * delta_k
+            v = np.fft.irfftn(vk, s=(self.n, self.n, self.n), axes=(0, 1, 2))
+            rms = float(np.sqrt(np.mean(v * v)))
+            comps.append((v / rms * amplitude) if rms > 0 else v)
+        return tuple(comps)

@@ -1,0 +1,25 @@
+"""SZ-style error-bounded lossy compressor substrate.
+
+This subpackage is a from-scratch reproduction of the SZ pipeline the paper
+compresses with: pre-quantization, N-D Lorenzo prediction, length-limited
+canonical Huffman coding with an escape/outlier channel, and a DEFLATE
+lossless back end.  See :mod:`repro.sz.compressor` for the pipeline overview.
+"""
+
+from repro.sz.compressor import (
+    CompressionStats,
+    SZCompressor,
+    SZConfig,
+    compress,
+    decompress,
+)
+from repro.sz.quantizer import ErrorMode
+
+__all__ = [
+    "SZCompressor",
+    "SZConfig",
+    "CompressionStats",
+    "ErrorMode",
+    "compress",
+    "decompress",
+]

@@ -1,0 +1,138 @@
+"""Vectorized variable-length bit packing and peeking.
+
+The Huffman stage needs to (a) concatenate millions of variable-length
+codewords into a byte buffer and (b) read back fixed-width *peeks* at
+arbitrary bit offsets during table-driven decoding.  Both are implemented
+with whole-array NumPy operations — no per-symbol Python loop — following
+the vectorization idioms of the HPC guides:
+
+* **pack**: for bit position ``j`` within a codeword (at most ``max_len``
+  iterations, typically <= 18) scatter the ``j``-th bit of every codeword
+  into a flat boolean bit array at ``offset + j``, then ``np.packbits``.
+* **peek**: gather four consecutive bytes at ``offset // 8``, combine into a
+  big-endian ``uint32`` and shift/mask to expose ``width`` bits.
+
+Bit order is MSB-first within each byte (network order), so a peek of the
+first codeword's bits is simply the top bits of the buffer.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: Safety padding (bytes) appended to buffers so a 4-byte gather at the last
+#: bit offset never reads out of bounds.
+_PEEK_PAD = 4
+
+
+def pack_codes(codes: np.ndarray, lengths: np.ndarray) -> tuple[bytes, int]:
+    """Concatenate MSB-aligned codewords into a packed byte string.
+
+    Parameters
+    ----------
+    codes:
+        ``uint32``/``uint64`` array; the lowest ``lengths[i]`` bits of
+        ``codes[i]`` form the codeword (most significant code bit first).
+    lengths:
+        Per-codeword bit lengths (``> 0`` for every emitted symbol).
+
+    Returns
+    -------
+    (buffer, total_bits):
+        ``buffer`` is the packed stream plus :data:`_PEEK_PAD` zero bytes of
+        slack; ``total_bits`` is the exact number of payload bits.
+    """
+    codes = np.asarray(codes, dtype=np.uint64)
+    lengths = np.asarray(lengths, dtype=np.int64)
+    if codes.shape != lengths.shape:
+        raise ValueError("codes and lengths must have identical shapes")
+    if codes.size == 0:
+        return b"\x00" * _PEEK_PAD, 0
+    if lengths.min() <= 0:
+        raise ValueError("all codeword lengths must be positive")
+    max_len = int(lengths.max())
+    if max_len > 57:
+        # 57 bits keeps offset+j arithmetic within exact float64/int64 range
+        # and far exceeds any length-limited Huffman code we build.
+        raise ValueError(f"codeword length {max_len} exceeds supported maximum 57")
+
+    ends = np.cumsum(lengths)
+    total_bits = int(ends[-1])
+    starts = ends - lengths
+
+    nbits_padded = (total_bits + 7) & ~7
+    bits = np.zeros(nbits_padded, dtype=np.uint8)
+    # Scatter bit j of every codeword whose length exceeds j.  At most
+    # ``max_len`` vectorized passes; each pass touches only the symbols that
+    # actually have a j-th bit.
+    for j in range(max_len):
+        mask = lengths > j
+        if not mask.any():
+            break
+        sel_codes = codes[mask]
+        sel_lengths = lengths[mask]
+        # Bit j counts from the MSB end of each codeword.
+        bitvals = (sel_codes >> (sel_lengths - 1 - j).astype(np.uint64)) & np.uint64(1)
+        bits[starts[mask] + j] = bitvals.astype(np.uint8)
+    packed = np.packbits(bits)
+    return packed.tobytes() + b"\x00" * _PEEK_PAD, total_bits
+
+
+def as_peekable(buffer: bytes | np.ndarray) -> np.ndarray:
+    """Return a ``uint8`` copy of ``buffer`` with the 4-byte gather guard.
+
+    Padding is appended unconditionally: :func:`peek_bits` gathers four
+    consecutive bytes at any in-range offset, so the final payload byte
+    always needs :data:`_PEEK_PAD` bytes of slack after it.
+    """
+    if isinstance(buffer, (bytes, bytearray)):
+        arr = np.frombuffer(buffer, dtype=np.uint8)
+    else:
+        arr = np.asarray(buffer, dtype=np.uint8)
+    return np.concatenate([arr, np.zeros(_PEEK_PAD, dtype=np.uint8)])
+
+
+def peek_bits(buf: np.ndarray, bit_offsets: np.ndarray, width: int) -> np.ndarray:
+    """Vectorized fixed-width peek at arbitrary bit offsets.
+
+    Parameters
+    ----------
+    buf:
+        Padded ``uint8`` buffer from :func:`as_peekable` (or
+        :func:`pack_codes`, which pads its output).
+    bit_offsets:
+        ``int64`` array of bit positions (MSB-first order).
+    width:
+        Number of bits to expose, ``1 <= width <= 24``.  24 keeps every peek
+        within one aligned 4-byte gather regardless of the offset's
+        intra-byte phase (24 + 7 <= 32).
+
+    Returns
+    -------
+    ``uint32`` array of the peeked values; offsets past the end of the
+    buffer read the zero padding (callers bound decoding by symbol count,
+    not by buffer exhaustion).
+    """
+    if not 1 <= width <= 24:
+        raise ValueError(f"peek width must be in [1, 24], got {width}")
+    offsets = np.asarray(bit_offsets, dtype=np.int64)
+    byte_idx = offsets >> 3
+    # Clip so the 4-byte gather stays in bounds even for (invalid) offsets
+    # past the payload; those lanes return padding bits and are ignored by
+    # the caller's active mask.
+    byte_idx = np.minimum(byte_idx, buf.size - _PEEK_PAD)
+    b0 = buf[byte_idx].astype(np.uint32)
+    b1 = buf[byte_idx + 1].astype(np.uint32)
+    b2 = buf[byte_idx + 2].astype(np.uint32)
+    b3 = buf[byte_idx + 3].astype(np.uint32)
+    word = (b0 << np.uint32(24)) | (b1 << np.uint32(16)) | (b2 << np.uint32(8)) | b3
+    phase = (offsets & 7).astype(np.uint32)
+    shifted = word >> (np.uint32(32 - width) - phase)
+    return shifted & np.uint32((1 << width) - 1)
+
+
+def unpack_to_bits(buffer: bytes, total_bits: int) -> np.ndarray:
+    """Expand a packed buffer back to a ``uint8`` 0/1 array (testing aid)."""
+    arr = np.frombuffer(buffer, dtype=np.uint8)
+    bits = np.unpackbits(arr)
+    return bits[:total_bits]

@@ -1,0 +1,375 @@
+"""SZ-style error-bounded lossy compressor for N-D floating-point arrays.
+
+Pipeline (mirrors SZ's predict → quantize → Huffman → lossless):
+
+1. **Bound resolution** — the user bound (abs / value-range-relative /
+   point-wise-relative) becomes an absolute lattice pitch.
+2. **Pre-quantization** — values snap to ``2*eb*round(x/2eb)``
+   (:mod:`repro.sz.quantizer`), guaranteeing the bound up front.
+3. **Lorenzo decorrelation** — the integer lattice is transformed to
+   prediction residuals (:mod:`repro.sz.predictor`); smooth data yields
+   near-zero residuals.
+4. **Entropy coding** — residuals inside ``[-radius, radius)`` become
+   Huffman symbols; the rare rest go through an escape symbol with exact
+   values stored in an outlier section (SZ's "unpredictable data").
+5. **Lossless back end** — DEFLATE over the bit stream and side sections
+   whenever it pays off.
+
+Point-wise-relative mode wraps the same pipeline in a log transform: the
+magnitudes are compressed with an absolute bound of ``ln(1 + eb)`` in log
+space, signs and exact zeros travel as packed bit masks.
+
+The public entry points are :class:`SZCompressor` (reusable, configured
+once) and the convenience functions :func:`compress` / :func:`decompress`.
+
+Guarantee fine print: reconstructions are computed in float64 and rounded
+into the input's storage dtype, so the effective bound is
+``max(eb, ulp(value)/2)`` in that dtype — for float32 data, bounds tighter
+than half an ULP of the largest magnitude are physically unrepresentable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.sz import lossless, stream
+from repro.sz.huffman import DEFAULT_MAX_LEN, HuffmanCodec, HuffmanEncoded
+from repro.sz.interp import interp_compress, interp_decompress
+from repro.sz.predictor import SUPPORTED_NDIM, lorenzo_forward, lorenzo_inverse
+from repro.sz.quantizer import ErrorMode, dequantize, quantize, resolve_error_bound
+from repro.utils.timer import TimingRecord, timed
+from repro.utils.validation import check_error_bound, check_finite, ensure_ndarray
+
+
+@dataclass(frozen=True)
+class SZConfig:
+    """Tunable parameters of the codec.
+
+    Attributes
+    ----------
+    predictor:
+        ``"interp"`` (default) — SZ3-style multilevel interpolation,
+        predicting from reconstructed neighbours (best rate-distortion,
+        the behaviour the paper's SZ exhibits); ``"lorenzo"`` — dual-quant
+        N-D Lorenzo (fastest, exact integer pipeline).
+    radius:
+        Half-width of the Huffman symbol alphabet; residuals with
+        ``|d| >= radius`` are escape-coded.  Larger radii enlarge the code
+        table, smaller ones shift load to the outlier channel.
+    max_code_len:
+        Cap on Huffman codeword length (decode-table size is
+        ``2**max_code_len``).
+    zlib_level:
+        DEFLATE effort for the lossless back end (0 disables it).
+    block_size:
+        Huffman decode block length; ``None`` picks ``~sqrt(n)``.
+    """
+
+    predictor: str = "interp"
+    radius: int = 4096
+    max_code_len: int = DEFAULT_MAX_LEN
+    zlib_level: int = 1
+    block_size: int | None = None
+
+    def __post_init__(self):
+        if self.predictor not in ("interp", "lorenzo"):
+            raise ValueError(f"predictor must be 'interp' or 'lorenzo', got {self.predictor!r}")
+        if self.radius < 2:
+            raise ValueError("radius must be at least 2")
+        if not 2 <= self.max_code_len <= 24:
+            raise ValueError("max_code_len must be in [2, 24]")
+        if 2 * self.radius + 1 > (1 << self.max_code_len):
+            raise ValueError(
+                f"alphabet 2*radius+1={2 * self.radius + 1} cannot fit in "
+                f"max_code_len={self.max_code_len} bits"
+            )
+
+
+@dataclass
+class CompressionStats:
+    """Byte-level accounting for one compress call."""
+
+    original_bytes: int
+    compressed_bytes: int
+    n_values: int
+    eb_abs: float
+    mode: str
+    section_bytes: dict[str, int] = field(default_factory=dict)
+    n_outliers: int = 0
+    timings: TimingRecord = field(default_factory=TimingRecord)
+
+    @property
+    def ratio(self) -> float:
+        """Compression ratio (original / compressed)."""
+        return self.original_bytes / self.compressed_bytes if self.compressed_bytes else float("inf")
+
+    @property
+    def bit_rate(self) -> float:
+        """Amortized bits per value."""
+        return 8.0 * self.compressed_bytes / self.n_values if self.n_values else 0.0
+
+
+_SECTION_LABELS = {
+    stream.SEC_CODE_LENGTHS: "huffman_table",
+    stream.SEC_BLOCK_OFFSETS: "block_offsets",
+    stream.SEC_PAYLOAD: "payload",
+    stream.SEC_OUTLIERS: "outliers",
+    stream.SEC_RAW: "raw",
+    stream.SEC_SIGNS: "signs",
+    stream.SEC_ZERO_MASK: "zero_mask",
+    stream.SEC_META: "meta",
+}
+
+
+class SZCompressor:
+    """Reusable error-bounded compressor.
+
+    Example
+    -------
+    >>> import numpy as np
+    >>> codec = SZCompressor()
+    >>> data = np.linspace(0, 1, 64, dtype=np.float32).reshape(4, 4, 4)
+    >>> blob = codec.compress(data, error_bound=1e-3, mode="abs")
+    >>> out = codec.decompress(blob)
+    >>> bool(np.all(np.abs(out - data) <= 1e-3 * 1.0001))
+    True
+    """
+
+    def __init__(self, config: SZConfig | None = None, **kwargs):
+        if config is not None and kwargs:
+            raise TypeError("pass either a config object or keyword overrides, not both")
+        self.config = config if config is not None else SZConfig(**kwargs)
+
+    # ------------------------------------------------------------------
+    # compression
+    # ------------------------------------------------------------------
+    def compress(self, data, error_bound: float, mode: ErrorMode | str = ErrorMode.ABS) -> bytes:
+        """Compress ``data`` under ``error_bound`` and return the blob."""
+        blob, _ = self.compress_with_stats(data, error_bound, mode)
+        return blob
+
+    def compress_with_stats(
+        self, data, error_bound: float, mode: ErrorMode | str = ErrorMode.ABS
+    ) -> tuple[bytes, CompressionStats]:
+        """Compress and also return byte-level accounting."""
+        mode = ErrorMode(mode)
+        timings = TimingRecord()
+        arr = ensure_ndarray(data, name="data")
+        check_finite(arr, name="data")
+        if arr.ndim not in SUPPORTED_NDIM and arr.size:
+            raise ValueError(f"supported dimensionalities are {SUPPORTED_NDIM}, got {arr.ndim}")
+        eb_user = check_error_bound(error_bound, allow_zero=True)
+
+        header = stream.StreamHeader(
+            mode=mode.value, dtype=arr.dtype, shape=arr.shape, eb_user=eb_user, eb_abs=0.0
+        )
+
+        if arr.size == 0:
+            header.flags |= stream.FLAG_EMPTY
+            blob = stream.serialize(header, [])
+            return blob, self._stats(arr, blob, header, {}, 0, timings)
+
+        if mode is ErrorMode.PW_REL:
+            return self._compress_pw_rel(arr, eb_user, header, timings)
+
+        eb_abs = resolve_error_bound(arr, eb_user, mode)
+        header.eb_abs = eb_abs
+        if eb_abs == 0.0:
+            return self._compress_lossless(arr, header, timings)
+        sections, n_outliers = self._encode_lattice(arr, eb_abs, timings)
+        blob = stream.serialize(header, sections)
+        return blob, self._stats(arr, blob, header, dict((t, len(p)) for t, _c, p in sections), n_outliers, timings)
+
+    # -- pipelines -------------------------------------------------------
+    def _encode_lattice(self, arr: np.ndarray, eb_abs: float, timings: TimingRecord):
+        """Steps 2–5 for a plain (abs-bounded) array; returns sections."""
+        cfg = self.config
+        if cfg.predictor == "interp":
+            with timed(timings, "predict"):
+                residuals = interp_compress(arr, eb_abs)
+        else:
+            with timed(timings, "quantize"):
+                lattice = quantize(arr, eb_abs)
+            with timed(timings, "predict"):
+                residuals = lorenzo_forward(lattice).ravel()
+        with timed(timings, "encode"):
+            radius = cfg.radius
+            escape = 2 * radius
+            symbols = residuals + radius
+            in_range = (symbols >= 0) & (symbols < escape)
+            outliers = residuals[~in_range]
+            symbols = np.where(in_range, symbols, escape)
+            counts = np.bincount(symbols, minlength=escape + 1)
+            codec = HuffmanCodec.from_counts(counts, max_len=cfg.max_code_len)
+            encoded = codec.encode(symbols, block_size=cfg.block_size)
+        with timed(timings, "lossless"):
+            sections = self._payload_sections(codec, encoded, outliers)
+        return sections, int(outliers.size)
+
+    def _payload_sections(self, codec: HuffmanCodec, encoded: HuffmanEncoded, outliers: np.ndarray):
+        level = self.config.zlib_level
+        sections: list[tuple[int, int, bytes]] = []
+        c, p = lossless.compress_bytes(codec.lengths.tobytes(), level=max(level, 1))
+        sections.append((stream.SEC_CODE_LENGTHS, c, p))
+        # Offsets are monotone; delta encoding makes them byte-cheap.
+        deltas = np.diff(encoded.block_offsets, prepend=0)
+        c, p = lossless.pack_int_array(deltas.astype(np.int64), level=max(level, 1))
+        sections.append((stream.SEC_BLOCK_OFFSETS, c, p))
+        if level > 0:
+            c, p = lossless.compress_bytes(encoded.payload, level=level)
+        else:
+            c, p = lossless.CODEC_RAW, encoded.payload
+        sections.append((stream.SEC_PAYLOAD, c, p))
+        if outliers.size:
+            c, p = lossless.pack_int_array(outliers, level=max(level, 1))
+            sections.append((stream.SEC_OUTLIERS, c, p))
+        meta = stream.pack_meta(
+            radius=self.config.radius,
+            max_len=codec.max_len,
+            block_size=encoded.block_size,
+            total_bits=encoded.total_bits,
+            n_symbols=encoded.n_symbols,
+            n_outliers=int(outliers.size),
+            predictor=self.config.predictor,
+        )
+        sections.append((stream.SEC_META, lossless.CODEC_RAW, meta))
+        return sections
+
+    def _compress_lossless(self, arr: np.ndarray, header: stream.StreamHeader, timings: TimingRecord):
+        """eb == 0 (or zero value range in rel mode): store verbatim + DEFLATE."""
+        header.flags |= stream.FLAG_LOSSLESS_FALLBACK
+        with timed(timings, "lossless"):
+            codec, payload = lossless.compress_bytes(
+                arr.tobytes(), level=max(self.config.zlib_level, 1)
+            )
+        blob = stream.serialize(header, [(stream.SEC_RAW, codec, payload)])
+        return blob, self._stats(arr, blob, header, {stream.SEC_RAW: len(payload)}, 0, timings)
+
+    def _compress_pw_rel(self, arr: np.ndarray, eb_user: float, header: stream.StreamHeader, timings: TimingRecord):
+        """Point-wise relative bound via the standard log-space reduction."""
+        if eb_user <= 0:
+            return self._compress_lossless(arr, header, timings)
+        if eb_user >= 1.0:
+            raise ValueError("pw_rel error bound must be < 1 (100% relative error)")
+        with timed(timings, "transform"):
+            flat = arr.astype(np.float64, copy=False)
+            zero_mask = flat == 0.0
+            signs = np.signbit(flat) & ~zero_mask
+            mags = np.abs(flat)
+            logs = np.where(zero_mask, 0.0, np.log(np.where(zero_mask, 1.0, mags)))
+        eb_abs = float(np.log1p(eb_user))
+        header.eb_abs = eb_abs
+        sections, n_outliers = self._encode_lattice(logs, eb_abs, timings)
+        level = max(self.config.zlib_level, 1)
+        c, p = lossless.compress_bytes(np.packbits(signs.ravel()).tobytes(), level=level)
+        sections.append((stream.SEC_SIGNS, c, p))
+        c, p = lossless.compress_bytes(np.packbits(zero_mask.ravel()).tobytes(), level=level)
+        sections.append((stream.SEC_ZERO_MASK, c, p))
+        blob = stream.serialize(header, sections)
+        return blob, self._stats(arr, blob, header, dict((t, len(p)) for t, _c, p in sections), n_outliers, timings)
+
+    # ------------------------------------------------------------------
+    # decompression
+    # ------------------------------------------------------------------
+    def decompress(self, blob: bytes, timings: TimingRecord | None = None) -> np.ndarray:
+        """Reconstruct the array stored in ``blob``."""
+        parsed = stream.parse(blob)
+        header = parsed.header
+        shape = header.shape
+        if header.flags & stream.FLAG_EMPTY:
+            return np.zeros(shape, dtype=header.dtype)
+        if header.flags & stream.FLAG_LOSSLESS_FALLBACK:
+            codec, payload = parsed.section(stream.SEC_RAW)
+            raw = lossless.decompress_bytes(codec, payload)
+            return np.frombuffer(raw, dtype=header.dtype).reshape(shape).copy()
+
+        lattice_shape = shape
+        values = self._decode_lattice(parsed, lattice_shape, timings)
+        if header.mode == ErrorMode.PW_REL.value:
+            with timed(timings, "transform"):
+                n = values.size
+                _, signs_payload = parsed.section(stream.SEC_SIGNS)
+                codec, payload = parsed.section(stream.SEC_SIGNS)
+                signs = np.unpackbits(
+                    np.frombuffer(lossless.decompress_bytes(codec, payload), dtype=np.uint8)
+                )[:n].astype(bool)
+                codec, payload = parsed.section(stream.SEC_ZERO_MASK)
+                zeros = np.unpackbits(
+                    np.frombuffer(lossless.decompress_bytes(codec, payload), dtype=np.uint8)
+                )[:n].astype(bool)
+                mags = np.exp(values.ravel())
+                out = np.where(signs, -mags, mags)
+                out[zeros] = 0.0
+                return out.reshape(shape).astype(header.dtype)
+        return values.astype(header.dtype, copy=False)
+
+    def _decode_lattice(self, parsed: stream.Stream, shape, timings: TimingRecord | None) -> np.ndarray:
+        header = parsed.header
+        meta = stream.unpack_meta(parsed.section(stream.SEC_META)[1])
+        with timed(timings, "decode"):
+            codec_tag, payload = parsed.section(stream.SEC_CODE_LENGTHS)
+            lengths = np.frombuffer(
+                lossless.decompress_bytes(codec_tag, payload), dtype=np.uint8
+            )
+            codec = HuffmanCodec(lengths, max_len=meta["max_len"])
+            codec_tag, payload = parsed.section(stream.SEC_BLOCK_OFFSETS)
+            n_blocks = -(-meta["n_symbols"] // meta["block_size"]) if meta["n_symbols"] else 0
+            deltas = lossless.unpack_int_array(codec_tag, payload, np.int64, n_blocks)
+            offsets = np.cumsum(deltas)
+            codec_tag, payload = parsed.section(stream.SEC_PAYLOAD)
+            bitstream = lossless.decompress_bytes(codec_tag, payload)
+            encoded = HuffmanEncoded(
+                payload=bitstream,
+                total_bits=meta["total_bits"],
+                block_offsets=offsets,
+                n_symbols=meta["n_symbols"],
+                block_size=meta["block_size"],
+            )
+            symbols = codec.decode(encoded).astype(np.int64)
+        with timed(timings, "reconstruct"):
+            radius = meta["radius"]
+            escape = 2 * radius
+            residuals = symbols - radius
+            if meta["n_outliers"]:
+                codec_tag, payload = parsed.section(stream.SEC_OUTLIERS)
+                outliers = lossless.unpack_int_array(codec_tag, payload, np.int64, meta["n_outliers"])
+                positions = np.flatnonzero(symbols == escape)
+                if positions.size != outliers.size:
+                    raise ValueError("outlier count mismatch (corrupt stream)")
+                residuals[positions] = outliers
+            if meta["predictor"] == "interp":
+                values = interp_decompress(residuals, header.eb_abs, shape)
+            else:
+                lattice = lorenzo_inverse(residuals.reshape(shape))
+                values = dequantize(lattice, header.eb_abs, dtype=np.float64)
+        return values
+
+    # ------------------------------------------------------------------
+    def _stats(self, arr, blob, header, raw_sections, n_outliers, timings) -> CompressionStats:
+        return CompressionStats(
+            original_bytes=arr.nbytes,
+            compressed_bytes=len(blob),
+            n_values=arr.size,
+            eb_abs=header.eb_abs,
+            mode=header.mode,
+            section_bytes={_SECTION_LABELS.get(t, str(t)): s for t, s in raw_sections.items()},
+            n_outliers=n_outliers,
+            timings=timings,
+        )
+
+
+# Convenience module-level API -------------------------------------------
+
+_DEFAULT = SZCompressor()
+
+
+def compress(data, error_bound: float, mode: ErrorMode | str = ErrorMode.ABS) -> bytes:
+    """Compress with default configuration (see :class:`SZCompressor`)."""
+    return _DEFAULT.compress(data, error_bound, mode)
+
+
+def decompress(blob: bytes) -> np.ndarray:
+    """Decompress a blob produced by :func:`compress`."""
+    return _DEFAULT.decompress(blob)

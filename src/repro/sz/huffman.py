@@ -1,0 +1,299 @@
+"""Canonical length-limited Huffman coding with vectorized block decode.
+
+SZ's third stage is "a customized Huffman coding" over the quantization
+codes.  This module reproduces it with two HPC-minded twists that make a
+pure-NumPy implementation fast:
+
+1. **Length-limited canonical codes.**  Code lengths are capped at
+   ``max_len`` (default 16) so decoding can use a single dense
+   ``2**max_len``-entry lookup table instead of walking a tree bit by bit.
+   Overlong Huffman depths (very skewed histograms) are repaired with a
+   Kraft-sum fix-up, the same strategy zlib uses.
+
+2. **Lockstep block decoding.**  Variable-length decoding is sequential by
+   nature; we break the sequential chain by recording the *bit offset of
+   every block* of ``block_size`` symbols at encode time.  Decoding then
+   advances all blocks in lockstep — each round performs one table lookup
+   per block as a whole-array gather — turning an O(n) Python loop into
+   O(block_size) rounds of vectorized work over ``n/block_size`` lanes.
+   With ``block_size ~ sqrt(n)`` both factors stay small.
+
+The offsets cost 8 bytes per block (< 0.5% overhead for the default block
+size) and are accounted for in the compressed size.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.sz.bitstream import as_peekable, pack_codes, peek_bits
+
+#: Default cap on codeword length; the decode table is ``2**DEFAULT_MAX_LEN``
+#: entries (65536 at 16 → ~320 KB of int32/uint8 tables).
+DEFAULT_MAX_LEN = 16
+
+#: Bounds on the adaptive decode block size.
+_MIN_BLOCK = 64
+_MAX_BLOCK = 8192
+
+
+def default_block_size(n_symbols: int) -> int:
+    """Balanced block size: rounds ~ lanes ~ sqrt(n), clamped to sane bounds."""
+    if n_symbols <= 0:
+        return _MIN_BLOCK
+    return int(np.clip(int(np.sqrt(n_symbols)), _MIN_BLOCK, _MAX_BLOCK))
+
+
+def huffman_code_lengths(counts: np.ndarray, max_len: int = DEFAULT_MAX_LEN) -> np.ndarray:
+    """Compute length-limited Huffman code lengths from symbol counts.
+
+    Parameters
+    ----------
+    counts:
+        Non-negative integer frequencies per alphabet symbol.  Symbols with
+        zero count receive length 0 (no code).
+    max_len:
+        Maximum codeword length; must satisfy ``2**max_len >= #present``.
+
+    Returns
+    -------
+    ``uint8`` array of code lengths (0 for absent symbols) satisfying the
+    Kraft inequality ``sum(2**-len) <= 1``.
+    """
+    counts = np.asarray(counts, dtype=np.int64)
+    if counts.ndim != 1:
+        raise ValueError("counts must be one-dimensional")
+    if counts.size and counts.min() < 0:
+        raise ValueError("symbol counts must be non-negative")
+    present = np.flatnonzero(counts)
+    lengths = np.zeros(counts.size, dtype=np.uint8)
+    n_present = present.size
+    if n_present == 0:
+        return lengths
+    if n_present == 1:
+        lengths[present[0]] = 1
+        return lengths
+    if n_present > (1 << max_len):
+        raise ValueError(
+            f"alphabet of {n_present} present symbols cannot fit in "
+            f"max_len={max_len} bits"
+        )
+
+    # Standard Huffman tree over present symbols via a heap; the tie-break
+    # index keeps the heap comparisons on ints only (deterministic output).
+    heap: list[tuple[int, int, object]] = [
+        (int(counts[s]), i, int(s)) for i, s in enumerate(present)
+    ]
+    heapq.heapify(heap)
+    next_tie = n_present
+    while len(heap) > 1:
+        c1, _, n1 = heapq.heappop(heap)
+        c2, _, n2 = heapq.heappop(heap)
+        heapq.heappush(heap, (c1 + c2, next_tie, (n1, n2)))
+        next_tie += 1
+    # Depth-first traversal to read leaf depths (iterative: trees for skewed
+    # histograms can be ~n deep, beyond Python's recursion limit).
+    depth_of: dict[int, int] = {}
+    stack = [(heap[0][2], 0)]
+    while stack:
+        node, depth = stack.pop()
+        if isinstance(node, tuple):
+            stack.append((node[0], depth + 1))
+            stack.append((node[1], depth + 1))
+        else:
+            depth_of[node] = max(depth, 1)
+
+    raw = np.array([depth_of[int(s)] for s in present], dtype=np.int64)
+    raw = _limit_lengths(raw, max_len)
+    lengths[present] = raw.astype(np.uint8)
+    return lengths
+
+
+def _limit_lengths(raw: np.ndarray, max_len: int) -> np.ndarray:
+    """Clamp code lengths to ``max_len`` and repair the Kraft sum.
+
+    Clamping overlong codes can push the Kraft sum above 1 (an over-full,
+    undecodable tree).  We restore validity by repeatedly lengthening the
+    deepest still-extendable code, which removes code space in the smallest
+    possible increments; the result is always decodable, at a negligible
+    compression cost only for pathologically skewed histograms.
+    """
+    lengths = np.minimum(raw, max_len)
+    scale = 1 << max_len
+    kraft = int(np.sum(scale >> lengths.astype(np.int64)))
+    while kraft > scale:
+        extendable = np.flatnonzero(lengths < max_len)
+        if extendable.size == 0:  # pragma: no cover - guarded by caller
+            raise ValueError("cannot satisfy Kraft inequality within max_len")
+        deepest = extendable[np.argmax(lengths[extendable])]
+        kraft -= scale >> int(lengths[deepest] + 1)
+        lengths[deepest] += 1
+    return lengths
+
+
+def canonical_codes(lengths: np.ndarray) -> np.ndarray:
+    """Assign canonical codewords for the given code lengths.
+
+    Canonical order: shorter codes first, ties broken by symbol index.  The
+    return value is a ``uint32`` array aligned with ``lengths``; entries for
+    absent symbols (length 0) are 0 and must not be emitted.
+    """
+    lengths = np.asarray(lengths, dtype=np.int64)
+    codes = np.zeros(lengths.size, dtype=np.uint32)
+    present = np.flatnonzero(lengths)
+    if present.size == 0:
+        return codes
+    order = present[np.lexsort((present, lengths[present]))]
+    code = 0
+    prev_len = int(lengths[order[0]])
+    for sym in order:
+        length = int(lengths[sym])
+        code <<= length - prev_len
+        codes[sym] = code
+        code += 1
+        prev_len = length
+    return codes
+
+
+@dataclass(frozen=True)
+class HuffmanEncoded:
+    """A Huffman-encoded symbol stream plus the metadata to decode it."""
+
+    payload: bytes
+    total_bits: int
+    block_offsets: np.ndarray  # int64 bit offset of each block's first code
+    n_symbols: int
+    block_size: int
+
+    def metadata_bytes(self) -> int:
+        """Bytes of side information (block offsets) before serialization."""
+        return self.block_offsets.size * 8
+
+
+class HuffmanCodec:
+    """Encoder/decoder for a fixed canonical code.
+
+    Build either from explicit ``code_lengths`` (decoder side — lengths are
+    the only table information that needs to travel in the stream) or from
+    symbol counts via :meth:`from_counts` (encoder side).
+    """
+
+    def __init__(self, code_lengths: np.ndarray, *, max_len: int | None = None):
+        self.lengths = np.asarray(code_lengths, dtype=np.uint8)
+        if self.lengths.ndim != 1:
+            raise ValueError("code_lengths must be one-dimensional")
+        present = np.flatnonzero(self.lengths)
+        self.max_len = int(max_len if max_len is not None else (self.lengths.max() if present.size else 1))
+        if present.size and int(self.lengths[present].max()) > self.max_len:
+            raise ValueError("code length exceeds declared max_len")
+        kraft = float(np.sum(np.ldexp(1.0, -self.lengths[present].astype(np.int64)))) if present.size else 0.0
+        if kraft > 1.0 + 1e-12:
+            raise ValueError(f"code lengths violate the Kraft inequality (sum={kraft})")
+        self.codes = canonical_codes(self.lengths)
+        self._table_sym: np.ndarray | None = None
+        self._table_len: np.ndarray | None = None
+
+    # -- construction --------------------------------------------------
+    @classmethod
+    def from_counts(cls, counts: np.ndarray, max_len: int = DEFAULT_MAX_LEN) -> "HuffmanCodec":
+        """Build an optimal (length-limited) code for the given histogram."""
+        return cls(huffman_code_lengths(counts, max_len=max_len), max_len=max_len)
+
+    @classmethod
+    def from_symbols(cls, symbols: np.ndarray, alphabet_size: int, max_len: int = DEFAULT_MAX_LEN) -> "HuffmanCodec":
+        """Histogram ``symbols`` over ``alphabet_size`` and build the code."""
+        counts = np.bincount(np.asarray(symbols, dtype=np.int64), minlength=alphabet_size)
+        return cls.from_counts(counts, max_len=max_len)
+
+    # -- stats ----------------------------------------------------------
+    def expected_bits(self, counts: np.ndarray) -> int:
+        """Exact payload bit count for encoding the histogram ``counts``."""
+        counts = np.asarray(counts, dtype=np.int64)
+        return int(np.sum(counts * self.lengths[: counts.size].astype(np.int64)))
+
+    # -- encode ----------------------------------------------------------
+    def encode(self, symbols: np.ndarray, block_size: int | None = None) -> HuffmanEncoded:
+        """Encode ``symbols`` (ints in ``[0, alphabet)``) into a bit stream."""
+        symbols = np.asarray(symbols, dtype=np.int64).ravel()
+        n = symbols.size
+        if n and (symbols.min() < 0 or symbols.max() >= self.lengths.size):
+            raise ValueError("symbol out of alphabet range")
+        block = int(block_size) if block_size else default_block_size(n)
+        if block <= 0:
+            raise ValueError("block_size must be positive")
+        if n == 0:
+            return HuffmanEncoded(b"", 0, np.zeros(0, dtype=np.int64), 0, block)
+        sym_lengths = self.lengths[symbols].astype(np.int64)
+        if sym_lengths.min() == 0:
+            raise ValueError("attempted to encode a symbol with no codeword")
+        payload, total_bits = pack_codes(self.codes[symbols], sym_lengths)
+        ends = np.cumsum(sym_lengths)
+        starts = ends - sym_lengths
+        block_offsets = starts[::block].astype(np.int64)
+        return HuffmanEncoded(payload, total_bits, block_offsets, n, block)
+
+    # -- decode ----------------------------------------------------------
+    def _build_table(self) -> None:
+        """Materialize the dense ``2**max_len`` peek → (symbol, len) table."""
+        size = 1 << self.max_len
+        table_sym = np.zeros(size, dtype=np.int32)
+        table_len = np.zeros(size, dtype=np.uint8)
+        present = np.flatnonzero(self.lengths)
+        for sym in present:
+            length = int(self.lengths[sym])
+            lo = int(self.codes[sym]) << (self.max_len - length)
+            hi = lo + (1 << (self.max_len - length))
+            table_sym[lo:hi] = sym
+            table_len[lo:hi] = length
+        self._table_sym = table_sym
+        self._table_len = table_len
+
+    def decode(self, encoded: HuffmanEncoded) -> np.ndarray:
+        """Decode a stream produced by :meth:`encode` back to symbols."""
+        n = encoded.n_symbols
+        out_dtype = np.int32
+        if n == 0:
+            return np.zeros(0, dtype=out_dtype)
+        if self._table_sym is None:
+            self._build_table()
+        table_sym, table_len = self._table_sym, self._table_len
+        buf = as_peekable(encoded.payload)
+        block = encoded.block_size
+        n_blocks = encoded.block_offsets.size
+        expected_blocks = -(-n // block)
+        if n_blocks != expected_blocks:
+            raise ValueError("block offset table does not match symbol count")
+        counts = np.full(n_blocks, block, dtype=np.int64)
+        counts[-1] = n - block * (n_blocks - 1)
+        positions = encoded.block_offsets.astype(np.int64).copy()
+        out = np.empty((n_blocks, block), dtype=out_dtype)
+        full_rounds = int(counts.min())
+        width = self.max_len
+        # Lockstep rounds: all blocks still needing a symbol decode one
+        # symbol per round via a single gathered table lookup.
+        for r in range(full_rounds):
+            peeks = peek_bits(buf, positions, width)
+            lens = table_len[peeks]
+            if lens.min() == 0:
+                raise ValueError("corrupt Huffman stream (unassigned code space)")
+            out[:, r] = table_sym[peeks]
+            positions += lens
+        for r in range(full_rounds, block):
+            active = np.flatnonzero(counts > r)
+            if active.size == 0:
+                break
+            peeks = peek_bits(buf, positions[active], width)
+            lens = table_len[peeks]
+            if lens.min() == 0:
+                raise ValueError("corrupt Huffman stream (unassigned code space)")
+            out[active, r] = table_sym[peeks]
+            positions[active] += lens
+        # Stitch per-block rows back into one stream, trimming the ragged tail.
+        if counts[-1] == block:
+            return out.reshape(-1)
+        head = out[:-1].reshape(-1)
+        tail = out[-1, : counts[-1]]
+        return np.concatenate([head, tail])

@@ -1,0 +1,55 @@
+"""N-dimensional integer Lorenzo transform (the SZ prediction step).
+
+The Lorenzo predictor estimates each point from the corner values of the
+hypercube behind it; the prediction *residual* in N dimensions is exactly
+the N-fold alternating difference
+
+``d[i,j,k] = sum over offsets o in {0,1}^N of (-1)^|o| * q[i-o0, j-o1, ...]``
+
+with zero extension at the lower boundary.  That operator factorizes into a
+first-order difference along each axis in turn, so both directions are
+whole-array NumPy primitives:
+
+* forward:  ``np.diff(..., prepend=0)`` applied per axis;
+* inverse:  ``np.cumsum`` applied per axis.
+
+Because we run it on *integer* lattice coordinates (see
+:mod:`repro.sz.quantizer`) the transform is exactly invertible — no error
+feedback loop, no sequential scan, and the residuals of smooth fields
+concentrate near zero, which is what the Huffman stage exploits.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: The compressor uses 1D (flattened levels), 3D (level grids) and 4D
+#: (stacked sub-block batches); 2D is supported for completeness/testing.
+SUPPORTED_NDIM = (1, 2, 3, 4)
+
+
+def _check(q: np.ndarray) -> np.ndarray:
+    arr = np.asarray(q)
+    if arr.dtype != np.int64:
+        raise TypeError(f"Lorenzo transform operates on int64 lattices, got {arr.dtype}")
+    if arr.ndim not in SUPPORTED_NDIM:
+        raise ValueError(f"Lorenzo transform supports ndim in {SUPPORTED_NDIM}, got {arr.ndim}")
+    return arr
+
+
+def lorenzo_forward(q: np.ndarray) -> np.ndarray:
+    """Residuals of the N-D Lorenzo predictor over integer lattice ``q``."""
+    d = _check(q)
+    for axis in range(d.ndim):
+        d = np.diff(d, axis=axis, prepend=0)
+    return d
+
+
+def lorenzo_inverse(d: np.ndarray) -> np.ndarray:
+    """Invert :func:`lorenzo_forward` exactly (prefix-sum per axis)."""
+    q = _check(d)
+    # cumsum allocates once per axis; accumulate in int64 (exact by the
+    # quantizer's headroom guarantee).
+    for axis in range(q.ndim):
+        q = np.cumsum(q, axis=axis, dtype=np.int64)
+    return q

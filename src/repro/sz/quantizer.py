@@ -1,0 +1,93 @@
+"""Error-bound resolution and pre-quantization onto an integer lattice.
+
+SZ's classic pipeline predicts each value from *reconstructed* neighbours,
+which creates a sequential dependency.  We instead use the pre-quantization
+("dual-quant") formulation introduced for GPU SZ by the same research group:
+values are first snapped to the lattice ``2 * eb * round(x / (2 * eb))`` —
+which already guarantees ``|x' - x| <= eb`` — and the *integer* lattice
+coordinates are then decorrelated losslessly by the Lorenzo transform
+(:mod:`repro.sz.predictor`).  Every step is a whole-array NumPy operation.
+
+Error-bound modes (mirroring SZ):
+
+* ``abs``   — point-wise absolute bound.
+* ``rel``   — value-range relative bound: ``eb_abs = eb * (max - min)``.
+* ``pw_rel``— point-wise relative bound, implemented by the compressor via a
+  logarithmic transform on top of an ``abs`` bound (see
+  :mod:`repro.sz.compressor`).
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+
+import numpy as np
+
+from repro.utils.validation import check_error_bound
+
+
+class ErrorMode(str, Enum):
+    """Supported error-bound interpretations."""
+
+    ABS = "abs"
+    REL = "rel"
+    PW_REL = "pw_rel"
+
+
+#: Largest admissible |value| / (2 * eb).  The 3D/4D Lorenzo delta sums up to
+#: 16 lattice coordinates, so capping magnitudes at 2**58 keeps every
+#: intermediate strictly inside int64.
+MAX_QUANTUM_MAGNITUDE = float(2**58)
+
+
+def resolve_error_bound(data: np.ndarray, error_bound: float, mode: ErrorMode | str) -> float:
+    """Convert a user error bound to an absolute bound for ``data``.
+
+    For ``rel`` mode a constant array has zero range, hence a zero absolute
+    bound: the caller must fall back to lossless storage (the only way to
+    honour "error <= 0").
+    """
+    mode = ErrorMode(mode)
+    eb = check_error_bound(error_bound, allow_zero=True)
+    if mode is ErrorMode.ABS:
+        return eb
+    if mode is ErrorMode.REL:
+        if data.size == 0:
+            return 0.0
+        value_range = float(data.max()) - float(data.min())
+        return eb * value_range
+    raise ValueError(
+        "pw_rel bounds are handled by the compressor's log transform; "
+        "resolve_error_bound only supports abs/rel"
+    )
+
+
+def quantize(data: np.ndarray, abs_eb: float) -> np.ndarray:
+    """Snap ``data`` to lattice indices ``round(x / (2 * eb))`` as ``int64``.
+
+    Raises
+    ------
+    ValueError
+        If ``abs_eb <= 0`` (use the lossless path instead) or if the lattice
+        indices would overflow the int64 headroom reserved for the Lorenzo
+        transform (error bound far too small for the data's magnitude).
+    """
+    if abs_eb <= 0:
+        raise ValueError("quantize requires a strictly positive absolute error bound")
+    scaled = np.asarray(data, dtype=np.float64) / (2.0 * abs_eb)
+    if scaled.size:
+        peak = float(np.max(np.abs(scaled)))
+        if peak > MAX_QUANTUM_MAGNITUDE:
+            raise ValueError(
+                f"error bound {abs_eb:g} is too small for data of magnitude "
+                f"{peak * 2 * abs_eb:g}; lattice index {peak:g} exceeds int64 "
+                "headroom — use a larger bound or the lossless path"
+            )
+    return np.rint(scaled).astype(np.int64)
+
+
+def dequantize(codes: np.ndarray, abs_eb: float, dtype=np.float64) -> np.ndarray:
+    """Map lattice indices back to reconstructed values ``2 * eb * q``."""
+    if abs_eb <= 0:
+        raise ValueError("dequantize requires a strictly positive absolute error bound")
+    return (codes.astype(np.float64) * (2.0 * abs_eb)).astype(dtype)

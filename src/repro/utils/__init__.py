@@ -1,0 +1,23 @@
+"""Shared low-level helpers: timing, validation, and size formatting.
+
+These utilities are deliberately dependency-free (NumPy only) so every other
+subpackage can import them without cycles.
+"""
+
+from repro.utils.timer import Timer, TimingRecord, timed
+from repro.utils.validation import (
+    check_error_bound,
+    check_finite,
+    check_positive_int,
+    ensure_ndarray,
+)
+
+__all__ = [
+    "Timer",
+    "TimingRecord",
+    "timed",
+    "check_error_bound",
+    "check_finite",
+    "check_positive_int",
+    "ensure_ndarray",
+]

@@ -1,0 +1,87 @@
+"""Non-fixture test helpers (importable as ``tests.helpers``)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.amr.hierarchy import AMRDataset, AMRLevel
+
+
+def smooth_cube(n: int, seed: int = 0, dtype=np.float32) -> np.ndarray:
+    """A smooth, deterministic test cube (superposed low-frequency waves)."""
+    rng_local = np.random.default_rng(seed)
+    axis = np.linspace(0.0, 2.0 * np.pi, n)
+    x = axis[:, None, None]
+    y = axis[None, :, None]
+    z = axis[None, None, :]
+    field = (
+        np.sin(x) * np.cos(2 * y) * np.sin(z)
+        + 0.5 * np.cos(x + y)
+        + 0.25 * np.sin(2 * z + 1.0)
+    )
+    field = field + 0.01 * rng_local.standard_normal((n, n, n))
+    return field.astype(dtype)
+
+
+def random_mask(shape, density: float, seed: int = 0, block: int = 1) -> np.ndarray:
+    """Random boolean mask with approximately the requested density.
+
+    ``block > 1`` produces block-granular masks (the AMR-like case).
+    """
+    rng_local = np.random.default_rng(seed)
+    if block == 1:
+        return rng_local.random(shape) < density
+    nb = tuple(-(-dim // block) for dim in shape)
+    coarse = rng_local.random(nb) < density
+    mask = np.repeat(np.repeat(np.repeat(coarse, block, 0), block, 1), block, 2)
+    return mask[: shape[0], : shape[1], : shape[2]]
+
+
+def two_level_dataset(
+    n: int = 16, fine_fraction: float = 0.25, seed: int = 0, dtype=np.float32
+) -> AMRDataset:
+    """Small hand-rolled two-level tree AMR dataset with exact tiling."""
+    rng_local = np.random.default_rng(seed)
+    coarse_n = n // 2
+    # Refine the first `k` coarse cells (flat order) to the fine level.
+    k = max(1, int(round(fine_fraction * coarse_n**3)))
+    refined_coarse = np.zeros(coarse_n**3, dtype=bool)
+    refined_coarse[:k] = True
+    rng_local.shuffle(refined_coarse)
+    refined_coarse = refined_coarse.reshape((coarse_n,) * 3)
+
+    fine_mask = np.repeat(np.repeat(np.repeat(refined_coarse, 2, 0), 2, 1), 2, 2)
+    coarse_mask = ~refined_coarse
+
+    fine_data = np.where(fine_mask, smooth_cube(n, seed=seed, dtype=dtype), dtype(0))
+    coarse_data = np.where(
+        coarse_mask, smooth_cube(coarse_n, seed=seed + 1, dtype=dtype), dtype(0)
+    )
+    ds = AMRDataset(
+        levels=[
+            AMRLevel(data=fine_data, mask=fine_mask, level=0),
+            AMRLevel(data=coarse_data, mask=coarse_mask, level=1),
+        ],
+        name="toy2",
+        field="test_field",
+    )
+    ds.validate()
+    return ds
+
+
+def assert_error_bounded(original, reconstructed, bound: float, rtol: float = 1e-4):
+    """Assert max |a-b| <= bound, with the storage-dtype ULP allowance.
+
+    The codec's documented guarantee is ``max(eb, ulp(value)/2)`` in the
+    array's storage dtype: when the bound is below half an ULP, rounding the
+    reconstruction into that dtype is the binding constraint, not the codec.
+    """
+    a = np.asarray(original, dtype=np.float64)
+    b = np.asarray(reconstructed)
+    if a.size == 0:
+        return
+    # Half-ULP of the largest magnitude in the *storage* dtype.
+    ulp = float(np.spacing(np.asarray(np.max(np.abs(a)), dtype=b.dtype)))
+    err = float(np.max(np.abs(a - b.astype(np.float64))))
+    limit = bound * (1.0 + rtol) + 0.5 * ulp + 1e-12
+    assert err <= limit, f"max error {err:g} exceeds bound {bound:g} (+ulp/2 {ulp / 2:g})"

@@ -1,0 +1,141 @@
+"""Unit tests for up/down-sampling, reconstruction helpers, and AMR IO."""
+
+import numpy as np
+import pytest
+
+from repro.amr.hierarchy import AMRLevel
+from repro.amr.io import load_dataset, save_dataset
+from repro.amr.reconstruct import (
+    check_same_structure,
+    max_level_errors,
+    pointwise_errors,
+    uniform_pair,
+)
+from repro.amr.upsample import (
+    coarsen_mask_all,
+    coarsen_mask_any,
+    downsample_mean,
+    downsample_take,
+    upsample,
+)
+from tests.helpers import two_level_dataset
+
+
+class TestUpsample:
+    def test_factor_one_is_identity(self, rng):
+        data = rng.standard_normal((4, 4, 4))
+        assert upsample(data, 1) is np.asarray(data) or np.array_equal(upsample(data, 1), data)
+
+    def test_replicates_values(self):
+        data = np.arange(8, dtype=np.float64).reshape(2, 2, 2)
+        up = upsample(data, 2)
+        assert up.shape == (4, 4, 4)
+        for i in range(2):
+            for j in range(2):
+                for k in range(2):
+                    assert np.all(up[2 * i : 2 * i + 2, 2 * j : 2 * j + 2, 2 * k : 2 * k + 2] == data[i, j, k])
+
+    def test_downsample_mean_inverts_upsample(self, rng):
+        data = rng.standard_normal((4, 4, 4))
+        assert np.allclose(downsample_mean(upsample(data, 2), 2), data)
+
+    def test_downsample_mean_rejects_indivisible(self):
+        with pytest.raises(ValueError, match="divisible"):
+            downsample_mean(np.zeros((5, 5, 5)), 2)
+
+    def test_downsample_take_corner(self):
+        data = np.arange(64, dtype=np.float64).reshape(4, 4, 4)
+        taken = downsample_take(data, 2)
+        assert taken[0, 0, 0] == data[0, 0, 0]
+        assert taken[1, 1, 1] == data[2, 2, 2]
+
+    def test_coarsen_any_all(self):
+        mask = np.zeros((4, 4, 4), dtype=bool)
+        mask[0, 0, 0] = True  # one cell in the first 2x2x2 block
+        assert coarsen_mask_any(mask, 2)[0, 0, 0]
+        assert not coarsen_mask_all(mask, 2)[0, 0, 0]
+        mask[:2, :2, :2] = True
+        assert coarsen_mask_all(mask, 2)[0, 0, 0]
+
+    def test_upsample_rejects_bad_factor(self):
+        with pytest.raises(ValueError):
+            upsample(np.zeros((2, 2, 2)), 0)
+
+
+class TestReconstruct:
+    def test_same_structure_accepts_clone(self):
+        ds = two_level_dataset()
+        check_same_structure(ds, ds.with_levels(ds.levels))
+
+    def test_same_structure_rejects_mask_change(self):
+        ds = two_level_dataset()
+        flipped = ds.levels[0].mask.copy()
+        idx = tuple(np.argwhere(flipped)[0])
+        flipped[idx] = False
+        levels = [AMRLevel(data=ds.levels[0].data, mask=flipped, level=0), ds.levels[1]]
+        with pytest.raises(ValueError, match="masks differ"):
+            check_same_structure(ds, ds.with_levels(levels))
+
+    def test_same_structure_rejects_level_count(self):
+        ds = two_level_dataset()
+        single = ds.with_levels([ds.levels[0]])
+        # Bypass dataset validation by comparing directly.
+        with pytest.raises(ValueError, match="level count"):
+            check_same_structure(ds, single)
+
+    def test_pointwise_errors_zero_for_identical(self):
+        ds = two_level_dataset()
+        errors = pointwise_errors(ds, ds.with_levels(ds.levels))
+        assert errors.shape == (ds.total_points(),)
+        assert np.all(errors == 0)
+
+    def test_max_level_errors_localized(self):
+        ds = two_level_dataset()
+        perturbed_data = ds.levels[0].data.copy()
+        idx = tuple(np.argwhere(ds.levels[0].mask)[0])
+        perturbed_data[idx] += 0.5
+        levels = [
+            AMRLevel(data=perturbed_data, mask=ds.levels[0].mask, level=0),
+            ds.levels[1],
+        ]
+        errs = max_level_errors(ds, ds.with_levels(levels))
+        assert errs[0] == pytest.approx(0.5, rel=1e-5)
+        assert errs[1] == 0.0
+
+    def test_uniform_pair_shapes(self):
+        ds = two_level_dataset()
+        a, b = uniform_pair(ds, ds.with_levels(ds.levels))
+        assert a.shape == b.shape == (ds.finest.n,) * 3
+
+
+class TestIO:
+    def test_roundtrip(self, tmp_path):
+        ds = two_level_dataset(n=8)
+        path = tmp_path / "toy.npz"
+        save_dataset(ds, path)
+        loaded = load_dataset(path)
+        assert loaded.name == ds.name
+        assert loaded.field == ds.field
+        assert loaded.n_levels == ds.n_levels
+        for a, b in zip(ds.levels, loaded.levels):
+            assert np.array_equal(a.data, b.data)
+            assert np.array_equal(a.mask, b.mask)
+        loaded.validate()
+
+    def test_meta_preserved(self, tmp_path):
+        ds = two_level_dataset()
+        ds.meta["custom"] = [1, 2, 3]
+        path = tmp_path / "meta.npz"
+        save_dataset(ds, path)
+        assert load_dataset(path).meta["custom"] == [1, 2, 3]
+
+    def test_rejects_future_version(self, tmp_path, monkeypatch):
+        import repro.amr.io as amr_io
+
+        ds = two_level_dataset()
+        path = tmp_path / "v.npz"
+        monkeypatch.setattr(amr_io, "_FORMAT_VERSION", 999)
+        save_dataset(ds, path)
+        monkeypatch.setattr(amr_io, "_FORMAT_VERSION", 1)
+        with pytest.raises(ValueError, match="version"):
+            load_dataset(path)

@@ -1,0 +1,146 @@
+"""Unit tests for the three comparison baselines."""
+
+import numpy as np
+import pytest
+
+from repro.amr.reconstruct import max_level_errors
+from repro.baselines.naive1d import Naive1DCompressor
+from repro.baselines.uniform3d import Uniform3DCompressor
+from repro.baselines.zmesh import ZMeshCompressor, level_traversal_keys, zmesh_order
+from tests.helpers import two_level_dataset
+
+
+class TestNaive1D:
+    def test_roundtrip_error_bounded(self, z10_small):
+        comp = Naive1DCompressor()
+        blob = comp.compress(z10_small, 1e-3, mode="rel")
+        recon = comp.decompress(blob)
+        errs = max_level_errors(z10_small, recon)
+        for err, eb in zip(errs, blob.meta["level_ebs"]):
+            assert err <= eb * 1.001 + 1e-9
+
+    def test_per_level_scales(self, z10_small):
+        comp = Naive1DCompressor()
+        blob = comp.compress(z10_small, 1e-3, mode="rel", per_level_scale=[2, 1])
+        ebs = blob.meta["level_ebs"]
+        assert ebs[0] == pytest.approx(2 * ebs[1])
+
+    def test_masks_roundtrip(self, z10_small):
+        comp = Naive1DCompressor()
+        recon = comp.decompress(comp.compress(z10_small, 1e-3))
+        for a, b in zip(z10_small.levels, recon.levels):
+            assert np.array_equal(a.mask, b.mask)
+
+    def test_no_masks_needs_structure(self, z10_small):
+        comp = Naive1DCompressor(store_masks=False)
+        blob = comp.compress(z10_small, 1e-3)
+        with pytest.raises(ValueError, match="structure"):
+            comp.decompress(blob)
+        recon = comp.decompress(blob, structure=z10_small)
+        assert recon.total_points() == z10_small.total_points()
+
+    def test_metadata(self, z10_small):
+        blob = Naive1DCompressor().compress(z10_small, 1e-3)
+        assert blob.method == "baseline_1d"
+        assert blob.dataset_name == z10_small.name
+        assert blob.n_values == z10_small.total_points()
+        assert blob.original_bytes == z10_small.original_bytes()
+
+
+class TestZMeshOrdering:
+    def test_keys_are_unique_across_levels(self, z10_small):
+        keys = np.concatenate(
+            [
+                level_traversal_keys(lvl.mask, lvl.level, z10_small.n_levels)
+                for lvl in z10_small.levels
+            ]
+        )
+        assert keys.size == z10_small.total_points()
+        assert np.unique(keys).size == keys.size
+
+    def test_order_is_permutation(self, z10_small):
+        order = zmesh_order(z10_small)
+        assert order.size == z10_small.total_points()
+        assert np.array_equal(np.sort(order), np.arange(order.size))
+
+    def test_interleaves_levels(self):
+        ds = two_level_dataset(n=8, fine_fraction=0.5)
+        order = zmesh_order(ds)
+        n_fine = ds.levels[0].n_points()
+        # Level tags of the reordered stream: fine points are indices
+        # [0, n_fine), coarse are the rest (concatenation order).
+        tags = (order >= n_fine).astype(int)
+        # A true interleave has many level switches, unlike the 2-switch
+        # concatenation order.
+        switches = int(np.count_nonzero(np.diff(tags)))
+        assert switches > 2
+
+    def test_coarse_cell_precedes_its_subtree_region(self):
+        ds = two_level_dataset(n=8, fine_fraction=0.25)
+        fine_keys = level_traversal_keys(ds.levels[0].mask, 0, 2)
+        coarse_keys = level_traversal_keys(ds.levels[1].mask, 1, 2)
+        # All keys distinct and both levels nonempty.
+        assert fine_keys.size and coarse_keys.size
+        assert np.unique(np.concatenate([fine_keys, coarse_keys])).size == (
+            fine_keys.size + coarse_keys.size
+        )
+
+    def test_roundtrip_error_bounded(self, z10_small):
+        comp = ZMeshCompressor()
+        blob = comp.compress(z10_small, 1e-3, mode="rel")
+        recon = comp.decompress(blob)
+        errs = max_level_errors(z10_small, recon)
+        for err, eb in zip(errs, blob.meta["level_ebs"]):
+            assert err <= eb * 1.001 + 1e-9
+
+    def test_values_restored_to_correct_cells(self):
+        ds = two_level_dataset(n=8)
+        comp = ZMeshCompressor()
+        # Lossless (eb=0 -> rel range*0 = 0 -> lossless path).
+        blob = comp.compress(ds, 0.0, mode="abs")
+        recon = comp.decompress(blob)
+        for a, b in zip(ds.levels, recon.levels):
+            assert np.array_equal(a.data[a.mask], b.data[b.mask])
+
+    def test_rejects_per_level_scales(self, z10_small):
+        with pytest.raises(ValueError, match="per-level"):
+            ZMeshCompressor().compress(z10_small, 1e-3, per_level_scale=[2, 1])
+
+    def test_three_levels(self, t3_small):
+        comp = ZMeshCompressor()
+        recon = comp.decompress(comp.compress(t3_small, 1e-3, mode="rel"))
+        assert recon.n_levels == 3
+
+
+class TestUniform3D:
+    def test_roundtrip_error_bounded(self, z10_small):
+        comp = Uniform3DCompressor()
+        blob = comp.compress(z10_small, 1e-3, mode="rel")
+        recon = comp.decompress(blob)
+        errs = max_level_errors(z10_small, recon)
+        for err, eb in zip(errs, blob.meta["level_ebs"]):
+            assert err <= eb * 1.001 + 1e-9
+
+    def test_uniform_grid_available(self, z10_small):
+        comp = Uniform3DCompressor()
+        blob = comp.compress(z10_small, 1e-3, mode="rel")
+        uniform = comp.decompress_uniform(blob)
+        assert uniform.shape == (z10_small.finest.n,) * 3
+        eb = blob.meta["level_ebs"][0]
+        assert np.max(np.abs(uniform - z10_small.to_uniform())) <= eb * 1.001
+
+    def test_rejects_per_level_scales(self, z10_small):
+        with pytest.raises(ValueError, match="per-level"):
+            Uniform3DCompressor().compress(z10_small, 1e-3, per_level_scale=[2, 1])
+
+    def test_redundancy_inflates_bitrate_on_sparse_finest(self, t3_small, z10_small):
+        # The 3D baseline compresses the up-sampled grid: on a dataset whose
+        # points are nearly all coarse, its bit-rate per stored value blows
+        # up relative to a dataset with a denser finest level.
+        comp = Uniform3DCompressor()
+        sparse = comp.compress(t3_small, 1e-3, mode="rel")
+        dense = comp.compress(z10_small, 1e-3, mode="rel")
+        assert sparse.bit_rate(include_masks=False) > 2 * dense.bit_rate(include_masks=False)
+
+    def test_method_name(self):
+        assert Uniform3DCompressor().method_name == "baseline_3d"

@@ -1,0 +1,107 @@
+"""Unit tests for the command-line interface."""
+
+import numpy as np
+import pytest
+
+from repro.amr.io import load_dataset
+from repro.cli import main
+
+
+@pytest.fixture
+def dataset_file(tmp_path):
+    path = tmp_path / "z10.npz"
+    code = main(["make", "Run1_Z10", "-o", str(path), "--scale", "8"])
+    assert code == 0
+    return path
+
+
+class TestMakeInfo:
+    def test_make_writes_loadable_dataset(self, dataset_file):
+        ds = load_dataset(dataset_file)
+        assert ds.name == "Run1_Z10"
+        ds.validate()
+
+    def test_make_rejects_unknown_dataset(self, tmp_path, capsys):
+        with pytest.raises(SystemExit):
+            main(["make", "NotADataset", "-o", str(tmp_path / "x.npz")])
+
+    def test_info_prints_summary(self, dataset_file, capsys):
+        assert main(["info", str(dataset_file)]) == 0
+        out = capsys.readouterr().out
+        assert "Run1_Z10" in out
+        assert "level 0" in out and "level 1" in out
+        assert "density" in out
+
+    def test_make_with_field_and_seed(self, tmp_path):
+        path = tmp_path / "temp.npz"
+        assert main([
+            "make", "Run2_T2", "-o", str(path), "--scale", "8",
+            "--field", "temperature", "--seed", "5",
+        ]) == 0
+        assert load_dataset(path).field == "temperature"
+
+
+class TestCompressDecompress:
+    @pytest.mark.parametrize("method", ["tac", "1d", "zmesh", "3d"])
+    def test_roundtrip_every_method(self, dataset_file, tmp_path, method, capsys):
+        archive = tmp_path / f"{method}.tac"
+        restored_path = tmp_path / f"{method}.npz"
+        assert main([
+            "compress", str(dataset_file), "-o", str(archive),
+            "--eb", "1e-3", "--method", method,
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "ratio" in out
+        assert main(["decompress", str(archive), "-o", str(restored_path)]) == 0
+
+        original = load_dataset(dataset_file)
+        restored = load_dataset(restored_path)
+        assert restored.n_levels == original.n_levels
+        for a, b in zip(original.levels, restored.levels):
+            assert np.array_equal(a.mask, b.mask)
+            vals = np.concatenate([l.values() for l in original.levels])
+            eb_abs = 1e-3 * (vals.max() - vals.min())
+            assert np.max(np.abs(a.values() - b.values())) <= eb_abs * 1.001
+
+    def test_per_level_scales(self, dataset_file, tmp_path):
+        archive = tmp_path / "scaled.tac"
+        assert main([
+            "compress", str(dataset_file), "-o", str(archive),
+            "--eb", "1e-3", "--level-scale", "3", "1",
+        ]) == 0
+
+    def test_lorenzo_predictor_option(self, dataset_file, tmp_path):
+        archive = tmp_path / "lor.tac"
+        assert main([
+            "compress", str(dataset_file), "-o", str(archive),
+            "--predictor", "lorenzo",
+        ]) == 0
+
+    def test_hybrid_method(self, dataset_file, tmp_path):
+        archive = tmp_path / "hyb.tac"
+        assert main([
+            "compress", str(dataset_file), "-o", str(archive),
+            "--method", "tac-hybrid",
+        ]) == 0
+
+    def test_decompress_garbage_fails_cleanly(self, tmp_path):
+        bad = tmp_path / "bad.tac"
+        bad.write_bytes(b"junk")
+        with pytest.raises(ValueError):
+            main(["decompress", str(bad), "-o", str(tmp_path / "out.npz")])
+
+
+class TestExperimentsCommand:
+    def test_list(self, capsys):
+        assert main(["experiments", "--list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig14" in out and "ablation_predictor" in out
+
+    def test_run_one(self, capsys):
+        assert main(["experiments", "fig07", "--scale", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "OpST" in out or "opst" in out
+
+    def test_unknown_experiment(self, capsys):
+        assert main(["experiments", "fig99"]) == 2
+        assert "unknown" in capsys.readouterr().err

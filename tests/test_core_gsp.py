@@ -1,0 +1,159 @@
+"""Unit tests for ghost-shell padding and zero filling."""
+
+import numpy as np
+import pytest
+
+from repro.core.gsp import gsp_pad, zero_fill
+from tests.helpers import random_mask, smooth_cube
+
+
+def level_with_hole(n=12, block=4, value=5.0):
+    """Full grid except one empty unit block in the middle."""
+    mask = np.ones((n, n, n), dtype=bool)
+    mask[4:8, 4:8, 4:8] = False
+    data = np.full((n, n, n), np.float32(value))
+    data[~mask] = 0
+    return data, mask
+
+
+class TestGSP:
+    def test_valid_cells_untouched(self):
+        data, mask = level_with_hole()
+        result = gsp_pad(data, mask, 4)
+        crop = result.crop()
+        assert np.array_equal(crop[mask], data[mask])
+
+    def test_hole_filled_with_neighbour_average(self):
+        data, mask = level_with_hole(value=5.0)
+        result = gsp_pad(data, mask, 4)
+        hole = result.crop()[4:8, 4:8, 4:8]
+        # All six neighbours carry 5.0, so every pad contribution is 5.0.
+        assert np.allclose(hole, 5.0)
+
+    def test_pad_mask_marks_hole_only(self):
+        data, mask = level_with_hole()
+        result = gsp_pad(data, mask, 4)
+        pad = result.crop(result.pad_mask)
+        assert pad[4:8, 4:8, 4:8].all()
+        assert not pad[mask].any()
+
+    def test_n_padded_blocks(self):
+        data, mask = level_with_hole()
+        assert gsp_pad(data, mask, 4).n_padded_blocks == 1
+
+    def test_isolated_empty_block_stays_zero(self):
+        # An empty block with no non-empty neighbours must remain zero.
+        n, block = 12, 4
+        mask = np.zeros((n, n, n), dtype=bool)
+        mask[:4, :4, :4] = True  # single occupied corner block
+        data = np.where(mask, np.float32(3.0), np.float32(0))
+        result = gsp_pad(data, mask, block)
+        # The far corner block touches no occupied block.
+        far = result.padded[8:12, 8:12, 8:12]
+        assert np.all(far == 0)
+
+    def test_face_neighbour_gets_ghost(self):
+        n, block = 8, 4
+        mask = np.zeros((n, n, n), dtype=bool)
+        mask[:4, :4, :4] = True
+        data = np.where(mask, np.float32(2.0), np.float32(0))
+        result = gsp_pad(data, mask, block)
+        # The x-face neighbour of the occupied block is padded with ~2.0.
+        ghost = result.padded[4:8, :4, :4]
+        assert np.allclose(ghost[ghost != 0], 2.0)
+        assert (ghost != 0).any()
+
+    def test_averaging_of_two_contributions(self):
+        # Empty block flanked by value-2 and value-4 blocks along x.
+        n, block = 12, 4
+        mask = np.ones((n, n, n), dtype=bool)
+        mask[4:8, :, :] = False
+        data = np.zeros((n, n, n), dtype=np.float32)
+        data[:4] = 2.0
+        data[8:] = 4.0
+        result = gsp_pad(data, mask, block, pad_layers=None, avg_layers=1)
+        middle = result.padded[4:8]
+        # Full-depth padding from both faces overlaps everywhere: avg = 3.
+        assert np.allclose(middle, 3.0)
+
+    def test_thin_pad_layers(self):
+        data, mask = level_with_hole()
+        result = gsp_pad(data, mask, 4, pad_layers=1)
+        hole = result.crop()[4:8, 4:8, 4:8]
+        # Only the outermost shell of the hole is padded.
+        assert np.allclose(hole[0], 5.0)
+        assert np.all(hole[1:3, 1:3, 1:3] == 0)
+
+    def test_partial_blocks_use_valid_cells_only(self, rng):
+        # A neighbour block that is only partially valid: the ghost value
+        # must average only its valid cells.
+        n, block = 8, 4
+        mask = np.zeros((n, n, n), dtype=bool)
+        mask[:4, :4, :4] = True
+        mask[0, 0, 0] = True
+        data = np.zeros((n, n, n), dtype=np.float32)
+        data[mask] = 7.0
+        mask_partial = mask.copy()
+        mask_partial[1:4, :, :] = False  # boundary slab partially valid
+        data_partial = np.where(mask_partial, data, np.float32(0))
+        result = gsp_pad(data_partial, mask_partial, block)
+        ghosts = result.padded[result.pad_mask]
+        if ghosts.size:
+            assert np.allclose(ghosts[ghosts != 0], 7.0)
+
+    def test_rejects_bad_args(self):
+        data, mask = level_with_hole()
+        with pytest.raises(ValueError):
+            gsp_pad(data, mask, 4, pad_layers=0)
+        with pytest.raises(ValueError):
+            gsp_pad(data, mask.reshape(12, 12, 12)[:, :, :6], 4)
+
+    def test_fully_masked_level_is_noop(self):
+        data = smooth_cube(8)
+        mask = np.ones((8, 8, 8), dtype=bool)
+        result = gsp_pad(data, mask, 4)
+        assert np.array_equal(result.crop(), data)
+        assert result.n_padded_blocks == 0
+
+    def test_random_masks_never_touch_valid_cells(self, rng):
+        for seed in range(3):
+            mask = random_mask((16, 16, 16), 0.7, seed=seed, block=4)
+            data = np.where(mask, smooth_cube(16), np.float32(0))
+            result = gsp_pad(data, mask, 4)
+            assert np.array_equal(result.crop()[mask], data[mask])
+            # Ghost values are bounded by the data range (means of values).
+            ghosts = result.padded[result.pad_mask]
+            if ghosts.size:
+                assert ghosts.max() <= data.max() + 1e-5
+                assert ghosts.min() >= data.min() - 1e-5
+
+
+class TestZeroFill:
+    def test_identity_on_masked_data(self):
+        data, mask = level_with_hole()
+        result = zero_fill(data, mask, 4)
+        assert np.array_equal(result.crop(), data)
+        assert result.n_padded_blocks == 0
+        assert not result.pad_mask.any()
+
+    def test_pads_grid_to_block_multiple(self):
+        mask = np.ones((5, 5, 5), dtype=bool)
+        data = np.ones((5, 5, 5), dtype=np.float32)
+        result = zero_fill(data, mask, 4)
+        assert result.padded.shape == (8, 8, 8)
+        assert result.crop().shape == (5, 5, 5)
+
+
+class TestGSPCompressibility:
+    def test_gsp_reduces_boundary_cliffs(self):
+        # The variance of the first difference across the hole boundary
+        # should drop when ghosts replace zeros.
+        n, block = 16, 4
+        mask = random_mask((n, n, n), 0.8, seed=2, block=4)
+        base = smooth_cube(n) + np.float32(10.0)  # offset so zeros are cliffs
+        data = np.where(mask, base, np.float32(0))
+        zf = zero_fill(data, mask, block).padded
+        gsp = gsp_pad(data, mask, block).padded
+        def roughness(f):
+            return sum(float(np.abs(np.diff(f, axis=a)).sum()) for a in range(3))
+        assert roughness(gsp) < roughness(zf)

@@ -1,0 +1,108 @@
+"""Unit tests for multi-field snapshot compression."""
+
+import numpy as np
+import pytest
+
+from repro.amr.reconstruct import max_level_errors
+from repro.core.container import CompressedDataset
+from repro.core.snapshot import SnapshotCompressor, snapshot_savings
+from repro.core.tac import TACCompressor, TACConfig
+from repro.sim.datasets import make_dataset
+
+FIELDS = ("baryon_density", "temperature", "velocity_x")
+
+
+@pytest.fixture(scope="module")
+def snapshot_fields():
+    return {f: make_dataset("Run1_Z10", scale=8, field=f) for f in FIELDS}
+
+
+class TestSnapshotRoundTrip:
+    def test_all_fields_roundtrip_bounded(self, snapshot_fields):
+        snap = SnapshotCompressor()
+        archive = snap.compress(snapshot_fields, 1e-3, mode="rel")
+        restored = snap.decompress(archive)
+        assert sorted(restored) == sorted(FIELDS)
+        for name, ds in snapshot_fields.items():
+            errs = max_level_errors(ds, restored[name])
+            ebs = [m["eb_abs"] for m in archive.meta["field_meta"][name]["levels"]]
+            for err, eb in zip(errs, ebs):
+                assert err <= eb * 1.001 + 1e-9, name
+
+    def test_masks_stored_once(self, snapshot_fields):
+        snap = SnapshotCompressor()
+        archive = snap.compress(snapshot_fields, 1e-3)
+        mask_parts = [k for k in archive.parts if k.startswith("mask/")]
+        n_levels = snapshot_fields[FIELDS[0]].n_levels
+        assert len(mask_parts) == n_levels  # not n_levels * n_fields
+
+    def test_smaller_than_independent_blobs(self, snapshot_fields):
+        snap = SnapshotCompressor()
+        archive = snap.compress(snapshot_fields, 1e-3)
+        tac = TACCompressor()
+        independent = {f: tac.compress(ds, 1e-3) for f, ds in snapshot_fields.items()}
+        assert snapshot_savings(archive, independent) > 0
+
+    def test_selective_decompression(self, snapshot_fields):
+        snap = SnapshotCompressor()
+        archive = snap.compress(snapshot_fields, 1e-3)
+        only = snap.decompress(archive, fields=["temperature"])
+        assert list(only) == ["temperature"]
+
+    def test_unknown_field_selection_rejected(self, snapshot_fields):
+        snap = SnapshotCompressor()
+        archive = snap.compress(snapshot_fields, 1e-3)
+        with pytest.raises(ValueError, match="not in archive"):
+            snap.decompress(archive, fields=["pressure"])
+
+    def test_container_serialization(self, snapshot_fields):
+        snap = SnapshotCompressor()
+        archive = snap.compress(snapshot_fields, 1e-3)
+        restored = CompressedDataset.from_bytes(archive.to_bytes())
+        out = snap.decompress(restored, fields=["baryon_density"])
+        assert out["baryon_density"].total_points() == snapshot_fields["baryon_density"].total_points()
+
+
+class TestSnapshotOptions:
+    def test_per_field_error_bounds(self, snapshot_fields):
+        snap = SnapshotCompressor()
+        archive = snap.compress(
+            snapshot_fields, 1e-3, per_field_eb={"temperature": 1e-2}
+        )
+        temp_eb = archive.meta["field_meta"]["temperature"]["levels"][0]["eb_abs"]
+        rho_eb = archive.meta["field_meta"]["baryon_density"]["levels"][0]["eb_abs"]
+        # Relative bounds resolve per field; temperature got the looser one.
+        temp_ds = snapshot_fields["temperature"]
+        vals = np.concatenate([l.values() for l in temp_ds.levels])
+        assert temp_eb == pytest.approx(1e-2 * (vals.max() - vals.min()), rel=1e-5)
+        assert rho_eb != temp_eb
+
+    def test_unknown_per_field_eb_rejected(self, snapshot_fields):
+        with pytest.raises(ValueError, match="not in snapshot"):
+            SnapshotCompressor().compress(snapshot_fields, 1e-3, per_field_eb={"nope": 1})
+
+    def test_parallel_workers_match_serial(self, snapshot_fields):
+        serial = SnapshotCompressor(workers=1).compress(snapshot_fields, 1e-3)
+        parallel = SnapshotCompressor(workers=3).compress(snapshot_fields, 1e-3)
+        assert serial.parts.keys() == parallel.parts.keys()
+        for key in serial.parts:
+            assert serial.parts[key] == parallel.parts[key], key
+
+    def test_structure_mismatch_rejected(self, snapshot_fields):
+        bad = dict(snapshot_fields)
+        bad["other"] = make_dataset("Run1_Z5", scale=8)  # different masks
+        with pytest.raises(ValueError, match="structure"):
+            SnapshotCompressor().compress(bad, 1e-3)
+
+    def test_empty_snapshot_rejected(self):
+        with pytest.raises(ValueError, match="at least one"):
+            SnapshotCompressor().compress({}, 1e-3)
+
+    def test_custom_config_propagates(self, snapshot_fields):
+        cfg = TACConfig(unit_block=8)
+        snap = SnapshotCompressor(cfg)
+        archive = snap.compress(snapshot_fields, 1e-3)
+        for meta in archive.meta["field_meta"].values():
+            for lvl in meta["levels"]:
+                if "unit_block" in lvl:
+                    assert lvl["unit_block"] == 8

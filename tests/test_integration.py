@@ -1,0 +1,128 @@
+"""Cross-module integration tests: every method on every small dataset.
+
+These are the contracts the whole evaluation rests on:
+
+1. every compressor honours its per-level absolute error bound;
+2. structure (masks, grids) survives every round trip;
+3. accounting is self-consistent (CR x bit-rate == 32 for float32);
+4. the paper's qualitative orderings hold on the synthetic data.
+"""
+
+import numpy as np
+import pytest
+
+from repro.amr.reconstruct import max_level_errors, uniform_pair
+from repro.analysis.metrics import psnr
+from repro.baselines import Naive1DCompressor, Uniform3DCompressor, ZMeshCompressor
+from repro.core.tac import TACCompressor
+from repro.sim.datasets import make_dataset
+
+METHODS = {
+    "tac": TACCompressor,
+    "baseline_1d": Naive1DCompressor,
+    "zmesh": ZMeshCompressor,
+    "baseline_3d": Uniform3DCompressor,
+}
+
+DATASETS = ("Run1_Z10", "Run1_Z3", "Run2_T2", "Run2_T3")
+
+
+@pytest.fixture(scope="module")
+def datasets():
+    return {name: make_dataset(name, scale=8) for name in DATASETS}
+
+
+@pytest.mark.parametrize("method", list(METHODS))
+@pytest.mark.parametrize("name", DATASETS)
+class TestEveryMethodEveryDataset:
+    def test_bound_and_structure(self, method, name, datasets):
+        ds = datasets[name]
+        compressor = METHODS[method]()
+        comp = compressor.compress(ds, 1e-3, mode="rel")
+        recon = compressor.decompress(comp)
+        # Structure preserved.
+        assert recon.n_levels == ds.n_levels
+        for a, b in zip(ds.levels, recon.levels):
+            assert a.shape == b.shape
+            assert np.array_equal(a.mask, b.mask)
+        # Per-level bound honoured.
+        ebs = (
+            comp.meta["level_ebs"]
+            if "level_ebs" in comp.meta
+            else [m["eb_abs"] for m in comp.meta["levels"]]
+        )
+        for err, eb in zip(max_level_errors(ds, recon), ebs):
+            assert err <= eb * 1.001 + 1e-9
+
+    def test_accounting_consistent(self, method, name, datasets):
+        ds = datasets[name]
+        comp = METHODS[method]().compress(ds, 1e-3, mode="rel")
+        assert comp.n_values == ds.total_points()
+        assert comp.original_bytes == 4 * ds.total_points()
+        assert comp.ratio() * comp.bit_rate() == pytest.approx(32.0, rel=1e-9)
+        assert comp.compressed_bytes() == sum(comp.part_sizes().values())
+
+
+class TestPaperOrderings:
+    """The qualitative results the evaluation section reports."""
+
+    def test_tac_beats_1d_on_sparse_finest(self, datasets):
+        # Fig. 14a/15: level-wise 3D compression wins at equal distortion.
+        ds = datasets["Run1_Z10"]
+        eb = 1e-3
+        tac = TACCompressor().compress(ds, eb, mode="rel")
+        one_d = Naive1DCompressor().compress(ds, eb, mode="rel")
+        assert tac.bit_rate(include_masks=False) < one_d.bit_rate(include_masks=False)
+
+    def test_zmesh_not_better_than_1d_on_tree_data(self, datasets):
+        # Section 4.4: no redundancy to exploit on tree-based AMR.
+        ds = datasets["Run1_Z10"]
+        eb = 1e-3
+        zmesh = ZMeshCompressor().compress(ds, eb, mode="rel")
+        one_d = Naive1DCompressor().compress(ds, eb, mode="rel")
+        assert zmesh.bit_rate(include_masks=False) >= one_d.bit_rate(include_masks=False) * 0.98
+
+    def test_3d_baseline_collapses_on_run2(self, datasets):
+        # Fig. 15/Table 2: up-sampling redundancy inflates the 3D baseline.
+        ds = datasets["Run2_T3"]
+        eb = 1e-3
+        tac = TACCompressor().compress(ds, eb, mode="rel")
+        b3d = Uniform3DCompressor().compress(ds, eb, mode="rel")
+        assert b3d.bit_rate(include_masks=False) > 5 * tac.bit_rate(include_masks=False)
+
+    def test_3d_baseline_competitive_on_dense_finest(self, datasets):
+        # Fig. 14c: with a 64%-dense finest level the 3D baseline is close
+        # to or better than TAC.
+        ds = datasets["Run1_Z3"]
+        eb = 1e-3
+        tac = TACCompressor().compress(ds, eb, mode="rel")
+        b3d = Uniform3DCompressor().compress(ds, eb, mode="rel")
+        assert b3d.bit_rate(include_masks=False) < 1.5 * tac.bit_rate(include_masks=False)
+
+    def test_distortion_similar_at_same_bound(self, datasets):
+        # All level-wise methods share the absolute bound, so uniform-grid
+        # PSNR should be in the same ballpark.
+        ds = datasets["Run1_Z10"]
+        eb = 1e-3
+        values = {}
+        for label in ("tac", "baseline_1d", "zmesh"):
+            compressor = METHODS[label]()
+            recon = compressor.decompress(compressor.compress(ds, eb, mode="rel"))
+            a, b = uniform_pair(ds, recon)
+            values[label] = psnr(a, b)
+        spread = max(values.values()) - min(values.values())
+        assert spread < 6.0, values
+
+
+class TestAdaptiveErrorBoundEffect:
+    def test_skewed_bounds_preserve_uniform_quality(self, datasets):
+        # §4.5: moving error budget from fine to coarse at fixed distortion
+        # shifts bytes without violating bounds.
+        ds = datasets["Run1_Z10"]
+        tac = TACCompressor()
+        even = tac.compress(ds, 1e-3, mode="rel")
+        skew = tac.compress(ds, 1e-3, mode="rel", per_level_scale=[3, 1])
+        recon = tac.decompress(skew)
+        for err, meta in zip(max_level_errors(ds, recon), skew.meta["levels"]):
+            assert err <= meta["eb_abs"] * 1.001
+        assert skew.compressed_bytes() != even.compressed_bytes()

@@ -1,0 +1,210 @@
+"""Unit + property tests for the end-to-end SZ compressor."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.sz import SZCompressor, SZConfig, compress, decompress
+from tests.helpers import assert_error_bounded, smooth_cube
+
+
+@pytest.fixture(scope="module")
+def codec() -> SZCompressor:
+    return SZCompressor()
+
+
+class TestConfig:
+    def test_rejects_conflicting_init(self):
+        with pytest.raises(TypeError):
+            SZCompressor(SZConfig(), radius=128)
+
+    def test_rejects_bad_radius(self):
+        with pytest.raises(ValueError):
+            SZConfig(radius=1)
+
+    def test_rejects_bad_predictor(self):
+        with pytest.raises(ValueError, match="predictor"):
+            SZConfig(predictor="magic")
+
+    def test_rejects_alphabet_overflow(self):
+        with pytest.raises(ValueError, match="alphabet"):
+            SZConfig(radius=2**20, max_code_len=16)
+
+    def test_kwargs_init(self):
+        codec = SZCompressor(radius=128, zlib_level=0)
+        assert codec.config.radius == 128
+
+
+class TestRoundTripAbs:
+    @pytest.mark.parametrize("predictor", ["interp", "lorenzo"])
+    @pytest.mark.parametrize("shape", [(100,), (16, 16), (12, 12, 12), (4, 6, 6, 6)])
+    def test_bound_held(self, predictor, shape, rng):
+        codec = SZCompressor(predictor=predictor)
+        data = (rng.standard_normal(shape) * 50).astype(np.float32)
+        eb = 0.01
+        blob = codec.compress(data, eb, mode="abs")
+        out = codec.decompress(blob)
+        assert out.shape == shape and out.dtype == np.float32
+        assert_error_bounded(data, out, eb)
+
+    def test_float64_preserved(self, codec, rng):
+        data = rng.standard_normal((10, 10, 10))
+        out = codec.decompress(codec.compress(data, 1e-6, mode="abs"))
+        assert out.dtype == np.float64
+        assert_error_bounded(data, out, 1e-6)
+
+    def test_integer_input_upcast(self, codec):
+        data = np.arange(64, dtype=np.int32).reshape(4, 4, 4)
+        out = codec.decompress(codec.compress(data, 0.5, mode="abs"))
+        assert out.dtype == np.float64
+        assert_error_bounded(data.astype(np.float64), out, 0.5)
+
+    def test_non_contiguous_input(self, codec, rng):
+        base = rng.standard_normal((20, 20)).astype(np.float32)
+        view = base[::2, ::2]
+        out = codec.decompress(codec.compress(view, 1e-3, mode="abs"))
+        assert_error_bounded(np.ascontiguousarray(view), out, 1e-3)
+
+    def test_fortran_order_input(self, codec, rng):
+        data = np.asfortranarray(rng.standard_normal((8, 9, 10)).astype(np.float32))
+        out = codec.decompress(codec.compress(data, 1e-3, mode="abs"))
+        assert_error_bounded(data, out, 1e-3)
+
+    def test_outlier_heavy_data(self, rng):
+        # Spiky data forces heavy use of the escape channel.
+        codec = SZCompressor(radius=4)
+        data = rng.standard_normal(2000).astype(np.float32) * 1e6
+        out = codec.decompress(codec.compress(data, 1.0, mode="abs"))
+        assert_error_bounded(data, out, 1.0)
+
+    def test_smooth_data_compresses_well(self, codec):
+        data = smooth_cube(32)
+        blob, stats = codec.compress_with_stats(data, 1e-3, mode="rel")
+        assert stats.ratio > 5
+        assert stats.bit_rate < 8
+
+    def test_nan_rejected(self, codec):
+        data = np.array([1.0, np.nan, 2.0])
+        with pytest.raises(ValueError, match="non-finite"):
+            codec.compress(data, 1e-3)
+
+    def test_inf_rejected(self, codec):
+        with pytest.raises(ValueError, match="non-finite"):
+            codec.compress(np.array([np.inf]), 1e-3)
+
+    def test_unsupported_ndim_rejected(self, codec):
+        with pytest.raises(ValueError, match="dimensionalities"):
+            codec.compress(np.zeros((2,) * 5), 1e-3)
+
+
+class TestSpecialPaths:
+    def test_empty_array(self, codec):
+        out = codec.decompress(codec.compress(np.zeros((0,), dtype=np.float32), 1e-3))
+        assert out.shape == (0,) and out.dtype == np.float32
+
+    def test_lossless_when_eb_zero(self, codec, rng):
+        data = rng.standard_normal(100).astype(np.float32)
+        out = codec.decompress(codec.compress(data, 0.0, mode="abs"))
+        assert np.array_equal(out, data)
+
+    def test_constant_rel_mode_is_lossless(self, codec):
+        data = np.full((6, 6, 6), np.float32(2.5))
+        out = codec.decompress(codec.compress(data, 1e-3, mode="rel"))
+        assert np.array_equal(out, data)
+
+    def test_rel_mode_bound_scales_with_range(self, codec, rng):
+        data = (rng.standard_normal((10, 10, 10)) * 1e9).astype(np.float32)
+        eb_rel = 1e-4
+        blob, stats = codec.compress_with_stats(data, eb_rel, mode="rel")
+        expected_abs = eb_rel * (float(data.max()) - float(data.min()))
+        assert stats.eb_abs == pytest.approx(expected_abs)
+        assert_error_bounded(data, codec.decompress(blob), expected_abs)
+
+    def test_zlib_disabled_still_roundtrips(self, rng):
+        codec = SZCompressor(zlib_level=0)
+        data = rng.standard_normal((9, 9, 9)).astype(np.float32)
+        out = codec.decompress(codec.compress(data, 1e-3, mode="abs"))
+        assert_error_bounded(data, out, 1e-3)
+
+
+class TestPwRel:
+    def test_pointwise_relative_bound(self, codec, rng):
+        data = rng.lognormal(0, 3, size=3000)
+        data[::7] = 0.0
+        data[1::11] *= -1
+        eb = 0.02
+        out = codec.decompress(codec.compress(data, eb, mode="pw_rel"))
+        nz = data != 0
+        rel = np.abs((out[nz] - data[nz]) / data[nz])
+        assert rel.max() <= eb * (1 + 1e-9)
+        assert np.all(out[~nz] == 0.0)
+
+    def test_signs_preserved(self, codec, rng):
+        data = np.concatenate([rng.lognormal(0, 1, 100), -rng.lognormal(0, 1, 100)])
+        out = codec.decompress(codec.compress(data, 0.1, mode="pw_rel"))
+        assert np.array_equal(np.sign(out), np.sign(data))
+
+    def test_pw_rel_bound_ge_one_rejected(self, codec):
+        with pytest.raises(ValueError, match="pw_rel"):
+            codec.compress(np.array([1.0]), 1.5, mode="pw_rel")
+
+    def test_pw_rel_zero_bound_is_lossless(self, codec, rng):
+        data = rng.standard_normal(50)
+        out = codec.decompress(codec.compress(data, 0.0, mode="pw_rel"))
+        assert np.array_equal(out, data)
+
+
+class TestStats:
+    def test_stats_account_for_blob(self, codec, rng):
+        data = rng.standard_normal((16, 16, 16)).astype(np.float32)
+        blob, stats = codec.compress_with_stats(data, 1e-3, mode="abs")
+        assert stats.compressed_bytes == len(blob)
+        assert stats.original_bytes == data.nbytes
+        assert stats.n_values == data.size
+        assert stats.ratio == pytest.approx(data.nbytes / len(blob))
+        assert stats.bit_rate == pytest.approx(8 * len(blob) / data.size)
+        assert sum(stats.section_bytes.values()) <= len(blob)
+
+    def test_stats_sections_labelled(self, codec, rng):
+        data = rng.standard_normal(500).astype(np.float32)
+        _, stats = codec.compress_with_stats(data, 1e-3, mode="abs")
+        assert {"huffman_table", "payload", "meta"} <= set(stats.section_bytes)
+
+    def test_module_level_api(self, rng):
+        data = rng.standard_normal(100).astype(np.float32)
+        out = decompress(compress(data, 1e-3))
+        assert_error_bounded(data, out, 1e-3)
+
+
+class TestCorruption:
+    def test_garbage_blob_rejected(self, codec):
+        with pytest.raises(ValueError):
+            codec.decompress(b"not a stream at all")
+
+    def test_truncated_blob_rejected(self, codec, rng):
+        data = rng.standard_normal(100).astype(np.float32)
+        blob = codec.compress(data, 1e-3)
+        with pytest.raises(ValueError):
+            codec.decompress(blob[: len(blob) // 2])
+
+
+class TestProperty:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        hnp.arrays(
+            dtype=np.float32,
+            shape=hnp.array_shapes(min_dims=1, max_dims=3, min_side=1, max_side=12),
+            elements=st.floats(
+                min_value=-1e6, max_value=1e6, allow_nan=False, width=32
+            ),
+        ),
+        st.sampled_from([1e-1, 1e-3, 1e-5]),
+        st.sampled_from(["interp", "lorenzo"]),
+    )
+    def test_roundtrip_bound_property(self, data, eb, predictor):
+        codec = SZCompressor(predictor=predictor)
+        out = codec.decompress(codec.compress(data, eb, mode="abs"))
+        assert out.shape == data.shape
+        assert_error_bounded(data, out, eb, rtol=1e-3)

@@ -1,0 +1,223 @@
+"""Unit and property tests for the canonical length-limited Huffman coder."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sz.huffman import (
+    HuffmanCodec,
+    canonical_codes,
+    default_block_size,
+    huffman_code_lengths,
+)
+
+
+def kraft_sum(lengths: np.ndarray) -> float:
+    present = lengths[lengths > 0].astype(np.int64)
+    return float(np.sum(np.ldexp(1.0, -present)))
+
+
+class TestCodeLengths:
+    def test_single_symbol_gets_one_bit(self):
+        lengths = huffman_code_lengths(np.array([0, 5, 0]))
+        assert lengths.tolist() == [0, 1, 0]
+
+    def test_two_equal_symbols(self):
+        lengths = huffman_code_lengths(np.array([3, 3]))
+        assert lengths.tolist() == [1, 1]
+
+    def test_skewed_distribution_shorter_code_for_frequent(self):
+        counts = np.array([1000, 10, 10, 10])
+        lengths = huffman_code_lengths(counts)
+        assert lengths[0] == min(lengths[lengths > 0])
+
+    def test_absent_symbols_have_no_code(self):
+        lengths = huffman_code_lengths(np.array([5, 0, 5, 0]))
+        assert lengths[1] == 0 and lengths[3] == 0
+
+    def test_kraft_inequality_holds(self, rng):
+        counts = rng.integers(0, 1000, size=300)
+        lengths = huffman_code_lengths(counts)
+        assert kraft_sum(lengths) <= 1.0 + 1e-12
+
+    def test_length_limit_enforced_on_fibonacci_counts(self):
+        # Fibonacci frequencies force maximal Huffman depth.
+        fib = [1, 1]
+        while len(fib) < 40:
+            fib.append(fib[-1] + fib[-2])
+        counts = np.array(fib, dtype=np.int64)
+        lengths = huffman_code_lengths(counts, max_len=12)
+        assert int(lengths.max()) <= 12
+        assert kraft_sum(lengths) <= 1.0 + 1e-12
+
+    def test_rejects_negative_counts(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            huffman_code_lengths(np.array([1, -1]))
+
+    def test_rejects_overfull_alphabet(self):
+        with pytest.raises(ValueError, match="cannot fit"):
+            huffman_code_lengths(np.ones(10, dtype=np.int64), max_len=3)
+
+    def test_empty_counts(self):
+        lengths = huffman_code_lengths(np.zeros(5, dtype=np.int64))
+        assert (lengths == 0).all()
+
+    def test_optimality_on_uniform_distribution(self):
+        counts = np.full(8, 100)
+        lengths = huffman_code_lengths(counts)
+        assert (lengths == 3).all()
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.lists(st.integers(0, 10_000), min_size=1, max_size=200))
+    def test_property_kraft_and_limit(self, counts):
+        counts = np.array(counts, dtype=np.int64)
+        lengths = huffman_code_lengths(counts, max_len=16)
+        assert kraft_sum(lengths) <= 1.0 + 1e-12
+        assert int(lengths.max(initial=0)) <= 16
+        assert np.array_equal(lengths > 0, counts > 0)
+
+
+class TestCanonicalCodes:
+    def test_prefix_free(self, rng):
+        counts = rng.integers(0, 100, size=64)
+        lengths = huffman_code_lengths(counts)
+        codes = canonical_codes(lengths)
+        present = np.flatnonzero(lengths)
+        strings = [
+            format(int(codes[s]), "b").zfill(int(lengths[s])) for s in present
+        ]
+        for i, a in enumerate(strings):
+            for j, b in enumerate(strings):
+                if i != j:
+                    assert not b.startswith(a), f"{a} prefixes {b}"
+
+    def test_canonical_ordering(self):
+        lengths = np.array([2, 1, 2], dtype=np.uint8)
+        codes = canonical_codes(lengths)
+        # Symbol 1 (shortest) gets 0; then symbols 0, 2 get 10, 11.
+        assert codes[1] == 0b0
+        assert codes[0] == 0b10
+        assert codes[2] == 0b11
+
+
+class TestCodecRoundTrip:
+    def test_simple_roundtrip(self, rng):
+        symbols = rng.integers(0, 16, size=5000)
+        codec = HuffmanCodec.from_symbols(symbols, alphabet_size=16)
+        encoded = codec.encode(symbols)
+        decoded = codec.decode(encoded)
+        assert np.array_equal(decoded, symbols)
+
+    def test_single_symbol_stream(self):
+        symbols = np.full(100, 7)
+        codec = HuffmanCodec.from_symbols(symbols, alphabet_size=8)
+        assert np.array_equal(codec.decode(codec.encode(symbols)), symbols)
+
+    def test_empty_stream(self):
+        codec = HuffmanCodec.from_counts(np.array([1, 1]))
+        encoded = codec.encode(np.zeros(0, dtype=np.int64))
+        assert codec.decode(encoded).size == 0
+
+    def test_length_one_stream(self):
+        codec = HuffmanCodec.from_counts(np.array([1, 1]))
+        assert codec.decode(codec.encode(np.array([1]))).tolist() == [1]
+
+    def test_block_boundary_sizes(self, rng):
+        # Exercise exact-multiple and ragged-tail block splits.
+        codec = HuffmanCodec.from_counts(np.array([5, 3, 2, 1]))
+        for n in (63, 64, 65, 128, 129):
+            symbols = rng.integers(0, 4, size=n)
+            encoded = codec.encode(symbols, block_size=64)
+            assert np.array_equal(codec.decode(encoded), symbols)
+
+    def test_tiny_block_size(self, rng):
+        symbols = rng.integers(0, 4, size=100)
+        codec = HuffmanCodec.from_symbols(symbols, alphabet_size=4)
+        encoded = codec.encode(symbols, block_size=1)
+        assert np.array_equal(codec.decode(encoded), symbols)
+
+    def test_rejects_out_of_alphabet(self):
+        codec = HuffmanCodec.from_counts(np.array([1, 1]))
+        with pytest.raises(ValueError, match="alphabet"):
+            codec.encode(np.array([5]))
+
+    def test_rejects_symbol_without_code(self):
+        codec = HuffmanCodec.from_counts(np.array([1, 0, 1]))
+        with pytest.raises(ValueError, match="no codeword"):
+            codec.encode(np.array([1]))
+
+    def test_skewed_distribution_roundtrip(self, rng):
+        symbols = np.where(rng.random(10_000) < 0.99, 0, rng.integers(1, 100, size=10_000))
+        codec = HuffmanCodec.from_symbols(symbols, alphabet_size=100)
+        assert np.array_equal(codec.decode(codec.encode(symbols)), symbols)
+
+    def test_expected_bits_matches_payload(self, rng):
+        symbols = rng.integers(0, 32, size=4096)
+        counts = np.bincount(symbols, minlength=32)
+        codec = HuffmanCodec.from_counts(counts)
+        encoded = codec.encode(symbols)
+        assert codec.expected_bits(counts) == encoded.total_bits
+
+    def test_decoder_from_lengths_only(self, rng):
+        # The decoder side reconstructs the code purely from lengths.
+        symbols = rng.integers(0, 10, size=1000)
+        enc_codec = HuffmanCodec.from_symbols(symbols, alphabet_size=10)
+        encoded = enc_codec.encode(symbols)
+        dec_codec = HuffmanCodec(enc_codec.lengths, max_len=enc_codec.max_len)
+        assert np.array_equal(dec_codec.decode(encoded), symbols)
+
+    def test_corrupt_stream_detected(self, rng):
+        symbols = rng.integers(0, 3, size=256)
+        # Alphabet with unused code space (3 symbols -> lengths 1,2,2 uses all
+        # space; use 5 symbols at depth 3 to leave holes).
+        codec = HuffmanCodec(np.array([3, 3, 3, 3, 3], dtype=np.uint8))
+        encoded = codec.encode(rng.integers(0, 5, size=64))
+        corrupted = encoded.__class__(
+            payload=b"\xff" * len(encoded.payload),
+            total_bits=encoded.total_bits,
+            block_offsets=encoded.block_offsets,
+            n_symbols=encoded.n_symbols,
+            block_size=encoded.block_size,
+        )
+        with pytest.raises(ValueError, match="corrupt|unassigned"):
+            codec.decode(corrupted)
+
+    def test_block_offset_mismatch_detected(self, rng):
+        symbols = rng.integers(0, 4, size=256)
+        codec = HuffmanCodec.from_symbols(symbols, alphabet_size=4)
+        encoded = codec.encode(symbols, block_size=64)
+        bad = encoded.__class__(
+            payload=encoded.payload,
+            total_bits=encoded.total_bits,
+            block_offsets=encoded.block_offsets[:-1],
+            n_symbols=encoded.n_symbols,
+            block_size=encoded.block_size,
+        )
+        with pytest.raises(ValueError, match="offset table"):
+            codec.decode(bad)
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        st.integers(2, 64),
+        st.integers(1, 2000),
+        st.integers(0, 2**31),
+    )
+    def test_property_roundtrip(self, alphabet, n, seed):
+        rng = np.random.default_rng(seed)
+        # Zipf-ish skew to exercise variable code lengths.
+        weights = 1.0 / np.arange(1, alphabet + 1)
+        symbols = rng.choice(alphabet, size=n, p=weights / weights.sum())
+        codec = HuffmanCodec.from_symbols(symbols, alphabet_size=alphabet)
+        assert np.array_equal(codec.decode(codec.encode(symbols)), symbols)
+
+
+class TestBlockSizeHeuristic:
+    def test_scales_with_sqrt(self):
+        assert default_block_size(0) == 64
+        assert default_block_size(10_000) == 100
+        assert default_block_size(10**9) == 8192  # clamped
+
+    def test_bounds(self):
+        assert default_block_size(1) == 64
+        assert default_block_size(2**40) == 8192

@@ -1,0 +1,95 @@
+"""Unit tests for the multilevel interpolation predictor."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sz.interp import interp_compress, interp_decompress
+from tests.helpers import smooth_cube
+
+
+def roundtrip(data: np.ndarray, eb: float) -> np.ndarray:
+    codes = interp_compress(data, eb)
+    return interp_decompress(codes, eb, data.shape)
+
+
+class TestInterpRoundTrip:
+    def test_code_count_equals_size(self, rng):
+        data = rng.standard_normal((9, 7, 5))
+        assert interp_compress(data, 1e-3).size == data.size
+
+    @pytest.mark.parametrize(
+        "shape",
+        [(1,), (2,), (17,), (64,), (5, 9), (8, 8, 8), (13, 6, 21), (3, 4, 4, 4), (1, 1, 1)],
+    )
+    def test_error_bound_all_shapes(self, shape, rng):
+        data = rng.standard_normal(shape) * 10
+        eb = 1e-3
+        recon = roundtrip(data, eb)
+        assert np.max(np.abs(recon - data)) <= eb * (1 + 1e-9)
+
+    def test_smooth_data_codes_concentrate_near_zero(self):
+        data = smooth_cube(32, dtype=np.float64)
+        # Bound above the cube's noise floor (0.01): residuals then reflect
+        # interpolation error, which is tiny for a smooth field.
+        codes = interp_compress(data, 2e-2)
+        assert np.mean(np.abs(codes) <= 2) > 0.5
+
+    def test_constant_field_codes_nearly_all_zero(self):
+        data = np.full((16, 16, 16), 5.0)
+        codes = interp_compress(data, 1e-3)
+        # One anchor carries the value; everything else is zero residual.
+        assert np.count_nonzero(codes) <= 1
+
+    def test_4d_batch_blocks_are_independent(self, rng):
+        # Reconstructing a batch must equal reconstructing each block alone.
+        blocks = rng.standard_normal((5, 8, 8, 8))
+        eb = 1e-2
+        batch = roundtrip(blocks, eb)
+        for b in range(blocks.shape[0]):
+            single = roundtrip(blocks[b][None], eb)[0]
+            assert np.allclose(batch[b], single)
+
+    def test_empty_array(self):
+        codes = interp_compress(np.zeros((0,)), 1e-3)
+        assert codes.size == 0
+        out = interp_decompress(codes, 1e-3, (0,))
+        assert out.shape == (0,)
+
+    def test_rejects_bad_ndim(self):
+        with pytest.raises(ValueError, match="1-4D"):
+            interp_compress(np.zeros((2,) * 5), 1e-3)
+
+    def test_rejects_wrong_code_count(self):
+        with pytest.raises(ValueError, match="expected"):
+            interp_decompress(np.zeros(3, dtype=np.int64), 1e-3, (2, 2))
+
+    def test_rejects_overflow_bound(self):
+        with pytest.raises(ValueError, match="overflow"):
+            interp_compress(np.array([1e30]), 1e-30)
+
+    def test_deterministic(self, rng):
+        data = rng.standard_normal((12, 12, 12))
+        a = interp_compress(data, 1e-3)
+        b = interp_compress(data, 1e-3)
+        assert np.array_equal(a, b)
+
+    def test_tighter_bound_larger_codes(self):
+        data = smooth_cube(16, dtype=np.float64)
+        loose = np.abs(interp_compress(data, 1e-2)).sum()
+        tight = np.abs(interp_compress(data, 1e-4)).sum()
+        assert tight > loose
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        st.integers(1, 4),
+        st.floats(min_value=1e-5, max_value=1.0),
+        st.integers(0, 2**31),
+    )
+    def test_property_error_bound(self, ndim, eb, seed):
+        rng = np.random.default_rng(seed)
+        shape = tuple(int(s) for s in rng.integers(1, 9, size=ndim))
+        data = rng.standard_normal(shape) * rng.uniform(0.1, 100)
+        recon = roundtrip(data, eb)
+        assert np.max(np.abs(recon - data)) <= eb * (1 + 1e-9)

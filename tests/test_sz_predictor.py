@@ -1,0 +1,77 @@
+"""Unit tests for the N-D integer Lorenzo transform."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sz.predictor import lorenzo_forward, lorenzo_inverse
+
+
+def brute_force_lorenzo_3d(q: np.ndarray) -> np.ndarray:
+    """Direct 8-corner alternating-sign residual (definition check)."""
+    out = np.zeros_like(q)
+    padded = np.zeros((q.shape[0] + 1, q.shape[1] + 1, q.shape[2] + 1), dtype=np.int64)
+    padded[1:, 1:, 1:] = q
+    for dx in (0, 1):
+        for dy in (0, 1):
+            for dz in (0, 1):
+                sign = (-1) ** (dx + dy + dz)
+                out += sign * padded[1 - dx : padded.shape[0] - dx,
+                                     1 - dy : padded.shape[1] - dy,
+                                     1 - dz : padded.shape[2] - dz]
+    return out
+
+
+class TestLorenzo:
+    def test_matches_definition_3d(self, rng):
+        q = rng.integers(-100, 100, size=(5, 6, 7)).astype(np.int64)
+        assert np.array_equal(lorenzo_forward(q), brute_force_lorenzo_3d(q))
+
+    def test_forward_inverse_identity_1d(self, rng):
+        q = rng.integers(-1000, 1000, size=64).astype(np.int64)
+        assert np.array_equal(lorenzo_inverse(lorenzo_forward(q)), q)
+
+    def test_forward_inverse_identity_2d(self, rng):
+        q = rng.integers(-1000, 1000, size=(17, 9)).astype(np.int64)
+        assert np.array_equal(lorenzo_inverse(lorenzo_forward(q)), q)
+
+    def test_forward_inverse_identity_4d(self, rng):
+        q = rng.integers(-1000, 1000, size=(3, 4, 5, 6)).astype(np.int64)
+        assert np.array_equal(lorenzo_inverse(lorenzo_forward(q)), q)
+
+    def test_constant_field_residuals_are_sparse(self):
+        q = np.full((8, 8, 8), 42, dtype=np.int64)
+        d = lorenzo_forward(q)
+        # Only the origin carries the constant; interior residuals vanish.
+        assert d[0, 0, 0] == 42
+        assert np.count_nonzero(d[1:, 1:, 1:]) == 0
+
+    def test_linear_ramp_residuals_vanish_in_interior(self):
+        i = np.arange(8, dtype=np.int64)
+        q = i[:, None, None] + 2 * i[None, :, None] + 3 * i[None, None, :]
+        d = lorenzo_forward(q)
+        assert np.count_nonzero(d[1:, 1:, 1:]) == 0
+
+    def test_rejects_wrong_dtype(self):
+        with pytest.raises(TypeError, match="int64"):
+            lorenzo_forward(np.zeros((4, 4), dtype=np.float64))
+
+    def test_rejects_unsupported_ndim(self):
+        with pytest.raises(ValueError, match="supports ndim"):
+            lorenzo_forward(np.zeros((2, 2, 2, 2, 2), dtype=np.int64))
+
+    def test_single_element(self):
+        q = np.array([7], dtype=np.int64)
+        assert np.array_equal(lorenzo_inverse(lorenzo_forward(q)), q)
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        st.integers(1, 4),
+        st.integers(0, 2**31),
+    )
+    def test_property_roundtrip_all_dims(self, ndim, seed):
+        rng = np.random.default_rng(seed)
+        shape = tuple(rng.integers(1, 7, size=ndim))
+        q = rng.integers(-(2**40), 2**40, size=shape).astype(np.int64)
+        assert np.array_equal(lorenzo_inverse(lorenzo_forward(q)), q)

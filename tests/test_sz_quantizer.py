@@ -1,0 +1,89 @@
+"""Unit tests for error-bound resolution and pre-quantization."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sz.quantizer import (
+    ErrorMode,
+    dequantize,
+    quantize,
+    resolve_error_bound,
+)
+
+
+class TestResolveErrorBound:
+    def test_abs_mode_passthrough(self):
+        data = np.array([1.0, 2.0])
+        assert resolve_error_bound(data, 1e-3, "abs") == 1e-3
+
+    def test_rel_mode_scales_by_range(self):
+        data = np.array([0.0, 10.0])
+        assert resolve_error_bound(data, 1e-2, ErrorMode.REL) == pytest.approx(0.1)
+
+    def test_rel_mode_constant_data_gives_zero(self):
+        data = np.full(10, 3.0)
+        assert resolve_error_bound(data, 1e-2, "rel") == 0.0
+
+    def test_rel_mode_empty_data(self):
+        assert resolve_error_bound(np.zeros(0), 1e-2, "rel") == 0.0
+
+    def test_pw_rel_rejected_here(self):
+        with pytest.raises(ValueError, match="pw_rel"):
+            resolve_error_bound(np.array([1.0]), 1e-2, "pw_rel")
+
+    def test_negative_bound_rejected(self):
+        with pytest.raises(ValueError):
+            resolve_error_bound(np.array([1.0]), -1e-3, "abs")
+
+
+class TestQuantize:
+    def test_error_bounded(self, rng):
+        data = rng.standard_normal(1000) * 100
+        eb = 0.05
+        recon = dequantize(quantize(data, eb), eb)
+        assert np.max(np.abs(recon - data)) <= eb * (1 + 1e-12)
+
+    def test_zero_maps_to_zero(self):
+        assert quantize(np.array([0.0]), 0.1)[0] == 0
+
+    def test_symmetric_rounding(self):
+        codes = quantize(np.array([0.3, -0.3]), 0.1)
+        assert codes[0] == -codes[1]
+
+    def test_rejects_zero_bound(self):
+        with pytest.raises(ValueError, match="positive"):
+            quantize(np.array([1.0]), 0.0)
+
+    def test_rejects_overflowing_bound(self):
+        with pytest.raises(ValueError, match="int64 headroom"):
+            quantize(np.array([1e30]), 1e-30)
+
+    def test_dequantize_dtype(self):
+        codes = quantize(np.array([1.0, 2.0]), 0.1)
+        out = dequantize(codes, 0.1, dtype=np.float32)
+        assert out.dtype == np.float32
+
+    def test_dequantize_rejects_zero_bound(self):
+        with pytest.raises(ValueError):
+            dequantize(np.array([1], dtype=np.int64), 0.0)
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        st.lists(
+            st.floats(min_value=-1e12, max_value=1e12, allow_nan=False),
+            min_size=1,
+            max_size=100,
+        ),
+        st.floats(min_value=1e-6, max_value=1e6),
+    )
+    def test_property_bound_always_held(self, values, eb):
+        data = np.array(values, dtype=np.float64)
+        from hypothesis import assume
+
+        # Stay inside the documented int64-headroom envelope; the guard for
+        # exceeding it is tested separately.
+        assume(float(np.max(np.abs(data))) / (2 * eb) < 2.0**58)
+        recon = dequantize(quantize(data, eb), eb)
+        assert np.max(np.abs(recon - data)) <= eb * (1 + 1e-9)
