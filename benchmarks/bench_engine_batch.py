@@ -1,0 +1,85 @@
+"""Batch-engine smoke benchmark: serial vs parallel wall time.
+
+Not a paper figure — measures the scaling seam built on TAC's level-wise
+decomposition: a 4-field synthetic snapshot batch through
+:class:`repro.engine.CompressionEngine` with 1 vs 4 workers.  The engine
+contract says the parallel path must be *bit-identical* to the serial
+path, so this bench asserts that too: any speedup that changes bytes is
+a bug, not a win.
+"""
+
+import os
+import time
+
+import pytest
+
+from benchmarks.conftest import SCALE
+from repro.engine import CompressionEngine, CompressionJob
+from repro.sim.datasets import make_dataset
+from repro.sim.nyx import NYX_FIELDS
+
+#: Four fields of one snapshot — the acceptance-criterion batch.
+BATCH_FIELDS = tuple(NYX_FIELDS[:4])
+
+
+@pytest.fixture(scope="module")
+def batch_jobs():
+    return [
+        CompressionJob(
+            make_dataset("Run1_Z2", scale=SCALE, field=field),
+            codec="tac",
+            error_bound=1e-4,
+            label=f"Run1_Z2/{field}",
+        )
+        for field in BATCH_FIELDS
+    ]
+
+
+@pytest.mark.parametrize("workers", [1, 4])
+def bench_engine_batch(benchmark, batch_jobs, workers):
+    engine = CompressionEngine(max_workers=workers)
+    batch = benchmark.pedantic(engine.run, args=(batch_jobs,), rounds=1, iterations=1)
+    assert all(r.ok for r in batch)
+    benchmark.extra_info["workers"] = workers
+    benchmark.extra_info["jobs"] = len(batch_jobs)
+    benchmark.extra_info["ratio"] = round(batch.to_archive().ratio(), 2)
+
+
+def bench_engine_serial_vs_parallel(benchmark, batch_jobs, results_dir):
+    """One record with both wall times, the speedup, and the identity check."""
+
+    def compare():
+        t0 = time.perf_counter()
+        serial = CompressionEngine(max_workers=1).run(batch_jobs)
+        t_serial = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        parallel = CompressionEngine(max_workers=4, level_workers=2).run(batch_jobs)
+        t_parallel = time.perf_counter() - t0
+        for a, b in zip(serial, parallel):
+            assert a.compressed.to_bytes() == b.compressed.to_bytes(), (
+                f"parallel output diverged for {a.label}"
+            )
+        return t_serial, t_parallel
+
+    t_serial, t_parallel = benchmark.pedantic(compare, rounds=1, iterations=1)
+    speedup = t_serial / t_parallel if t_parallel else float("inf")
+    benchmark.extra_info["serial_s"] = round(t_serial, 3)
+    benchmark.extra_info["parallel_s"] = round(t_parallel, 3)
+    benchmark.extra_info["speedup"] = round(speedup, 2)
+    text = (
+        f"== engine_batch: serial vs parallel (4 fields, scale {SCALE}) ==\n"
+        f"serial  : {t_serial:.3f}s\n"
+        f"parallel: {t_parallel:.3f}s (4 workers x 2 level-workers)\n"
+        f"speedup : {speedup:.2f}x (outputs bit-identical)\n"
+    )
+    print("\n" + text)
+    (results_dir / "engine_batch.txt").write_text(text)
+    # Acceptance: measurably faster than serial — on a node with cores to
+    # spare AND enough per-job work that pool overhead cannot dominate
+    # (sub-second scale-8 batches can measure ~0.95x from overhead alone).
+    # A single-core box can only interleave, so assert there only that
+    # parallelism costs nothing catastrophic.
+    if (os.cpu_count() or 1) >= 4 and t_serial >= 1.0:
+        assert speedup > 1.05, f"parallel batch not faster: {speedup:.2f}x"
+    else:
+        assert speedup > 0.5, f"parallel batch pathologically slow: {speedup:.2f}x"

@@ -1,4 +1,4 @@
-"""Using the SZ substrate directly, and archiving compressed datasets.
+"""Using the SZ substrate directly, and extending the codec registry.
 
 Run:  python examples/custom_codec.py
 
@@ -9,15 +9,33 @@ any 1D–4D float array.  This example shows:
   relative);
 * predictor selection (interpolation vs Lorenzo) and its rate trade-off;
 * serializing a compressed AMR dataset to disk and restoring it without the
-  original in hand.
+  original in hand;
+* writing a custom dataset-level codec and registering it into
+  :mod:`repro.engine.registry`, which makes it usable everywhere codecs
+  are looked up by name — ``get_codec``, the batch engine, archive
+  decompression, and the CLI.
 """
 
 import tempfile
+import zlib
 from pathlib import Path
 
 import numpy as np
 
-from repro import CompressedDataset, SZCompressor, SZConfig, TACCompressor, make_dataset
+from repro import (
+    AMRDataset,
+    AMRLevel,
+    CompressedDataset,
+    CompressionEngine,
+    CompressionJob,
+    SZCompressor,
+    SZConfig,
+    TACCompressor,
+    get_codec,
+    make_dataset,
+    register_codec,
+)
+from repro.core.container import MASK_PREFIX, pack_mask, unpack_mask
 
 
 def demo_error_modes() -> None:
@@ -75,7 +93,82 @@ def demo_archive_roundtrip() -> None:
               f"{restored.total_points()} stored values")
 
 
+@register_codec("lossless-zlib", description="DEFLATE per level, eb ignored (exact)")
+class LosslessZlibCodec:
+    """A minimal custom codec: per-level DEFLATE, bit-exact round-trip.
+
+    Satisfying the :class:`repro.engine.Codec` protocol takes exactly the
+    two methods below plus a ``method_name``; the ``@register_codec``
+    decorator is the whole integration.  After it runs, the codec is
+    resolvable by name (``get_codec("lossless-zlib")``), usable in
+    :class:`repro.engine.CompressionEngine` jobs, and archives it writes
+    decompress through the registry automatically.
+    """
+
+    method_name = "lossless_zlib"
+
+    def compress(self, dataset, error_bound, mode="rel", per_level_scale=None,
+                 timings=None) -> CompressedDataset:
+        out = CompressedDataset(
+            method=self.method_name,
+            dataset_name=dataset.name,
+            original_bytes=dataset.original_bytes(),
+            n_values=dataset.total_points(),
+        )
+        for lvl in dataset.levels:
+            out.parts[f"L{lvl.level}/values"] = zlib.compress(lvl.values().tobytes(), 6)
+            out.parts[f"{MASK_PREFIX}L{lvl.level}"] = pack_mask(lvl.mask)
+        out.meta = {
+            "name": dataset.name, "field": dataset.field, "ratio": dataset.ratio,
+            "box_size": dataset.box_size, "dtype": str(dataset.dtype()),
+            "shapes": [list(lvl.shape) for lvl in dataset.levels],
+        }
+        return out
+
+    def decompress(self, comp, structure=None, timings=None) -> AMRDataset:
+        meta = comp.meta
+        dtype = np.dtype(meta["dtype"])
+        levels = []
+        for idx, shape in enumerate(meta["shapes"]):
+            shape = tuple(shape)
+            mask = unpack_mask(comp.parts[f"{MASK_PREFIX}L{idx}"], shape)
+            values = np.frombuffer(
+                zlib.decompress(comp.parts[f"L{idx}/values"]), dtype=dtype
+            )
+            data = np.zeros(shape, dtype=dtype)
+            data[mask] = values
+            levels.append(AMRLevel(data=data, mask=mask, level=idx))
+        return AMRDataset(levels=levels, name=meta["name"], field=meta["field"],
+                          ratio=meta["ratio"], box_size=meta["box_size"])
+
+
+def demo_registry_extension() -> None:
+    print("\n=== registering a custom codec ===")
+    dataset = make_dataset("Run1_Z10", scale=16)
+
+    # By-name lookup works immediately, including inside the batch engine.
+    codec = get_codec("lossless-zlib")
+    exact = codec.compress(dataset, error_bound=0.0)
+    print(f"  lossless-zlib alone : ratio {exact.ratio():.2f}x (bit-exact)")
+
+    jobs = [
+        CompressionJob(dataset, codec=name, error_bound=1e-3, label=name)
+        for name in ("tac", "lossless-zlib")
+    ]
+    batch = CompressionEngine(max_workers=2).run(jobs)
+    for result in batch:
+        print(f"  engine[{result.label:13s}]: ratio {result.compressed.ratio():.2f}x")
+
+    # Archives written by the custom codec are self-describing: the
+    # registry routes decompression by the recorded method name.
+    archive = batch.to_archive()
+    restored = archive.decompress("lossless-zlib")
+    assert np.array_equal(restored.finest.data, dataset.finest.data)
+    print("  lossless entry restored bit-exact from the batch archive")
+
+
 if __name__ == "__main__":
     demo_error_modes()
     demo_predictors()
     demo_archive_roundtrip()
+    demo_registry_extension()

@@ -11,6 +11,8 @@ Compression for Three-Dimensional Adaptive Mesh Refinement Simulations"
 * :mod:`repro.sim` — synthetic Nyx cosmology data hitting Table 1's
   level densities.
 * :mod:`repro.baselines` — the 1D, zMesh, and 3D comparison baselines.
+* :mod:`repro.engine` — the codec registry, the parallel batch engine,
+  and the multi-entry batch archive.
 * :mod:`repro.analysis` — PSNR/rate-distortion plus the cosmology-specific
   power-spectrum and halo-finder metrics.
 * :mod:`repro.experiments` — one module per paper table/figure.
@@ -35,10 +37,17 @@ from repro.core import (
     TACCompressor,
     TACConfig,
 )
+from repro.engine import (
+    BatchArchive,
+    CompressionEngine,
+    CompressionJob,
+    get_codec,
+    register_codec,
+)
 from repro.sim import make_dataset
 from repro.sz import SZCompressor, SZConfig
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "TACCompressor",
@@ -53,6 +62,11 @@ __all__ = [
     "Naive1DCompressor",
     "ZMeshCompressor",
     "Uniform3DCompressor",
+    "BatchArchive",
+    "CompressionEngine",
+    "CompressionJob",
+    "get_codec",
+    "register_codec",
     "make_dataset",
     "__version__",
 ]

@@ -38,6 +38,20 @@ def save_dataset(dataset: AMRDataset, path) -> None:
     np.savez_compressed(path, **arrays)
 
 
+def peek_meta(path) -> dict:
+    """Read only the metadata record of a saved dataset.
+
+    Cheap relative to :func:`load_dataset` — it touches one small zip
+    member instead of every level's arrays.  Used by batch front-ends to
+    label jobs without loading the payloads they will hand to workers.
+    """
+    with np.load(Path(path)) as archive:
+        meta = json.loads(bytes(archive["__meta__"]).decode("utf-8"))
+    if meta.get("version") != _FORMAT_VERSION:
+        raise ValueError(f"unsupported AMR file version {meta.get('version')!r}")
+    return meta
+
+
 def load_dataset(path) -> AMRDataset:
     """Read a dataset written by :func:`save_dataset`."""
     path = Path(path)

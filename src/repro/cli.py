@@ -3,13 +3,18 @@
 Commands
 --------
 ``make``        synthesize a Table 1 dataset to an ``.npz`` file
-``info``        summarize an AMR ``.npz`` (levels, grids, densities)
-``compress``    compress an AMR ``.npz`` with TAC or a baseline
-``decompress``  restore an AMR ``.npz`` from a compressed archive
+``info``        summarize an AMR ``.npz`` or a batch archive
+``compress``    compress an AMR ``.npz`` with any registered codec
+``decompress``  restore an AMR ``.npz`` from a compressed/batch archive
+``batch``       compress many ``.npz`` files into one batch archive
+``codecs``      list the codec registry
 ``experiments`` run paper experiments and print their report tables
 
-The binary archive format is the one produced by
-:meth:`repro.core.container.CompressedDataset.to_bytes`.
+Codec selection is routed through :mod:`repro.engine.registry` — the CLI
+holds no name→compressor tables of its own, so codecs registered by
+downstream code are immediately usable here.  Single-dataset archives use
+:meth:`repro.core.container.CompressedDataset.to_bytes`; ``batch``
+produces the :class:`repro.engine.archive.BatchArchive` container.
 """
 
 from __future__ import annotations
@@ -18,28 +23,20 @@ import argparse
 import sys
 from pathlib import Path
 
-from repro.amr.io import load_dataset, save_dataset
-from repro.baselines import Naive1DCompressor, Uniform3DCompressor, ZMeshCompressor
+from repro.amr.io import load_dataset, peek_meta, save_dataset
 from repro.core.container import CompressedDataset
-from repro.core.tac import TACCompressor, TACConfig
+from repro.engine import (
+    BatchArchive,
+    CompressionEngine,
+    CompressionJob,
+    all_specs,
+    codec_for_method,
+    codec_names,
+    get_codec,
+    is_batch_archive,
+)
 from repro.sim.datasets import TABLE1, make_dataset
 from repro.sz.compressor import SZConfig
-
-_METHODS = {
-    "tac": lambda: TACCompressor(),
-    "tac-hybrid": lambda: TACCompressor(TACConfig(adaptive_baseline=True)),
-    "1d": Naive1DCompressor,
-    "zmesh": ZMeshCompressor,
-    "3d": Uniform3DCompressor,
-}
-
-#: Decompressors by the method name recorded in the archive.
-_BY_METHOD_NAME = {
-    "tac": lambda: TACCompressor(),
-    "baseline_1d": Naive1DCompressor,
-    "zmesh": ZMeshCompressor,
-    "baseline_3d": Uniform3DCompressor,
-}
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -48,6 +45,7 @@ def build_parser() -> argparse.ArgumentParser:
         description="TAC: error-bounded lossy compression for 3D AMR data (HPDC'22 reproduction)",
     )
     sub = parser.add_subparsers(dest="command", required=True)
+    method_choices = codec_names(include_aliases=True)
 
     p_make = sub.add_parser("make", help="synthesize a Table 1 dataset")
     p_make.add_argument("name", choices=sorted(TABLE1), help="dataset name")
@@ -56,7 +54,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_make.add_argument("--field", default="baryon_density")
     p_make.add_argument("--seed", type=int, default=None)
 
-    p_info = sub.add_parser("info", help="summarize an AMR .npz file")
+    p_info = sub.add_parser("info", help="summarize an AMR .npz or batch archive")
     p_info.add_argument("path", type=Path)
 
     p_comp = sub.add_parser("compress", help="compress an AMR .npz file")
@@ -64,7 +62,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_comp.add_argument("-o", "--output", required=True, type=Path)
     p_comp.add_argument("--eb", type=float, default=1e-4, help="error bound")
     p_comp.add_argument("--mode", choices=["rel", "abs"], default="rel")
-    p_comp.add_argument("--method", choices=sorted(_METHODS), default="tac")
+    p_comp.add_argument("--method", choices=method_choices, default="tac")
     p_comp.add_argument(
         "--level-scale",
         type=float,
@@ -77,6 +75,28 @@ def build_parser() -> argparse.ArgumentParser:
     p_dec = sub.add_parser("decompress", help="restore an AMR .npz from an archive")
     p_dec.add_argument("path", type=Path)
     p_dec.add_argument("-o", "--output", required=True, type=Path)
+    p_dec.add_argument(
+        "--key",
+        default=None,
+        help="entry to extract from a batch archive (defaults to its only entry)",
+    )
+
+    p_batch = sub.add_parser("batch", help="compress many .npz files into one archive")
+    p_batch.add_argument("inputs", nargs="+", type=Path, help="AMR .npz files")
+    p_batch.add_argument("-o", "--output", required=True, type=Path)
+    p_batch.add_argument("--eb", type=float, default=1e-4, help="error bound")
+    p_batch.add_argument("--mode", choices=["rel", "abs"], default="rel")
+    p_batch.add_argument("--method", choices=method_choices, default="tac")
+    p_batch.add_argument("--workers", type=int, default=1, help="parallel jobs")
+    p_batch.add_argument(
+        "--executor", choices=["thread", "process"], default="thread"
+    )
+    p_batch.add_argument(
+        "--level-workers", type=int, default=1,
+        help="parallel AMR levels inside each TAC job",
+    )
+
+    sub.add_parser("codecs", help="list registered codecs")
 
     p_exp = sub.add_parser("experiments", help="run paper experiments")
     p_exp.add_argument(
@@ -88,6 +108,13 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _build_codec(method: str, predictor: str = "interp"):
+    """A fresh codec from the registry, honouring the predictor override."""
+    if predictor != "interp":
+        return get_codec(method, sz=SZConfig(predictor=predictor))
+    return get_codec(method)
+
+
 def cmd_make(args) -> int:
     dataset = make_dataset(args.name, scale=args.scale, field=args.field, seed=args.seed)
     save_dataset(dataset, args.output)
@@ -97,6 +124,17 @@ def cmd_make(args) -> int:
 
 
 def cmd_info(args) -> int:
+    with open(args.path, "rb") as fh:
+        head = fh.read(4)
+    if is_batch_archive(head):
+        archive = BatchArchive.load(args.path)
+        print(f"batch archive: {len(archive)} entries, "
+              f"ratio {archive.ratio():.2f}x "
+              f"({archive.total_original_bytes()} -> {archive.total_compressed_bytes()} bytes)")
+        for row in archive.manifest():
+            print(f"  {row['key']:40s} {row['method']:12s} "
+                  f"{row['compressed_bytes']:>10d} B  {row['n_values']} values")
+        return 0
     dataset = load_dataset(args.path)
     print(dataset.summary())
     print(f"field       : {dataset.field}")
@@ -110,10 +148,15 @@ def cmd_info(args) -> int:
 
 def cmd_compress(args) -> int:
     dataset = load_dataset(args.path)
-    factory = _METHODS[args.method]
-    compressor = factory()
-    if args.method.startswith("tac") and args.predictor != "interp":
-        compressor = TACCompressor(TACConfig(sz=SZConfig(predictor=args.predictor)))
+    try:
+        compressor = _build_codec(args.method, args.predictor)
+    except TypeError:
+        # A downstream-registered codec whose factory takes no `sz` config.
+        print(
+            f"error: codec {args.method!r} does not accept a --predictor override",
+            file=sys.stderr,
+        )
+        return 2
     kwargs = {}
     if args.level_scale is not None:
         kwargs["per_level_scale"] = args.level_scale
@@ -130,15 +173,89 @@ def cmd_compress(args) -> int:
 
 
 def cmd_decompress(args) -> int:
-    archive = CompressedDataset.from_bytes(args.path.read_bytes())
-    factory = _BY_METHOD_NAME.get(archive.method)
-    if factory is None:
-        print(f"error: unknown archive method {archive.method!r}", file=sys.stderr)
-        return 2
-    dataset = factory().decompress(archive)
+    blob = args.path.read_bytes()
+    if is_batch_archive(blob):
+        archive = BatchArchive.from_bytes(blob)
+        key = args.key
+        if key is None:
+            if len(archive) != 1:
+                print(
+                    f"error: batch archive holds {len(archive)} entries; "
+                    f"pick one with --key {archive.keys()}",
+                    file=sys.stderr,
+                )
+                return 2
+            key = archive.keys()[0]
+        try:
+            dataset = archive.decompress(key)
+        except KeyError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+    else:
+        stored = CompressedDataset.from_bytes(blob)
+        try:
+            codec = codec_for_method(stored.method)
+        except KeyError:
+            print(f"error: unknown archive method {stored.method!r}", file=sys.stderr)
+            return 2
+        dataset = codec.decompress(stored)
     save_dataset(dataset, args.output)
     print(dataset.summary())
     print(f"wrote {args.output}")
+    return 0
+
+
+def cmd_batch(args) -> int:
+    missing = [str(p) for p in args.inputs if not p.is_file()]
+    if missing:
+        print(f"error: input file(s) not found: {missing}", file=sys.stderr)
+        return 2
+    jobs = []
+    for path in args.inputs:
+        # Jobs carry paths, not arrays: workers load in parallel and
+        # process pools ship a filename instead of pickled levels.  Only
+        # the cheap metadata record is read up front, for the label.
+        field = peek_meta(path)["field"]
+        jobs.append(
+            CompressionJob(
+                dataset=path,
+                codec=args.method,
+                error_bound=args.eb,
+                mode=args.mode,
+                label=f"{path.stem}/{field}/{args.method}",
+            )
+        )
+    engine = CompressionEngine(
+        max_workers=args.workers,
+        executor=args.executor,
+        level_workers=args.level_workers,
+    )
+    batch = engine.run(jobs)
+    for row in batch.summary_rows():
+        if row["error"] is None:
+            print(f"  {row['label']:40s} ratio {row['ratio']:>8.2f}x  "
+                  f"{row['bytes']:>10d} B  {row['seconds']:.3f}s")
+        else:
+            print(f"  {row['label']:40s} FAILED: {row['error']}")
+    if batch.failures:
+        print(f"error: {len(batch.failures)}/{len(batch)} jobs failed; "
+              "no archive written", file=sys.stderr)
+        return 1
+    archive = batch.to_archive(
+        tool="repro batch", method=args.method, eb=args.eb, mode=args.mode
+    )
+    size = archive.save(args.output)
+    print(f"wrote {args.output}: {len(archive)} entries, {size} bytes, "
+          f"ratio {archive.ratio():.2f}x, wall {batch.wall_seconds:.3f}s "
+          f"({args.workers} worker(s))")
+    return 0
+
+
+def cmd_codecs(args) -> int:
+    for spec in all_specs():
+        aliases = f" (aliases: {', '.join(spec.aliases)})" if spec.aliases else ""
+        print(f"{spec.name:12s} method={spec.method_name:12s} "
+              f"{spec.description}{aliases}")
     return 0
 
 
@@ -169,6 +286,8 @@ def main(argv: list[str] | None = None) -> int:
         "info": cmd_info,
         "compress": cmd_compress,
         "decompress": cmd_decompress,
+        "batch": cmd_batch,
+        "codecs": cmd_codecs,
         "experiments": cmd_experiments,
     }[args.command]
     return handler(args)

@@ -1,0 +1,52 @@
+"""Batch-compression engine: codec registry, parallel engine, batch archive.
+
+The architectural seam for scaling this reproduction into a service:
+
+* :mod:`repro.engine.registry` — every dataset-level compressor behind
+  one ``Codec`` protocol with ``register()`` / ``get_codec(name)``;
+* :mod:`repro.engine.engine` — ``CompressionEngine`` fans (snapshot ×
+  field × codec) jobs over thread/process pools, deterministically;
+* :mod:`repro.engine.archive` — ``BatchArchive`` packs many compressed
+  datasets into one manifest-carrying container.
+"""
+
+from repro.engine.archive import BatchArchive, is_batch_archive
+from repro.engine.engine import (
+    BatchResult,
+    CompressionEngine,
+    CompressionJob,
+    JobResult,
+)
+from repro.engine.registry import (
+    Codec,
+    CodecSpec,
+    all_specs,
+    codec_for_method,
+    codec_names,
+    get_codec,
+    get_spec,
+    register,
+    unregister,
+)
+
+#: Top-level-friendly alias (``from repro import register_codec``).
+register_codec = register
+
+__all__ = [
+    "BatchArchive",
+    "BatchResult",
+    "Codec",
+    "CodecSpec",
+    "CompressionEngine",
+    "CompressionJob",
+    "JobResult",
+    "all_specs",
+    "codec_for_method",
+    "codec_names",
+    "get_codec",
+    "get_spec",
+    "is_batch_archive",
+    "register",
+    "register_codec",
+    "unregister",
+]

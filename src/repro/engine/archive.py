@@ -1,0 +1,182 @@
+"""Multi-entry batch archive: many compressed datasets in one container.
+
+A production pipeline compresses whole snapshots — several fields, often
+several timesteps — and wants one artifact per batch, not a directory of
+loose blobs.  :class:`BatchArchive` packs any number of
+:class:`~repro.core.container.CompressedDataset` entries (each the output
+of any registry codec, or of the snapshot compressor) behind a JSON
+manifest that records per-entry method, sizes, and accounting, so an
+archive can be inspected without decoding a single payload.
+
+Wire format (version 1, all integers little-endian)::
+
+    b"RPBT" | u8 version | u64 head_len | JSON head | entry blobs
+
+where the head lists the entry keys in stored order plus the manifest,
+and each entry blob is a length-prefixed ``CompressedDataset.to_bytes``
+stream.  Keys are sorted on serialization, so equal archives serialize to
+equal bytes and ``from_bytes → to_bytes`` is byte-stable — the property
+the golden-format regression test pins down.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+from dataclasses import dataclass, field
+
+from repro.amr.hierarchy import AMRDataset
+from repro.core.container import CompressedDataset
+from repro.engine import registry
+
+_MAGIC = b"RPBT"
+_VERSION = 1
+_HEAD = struct.Struct("<BQ")
+_LEN = struct.Struct("<Q")
+
+
+@dataclass
+class BatchArchive:
+    """An ordered set of named compressed datasets plus batch metadata.
+
+    Attributes
+    ----------
+    entries:
+        Mapping from entry key (e.g. ``"Run1_Z10/baryon_density/tac"``)
+        to its compressed dataset.
+    meta:
+        Free-form JSON-able batch metadata (pipeline provenance etc.).
+    """
+
+    entries: dict[str, CompressedDataset] = field(default_factory=dict)
+    meta: dict = field(default_factory=dict)
+
+    # -- container protocol ------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self.entries
+
+    def keys(self) -> list[str]:
+        return list(self.entries)
+
+    def get(self, key: str) -> CompressedDataset:
+        if key not in self.entries:
+            raise KeyError(f"no entry {key!r}; archive holds {self.keys()}")
+        return self.entries[key]
+
+    def add(self, key: str, comp: CompressedDataset) -> None:
+        """Add one entry; keys are unique within an archive."""
+        if not key:
+            raise ValueError("entry key must be a non-empty string")
+        if key in self.entries:
+            raise ValueError(f"duplicate archive key {key!r}")
+        self.entries[key] = comp
+
+    # -- inspection --------------------------------------------------------
+    def manifest(self) -> list[dict]:
+        """One JSON-able record per entry (sorted by key)."""
+        rows = []
+        for key in sorted(self.entries):
+            comp = self.entries[key]
+            rows.append(
+                {
+                    "key": key,
+                    "method": comp.method,
+                    "dataset": comp.dataset_name,
+                    "original_bytes": comp.original_bytes,
+                    "compressed_bytes": comp.compressed_bytes(),
+                    "n_values": comp.n_values,
+                    "n_parts": len(comp.parts),
+                }
+            )
+        return rows
+
+    def total_compressed_bytes(self) -> int:
+        return sum(c.compressed_bytes() for c in self.entries.values())
+
+    def total_original_bytes(self) -> int:
+        return sum(c.original_bytes for c in self.entries.values())
+
+    def ratio(self) -> float:
+        compressed = self.total_compressed_bytes()
+        return self.total_original_bytes() / compressed if compressed else float("inf")
+
+    # -- decompression -----------------------------------------------------
+    def decompress(self, key: str, structure: AMRDataset | None = None) -> AMRDataset:
+        """Restore one entry via the codec registry.
+
+        The entry's recorded ``method`` picks the codec
+        (:func:`repro.engine.registry.codec_for_method`), so an archive is
+        self-describing: no caller-side name→compressor map needed.
+        """
+        comp = self.get(key)
+        codec = registry.codec_for_method(comp.method)
+        return codec.decompress(comp, structure=structure)
+
+    def decompress_all(self) -> dict[str, AMRDataset]:
+        """Restore every entry, keyed like :attr:`entries`."""
+        return {key: self.decompress(key) for key in self.entries}
+
+    # -- serialization -----------------------------------------------------
+    def to_bytes(self) -> bytes:
+        """Serialize; equal archives yield equal bytes (keys are sorted)."""
+        keys = sorted(self.entries)
+        blobs = [self.entries[key].to_bytes() for key in keys]
+        head = json.dumps(
+            {
+                "version": _VERSION,
+                "keys": keys,
+                "meta": self.meta,
+                "manifest": self.manifest(),
+            },
+            sort_keys=True,
+        ).encode("utf-8")
+        out = bytearray()
+        out += _MAGIC
+        out += _HEAD.pack(_VERSION, len(head))
+        out += head
+        for blob in blobs:
+            out += _LEN.pack(len(blob))
+            out += blob
+        return bytes(out)
+
+    @classmethod
+    def from_bytes(cls, blob: bytes) -> "BatchArchive":
+        view = memoryview(blob)
+        if bytes(view[:4]) != _MAGIC:
+            raise ValueError("not a BatchArchive blob")
+        version, head_len = _HEAD.unpack_from(view, 4)
+        if version != _VERSION:
+            raise ValueError(f"unsupported batch-archive version {version}")
+        offset = 4 + _HEAD.size
+        head = json.loads(bytes(view[offset : offset + head_len]).decode("utf-8"))
+        offset += head_len
+        archive = cls(meta=head.get("meta", {}))
+        for key in head["keys"]:
+            (length,) = _LEN.unpack_from(view, offset)
+            offset += _LEN.size
+            archive.add(key, CompressedDataset.from_bytes(bytes(view[offset : offset + length])))
+            offset += length
+        if offset != len(view):
+            raise ValueError("trailing bytes after last archive entry")
+        return archive
+
+    # -- file helpers ------------------------------------------------------
+    def save(self, path) -> int:
+        """Write the archive to ``path``; returns the byte count."""
+        data = self.to_bytes()
+        with open(path, "wb") as fh:
+            fh.write(data)
+        return len(data)
+
+    @classmethod
+    def load(cls, path) -> "BatchArchive":
+        with open(path, "rb") as fh:
+            return cls.from_bytes(fh.read())
+
+
+def is_batch_archive(blob: bytes) -> bool:
+    """Cheap magic-number sniff (used by the CLI to route file kinds)."""
+    return blob[:4] == _MAGIC

@@ -1,0 +1,236 @@
+"""Unified codec registry: one lookup for every dataset-level compressor.
+
+TAC and the three baselines all share the same call shape —
+``compress(dataset, error_bound, mode, ...) -> CompressedDataset`` and
+``decompress(comp, structure=None, ...) -> AMRDataset`` — but before this
+module existed, every consumer (the CLI, the experiment harness, the
+examples) hand-rolled its own name→compressor map, and each map drifted:
+the CLI said ``"1d"`` where the experiments said ``"baseline_1d"``.
+
+The registry is the single source of truth:
+
+* :func:`register` binds a canonical name (plus aliases) to a codec
+  factory; it also doubles as a class decorator for user codecs;
+* :func:`get_codec` builds a fresh codec instance from any name or alias;
+* :func:`codec_for_method` resolves the ``method`` string recorded inside
+  a stored archive back to a codec that can decompress it.
+
+Factories — not instances — are registered so every lookup yields an
+independent codec (compressors carry per-instance config and must be safe
+to hand to worker threads/processes).  The built-in codecs are registered
+at import time, which also makes them resolvable inside process-pool
+workers that merely ``import repro.engine``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Protocol, runtime_checkable
+
+from repro.amr.hierarchy import AMRDataset
+from repro.baselines import Naive1DCompressor, Uniform3DCompressor, ZMeshCompressor
+from repro.core.container import CompressedDataset
+from repro.core.tac import TACCompressor, TACConfig
+
+
+@runtime_checkable
+class Codec(Protocol):
+    """Structural interface every registered compressor satisfies."""
+
+    method_name: str
+
+    def compress(
+        self, dataset: AMRDataset, error_bound: float, mode: str = "rel", **kwargs
+    ) -> CompressedDataset: ...
+
+    def decompress(self, comp: CompressedDataset, **kwargs) -> AMRDataset: ...
+
+
+@dataclass(frozen=True)
+class CodecSpec:
+    """One registry entry: how to build a codec and how to find it.
+
+    Attributes
+    ----------
+    name:
+        Canonical registry name (the CLI spelling, e.g. ``"1d"``).
+    factory:
+        Zero-or-keyword-argument callable returning a fresh codec.
+    method_name:
+        The ``method`` string this codec records in its archives (what
+        :func:`codec_for_method` matches against).
+    aliases:
+        Alternate lookup names (e.g. the experiments' ``"baseline_1d"``).
+    description:
+        One-line summary for ``repro batch --help`` style listings.
+    """
+
+    name: str
+    factory: Callable[..., Codec]
+    method_name: str
+    aliases: tuple[str, ...] = ()
+    description: str = ""
+    supports_per_level_eb: bool = True
+
+
+_SPECS: dict[str, CodecSpec] = {}
+#: Every accepted spelling (canonical names and aliases) → canonical name.
+_LOOKUP: dict[str, str] = {}
+
+
+def register(
+    name: str,
+    factory: Callable[..., Codec] | None = None,
+    *,
+    method_name: str | None = None,
+    aliases: tuple[str, ...] | list[str] = (),
+    description: str = "",
+    supports_per_level_eb: bool = True,
+    replace: bool = False,
+):
+    """Register a codec factory under ``name`` (and ``aliases``).
+
+    Usable directly (``register("1d", Naive1DCompressor)``) or as a class
+    decorator::
+
+        @register("npz", description="lossless npz fallback")
+        class NpzCodec: ...
+
+    ``method_name`` defaults to the factory's ``method_name`` attribute
+    (every codec class in this package carries one); it is what stored
+    archives record, so :func:`codec_for_method` can route decompression.
+    Re-registering an existing spelling raises unless ``replace=True``.
+    """
+
+    def _do_register(fac: Callable[..., Codec]) -> Callable[..., Codec]:
+        resolved_method = method_name or getattr(fac, "method_name", None)
+        if not resolved_method:
+            raise ValueError(
+                f"codec {name!r} needs a method_name (none given and the "
+                "factory has no method_name attribute)"
+            )
+        spec = CodecSpec(
+            name=name,
+            factory=fac,
+            method_name=resolved_method,
+            aliases=tuple(aliases),
+            description=description,
+            supports_per_level_eb=supports_per_level_eb,
+        )
+        spellings = (name, *spec.aliases)
+        for spelling in spellings:
+            claimed = _LOOKUP.get(spelling)
+            if claimed is not None and claimed != name and not replace:
+                raise ValueError(
+                    f"codec name {spelling!r} already registered (by {claimed!r}); "
+                    "pass replace=True to override"
+                )
+        if name in _SPECS and not replace:
+            raise ValueError(f"codec {name!r} already registered; pass replace=True")
+        _SPECS[name] = spec
+        for spelling in spellings:
+            _LOOKUP[spelling] = name
+        return fac
+
+    if factory is None:
+        return _do_register
+    return _do_register(factory)
+
+
+def unregister(name: str) -> None:
+    """Remove a codec and all its spellings (primarily for tests)."""
+    canonical = _LOOKUP.get(name, name)
+    spec = _SPECS.pop(canonical, None)
+    if spec is None:
+        raise KeyError(f"no codec registered as {name!r}")
+    for spelling in (spec.name, *spec.aliases):
+        _LOOKUP.pop(spelling, None)
+
+
+def get_spec(name: str) -> CodecSpec:
+    """The :class:`CodecSpec` for any registered spelling of ``name``."""
+    canonical = _LOOKUP.get(name)
+    if canonical is None:
+        raise KeyError(
+            f"unknown codec {name!r}; registered: {codec_names(include_aliases=True)}"
+        )
+    return _SPECS[canonical]
+
+
+def get_codec(name: str, **options) -> Codec:
+    """Build a fresh codec instance from any registered spelling.
+
+    Keyword ``options`` are forwarded to the factory (e.g.
+    ``get_codec("tac", unit_block=8)``).
+    """
+    return get_spec(name).factory(**options)
+
+
+def codec_names(include_aliases: bool = False) -> list[str]:
+    """Sorted canonical names (optionally with every accepted alias)."""
+    if include_aliases:
+        return sorted(_LOOKUP)
+    return sorted(_SPECS)
+
+
+def all_specs() -> list[CodecSpec]:
+    """Every registered spec, sorted by canonical name."""
+    return [_SPECS[name] for name in sorted(_SPECS)]
+
+
+def codec_for_method(method: str, **options) -> Codec:
+    """A codec able to decompress an archive recorded with ``method``.
+
+    When several codecs share a ``method_name`` (the hybrid TAC also
+    writes ``"tac"``), the earliest-registered one wins — archives do not
+    record configuration, only the format, and any codec of that format
+    can read it.
+    """
+    for spec in _SPECS.values():
+        if spec.method_name == method:
+            return spec.factory(**options)
+    raise KeyError(
+        f"no registered codec produces method {method!r}; "
+        f"known methods: {sorted({s.method_name for s in _SPECS.values()})}"
+    )
+
+
+def _tac_hybrid_factory(**options) -> TACCompressor:
+    """TAC with the §4.4 dataset-scope 3D-baseline fallback enabled."""
+    options.setdefault("adaptive_baseline", True)
+    return TACCompressor(TACConfig(**options))
+
+
+# -- built-ins ------------------------------------------------------------
+# Canonical names follow the CLI spelling; aliases cover the method names
+# recorded in archives and the experiment harness's historical keys.
+register(
+    "tac",
+    TACCompressor,
+    description="TAC hybrid level-wise compressor (OpST/AKDTree/GSP + SZ)",
+)
+register(
+    "tac-hybrid",
+    _tac_hybrid_factory,
+    method_name="tac",
+    description="TAC with the adaptive 3D-baseline fallback (paper §4.4)",
+)
+register(
+    "1d",
+    Naive1DCompressor,
+    aliases=("baseline_1d", "naive1d"),
+    description="per-level 1D baseline (paper §2.3.1)",
+)
+register(
+    "zmesh",
+    ZMeshCompressor,
+    description="zMesh level-interleaved reordering baseline [Luo'21]",
+    supports_per_level_eb=False,
+)
+register(
+    "3d",
+    Uniform3DCompressor,
+    aliases=("baseline_3d", "uniform3d"),
+    description="up-sample + merge 3D baseline (paper §2.3.2)",
+    supports_per_level_eb=False,
+)

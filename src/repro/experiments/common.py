@@ -19,8 +19,7 @@ from functools import lru_cache
 import numpy as np
 
 from repro.amr.hierarchy import AMRDataset, AMRLevel
-from repro.baselines import Naive1DCompressor, Uniform3DCompressor, ZMeshCompressor
-from repro.core.tac import TACCompressor, TACConfig
+from repro.engine.registry import get_codec, get_spec
 from repro.sim.datasets import make_dataset
 
 #: Default grid divisor for experiments (paper grids / 4).
@@ -56,13 +55,13 @@ def single_level_dataset(level: AMRLevel, name: str, template: AMRDataset) -> AM
 
 
 def make_methods(adaptive_baseline: bool = False) -> dict[str, object]:
-    """The paper's four comparison methods, freshly configured."""
-    return {
-        "tac": TACCompressor(TACConfig(adaptive_baseline=adaptive_baseline)),
-        "baseline_1d": Naive1DCompressor(),
-        "zmesh": ZMeshCompressor(),
-        "baseline_3d": Uniform3DCompressor(),
-    }
+    """The paper's four comparison methods, fresh from the codec registry.
+
+    Keys are the archive method names (``tac``, ``baseline_1d``, ``zmesh``,
+    ``baseline_3d``) so result tables keep their historical column labels.
+    """
+    names = ("tac-hybrid" if adaptive_baseline else "tac", "1d", "zmesh", "3d")
+    return {get_spec(name).method_name: get_codec(name) for name in names}
 
 
 @dataclass

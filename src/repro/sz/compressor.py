@@ -26,6 +26,11 @@ Guarantee fine print: reconstructions are computed in float64 and rounded
 into the input's storage dtype, so the effective bound is
 ``max(eb, ulp(value)/2)`` in that dtype — for float32 data, bounds tighter
 than half an ULP of the largest magnitude are physically unrepresentable.
+When ``eb`` itself sits within a few ULPs of the largest magnitude (e.g.
+float64 values near 5e9 with ``eb ~ 1e-6``), the multi-stage interp
+reconstruction can add one further rounding step, so the honest bound in
+that regime is ``eb`` plus a small number of ULPs (pinned by
+``tests/test_property_roundtrip.py::test_abs_bound_near_ulp_floor``).
 """
 
 from __future__ import annotations

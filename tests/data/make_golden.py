@@ -1,0 +1,71 @@
+"""Regenerate the golden batch-archive fixture.
+
+Run from the repo root::
+
+    PYTHONPATH=src:. python tests/data/make_golden.py
+
+Writes ``golden_batch.rpbt`` (the container bytes the regression test
+pins) and ``golden_batch.json`` (expected manifest plus per-entry
+decompressed-value statistics).  Only regenerate when the container
+format version is *intentionally* bumped — the whole point of the fixture
+is that accidental format drift fails ``tests/test_golden_format.py``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro.engine import BatchArchive, CompressionEngine, CompressionJob
+from tests.helpers import golden_dataset
+
+HERE = Path(__file__).parent
+EB = 1e-3
+MODE = "abs"
+CODECS = ("tac", "1d", "zmesh", "3d")
+
+
+def main() -> None:
+    ds = golden_dataset()
+    jobs = [
+        CompressionJob(ds, codec=c, error_bound=EB, mode=MODE, label=f"golden/{c}")
+        for c in CODECS
+    ]
+    blob = CompressionEngine().run_to_archive(
+        jobs, fixture="golden", eb=EB, mode=MODE
+    ).to_bytes()
+    (HERE / "golden_batch.rpbt").write_bytes(blob)
+    # Record expectations from the canonical (serialized) form, whose
+    # entries are key-sorted.
+    archive = BatchArchive.from_bytes(blob)
+
+    expected: dict = {
+        "sha256": hashlib.sha256(blob).hexdigest(),
+        "n_bytes": len(blob),
+        "eb": EB,
+        "mode": MODE,
+        "keys": archive.keys(),
+        "manifest": archive.manifest(),
+        "decompressed": {},
+    }
+    for key in archive.keys():
+        restored = archive.decompress(key)
+        expected["decompressed"][key] = [
+            {
+                "level": lvl.level,
+                "n_points": lvl.n_points(),
+                "sum": float(lvl.values().sum(dtype=np.float64)),
+                "min": float(lvl.values().min()) if lvl.n_points() else 0.0,
+                "max": float(lvl.values().max()) if lvl.n_points() else 0.0,
+            }
+            for lvl in restored.levels
+        ]
+    (HERE / "golden_batch.json").write_text(json.dumps(expected, indent=2) + "\n")
+    print(f"wrote golden_batch.rpbt ({len(blob)} bytes) and golden_batch.json")
+
+
+if __name__ == "__main__":
+    main()

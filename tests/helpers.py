@@ -69,6 +69,43 @@ def two_level_dataset(
     return ds
 
 
+def golden_dataset(n: int = 8) -> AMRDataset:
+    """Fully analytic two-level dataset for the golden-format fixture.
+
+    No RNG anywhere: data is a closed-form wave field and the mask refines
+    a fixed checkerboard-ish prefix of coarse cells, so the construction
+    is reproducible on any platform/numpy forever.  Used both by
+    ``tests/data/make_golden.py`` (fixture generation) and by
+    ``tests/test_golden_format.py`` (bound verification).
+    """
+    coarse_n = n // 2
+    idx = np.arange(coarse_n**3).reshape((coarse_n,) * 3)
+    refined = (idx % 3 == 0) | (idx % 7 == 1)
+    fine_mask = np.repeat(np.repeat(np.repeat(refined, 2, 0), 2, 1), 2, 2)
+
+    def wave(m: int, phase: float) -> np.ndarray:
+        axis = np.linspace(0.0, 2.0 * np.pi, m)
+        x = axis[:, None, None]
+        y = axis[None, :, None]
+        z = axis[None, None, :]
+        return (np.sin(x + phase) * np.cos(2 * y) + 0.5 * np.cos(z - phase)).astype(
+            np.float32
+        )
+
+    fine_data = np.where(fine_mask, wave(n, 0.25), np.float32(0))
+    coarse_data = np.where(~refined, wave(coarse_n, 1.5), np.float32(0))
+    ds = AMRDataset(
+        levels=[
+            AMRLevel(data=fine_data, mask=fine_mask, level=0),
+            AMRLevel(data=coarse_data, mask=~refined, level=1),
+        ],
+        name="golden",
+        field="golden_field",
+    )
+    ds.validate()
+    return ds
+
+
 def assert_error_bounded(original, reconstructed, bound: float, rtol: float = 1e-4):
     """Assert max |a-b| <= bound, with the storage-dtype ULP allowance.
 

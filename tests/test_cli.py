@@ -91,6 +91,81 @@ class TestCompressDecompress:
             main(["decompress", str(bad), "-o", str(tmp_path / "out.npz")])
 
 
+class TestBatchCommand:
+    @pytest.fixture
+    def second_file(self, tmp_path):
+        path = tmp_path / "t2.npz"
+        assert main(["make", "Run2_T2", "-o", str(path), "--scale", "16"]) == 0
+        return path
+
+    def test_batch_compress_info_extract(self, dataset_file, second_file, tmp_path, capsys):
+        archive = tmp_path / "batch.rpbt"
+        assert main([
+            "batch", str(dataset_file), str(second_file), "-o", str(archive),
+            "--eb", "1e-3", "--workers", "4", "--level-workers", "2",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "2 entries" in out and "ratio" in out
+
+        assert main(["info", str(archive)]) == 0
+        out = capsys.readouterr().out
+        assert "batch archive" in out and "z10/baryon_density/tac" in out
+
+        restored_path = tmp_path / "back.npz"
+        assert main([
+            "decompress", str(archive), "-o", str(restored_path),
+            "--key", "z10/baryon_density/tac",
+        ]) == 0
+        original = load_dataset(dataset_file)
+        restored = load_dataset(restored_path)
+        assert restored.n_levels == original.n_levels
+        vals = np.concatenate([l.values() for l in original.levels])
+        eb_abs = 1e-3 * (vals.max() - vals.min())
+        for a, b in zip(original.levels, restored.levels):
+            assert np.array_equal(a.mask, b.mask)
+            assert np.max(np.abs(a.values() - b.values())) <= eb_abs * 1.001
+
+    def test_batch_matches_single_compress_bitwise(self, dataset_file, tmp_path):
+        from repro.engine import BatchArchive
+        from repro.core.container import CompressedDataset
+
+        single = tmp_path / "single.tac"
+        archive = tmp_path / "batch.rpbt"
+        assert main([
+            "compress", str(dataset_file), "-o", str(single), "--eb", "1e-3",
+        ]) == 0
+        assert main([
+            "batch", str(dataset_file), "-o", str(archive),
+            "--eb", "1e-3", "--workers", "2",
+        ]) == 0
+        entry = BatchArchive.load(archive).get("z10/baryon_density/tac")
+        assert entry.to_bytes() == CompressedDataset.from_bytes(
+            single.read_bytes()
+        ).to_bytes()
+
+    def test_decompress_multi_entry_needs_key(self, dataset_file, second_file, tmp_path, capsys):
+        archive = tmp_path / "batch.rpbt"
+        assert main([
+            "batch", str(dataset_file), str(second_file), "-o", str(archive),
+        ]) == 0
+        capsys.readouterr()
+        assert main(["decompress", str(archive), "-o", str(tmp_path / "x.npz")]) == 2
+        assert "--key" in capsys.readouterr().err
+
+    def test_decompress_single_entry_key_optional(self, dataset_file, tmp_path):
+        archive = tmp_path / "one.rpbt"
+        assert main(["batch", str(dataset_file), "-o", str(archive)]) == 0
+        out = tmp_path / "back.npz"
+        assert main(["decompress", str(archive), "-o", str(out)]) == 0
+        assert load_dataset(out).name == "Run1_Z10"
+
+    def test_codecs_lists_registry(self, capsys):
+        assert main(["codecs"]) == 0
+        out = capsys.readouterr().out
+        for name in ("tac", "tac-hybrid", "1d", "zmesh", "3d"):
+            assert name in out
+
+
 class TestExperimentsCommand:
     def test_list(self, capsys):
         assert main(["experiments", "--list"]) == 0

@@ -1,0 +1,88 @@
+"""Golden-format regression: stored archives must stay readable, byte-stable.
+
+``tests/data/golden_batch.rpbt`` is a checked-in batch archive holding
+the fully analytic :func:`tests.helpers.golden_dataset` compressed by all
+four registry codecs (``tests/data/make_golden.py`` regenerates it).  The
+assertions pin the container contract future refactors must keep:
+
+* the bytes parse (no silent format break for existing stored archives);
+* parse → re-serialize reproduces the identical bytes;
+* the manifest matches what was recorded at fixture-creation time;
+* every entry still decompresses to the recorded values and honours the
+  recorded error bound against the analytically regenerated original.
+
+If a format change is intentional, bump the container version, keep a
+reader for version 1, and only then regenerate the fixture.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.engine import BatchArchive, is_batch_archive
+from tests.helpers import assert_error_bounded, golden_dataset
+
+DATA = Path(__file__).parent / "data"
+
+
+@pytest.fixture(scope="module")
+def golden_blob() -> bytes:
+    return (DATA / "golden_batch.rpbt").read_bytes()
+
+
+@pytest.fixture(scope="module")
+def expected() -> dict:
+    return json.loads((DATA / "golden_batch.json").read_text())
+
+
+class TestGoldenFormat:
+    def test_fixture_integrity(self, golden_blob, expected):
+        """The fixture pair itself is consistent (guards bad regeneration)."""
+        assert len(golden_blob) == expected["n_bytes"]
+        assert hashlib.sha256(golden_blob).hexdigest() == expected["sha256"]
+
+    def test_magic_sniff(self, golden_blob):
+        assert is_batch_archive(golden_blob)
+        assert not is_batch_archive(b"PK\x03\x04whatever")
+
+    def test_deserialization_is_byte_stable(self, golden_blob):
+        archive = BatchArchive.from_bytes(golden_blob)
+        assert archive.to_bytes() == golden_blob
+
+    def test_manifest_matches_record(self, golden_blob, expected):
+        archive = BatchArchive.from_bytes(golden_blob)
+        assert archive.keys() == expected["keys"]
+        assert archive.manifest() == expected["manifest"]
+        assert archive.meta["fixture"] == "golden"
+
+    def test_entries_decompress_to_recorded_values(self, golden_blob, expected):
+        archive = BatchArchive.from_bytes(golden_blob)
+        for key, level_stats in expected["decompressed"].items():
+            restored = archive.decompress(key)
+            assert restored.n_levels == len(level_stats)
+            for lvl, stats in zip(restored.levels, level_stats):
+                assert lvl.level == stats["level"]
+                assert lvl.n_points() == stats["n_points"]
+                values = lvl.values()
+                if not values.size:
+                    continue
+                assert float(values.sum(dtype=np.float64)) == pytest.approx(
+                    stats["sum"], rel=1e-10, abs=1e-10
+                )
+                assert float(values.min()) == pytest.approx(stats["min"], rel=1e-10)
+                assert float(values.max()) == pytest.approx(stats["max"], rel=1e-10)
+
+    def test_entries_honour_recorded_error_bound(self, golden_blob, expected):
+        archive = BatchArchive.from_bytes(golden_blob)
+        original = golden_dataset()
+        assert expected["mode"] == "abs"
+        for key in archive.keys():
+            restored = archive.decompress(key)
+            for orig, back in zip(original.levels, restored.levels):
+                assert np.array_equal(orig.mask, back.mask)
+                assert_error_bounded(orig.values(), back.values(), expected["eb"])
