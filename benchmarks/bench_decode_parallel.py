@@ -1,0 +1,100 @@
+"""Decode-path benchmark: serial vs parallel, full vs partial reads.
+
+Not a paper figure — measures the read-side seam the container-v2/plan
+refactor opened: one Run1_Z2 field compressed with TAC, then decompressed
+
+* fully, serial vs ``decode_workers=4`` (asserted bit-identical);
+* one level only (``decompress_level``), with the lazy reader's
+  part-access log proving *strictly less* SZ decode work than the full
+  decode — the acceptance criterion of the partial-read API;
+* a centered ROI (``decompress_region``), asserted equal to slicing the
+  full reconstruction.
+
+Results land in ``benchmarks/results/decode_parallel.txt``.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import SCALE
+from repro.core.container import MASK_PREFIX, LazyCompressedDataset
+from repro.core.tac import TACCompressor
+from repro.sim.datasets import make_dataset
+
+
+@pytest.fixture(scope="module")
+def compressed_blob():
+    dataset = make_dataset("Run1_Z2", scale=SCALE, field="baryon_density")
+    tac = TACCompressor()
+    comp = tac.compress(dataset, 1e-4, mode="rel")
+    return tac, comp.to_bytes()
+
+
+def _payload_parts(accessed):
+    return {name for name in accessed if not name.startswith(MASK_PREFIX)}
+
+
+def bench_decode_serial_vs_parallel(benchmark, compressed_blob, results_dir):
+    tac, blob = compressed_blob
+
+    def compare():
+        lazy = LazyCompressedDataset.open(blob)
+        t0 = time.perf_counter()
+        serial = tac.decompress(lazy)
+        t_serial = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        parallel = tac.decompress(lazy, decode_workers=4)
+        t_parallel = time.perf_counter() - t0
+        for a, b in zip(serial.levels, parallel.levels):
+            assert np.array_equal(a.data, b.data), "parallel decode diverged"
+        return serial, t_serial, t_parallel
+
+    full, t_serial, t_parallel = benchmark.pedantic(compare, rounds=1, iterations=1)
+    speedup = t_serial / t_parallel if t_parallel else float("inf")
+    benchmark.extra_info["serial_s"] = round(t_serial, 4)
+    benchmark.extra_info["parallel_s"] = round(t_parallel, 4)
+    benchmark.extra_info["speedup"] = round(speedup, 2)
+
+    # -- partial reads, with access-count proof of less decode work ------
+    lazy_full = LazyCompressedDataset.open(blob)
+    tac.decompress(lazy_full)
+    full_payloads = _payload_parts(lazy_full.parts.accessed())
+
+    lazy_level = LazyCompressedDataset.open(blob)
+    t0 = time.perf_counter()
+    level0 = tac.decompress_level(lazy_level, 0)
+    t_level = time.perf_counter() - t0
+    level_payloads = _payload_parts(lazy_level.parts.accessed())
+    assert level_payloads < full_payloads, (
+        "single-level decode must decode strictly fewer SZ streams: "
+        f"{sorted(level_payloads)} vs {sorted(full_payloads)}"
+    )
+    assert np.array_equal(level0.data, full.levels[0].data)
+
+    n = full.levels[0].n
+    roi = tuple(slice(n // 4, 3 * n // 4) for _ in range(3))
+    lazy_roi = LazyCompressedDataset.open(blob)
+    t0 = time.perf_counter()
+    region = tac.decompress_region(lazy_roi, 0, roi)
+    t_roi = time.perf_counter() - t0
+    roi_payloads = _payload_parts(lazy_roi.parts.accessed())
+    assert roi_payloads <= level_payloads
+    assert np.array_equal(region, full.levels[0].data[roi])
+
+    text = (
+        f"== decode_parallel: TAC read path (Run1_Z2, scale {SCALE}) ==\n"
+        f"full serial    : {t_serial:.4f}s ({len(full_payloads)} payload parts)\n"
+        f"full parallel  : {t_parallel:.4f}s (4 decode workers, bit-identical)\n"
+        f"speedup        : {speedup:.2f}x\n"
+        f"level 0 only   : {t_level:.4f}s ({len(level_payloads)} payload parts"
+        f" — strict subset of full)\n"
+        f"ROI {n // 4}:{3 * n // 4}^3     : {t_roi:.4f}s"
+        f" ({len(roi_payloads)} payload parts)\n"
+        f"bytes read     : full {lazy_full.parts.bytes_read}"
+        f" / level {lazy_level.parts.bytes_read}"
+        f" / roi {lazy_roi.parts.bytes_read}\n"
+    )
+    print("\n" + text)
+    (results_dir / "decode_parallel.txt").write_text(text)

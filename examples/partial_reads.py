@@ -1,0 +1,83 @@
+"""Partial and parallel reads: the container-v2 / lazy-decompression tour.
+
+A post-hoc analysis workflow rarely wants a whole snapshot back — it
+wants one field, one AMR level, or one spatial region.  This example
+compresses a small batch, then reads it back three increasingly narrow
+ways, printing how little of the archive each read actually touched
+(the lazy reader logs every part fetch).
+
+Run from the repo root::
+
+    PYTHONPATH=src python examples/partial_reads.py
+"""
+
+from __future__ import annotations
+
+import tempfile
+from pathlib import Path
+
+import numpy as np
+
+from repro import CompressionEngine, CompressionJob, LazyBatchArchive, get_codec, make_dataset
+
+
+def main() -> None:
+    # -- build a two-field batch archive --------------------------------
+    fields = ("baryon_density", "temperature")
+    jobs = [
+        CompressionJob(
+            make_dataset("Run1_Z2", scale=8, field=field),
+            codec="tac",
+            error_bound=1e-4,
+            label=f"Run1_Z2/{field}",
+        )
+        for field in fields
+    ]
+    archive = CompressionEngine(max_workers=2).run_to_archive(jobs)
+    path = Path(tempfile.mkdtemp()) / "run1_z2.rpbt"
+    size = archive.save(path)
+    print(f"archive: {len(archive)} entries, {size} bytes -> {path}")
+
+    # -- open lazily: header only, no payload bytes ----------------------
+    lazy = LazyBatchArchive.open(path)
+    print(f"entries: {lazy.keys()} (opened without reading any payload)")
+
+    entry = lazy.entry("Run1_Z2/baryon_density")
+    tac = get_codec("tac")
+
+    # 1. Full decompression, parallel decode units (bit-identical).
+    full = tac.decompress(entry, decode_workers=4)
+    print(
+        f"full decode    : {full.n_levels} levels, "
+        f"read {len(entry.parts.accessed())}/{len(entry.parts)} parts"
+    )
+
+    # 2. One level: only that level's payloads are fetched and decoded.
+    entry_lvl = lazy.entry("Run1_Z2/baryon_density")
+    finest = tac.decompress_level(entry_lvl, 0)
+    assert np.array_equal(finest.data, full.levels[0].data)
+    print(
+        f"level 0 only   : read {len(entry_lvl.parts.accessed())}/"
+        f"{len(entry_lvl.parts)} parts ({entry_lvl.parts.bytes_read} B)"
+    )
+
+    # 3. A region of interest: for block strategies only the group
+    #    streams whose sub-blocks intersect the ROI are decoded.
+    entry_roi = lazy.entry("Run1_Z2/baryon_density")
+    n = full.levels[0].n
+    roi = (slice(0, n // 4), slice(0, n // 4), slice(0, n // 4))
+    corner = tac.decompress_region(entry_roi, 0, roi)
+    assert np.array_equal(corner, full.levels[0].data[roi])
+    print(
+        f"ROI {n // 4}^3 corner: shape {corner.shape}, "
+        f"read {entry_roi.parts.bytes_read} B "
+        f"(vs {entry.compressed_bytes()} B stored for the entry)"
+    )
+
+    # The other field's payloads were never touched by any of the above —
+    # that is the random-access property of the v2 archive index.
+    lazy.close()
+
+
+if __name__ == "__main__":
+    main()

@@ -32,6 +32,7 @@ from repro.amr import AMRDataset, AMRLevel
 from repro.baselines import Naive1DCompressor, Uniform3DCompressor, ZMeshCompressor
 from repro.core import (
     CompressedDataset,
+    LazyCompressedDataset,
     SnapshotCompressor,
     Strategy,
     TACCompressor,
@@ -41,19 +42,22 @@ from repro.engine import (
     BatchArchive,
     CompressionEngine,
     CompressionJob,
+    LazyBatchArchive,
     get_codec,
     register_codec,
 )
 from repro.sim import make_dataset
 from repro.sz import SZCompressor, SZConfig
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "TACCompressor",
     "TACConfig",
     "Strategy",
     "CompressedDataset",
+    "LazyCompressedDataset",
+    "LazyBatchArchive",
     "SnapshotCompressor",
     "SZCompressor",
     "SZConfig",

@@ -20,11 +20,12 @@ from repro.core.container import (
     resolve_global_eb,
     unpack_mask,
 )
+from repro.core.plan import DecodeUnit, DecompressionPlan, PlanExecutorMixin, execute_plan
 from repro.sz.compressor import SZCompressor, SZConfig
 from repro.utils.timer import TimingRecord, timed
 
 
-class Naive1DCompressor:
+class Naive1DCompressor(PlanExecutorMixin):
     """Per-level 1D compression (the paper's 1D baseline)."""
 
     method_name = "baseline_1d"
@@ -69,23 +70,45 @@ class Naive1DCompressor:
         out.meta = _dataset_meta(dataset, level_ebs)
         return out
 
+    def build_decode_plan(self, comp: CompressedDataset, levels=None) -> DecompressionPlan:
+        """One decode unit per level's 1D value stream."""
+        n_levels = len(comp.meta["shapes"])
+        indices = range(n_levels) if levels is None else sorted(set(levels))
+        units = [
+            DecodeUnit(
+                key=f"L{idx}/values",
+                level=idx,
+                part_names=(f"L{idx}/values",),
+                decode=lambda name=f"L{idx}/values": self.codec.decompress(comp.parts[name]),
+            )
+            for idx in indices
+        ]
+        return DecompressionPlan(units)
+
+    def _assemble_level(self, comp, idx: int, results: dict, structure) -> AMRLevel:
+        shape = tuple(comp.meta["shapes"][idx])
+        mask = _level_mask(comp, structure, idx, shape)
+        values = results[f"L{idx}/values"]
+        data = np.zeros(shape, dtype=values.dtype)
+        data[mask] = values
+        return AMRLevel(data=data, mask=mask, level=idx)
+
     def decompress(
         self,
         comp: CompressedDataset,
         structure: AMRDataset | None = None,
         timings: TimingRecord | None = None,
+        decode_workers: int = 1,
     ) -> AMRDataset:
         """Rebuild the dataset; masks come from the blob or ``structure``."""
         meta = comp.meta
-        levels = []
-        for idx, shape in enumerate(meta["shapes"]):
-            shape = tuple(shape)
-            mask = _level_mask(comp, structure, idx, shape)
-            with timed(timings, "decompress"):
-                values = self.codec.decompress(comp.parts[f"L{idx}/values"])
-            data = np.zeros(shape, dtype=values.dtype)
-            data[mask] = values
-            levels.append(AMRLevel(data=data, mask=mask, level=idx))
+        plan = self.build_decode_plan(comp)
+        with timed(timings, "decompress"):
+            results = execute_plan(plan, decode_workers)
+        levels = [
+            self._assemble_level(comp, idx, results, structure)
+            for idx in range(len(meta["shapes"]))
+        ]
         return _rebuild(meta, levels)
 
 

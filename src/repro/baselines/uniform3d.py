@@ -27,11 +27,12 @@ from repro.core.container import (
     pack_mask,
     resolve_global_eb,
 )
+from repro.core.plan import DecodeUnit, DecompressionPlan, PlanExecutorMixin, execute_plan
 from repro.sz.compressor import SZCompressor, SZConfig
 from repro.utils.timer import TimingRecord, timed
 
 
-class Uniform3DCompressor:
+class Uniform3DCompressor(PlanExecutorMixin):
     """Up-sample + merge + 3D compression (the paper's 3D baseline)."""
 
     method_name = "baseline_3d"
@@ -75,11 +76,35 @@ class Uniform3DCompressor:
         out.meta = meta
         return out
 
+    def build_decode_plan(self, comp: CompressedDataset, levels=None) -> DecompressionPlan:
+        """One unit: the merged uniform grid (every level derives from it)."""
+        return DecompressionPlan(
+            [
+                DecodeUnit(
+                    key="uniform",
+                    level=-1,
+                    part_names=("uniform",),
+                    decode=lambda: self.codec.decompress(comp.parts["uniform"]),
+                )
+            ]
+        )
+
+    def _assemble_level(self, comp, idx: int, results: dict, structure) -> AMRLevel:
+        """Down-average the uniform grid to one level (same chain as full)."""
+        shape = tuple(comp.meta["shapes"][idx])
+        mask = _level_mask(comp, structure, idx, shape)
+        current = results["uniform"]
+        for _ in range(idx):
+            current = downsample_mean(current, comp.meta["ratio"])
+        data = np.where(mask, current, current.dtype.type(0))
+        return AMRLevel(data=data, mask=mask, level=idx)
+
     def decompress(
         self,
         comp: CompressedDataset,
         structure: AMRDataset | None = None,
         timings: TimingRecord | None = None,
+        decode_workers: int = 1,
     ) -> AMRDataset:
         """Rebuild per-level data by block-averaging the uniform grid.
 
@@ -91,11 +116,11 @@ class Uniform3DCompressor:
         meta = comp.meta
         shapes = [tuple(s) for s in meta["shapes"]]
         with timed(timings, "decompress"):
-            uniform = self.codec.decompress(comp.parts["uniform"])
+            results = execute_plan(self.build_decode_plan(comp), decode_workers)
         with timed(timings, "postprocess"):
             levels = []
             ratio = meta["ratio"]
-            current = uniform
+            current = results["uniform"]
             for idx, shape in enumerate(shapes):
                 mask = _level_mask(comp, structure, idx, shape)
                 if idx > 0:

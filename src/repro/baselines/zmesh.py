@@ -30,6 +30,13 @@ from repro.core.container import (
     pack_mask,
     resolve_global_eb,
 )
+from repro.core.plan import (
+    DecodeUnit,
+    DecompressionPlan,
+    PlanExecutorMixin,
+    check_level_indices,
+    execute_plan,
+)
 from repro.sz.compressor import SZCompressor, SZConfig
 from repro.utils.timer import TimingRecord, timed
 
@@ -72,7 +79,7 @@ def zmesh_order(dataset: AMRDataset) -> np.ndarray:
     return np.argsort(all_keys, kind="stable")
 
 
-class ZMeshCompressor:
+class ZMeshCompressor(PlanExecutorMixin):
     """zMesh re-ordering + single-stream 1D compression."""
 
     method_name = "zmesh"
@@ -116,17 +123,46 @@ class ZMeshCompressor:
         out.meta = _dataset_meta(dataset, [eb_abs] * dataset.n_levels)
         return out
 
+    def build_decode_plan(self, comp: CompressedDataset, levels=None) -> DecompressionPlan:
+        """One unit: the interleaved stream (all levels share it).
+
+        zMesh is inherently monolithic — every level's values are woven
+        into one spatial traversal — so any level subset still decodes the
+        whole stream; partial reads only skip the *other levels'*
+        scatter/unpermute postprocessing.
+        """
+        return DecompressionPlan(
+            [
+                DecodeUnit(
+                    key="stream",
+                    level=-1,
+                    part_names=("stream",),
+                    decode=lambda: self.codec.decompress(comp.parts["stream"]),
+                )
+            ]
+        )
+
+    def decompress_levels(
+        self, comp, levels, structure=None, decode_workers: int = 1
+    ) -> list:
+        """Level subset via a full decode (the stream is indivisible)."""
+        indices = check_level_indices(levels, len(comp.meta["shapes"]))
+        full = self.decompress(comp, structure=structure, decode_workers=decode_workers)
+        return [full.levels[idx] for idx in indices]
+
     def decompress(
         self,
         comp: CompressedDataset,
         structure: AMRDataset | None = None,
         timings: TimingRecord | None = None,
+        decode_workers: int = 1,
     ) -> AMRDataset:
         meta = comp.meta
         shapes = [tuple(s) for s in meta["shapes"]]
         masks = [_level_mask(comp, structure, idx, shape) for idx, shape in enumerate(shapes)]
         with timed(timings, "decompress"):
-            reordered = self.codec.decompress(comp.parts["stream"])
+            results = execute_plan(self.build_decode_plan(comp), decode_workers)
+            reordered = results["stream"]
         with timed(timings, "postprocess"):
             # Rebuild the permutation from the masks and invert it.
             levels_stub = [

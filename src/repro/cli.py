@@ -6,6 +6,8 @@ Commands
 ``info``        summarize an AMR ``.npz`` or a batch archive
 ``compress``    compress an AMR ``.npz`` with any registered codec
 ``decompress``  restore an AMR ``.npz`` from a compressed/batch archive
+``extract``     partial decompression: one entry, level subset, or ROI
+``inspect``     per-part breakdown of a blob/archive (no payload decode)
 ``batch``       compress many ``.npz`` files into one batch archive
 ``codecs``      list the codec registry
 ``experiments`` run paper experiments and print their report tables
@@ -14,7 +16,11 @@ Codec selection is routed through :mod:`repro.engine.registry` — the CLI
 holds no name→compressor tables of its own, so codecs registered by
 downstream code are immediately usable here.  Single-dataset archives use
 :meth:`repro.core.container.CompressedDataset.to_bytes`; ``batch``
-produces the :class:`repro.engine.archive.BatchArchive` container.
+produces the :class:`repro.engine.archive.BatchArchive` container.  The
+read-side verbs (``decompress``/``extract``/``inspect``) go through the
+lazy readers, so a batch archive's entries are located by index — one
+entry is served without parsing its siblings — and ``inspect`` never
+touches a payload byte.
 """
 
 from __future__ import annotations
@@ -23,17 +29,21 @@ import argparse
 import sys
 from pathlib import Path
 
+import numpy as np
+
 from repro.amr.io import load_dataset, peek_meta, save_dataset
-from repro.core.container import CompressedDataset
+from repro.core.container import LazyCompressedDataset
 from repro.engine import (
-    BatchArchive,
     CompressionEngine,
     CompressionJob,
+    LazyBatchArchive,
     all_specs,
     codec_for_method,
     codec_names,
     get_codec,
     is_batch_archive,
+    decode_kwargs,
+    supports_partial_decode,
 )
 from repro.sim.datasets import TABLE1, make_dataset
 from repro.sz.compressor import SZConfig
@@ -79,6 +89,42 @@ def build_parser() -> argparse.ArgumentParser:
         "--key",
         default=None,
         help="entry to extract from a batch archive (defaults to its only entry)",
+    )
+    p_dec.add_argument(
+        "--workers", type=int, default=1,
+        help="parallel decode units within the entry (bit-identical to serial)",
+    )
+
+    p_ext = sub.add_parser(
+        "extract",
+        help="partial decompression: a level subset or region of one entry",
+    )
+    p_ext.add_argument("path", type=Path)
+    p_ext.add_argument("-o", "--output", required=True, type=Path)
+    p_ext.add_argument(
+        "--key", default=None,
+        help="entry of a batch archive (defaults to its only entry)",
+    )
+    p_ext.add_argument(
+        "--level", type=int, action="append", default=None,
+        help="AMR level to decode (repeatable; omit for all levels)",
+    )
+    p_ext.add_argument(
+        "--region", default=None,
+        help='ROI in level-grid cells as "x0:x1,y0:y1,z0:z1" (needs one --level)',
+    )
+    p_ext.add_argument(
+        "--workers", type=int, default=1,
+        help="parallel decode units (bit-identical to serial)",
+    )
+
+    p_ins = sub.add_parser(
+        "inspect",
+        help="per-part breakdown of a blob or batch archive (no payload decode)",
+    )
+    p_ins.add_argument("path", type=Path)
+    p_ins.add_argument(
+        "--key", default=None, help="restrict to one batch-archive entry"
     )
 
     p_batch = sub.add_parser("batch", help="compress many .npz files into one archive")
@@ -127,13 +173,17 @@ def cmd_info(args) -> int:
     with open(args.path, "rb") as fh:
         head = fh.read(4)
     if is_batch_archive(head):
-        archive = BatchArchive.load(args.path)
-        print(f"batch archive: {len(archive)} entries, "
-              f"ratio {archive.ratio():.2f}x "
-              f"({archive.total_original_bytes()} -> {archive.total_compressed_bytes()} bytes)")
-        for row in archive.manifest():
-            print(f"  {row['key']:40s} {row['method']:12s} "
-                  f"{row['compressed_bytes']:>10d} B  {row['n_values']} values")
+        with LazyBatchArchive.open(args.path) as archive:
+            manifest = archive.manifest()
+            original = sum(row["original_bytes"] for row in manifest)
+            compressed = sum(row["compressed_bytes"] for row in manifest)
+            ratio = original / compressed if compressed else float("inf")
+            print(f"batch archive: {len(archive)} entries, "
+                  f"ratio {ratio:.2f}x "
+                  f"({original} -> {compressed} bytes)")
+            for row in manifest:
+                print(f"  {row['key']:40s} {row['method']:12s} "
+                      f"{row['compressed_bytes']:>10d} B  {row['n_values']} values")
         return 0
     dataset = load_dataset(args.path)
     print(dataset.summary())
@@ -172,37 +222,171 @@ def cmd_compress(args) -> int:
     return 0
 
 
-def cmd_decompress(args) -> int:
-    blob = args.path.read_bytes()
-    if is_batch_archive(blob):
-        archive = BatchArchive.from_bytes(blob)
-        key = args.key
+def _open_lazy_entry(path: Path, key: str | None):
+    """A lazy view of one stored entry (single blob or archive member).
+
+    Returns ``(entry, err)``: on success ``err`` is ``None``; on a usage
+    error the message is returned and the caller exits 2.  The entry keeps
+    its source open — read what you need, then let it go.
+    """
+    with open(path, "rb") as fh:
+        head = fh.read(4)
+    if is_batch_archive(head):
+        archive = LazyBatchArchive.open(path)
         if key is None:
             if len(archive) != 1:
-                print(
-                    f"error: batch archive holds {len(archive)} entries; "
-                    f"pick one with --key {archive.keys()}",
-                    file=sys.stderr,
+                return None, (
+                    f"batch archive holds {len(archive)} entries; "
+                    f"pick one with --key {archive.keys()}"
                 )
-                return 2
             key = archive.keys()[0]
-        try:
-            dataset = archive.decompress(key)
-        except KeyError as exc:
-            print(f"error: {exc}", file=sys.stderr)
-            return 2
-    else:
-        stored = CompressedDataset.from_bytes(blob)
-        try:
-            codec = codec_for_method(stored.method)
-        except KeyError:
-            print(f"error: unknown archive method {stored.method!r}", file=sys.stderr)
-            return 2
-        dataset = codec.decompress(stored)
+        if key not in archive:
+            return None, f"no entry {key!r}; archive holds {archive.keys()}"
+        return archive.entry(key), None
+    if key is not None:
+        return None, "--key only applies to batch archives"
+    return LazyCompressedDataset.open(path), None
+
+
+def _resolve_codec(entry):
+    try:
+        return codec_for_method(entry.method), None
+    except KeyError:
+        return None, f"unknown archive method {entry.method!r}"
+
+
+def cmd_decompress(args) -> int:
+    entry, err = _open_lazy_entry(args.path, args.key)
+    if err is not None:
+        print(f"error: {err}", file=sys.stderr)
+        return 2
+    codec, err = _resolve_codec(entry)
+    if err is not None:
+        print(f"error: {err}", file=sys.stderr)
+        return 2
+    dataset = codec.decompress(entry, **decode_kwargs(codec, args.workers))
     save_dataset(dataset, args.output)
     print(dataset.summary())
     print(f"wrote {args.output}")
     return 0
+
+
+def _parse_region(spec: str):
+    """``"x0:x1,y0:y1,z0:z1"`` → slice triple (empty bound = full extent)."""
+    axes = spec.split(",")
+    if len(axes) != 3:
+        raise ValueError(f'region needs 3 axes "x0:x1,y0:y1,z0:z1", got {spec!r}')
+    region = []
+    for axis_spec in axes:
+        lo, sep, hi = axis_spec.partition(":")
+        if not sep:
+            raise ValueError(f"region axis {axis_spec!r} is not lo:hi")
+        region.append(slice(int(lo) if lo else None, int(hi) if hi else None))
+    return tuple(region)
+
+
+def cmd_extract(args) -> int:
+    entry, err = _open_lazy_entry(args.path, args.key)
+    if err is not None:
+        print(f"error: {err}", file=sys.stderr)
+        return 2
+    codec, err = _resolve_codec(entry)
+    if err is not None:
+        print(f"error: {err}", file=sys.stderr)
+        return 2
+    wants_partial = args.level is not None or args.region is not None
+    if wants_partial and not supports_partial_decode(codec):
+        print(
+            f"error: codec for method {entry.method!r} has no partial-decode "
+            "support; run plain `decompress`",
+            file=sys.stderr,
+        )
+        return 2
+
+    if args.region is not None:
+        if not args.level or len(args.level) != 1:
+            print("error: --region needs exactly one --level", file=sys.stderr)
+            return 2
+        try:
+            region = _parse_region(args.region)
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        level = args.level[0]
+        data = codec.decompress_region(entry, level, region, decode_workers=args.workers)
+        np.savez_compressed(args.output, data=data, level=np.int64(level))
+        print(f"region {args.region} of level {level}: shape {data.shape}")
+    elif args.level is not None:
+        levels = codec.decompress_levels(entry, args.level, decode_workers=args.workers)
+        arrays = {}
+        for lvl in levels:
+            arrays[f"data_{lvl.level}"] = lvl.data
+            arrays[f"mask_{lvl.level}"] = np.packbits(lvl.mask.ravel())
+        np.savez_compressed(args.output, **arrays)
+        for lvl in levels:
+            print(f"level {lvl.level}: grid {lvl.n}^3, {lvl.n_points()} values")
+    else:
+        dataset = codec.decompress(entry, **decode_kwargs(codec, args.workers))
+        save_dataset(dataset, args.output)
+        print(dataset.summary())
+    parts = entry.parts
+    print(f"parts read  : {len(parts.accessed())}/{len(parts)} "
+          f"({parts.bytes_read} of {entry.compressed_bytes()} payload bytes)")
+    print(f"wrote {args.output}")
+    return 0
+
+
+def _print_entry_breakdown(entry, indent: str = "") -> None:
+    print(f"{indent}method      : {entry.method} (container v{entry.container_version})")
+    print(f"{indent}dataset     : {entry.dataset_name}")
+    print(f"{indent}stored      : {entry.n_values} values, "
+          f"{entry.original_bytes} -> {entry.compressed_bytes()} B "
+          f"(ratio {entry.ratio():.2f}x)")
+    for level_meta in entry.meta.get("levels", []):
+        line = (f"{indent}  level {level_meta['level']}: "
+                f"strategy {level_meta.get('strategy', '?'):8s} "
+                f"eb {level_meta.get('eb_abs', 0.0):.3e}")
+        if "n_blocks" in level_meta:
+            line += f"  {level_meta['n_blocks']} blocks / {level_meta['n_groups']} groups"
+        print(line)
+    if "levels" not in entry.meta:
+        # Baseline blobs record a flat per-level bound list instead.
+        for idx, eb in enumerate(entry.meta.get("level_ebs", [])):
+            print(f"{indent}  level {idx}: eb {eb:.3e}")
+    for name, size in sorted(entry.part_sizes().items()):
+        print(f"{indent}  {name:24s} {size:>10d} B")
+
+
+def cmd_inspect(args) -> int:
+    with open(args.path, "rb") as fh:
+        head = fh.read(4)
+    if is_batch_archive(head):
+        with LazyBatchArchive.open(args.path) as archive:
+            keys = [args.key] if args.key is not None else archive.keys()
+            if args.key is not None and args.key not in archive:
+                print(f"error: no entry {args.key!r}; archive holds "
+                      f"{archive.keys()}", file=sys.stderr)
+                return 2
+            print(f"batch archive v{archive.version}: {len(archive)} entries")
+            for key in keys:
+                entry = archive.entry(key)
+                print(f"{key}:")
+                _print_entry_breakdown(entry, indent="  ")
+                _check_no_payload_reads(entry)
+        return 0
+    with LazyCompressedDataset.open(args.path) as entry:
+        _print_entry_breakdown(entry)
+        _check_no_payload_reads(entry)
+    return 0
+
+
+def _check_no_payload_reads(entry) -> None:
+    """``inspect`` promises a zero-payload-read breakdown; enforce it."""
+    if entry.parts.accessed():
+        raise RuntimeError(
+            f"inspect read payload parts {sorted(entry.parts.accessed())}; "
+            "the breakdown must come from the header index alone"
+        )
 
 
 def cmd_batch(args) -> int:
@@ -286,6 +470,8 @@ def main(argv: list[str] | None = None) -> int:
         "info": cmd_info,
         "compress": cmd_compress,
         "decompress": cmd_decompress,
+        "extract": cmd_extract,
+        "inspect": cmd_inspect,
         "batch": cmd_batch,
         "codecs": cmd_codecs,
         "experiments": cmd_experiments,

@@ -3,7 +3,13 @@
 from repro.core.adaptive_eb import suggest_scales, tempered_ratio, volume_upsample_rate
 from repro.core.akdtree import akdtree_extract, akdtree_plan, akdtree_restore
 from repro.core.blocks import BlockExtraction, block_occupancy, integral_image
-from repro.core.container import CompressedDataset, pack_mask, resolve_global_eb, unpack_mask
+from repro.core.container import (
+    CompressedDataset,
+    LazyCompressedDataset,
+    pack_mask,
+    resolve_global_eb,
+    unpack_mask,
+)
 from repro.core.density import (
     DEFAULT_T1,
     DEFAULT_T2,
@@ -14,6 +20,13 @@ from repro.core.density import (
 )
 from repro.core.gsp import GSPResult, gsp_pad, zero_fill
 from repro.core.nast import nast_extract, nast_restore
+from repro.core.plan import (
+    DecodeUnit,
+    DecompressionPlan,
+    PlanExecutorMixin,
+    execute_plan,
+    normalize_region,
+)
 from repro.core.opst import compute_bs, opst_extract, opst_plan, opst_restore
 from repro.core.snapshot import SnapshotCompressor, snapshot_savings
 from repro.core.tac import TACCompressor, TACConfig, default_unit_block
@@ -25,6 +38,12 @@ __all__ = [
     "snapshot_savings",
     "Strategy",
     "CompressedDataset",
+    "LazyCompressedDataset",
+    "DecodeUnit",
+    "DecompressionPlan",
+    "PlanExecutorMixin",
+    "execute_plan",
+    "normalize_region",
     "select_strategy",
     "use_3d_baseline",
     "level_density",

@@ -150,6 +150,32 @@ class BlockExtraction:
         )
 
     # -- scatter back ------------------------------------------------------
+    def scatter_group(
+        self,
+        shape: tuple[int, int, int],
+        stacked: np.ndarray,
+        out: np.ndarray,
+        indices=None,
+    ) -> None:
+        """Scatter one group's sub-blocks (optionally a subset) into ``out``.
+
+        ``indices`` restricts the scatter to selected blocks — the
+        region-of-interest decode path uses this to place only the blocks
+        intersecting an ROI.
+        """
+        origin = self.coords[shape]
+        perm_ids = self.perms[shape]
+        selected = range(stacked.shape[0]) if indices is None else indices
+        for idx in selected:
+            idx = int(idx)
+            block = stacked[idx]
+            perm = AXIS_PERMS[int(perm_ids[idx])]
+            if perm != (0, 1, 2):
+                block = block.transpose(invert_perm(perm))
+            x, y, z = (int(v) for v in origin[idx])
+            sx, sy, sz = block.shape
+            out[x : x + sx, y : y + sy, z : z + sz] = block
+
     def reassemble(self, dtype=None, out: np.ndarray | None = None) -> np.ndarray:
         """Scatter all sub-blocks back into a dense padded grid."""
         if out is None:
@@ -159,16 +185,7 @@ class BlockExtraction:
         elif out.shape != self.padded_shape:
             raise ValueError(f"out shape {out.shape} != padded {self.padded_shape}")
         for shape, stacked in self.groups.items():
-            origin = self.coords[shape]
-            perm_ids = self.perms[shape]
-            for idx in range(stacked.shape[0]):
-                block = stacked[idx]
-                perm = AXIS_PERMS[int(perm_ids[idx])]
-                if perm != (0, 1, 2):
-                    block = block.transpose(invert_perm(perm))
-                x, y, z = (int(v) for v in origin[idx])
-                sx, sy, sz = block.shape
-                out[x : x + sx, y : y + sy, z : z + sz] = block
+            self.scatter_group(shape, stacked, out)
         return out
 
     def crop(self, arr: np.ndarray) -> np.ndarray:

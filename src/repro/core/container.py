@@ -11,21 +11,45 @@ and compression accounting is identical everywhere:
   baseline compresses an inflated uniform grid but is charged per stored
   value, exactly as in Figs. 14–15);
 * ``to_bytes``/``from_bytes`` give a stable on-disk form.
+
+Two wire versions coexist:
+
+* **version 1** — JSON header listing part names, then length-prefixed
+  payloads.  Reading part *k* requires walking the prefixes of parts
+  ``0..k-1``.
+* **version 2** (default for new blobs) — the header carries a full part
+  index (``name → offset/length`` relative to the payload region), so any
+  part is reachable with one seek.  This is what makes
+  :class:`LazyCompressedDataset` — open a blob without materializing any
+  payload, serve parts on demand — cheap, and it is the substrate for the
+  partial-decompression API (``decompress_level`` / ``decompress_region``
+  on every codec).
+
+Both versions deserialize through :meth:`CompressedDataset.from_bytes`
+and re-serialize byte-for-byte (a blob remembers its version), so stored
+version-1 archives, including the golden fixtures, stay valid forever.
 """
 
 from __future__ import annotations
 
 import json
 import struct
+import threading
 import zlib
 from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterator, Mapping
 
 import numpy as np
 
 from repro.utils.timer import TimingRecord
 
 _MAGIC = b"RPAM"
-_VERSION = 1
+#: Wire version written by default for new blobs.
+CONTAINER_VERSION = 2
+_SUPPORTED_VERSIONS = (1, 2)
+_HEAD = struct.Struct("<BQ")
+_LEN = struct.Struct("<Q")
 
 #: Part-name prefix for per-level validity masks.
 MASK_PREFIX = "mask/"
@@ -45,6 +69,16 @@ def unpack_mask(payload: bytes, shape: tuple[int, ...]) -> np.ndarray:
     return bits[:size].astype(bool).reshape(shape)
 
 
+def _head_record(method, dataset_name, meta, original_bytes, n_values) -> dict:
+    return {
+        "method": method,
+        "dataset_name": dataset_name,
+        "meta": meta,
+        "original_bytes": original_bytes,
+        "n_values": n_values,
+    }
+
+
 @dataclass
 class CompressedDataset:
     """Every compressor's output: named parts + metadata + accounting."""
@@ -56,6 +90,9 @@ class CompressedDataset:
     original_bytes: int = 0
     n_values: int = 0
     timings: TimingRecord = field(default_factory=TimingRecord)
+    #: Wire version used by :meth:`to_bytes`; ``from_bytes`` preserves the
+    #: stored blob's version so round-trips are byte-stable.
+    container_version: int = CONTAINER_VERSION
 
     # -- accounting -------------------------------------------------------
     def compressed_bytes(self, include_masks: bool = True) -> int:
@@ -84,25 +121,30 @@ class CompressedDataset:
 
     # -- serialization ------------------------------------------------------
     def to_bytes(self) -> bytes:
-        """Stable binary serialization (JSON header + length-prefixed parts)."""
-        head = json.dumps(
-            {
-                "method": self.method,
-                "dataset_name": self.dataset_name,
-                "meta": self.meta,
-                "original_bytes": self.original_bytes,
-                "n_values": self.n_values,
-                "part_names": list(self.parts),
-            },
-            sort_keys=True,
-        ).encode("utf-8")
+        """Stable binary serialization in :attr:`container_version` format."""
+        if self.container_version not in _SUPPORTED_VERSIONS:
+            raise ValueError(f"unsupported container version {self.container_version}")
+        record = _head_record(
+            self.method, self.dataset_name, self.meta, self.original_bytes, self.n_values
+        )
+        if self.container_version == 1:
+            record["part_names"] = list(self.parts)
+        else:
+            index = []
+            offset = 0
+            for name, payload in self.parts.items():
+                index.append([name, offset, len(payload)])
+                offset += len(payload)
+            record["part_index"] = index
+        head = json.dumps(record, sort_keys=True).encode("utf-8")
         out = bytearray()
         out += _MAGIC
-        out += struct.pack("<BQ", _VERSION, len(head))
+        out += _HEAD.pack(self.container_version, len(head))
         out += head
         for name in self.parts:
             payload = self.parts[name]
-            out += struct.pack("<Q", len(payload))
+            if self.container_version == 1:
+                out += _LEN.pack(len(payload))
             out += payload
         return bytes(out)
 
@@ -111,18 +153,25 @@ class CompressedDataset:
         view = memoryview(blob)
         if bytes(view[:4]) != _MAGIC:
             raise ValueError("not a CompressedDataset blob")
-        version, head_len = struct.unpack_from("<BQ", view, 4)
-        if version != _VERSION:
+        version, head_len = _HEAD.unpack_from(view, 4)
+        if version not in _SUPPORTED_VERSIONS:
             raise ValueError(f"unsupported container version {version}")
-        offset = 4 + struct.calcsize("<BQ")
+        offset = 4 + _HEAD.size
         head = json.loads(bytes(view[offset : offset + head_len]).decode("utf-8"))
         offset += head_len
         parts: dict[str, bytes] = {}
-        for name in head["part_names"]:
-            (length,) = struct.unpack_from("<Q", view, offset)
-            offset += 8
-            parts[name] = bytes(view[offset : offset + length])
-            offset += length
+        if version == 1:
+            for name in head["part_names"]:
+                (length,) = _LEN.unpack_from(view, offset)
+                offset += _LEN.size
+                parts[name] = bytes(view[offset : offset + length])
+                offset += length
+        else:
+            payload_base = offset
+            for name, part_off, length in head["part_index"]:
+                lo = payload_base + part_off
+                parts[name] = bytes(view[lo : lo + length])
+                offset = max(offset, lo + length)
         if offset != len(view):
             raise ValueError("trailing bytes after last part")
         return cls(
@@ -132,7 +181,218 @@ class CompressedDataset:
             meta=head["meta"],
             original_bytes=head["original_bytes"],
             n_values=head["n_values"],
+            container_version=version,
         )
+
+
+# ----------------------------------------------------------------------
+# lazy reading
+# ----------------------------------------------------------------------
+class _BytesSource:
+    """Random-access byte source over an in-memory buffer (zero-copy view)."""
+
+    def __init__(self, buf):
+        self._view = memoryview(buf)
+
+    def read_at(self, offset: int, length: int) -> bytes:
+        end = offset + length
+        if end > len(self._view):
+            raise ValueError("read past end of buffer (corrupt or truncated blob)")
+        return bytes(self._view[offset:end])
+
+    def close(self) -> None:
+        self._view.release()
+
+
+class _FileSource:
+    """Random-access byte source over a seekable file (thread-safe)."""
+
+    def __init__(self, fh, owns: bool):
+        self._fh = fh
+        self._owns = owns
+        self._lock = threading.Lock()
+
+    def read_at(self, offset: int, length: int) -> bytes:
+        with self._lock:
+            self._fh.seek(offset)
+            data = self._fh.read(length)
+        if len(data) != length:
+            raise ValueError("short read (corrupt or truncated file)")
+        return data
+
+    def close(self) -> None:
+        if self._owns:
+            self._fh.close()
+
+
+def make_source(source):
+    """Wrap bytes / memoryview / path / seekable binary file for random access."""
+    if isinstance(source, (bytes, bytearray, memoryview)):
+        return _BytesSource(source)
+    if isinstance(source, (str, Path)):
+        return _FileSource(open(source, "rb"), owns=True)
+    if hasattr(source, "seek") and hasattr(source, "read"):
+        return _FileSource(source, owns=False)
+    raise TypeError(f"cannot open {type(source).__name__!r} as a byte source")
+
+
+class LazyPartStore(Mapping):
+    """Read-on-demand mapping ``part name → bytes`` over a part index.
+
+    Duck-types the ``parts`` dict of :class:`CompressedDataset`, so every
+    codec's decompression path works unchanged — but a lookup performs one
+    bounded read instead of the blob having been copied up front.  Every
+    fetch is logged (:attr:`access_counts`, :attr:`bytes_read`), which is
+    how partial-decode tests *prove* they did less decode work.
+    """
+
+    def __init__(self, source, index: dict[str, tuple[int, int]]):
+        self._source = source
+        self._index = index
+        self._log_lock = threading.Lock()
+        self.access_counts: dict[str, int] = {}
+        self.bytes_read = 0
+
+    # -- mapping protocol (no payload reads except __getitem__) ----------
+    def __getitem__(self, name: str) -> bytes:
+        offset, length = self._index[name]
+        payload = self._source.read_at(offset, length)
+        with self._log_lock:
+            self.access_counts[name] = self.access_counts.get(name, 0) + 1
+            self.bytes_read += length
+        return payload
+
+    def __contains__(self, name) -> bool:
+        return name in self._index
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._index)
+
+    def __len__(self) -> int:
+        return len(self._index)
+
+    # -- index-only views -------------------------------------------------
+    def sizes(self) -> dict[str, int]:
+        """Per-part byte sizes straight from the index (no payload reads)."""
+        return {name: length for name, (_off, length) in self._index.items()}
+
+    # -- access accounting ------------------------------------------------
+    @property
+    def n_reads(self) -> int:
+        return sum(self.access_counts.values())
+
+    def accessed(self) -> set[str]:
+        """Names of every part fetched since the last reset."""
+        return set(self.access_counts)
+
+    def reset_access_log(self) -> None:
+        with self._log_lock:
+            self.access_counts = {}
+            self.bytes_read = 0
+
+
+class LazyCompressedDataset:
+    """A :class:`CompressedDataset` view that never materializes parts.
+
+    Opens a blob from bytes, a file path, a seekable file object, or (via
+    ``offset``) a member of a larger container such as a batch archive.
+    Header metadata is parsed eagerly — it is small — while payloads are
+    served on demand through :attr:`parts`, a :class:`LazyPartStore`.
+    Accepted anywhere a ``CompressedDataset`` is read: the attribute and
+    accounting surface is identical.
+    """
+
+    def __init__(
+        self, head: dict, parts: LazyPartStore, container_version: int, source,
+        owns_source: bool = True,
+    ):
+        self.method: str = head["method"]
+        self.dataset_name: str = head["dataset_name"]
+        self.meta: dict = head["meta"]
+        self.original_bytes: int = head["original_bytes"]
+        self.n_values: int = head["n_values"]
+        self.container_version = container_version
+        self.parts = parts
+        self._source = source
+        self._owns_source = owns_source
+
+    # -- construction ------------------------------------------------------
+    @classmethod
+    def open(cls, source, offset: int = 0) -> "LazyCompressedDataset":
+        """Open a blob lazily; ``offset`` locates it inside a larger stream."""
+        return cls._parse(make_source(source), offset)
+
+    @classmethod
+    def _parse(cls, src, base: int, owns_source: bool = True) -> "LazyCompressedDataset":
+        prefix = src.read_at(base, 4 + _HEAD.size)
+        if prefix[:4] != _MAGIC:
+            raise ValueError("not a CompressedDataset blob")
+        version, head_len = _HEAD.unpack_from(prefix, 4)
+        if version not in _SUPPORTED_VERSIONS:
+            raise ValueError(f"unsupported container version {version}")
+        head_off = base + 4 + _HEAD.size
+        head = json.loads(src.read_at(head_off, head_len).decode("utf-8"))
+        payload_base = head_off + head_len
+        index: dict[str, tuple[int, int]] = {}
+        if version == 1:
+            # No index on the wire: walk the length prefixes (8 bytes per
+            # part — cheap even over a file) to build one.
+            offset = payload_base
+            for name in head["part_names"]:
+                (length,) = _LEN.unpack(src.read_at(offset, _LEN.size))
+                index[name] = (offset + _LEN.size, length)
+                offset += _LEN.size + length
+        else:
+            for name, part_off, length in head["part_index"]:
+                index[name] = (payload_base + part_off, length)
+        return cls(head, LazyPartStore(src, index), version, src, owns_source=owns_source)
+
+    # -- CompressedDataset surface ----------------------------------------
+    def part_sizes(self) -> dict[str, int]:
+        return self.parts.sizes()
+
+    def compressed_bytes(self, include_masks: bool = True) -> int:
+        total = 0
+        for name, size in self.parts.sizes().items():
+            if not include_masks and name.startswith(MASK_PREFIX):
+                continue
+            total += size
+        return total
+
+    def ratio(self, include_masks: bool = True) -> float:
+        compressed = self.compressed_bytes(include_masks)
+        return self.original_bytes / compressed if compressed else float("inf")
+
+    def bit_rate(self, include_masks: bool = True) -> float:
+        if not self.n_values:
+            return 0.0
+        return 8.0 * self.compressed_bytes(include_masks) / self.n_values
+
+    def materialize(self) -> CompressedDataset:
+        """Read every part and return an eager :class:`CompressedDataset`."""
+        return CompressedDataset(
+            method=self.method,
+            dataset_name=self.dataset_name,
+            parts={name: self.parts[name] for name in self.parts},
+            meta=self.meta,
+            original_bytes=self.original_bytes,
+            n_values=self.n_values,
+            container_version=self.container_version,
+        )
+
+    # -- lifecycle ---------------------------------------------------------
+    def close(self) -> None:
+        """Release the byte source — a no-op when the source is shared
+        (e.g. this entry was served by a :class:`LazyBatchArchive`, whose
+        other entries must stay readable)."""
+        if self._owns_source:
+            self._source.close()
+
+    def __enter__(self) -> "LazyCompressedDataset":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
 
 
 def resolve_global_eb(dataset, error_bound: float, mode: str) -> float:

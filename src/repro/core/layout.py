@@ -18,7 +18,7 @@ import zlib
 
 import numpy as np
 
-from repro.core.blocks import BlockExtraction
+from repro.core.blocks import AXIS_PERMS, BlockExtraction, invert_perm
 
 
 def serialize_layout(extraction: BlockExtraction, level: int = 1) -> bytes:
@@ -78,3 +78,41 @@ def layout_shapes(extraction: BlockExtraction) -> list[tuple[int, int, int]]:
     """Group shapes in the (sorted) order used by serialization — the same
     order the per-group payload parts are written in."""
     return sorted(extraction.groups) if extraction.groups else sorted(extraction.coords)
+
+
+def block_extents(
+    extraction: BlockExtraction, shape: tuple[int, int, int]
+) -> np.ndarray:
+    """``(m, 3)`` in-grid extents of one group's blocks.
+
+    A block stored under canonical ``shape`` with orientation id ``p``
+    occupies, in grid space, the canonical shape pushed through the
+    inverse of :data:`~repro.core.blocks.AXIS_PERMS`\\ ``[p]`` — the same
+    mapping ``gather_blocks`` used to cut it out.
+    """
+    extent_by_perm = np.empty((len(AXIS_PERMS), 3), dtype=np.int64)
+    for pid, perm in enumerate(AXIS_PERMS):
+        inv = invert_perm(perm)
+        extent_by_perm[pid] = [shape[inv[0]], shape[inv[1]], shape[inv[2]]]
+    return extent_by_perm[np.asarray(extraction.perms[shape], dtype=np.int64)]
+
+
+def blocks_in_region(
+    extraction: BlockExtraction,
+    shape: tuple[int, int, int],
+    box: tuple[tuple[int, int], ...],
+) -> np.ndarray:
+    """Indices of one group's blocks intersecting a half-open ROI box.
+
+    This is the layout-level region index the partial decoder is built
+    on: it needs only the deserialized layout record — no payload decode —
+    to decide which group streams an ROI read must touch.
+    """
+    origins = np.asarray(extraction.coords[shape], dtype=np.int64)
+    if origins.size == 0:
+        return np.zeros(0, dtype=np.int64)
+    extents = block_extents(extraction, shape)
+    lo = np.array([b[0] for b in box], dtype=np.int64)
+    hi = np.array([b[1] for b in box], dtype=np.int64)
+    hit = ((origins < hi) & (origins + extents > lo)).all(axis=1)
+    return np.flatnonzero(hit)

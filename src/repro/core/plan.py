@@ -1,0 +1,207 @@
+"""Plan/execute split for the decompression read path.
+
+TAC's level-wise decomposition makes the *read* side as decomposable as
+the write side: every SZ payload in a blob (a GSP grid, one group of
+stacked sub-blocks, one level's 1D stream) decodes independently.  This
+module turns that observation into an explicit two-phase API shared by
+TAC and all baselines:
+
+* a codec **plans**: :meth:`~PlanExecutorMixin.build_decode_plan`
+  enumerates :class:`DecodeUnit`\\ s — pure, independent decode closures
+  tagged with the parts they read and the level they serve — from the
+  blob's *metadata only* (no payload access, so planning over a
+  :class:`~repro.core.container.LazyCompressedDataset` is free);
+* an executor **runs** the plan: :func:`execute_plan` decodes units
+  serially or across a thread pool (``decode_workers``, bit-identical to
+  serial — units are pure and results merge by unit key);
+* the codec **assembles**: per-level postprocessing (scatter, crop,
+  masking) consumes the unit results deterministically.
+
+On top of the split, :class:`PlanExecutorMixin` derives the partial-read
+API every codec exposes: ``decompress_level`` / ``decompress_levels``
+(decode only the requested levels' units) and ``decompress_region``
+(default: decode one level, slice — codecs with finer-grained layouts,
+like TAC's block strategies, override it to decode only the groups whose
+blocks intersect the ROI).
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.amr.hierarchy import AMRLevel
+from repro.utils.validation import check_positive_int
+
+
+@dataclass(frozen=True)
+class DecodeUnit:
+    """One independent decode task inside a blob.
+
+    Attributes
+    ----------
+    key:
+        Unique identifier inside the plan (conventionally the payload
+        part's name, e.g. ``"L0/g2"`` or ``"L1/grid"``).
+    level:
+        AMR level this unit serves (used to filter plans to level
+        subsets); ``-1`` marks a unit every level depends on (a merged
+        3D grid, zMesh's interleaved stream).
+    part_names:
+        Blob parts this unit reads — introspectable I/O cost before any
+        payload is touched.
+    decode:
+        Pure closure performing the decode; must not share mutable state
+        with other units (that is what makes parallel execution
+        bit-identical to serial).
+    """
+
+    key: str
+    level: int
+    part_names: tuple[str, ...]
+    decode: Callable[[], object]
+
+
+@dataclass
+class DecompressionPlan:
+    """An ordered set of independent decode units for (part of) a blob."""
+
+    units: list[DecodeUnit]
+
+    def __len__(self) -> int:
+        return len(self.units)
+
+    def levels(self) -> list[int]:
+        """Sorted levels covered by this plan."""
+        return sorted({u.level for u in self.units})
+
+    def part_names(self) -> list[str]:
+        """Every blob part the plan will read, in unit order."""
+        return [name for unit in self.units for name in unit.part_names]
+
+    def for_levels(self, levels: Sequence[int]) -> "DecompressionPlan":
+        """Sub-plan containing only units serving ``levels``.
+
+        Units tagged ``level == -1`` serve every level and are always
+        kept — a concrete subset of a monolithic blob (3D baseline,
+        zMesh) still needs its shared stream.
+        """
+        wanted = set(levels)
+        return DecompressionPlan(
+            [u for u in self.units if u.level in wanted or u.level == -1]
+        )
+
+
+def execute_plan(plan: DecompressionPlan, decode_workers: int = 1) -> dict[str, object]:
+    """Run every unit and return ``{unit.key: decoded}``.
+
+    ``decode_workers > 1`` decodes units concurrently in a thread pool
+    (the hot loops release the GIL inside NumPy/zlib).  Units are pure and
+    results are keyed, so the outcome is identical to the serial path
+    regardless of completion order.
+    """
+    decode_workers = check_positive_int(decode_workers, name="decode_workers")
+    units = plan.units
+    if decode_workers > 1 and len(units) > 1:
+        with ThreadPoolExecutor(max_workers=decode_workers) as pool:
+            decoded = list(pool.map(lambda unit: unit.decode(), units))
+    else:
+        decoded = [unit.decode() for unit in units]
+    return {unit.key: result for unit, result in zip(units, decoded)}
+
+
+def normalize_region(region, shape) -> tuple[tuple[int, int], ...]:
+    """Resolve a 3-axis ROI spec against a level shape.
+
+    ``region`` is a sequence of three entries, each a ``slice`` (step 1)
+    or an ``(lo, hi)`` pair; negative indices follow Python slicing rules.
+    Returns concrete half-open ``(lo, hi)`` bounds per axis and rejects
+    empty boxes — an empty ROI is almost always a caller bug.
+    """
+    if len(region) != 3:
+        raise ValueError(f"a region needs 3 axis specs, got {len(region)}")
+    box = []
+    for spec, dim in zip(region, shape):
+        if isinstance(spec, slice):
+            if spec.step not in (None, 1):
+                raise ValueError("region slices must have step 1")
+            lo, hi, _ = spec.indices(dim)
+        else:
+            lo_raw, hi_raw = spec
+            lo, hi, _ = slice(lo_raw, hi_raw).indices(dim)
+        if hi <= lo:
+            raise ValueError(f"empty region on axis with extent {dim}: {spec!r}")
+        box.append((int(lo), int(hi)))
+    return tuple(box)
+
+
+def region_slices(box: tuple[tuple[int, int], ...]) -> tuple[slice, ...]:
+    """Concrete bounds → slice tuple (for indexing full-level arrays)."""
+    return tuple(slice(lo, hi) for lo, hi in box)
+
+
+class PlanExecutorMixin:
+    """Partial-decompression API derived from a codec's plan/assemble pair.
+
+    A codec opts in by implementing :meth:`build_decode_plan` (metadata →
+    units, optionally restricted to a level subset) and
+    :meth:`_assemble_level` (unit results → one :class:`AMRLevel`), and
+    inherits ``decompress_level`` / ``decompress_levels`` /
+    ``decompress_region`` with parallel-decode support.  Results are
+    bit-identical to slicing a full ``decompress`` — the assembly code is
+    the same; only the set of decoded units shrinks.
+    """
+
+    # -- hooks -------------------------------------------------------------
+    def build_decode_plan(self, comp, levels: Sequence[int] | None = None) -> DecompressionPlan:
+        raise NotImplementedError
+
+    def _assemble_level(self, comp, idx: int, results: dict, structure) -> AMRLevel:
+        raise NotImplementedError
+
+    def _n_levels(self, comp) -> int:
+        return len(comp.meta["shapes"])
+
+    # -- derived API -------------------------------------------------------
+    def decompress_levels(
+        self, comp, levels: Sequence[int], structure=None, decode_workers: int = 1
+    ) -> list[AMRLevel]:
+        """Decode and assemble only ``levels`` (order preserved)."""
+        indices = check_level_indices(levels, self._n_levels(comp))
+        plan = self.build_decode_plan(comp, levels=indices)
+        results = execute_plan(plan, decode_workers)
+        return [self._assemble_level(comp, idx, results, structure) for idx in indices]
+
+    def decompress_level(
+        self, comp, level: int, structure=None, decode_workers: int = 1
+    ) -> AMRLevel:
+        """Decode and assemble one level."""
+        return self.decompress_levels(comp, [level], structure, decode_workers)[0]
+
+    def decompress_region(
+        self, comp, level: int, region, structure=None, decode_workers: int = 1
+    ) -> np.ndarray:
+        """One level's data restricted to ``region`` (masked-out cells zero).
+
+        Identical to ``decompress(comp).levels[level].data[region]``.  The
+        default decodes the whole level; codecs whose layout admits finer
+        selection (TAC's block strategies) override this to decode only
+        the groups intersecting the ROI.
+        """
+        lvl = self.decompress_level(comp, level, structure, decode_workers)
+        box = normalize_region(region, lvl.shape)
+        return np.ascontiguousarray(lvl.data[region_slices(box)])
+
+
+def check_level_indices(levels: Sequence[int], n_levels: int) -> list[int]:
+    """Validate a level subset against the blob's level count."""
+    indices = [int(idx) for idx in levels]
+    if not indices:
+        raise ValueError("need at least one level index")
+    bad = [idx for idx in indices if not 0 <= idx < n_levels]
+    if bad:
+        raise ValueError(f"level indices {bad} out of range for {n_levels} level(s)")
+    return indices

@@ -132,21 +132,22 @@ class SnapshotCompressor:
         archive: CompressedDataset,
         fields: list[str] | None = None,
         timings: TimingRecord | None = None,
+        decode_workers: int = 1,
     ) -> dict[str, AMRDataset]:
         """Restore all (or selected) fields from a snapshot archive.
 
         Selective decompression is the point of the shared layout: asking
         for one field touches only that field's payloads plus the shared
-        masks.
+        masks.  Part names are filtered before any payload is fetched, so
+        a lazy archive never reads the unselected fields' bytes.
         """
         names = archive.meta["fields"] if fields is None else list(fields)
         unknown = set(names) - set(archive.meta["fields"])
         if unknown:
             raise ValueError(f"fields not in archive: {sorted(unknown)}")
+        part_names = list(archive.parts)
         shared_masks = {
-            key: payload
-            for key, payload in archive.parts.items()
-            if key.startswith(MASK_PREFIX)
+            key: archive.parts[key] for key in part_names if key.startswith(MASK_PREFIX)
         }
         out: dict[str, AMRDataset] = {}
         for name in names:
@@ -154,8 +155,8 @@ class SnapshotCompressor:
             parts = dict(shared_masks)
             parts.update(
                 {
-                    key[len(prefix):]: payload
-                    for key, payload in archive.parts.items()
+                    key[len(prefix):]: archive.parts[key]
+                    for key in part_names
                     if key.startswith(prefix)
                 }
             )
@@ -167,7 +168,7 @@ class SnapshotCompressor:
             )
             tac = TACCompressor(self._field_config)
             with timed(timings, f"decompress/{name}"):
-                out[name] = tac.decompress(field_blob)
+                out[name] = tac.decompress(field_blob, decode_workers=decode_workers)
         return out
 
 

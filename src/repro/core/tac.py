@@ -35,10 +35,24 @@ from repro.core.container import (
 )
 from repro.core.density import DEFAULT_T1, DEFAULT_T2, Strategy, select_strategy
 from repro.core.gsp import gsp_pad, zero_fill
-from repro.core.layout import deserialize_layout, layout_shapes, serialize_layout
+from repro.core.layout import (
+    blocks_in_region,
+    deserialize_layout,
+    layout_shapes,
+    serialize_layout,
+)
 from repro.core.nast import nast_extract
 from repro.core.opst import opst_extract
+from repro.core.plan import (
+    DecodeUnit,
+    DecompressionPlan,
+    PlanExecutorMixin,
+    execute_plan,
+    normalize_region,
+    region_slices,
+)
 from repro.sz.compressor import SZCompressor, SZConfig
+from repro.sz.stream import peek_header
 from repro.utils.timer import TimingRecord, timed
 from repro.utils.validation import check_positive_int
 
@@ -95,7 +109,7 @@ class TACConfig:
             raise ValueError(f"need 0 < t1 <= t2 <= 1, got t1={self.t1}, t2={self.t2}")
 
 
-class TACCompressor:
+class TACCompressor(PlanExecutorMixin):
     """The TAC hybrid compressor (public entry point of this package)."""
 
     method_name = "tac"
@@ -242,29 +256,94 @@ class TACCompressor:
         return meta
 
     # ------------------------------------------------------------------
-    # decompression
+    # decompression (plan/execute split)
     # ------------------------------------------------------------------
+    def _delegate(self, comp: CompressedDataset):
+        """The §4.4 fallback's reader, if this blob was delegated to it."""
+        if comp.meta.get("delegated") != "baseline_3d":
+            return None
+        from repro.baselines.uniform3d import Uniform3DCompressor
+
+        return Uniform3DCompressor(sz=self.config.sz, store_masks=self.config.store_masks)
+
+    def build_decode_plan(self, comp: CompressedDataset, levels=None) -> DecompressionPlan:
+        """Independent decode units for (a level subset of) a TAC blob.
+
+        Planning reads only the blob's metadata: one unit per GSP/ZF grid,
+        one per block-strategy group payload, one per layout record.
+        """
+        delegate = self._delegate(comp)
+        if delegate is not None:
+            return delegate.build_decode_plan(comp, levels=levels)
+        wanted = None if levels is None else set(levels)
+        units: list[DecodeUnit] = []
+        for level_meta in comp.meta["levels"]:
+            idx = level_meta["level"]
+            if wanted is not None and idx not in wanted:
+                continue
+            strategy = level_meta["strategy"]
+            if strategy == "empty":
+                continue
+            if strategy in (Strategy.GSP.value, Strategy.ZF.value):
+                name = f"L{idx}/grid"
+                units.append(
+                    DecodeUnit(
+                        key=name,
+                        level=idx,
+                        part_names=(name,),
+                        decode=lambda name=name: self.codec.decompress(comp.parts[name]),
+                    )
+                )
+                continue
+            layout_name = f"L{idx}/layout"
+            units.append(
+                DecodeUnit(
+                    key=layout_name,
+                    level=idx,
+                    part_names=(layout_name,),
+                    decode=lambda name=layout_name: deserialize_layout(comp.parts[name]),
+                )
+            )
+            for group_idx in range(level_meta["n_groups"]):
+                name = f"L{idx}/g{group_idx}"
+                units.append(
+                    DecodeUnit(
+                        key=name,
+                        level=idx,
+                        part_names=(name,),
+                        decode=lambda name=name: self.codec.decompress(comp.parts[name]),
+                    )
+                )
+        return DecompressionPlan(units)
+
     def decompress(
         self,
         comp: CompressedDataset,
         structure: AMRDataset | None = None,
         timings: TimingRecord | None = None,
+        decode_workers: int = 1,
     ) -> AMRDataset:
-        """Rebuild the AMR dataset from a TAC blob."""
-        if comp.meta.get("delegated") == "baseline_3d":
-            from repro.baselines.uniform3d import Uniform3DCompressor
+        """Rebuild the AMR dataset from a TAC blob.
 
-            delegate = Uniform3DCompressor(sz=self.config.sz, store_masks=self.config.store_masks)
-            out = delegate.decompress(comp, structure=structure, timings=timings)
-            return out
+        ``decode_workers > 1`` decodes the plan's units (levels, and the
+        per-group payloads inside block-strategy levels) concurrently;
+        assembly stays in level order, so the output is bit-identical to
+        the serial path.
+        """
+        delegate = self._delegate(comp)
+        if delegate is not None:
+            return delegate.decompress(
+                comp, structure=structure, timings=timings, decode_workers=decode_workers
+            )
         meta = comp.meta
-        levels = []
-        for level_meta in meta["levels"]:
-            idx = level_meta["level"]
-            shape = tuple(meta["shapes"][idx])
-            mask = self._level_mask(comp, structure, idx, shape)
-            data = self._decompress_level(comp, level_meta, shape, mask, timings)
-            levels.append(AMRLevel(data=data, mask=mask, level=idx))
+        plan = self.build_decode_plan(comp)
+        with timed(timings, "decompress"):
+            results = execute_plan(plan, decode_workers)
+        with timed(timings, "postprocess"):
+            levels = [
+                self._assemble_level(comp, level_meta["level"], results, structure)
+                for level_meta in meta["levels"]
+            ]
         return AMRDataset(
             levels=levels,
             name=meta["name"],
@@ -273,27 +352,105 @@ class TACCompressor:
             box_size=meta["box_size"],
         )
 
-    def _decompress_level(
-        self, comp: CompressedDataset, level_meta: dict, shape, mask, timings
-    ) -> np.ndarray:
-        idx = level_meta["level"]
+    def decompress_levels(
+        self, comp, levels, structure=None, decode_workers: int = 1
+    ) -> list[AMRLevel]:
+        delegate = self._delegate(comp)
+        if delegate is not None:
+            return delegate.decompress_levels(comp, levels, structure, decode_workers)
+        return super().decompress_levels(comp, levels, structure, decode_workers)
+
+    def _level_meta(self, comp: CompressedDataset, idx: int) -> dict:
+        for level_meta in comp.meta["levels"]:
+            if level_meta["level"] == idx:
+                return level_meta
+        raise ValueError(f"blob holds no metadata for level {idx}")
+
+    def _assemble_level(self, comp, idx: int, results: dict, structure) -> AMRLevel:
+        """Unit results → one reconstructed level (shared by all read paths)."""
+        level_meta = self._level_meta(comp, idx)
+        shape = tuple(comp.meta["shapes"][idx])
+        mask = self._level_mask(comp, structure, idx, shape)
         strategy = level_meta["strategy"]
         if strategy == "empty":
-            return np.zeros(shape, dtype=np.float32)
-        if strategy in (Strategy.GSP.value, Strategy.ZF.value):
-            with timed(timings, "decompress"):
-                padded = self.codec.decompress(comp.parts[f"L{idx}/grid"])
-            with timed(timings, "postprocess"):
-                cropped = padded[: shape[0], : shape[1], : shape[2]]
-                return np.where(mask, cropped, cropped.dtype.type(0))
-        with timed(timings, "decompress"):
-            extraction = deserialize_layout(comp.parts[f"L{idx}/layout"])
+            data = np.zeros(shape, dtype=np.float32)
+        elif strategy in (Strategy.GSP.value, Strategy.ZF.value):
+            padded = results[f"L{idx}/grid"]
+            cropped = padded[: shape[0], : shape[1], : shape[2]]
+            data = np.where(mask, cropped, cropped.dtype.type(0))
+        else:
+            extraction = results[f"L{idx}/layout"]
             for group_idx, group_shape in enumerate(layout_shapes(extraction)):
-                stacked = self.codec.decompress(comp.parts[f"L{idx}/g{group_idx}"])
-                extraction.groups[group_shape] = stacked
-        with timed(timings, "postprocess"):
+                extraction.groups[group_shape] = results[f"L{idx}/g{group_idx}"]
             restored = extraction.crop(extraction.reassemble())
-            return np.where(mask, restored, restored.dtype.type(0))
+            data = np.where(mask, restored, restored.dtype.type(0))
+        return AMRLevel(data=data, mask=mask, level=idx)
+
+    def decompress_region(
+        self, comp, level: int, region, structure=None, decode_workers: int = 1
+    ) -> np.ndarray:
+        """One level's ROI, decoding only the payloads that cover it.
+
+        Identical to ``decompress(comp).levels[level].data[region]``.  For
+        block strategies (OpST/AKDTree/NaST) only the group streams with a
+        block intersecting the ROI are decoded — the layout record alone
+        (≪ the payloads) decides which; GSP/ZF levels are single SZ
+        streams, so the ROI read decodes that one grid and slices it.
+        """
+        delegate = self._delegate(comp)
+        if delegate is not None:
+            return delegate.decompress_region(comp, level, region, structure, decode_workers)
+        level_meta = self._level_meta(comp, level)
+        shape = tuple(comp.meta["shapes"][level])
+        box = normalize_region(region, shape)
+        slices = region_slices(box)
+        strategy = level_meta["strategy"]
+        if strategy == "empty":
+            return np.zeros(tuple(hi - lo for lo, hi in box), dtype=np.float32)
+        mask = self._level_mask(comp, structure, level, shape)
+        region_mask = mask[slices]
+        if strategy in (Strategy.GSP.value, Strategy.ZF.value):
+            padded = self.codec.decompress(comp.parts[f"L{level}/grid"])
+            sliced = padded[: shape[0], : shape[1], : shape[2]][slices]
+            return np.where(region_mask, sliced, sliced.dtype.type(0))
+        extraction = deserialize_layout(comp.parts[f"L{level}/layout"])
+        shapes = layout_shapes(extraction)
+        selected = {
+            group_shape: blocks_in_region(extraction, group_shape, box)
+            for group_shape in shapes
+        }
+        needed = [
+            (group_idx, group_shape)
+            for group_idx, group_shape in enumerate(shapes)
+            if selected[group_shape].size
+        ]
+        plan = DecompressionPlan(
+            [
+                DecodeUnit(
+                    key=f"L{level}/g{group_idx}",
+                    level=level,
+                    part_names=(f"L{level}/g{group_idx}",),
+                    decode=lambda name=f"L{level}/g{group_idx}": self.codec.decompress(
+                        comp.parts[name]
+                    ),
+                )
+                for group_idx, _shape in needed
+            ]
+        )
+        results = execute_plan(plan, decode_workers)
+        if needed:
+            dtype = results[f"L{level}/g{needed[0][0]}"].dtype
+        else:
+            # ROI intersects no block: the result is all zeros, but its
+            # dtype must still match a full decompress — peek it from the
+            # first group's stream header (no payload decode).
+            dtype = peek_header(comp.parts[f"L{level}/g0"]).dtype
+        out = np.zeros(extraction.padded_shape, dtype=dtype)
+        for group_idx, group_shape in needed:
+            stacked = results[f"L{level}/g{group_idx}"]
+            extraction.scatter_group(group_shape, stacked, out, indices=selected[group_shape])
+        sliced = extraction.crop(out)[slices]
+        return np.where(region_mask, sliced, sliced.dtype.type(0))
 
     @staticmethod
     def _level_mask(comp: CompressedDataset, structure, idx: int, shape) -> np.ndarray:

@@ -10,7 +10,7 @@ The architectural seam for scaling this reproduction into a service:
   datasets into one manifest-carrying container.
 """
 
-from repro.engine.archive import BatchArchive, is_batch_archive
+from repro.engine.archive import BatchArchive, LazyBatchArchive, is_batch_archive
 from repro.engine.engine import (
     BatchResult,
     CompressionEngine,
@@ -20,12 +20,16 @@ from repro.engine.engine import (
 from repro.engine.registry import (
     Codec,
     CodecSpec,
+    PartialCodec,
     all_specs,
     codec_for_method,
     codec_names,
+    decode_kwargs,
     get_codec,
     get_spec,
     register,
+    supports_kwarg,
+    supports_partial_decode,
     unregister,
 )
 
@@ -40,13 +44,18 @@ __all__ = [
     "CompressionEngine",
     "CompressionJob",
     "JobResult",
+    "LazyBatchArchive",
+    "PartialCodec",
     "all_specs",
     "codec_for_method",
     "codec_names",
+    "decode_kwargs",
     "get_codec",
     "get_spec",
     "is_batch_archive",
     "register",
     "register_codec",
+    "supports_kwarg",
+    "supports_partial_decode",
     "unregister",
 ]

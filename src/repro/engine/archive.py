@@ -8,15 +8,19 @@ of any registry codec, or of the snapshot compressor) behind a JSON
 manifest that records per-entry method, sizes, and accounting, so an
 archive can be inspected without decoding a single payload.
 
-Wire format (version 1, all integers little-endian)::
+Wire format (all integers little-endian)::
 
     b"RPBT" | u8 version | u64 head_len | JSON head | entry blobs
 
-where the head lists the entry keys in stored order plus the manifest,
-and each entry blob is a length-prefixed ``CompressedDataset.to_bytes``
-stream.  Keys are sorted on serialization, so equal archives serialize to
-equal bytes and ``from_bytes → to_bytes`` is byte-stable — the property
-the golden-format regression test pins down.
+Version 1 length-prefixes each entry blob; version 2 (default for new
+archives) instead records an entry index (``key → offset/length`` relative
+to the payload region) in the head, so one entry is reachable with a
+single seek.  :class:`LazyBatchArchive` builds on that for true random
+access: open a file or buffer, read the head, and serve any entry as a
+:class:`~repro.core.container.LazyCompressedDataset` without parsing its
+siblings.  Keys are sorted on serialization, so equal archives serialize
+to equal bytes and ``from_bytes → to_bytes`` is byte-stable in both
+versions — the property the golden-format regression tests pin down.
 """
 
 from __future__ import annotations
@@ -26,13 +30,35 @@ import struct
 from dataclasses import dataclass, field
 
 from repro.amr.hierarchy import AMRDataset
-from repro.core.container import CompressedDataset
+from repro.core.container import CompressedDataset, LazyCompressedDataset, make_source
 from repro.engine import registry
 
 _MAGIC = b"RPBT"
-_VERSION = 1
+#: Wire version written by default for new archives.
+ARCHIVE_VERSION = 2
+_SUPPORTED_VERSIONS = (1, 2)
 _HEAD = struct.Struct("<BQ")
 _LEN = struct.Struct("<Q")
+
+
+def _entry_decompress(comp, method: str, structure, decode_workers: int) -> AMRDataset:
+    """Registry-routed decompression shared by eager and lazy archives."""
+    codec = registry.codec_for_method(method)
+    kwargs = registry.decode_kwargs(codec, decode_workers)
+    return codec.decompress(comp, structure=structure, **kwargs)
+
+
+def _entry_decompress_level(comp, method: str, level: int, structure, decode_workers: int):
+    """Registry-routed partial read shared by eager and lazy archives."""
+    codec = registry.codec_for_method(method)
+    if not registry.supports_partial_decode(codec):
+        raise TypeError(
+            f"codec for method {method!r} does not support partial "
+            "decompression; use decompress() for the whole entry"
+        )
+    return codec.decompress_level(
+        comp, level, structure=structure, decode_workers=decode_workers
+    )
 
 
 @dataclass
@@ -46,10 +72,14 @@ class BatchArchive:
         to its compressed dataset.
     meta:
         Free-form JSON-able batch metadata (pipeline provenance etc.).
+    version:
+        Wire version used by :meth:`to_bytes`; ``from_bytes`` preserves
+        the stored version so round-trips stay byte-stable.
     """
 
     entries: dict[str, CompressedDataset] = field(default_factory=dict)
     meta: dict = field(default_factory=dict)
+    version: int = ARCHIVE_VERSION
 
     # -- container protocol ------------------------------------------------
     def __len__(self) -> int:
@@ -104,16 +134,27 @@ class BatchArchive:
         return self.total_original_bytes() / compressed if compressed else float("inf")
 
     # -- decompression -----------------------------------------------------
-    def decompress(self, key: str, structure: AMRDataset | None = None) -> AMRDataset:
+    def decompress(
+        self, key: str, structure: AMRDataset | None = None, decode_workers: int = 1
+    ) -> AMRDataset:
         """Restore one entry via the codec registry.
 
         The entry's recorded ``method`` picks the codec
         (:func:`repro.engine.registry.codec_for_method`), so an archive is
         self-describing: no caller-side name→compressor map needed.
+        ``decode_workers > 1`` parallelizes the entry's decode units
+        (bit-identical to serial).
         """
         comp = self.get(key)
-        codec = registry.codec_for_method(comp.method)
-        return codec.decompress(comp, structure=structure)
+        return _entry_decompress(comp, comp.method, structure, decode_workers)
+
+    def decompress_level(
+        self, key: str, level: int, structure: AMRDataset | None = None,
+        decode_workers: int = 1,
+    ):
+        """Restore a single AMR level of one entry (partial read)."""
+        comp = self.get(key)
+        return _entry_decompress_level(comp, comp.method, level, structure, decode_workers)
 
     def decompress_all(self) -> dict[str, AMRDataset]:
         """Restore every entry, keyed like :attr:`entries`."""
@@ -122,23 +163,31 @@ class BatchArchive:
     # -- serialization -----------------------------------------------------
     def to_bytes(self) -> bytes:
         """Serialize; equal archives yield equal bytes (keys are sorted)."""
+        if self.version not in _SUPPORTED_VERSIONS:
+            raise ValueError(f"unsupported batch-archive version {self.version}")
         keys = sorted(self.entries)
         blobs = [self.entries[key].to_bytes() for key in keys]
-        head = json.dumps(
-            {
-                "version": _VERSION,
-                "keys": keys,
-                "meta": self.meta,
-                "manifest": self.manifest(),
-            },
-            sort_keys=True,
-        ).encode("utf-8")
+        record: dict = {
+            "version": self.version,
+            "keys": keys,
+            "meta": self.meta,
+            "manifest": self.manifest(),
+        }
+        if self.version == 2:
+            index = {}
+            offset = 0
+            for key, blob in zip(keys, blobs):
+                index[key] = [offset, len(blob)]
+                offset += len(blob)
+            record["index"] = index
+        head = json.dumps(record, sort_keys=True).encode("utf-8")
         out = bytearray()
         out += _MAGIC
-        out += _HEAD.pack(_VERSION, len(head))
+        out += _HEAD.pack(self.version, len(head))
         out += head
         for blob in blobs:
-            out += _LEN.pack(len(blob))
+            if self.version == 1:
+                out += _LEN.pack(len(blob))
             out += blob
         return bytes(out)
 
@@ -148,17 +197,25 @@ class BatchArchive:
         if bytes(view[:4]) != _MAGIC:
             raise ValueError("not a BatchArchive blob")
         version, head_len = _HEAD.unpack_from(view, 4)
-        if version != _VERSION:
+        if version not in _SUPPORTED_VERSIONS:
             raise ValueError(f"unsupported batch-archive version {version}")
         offset = 4 + _HEAD.size
         head = json.loads(bytes(view[offset : offset + head_len]).decode("utf-8"))
         offset += head_len
-        archive = cls(meta=head.get("meta", {}))
-        for key in head["keys"]:
-            (length,) = _LEN.unpack_from(view, offset)
-            offset += _LEN.size
-            archive.add(key, CompressedDataset.from_bytes(bytes(view[offset : offset + length])))
-            offset += length
+        archive = cls(meta=head.get("meta", {}), version=version)
+        if version == 1:
+            for key in head["keys"]:
+                (length,) = _LEN.unpack_from(view, offset)
+                offset += _LEN.size
+                archive.add(key, CompressedDataset.from_bytes(bytes(view[offset : offset + length])))
+                offset += length
+        else:
+            payload_base = offset
+            for key in head["keys"]:
+                entry_off, length = head["index"][key]
+                lo = payload_base + entry_off
+                archive.add(key, CompressedDataset.from_bytes(bytes(view[lo : lo + length])))
+                offset = max(offset, lo + length)
         if offset != len(view):
             raise ValueError("trailing bytes after last archive entry")
         return archive
@@ -175,6 +232,107 @@ class BatchArchive:
     def load(cls, path) -> "BatchArchive":
         with open(path, "rb") as fh:
             return cls.from_bytes(fh.read())
+
+
+class LazyBatchArchive:
+    """Random access into a stored batch archive without copying entries.
+
+    Opens bytes or a file, parses only the head, and serves each entry as
+    a :class:`~repro.core.container.LazyCompressedDataset` whose parts are
+    fetched on demand — one job's output is reachable without parsing (or
+    even reading) its siblings.  Version-2 archives locate entries from
+    the head's index; version-1 archives are scanned once, 8 bytes per
+    entry, to recover the same index.
+    """
+
+    def __init__(self, source, head: dict, entry_index: dict[str, tuple[int, int]]):
+        self._source = source
+        self._head = head
+        self._index = entry_index
+        self.meta: dict = head.get("meta", {})
+        self.version: int = head["version"]
+
+    @classmethod
+    def open(cls, source) -> "LazyBatchArchive":
+        """Open an archive lazily from bytes, a path, or a seekable file."""
+        src = make_source(source)
+        prefix = src.read_at(0, 4 + _HEAD.size)
+        if prefix[:4] != _MAGIC:
+            raise ValueError("not a BatchArchive blob")
+        version, head_len = _HEAD.unpack_from(prefix, 4)
+        if version not in _SUPPORTED_VERSIONS:
+            raise ValueError(f"unsupported batch-archive version {version}")
+        head_off = 4 + _HEAD.size
+        head = json.loads(src.read_at(head_off, head_len).decode("utf-8"))
+        head.setdefault("version", version)
+        payload_base = head_off + head_len
+        index: dict[str, tuple[int, int]] = {}
+        if version == 1:
+            offset = payload_base
+            for key in head["keys"]:
+                (length,) = _LEN.unpack(src.read_at(offset, _LEN.size))
+                index[key] = (offset + _LEN.size, length)
+                offset += _LEN.size + length
+        else:
+            for key in head["keys"]:
+                entry_off, length = head["index"][key]
+                index[key] = (payload_base + entry_off, length)
+        return cls(src, head, index)
+
+    # -- container protocol ------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._index)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._index
+
+    def keys(self) -> list[str]:
+        return list(self._index)
+
+    def manifest(self) -> list[dict]:
+        """The manifest recorded at write time (no payload reads)."""
+        return self._head.get("manifest", [])
+
+    def entry_sizes(self) -> dict[str, int]:
+        """Per-entry stored byte counts straight from the index."""
+        return {key: length for key, (_off, length) in self._index.items()}
+
+    # -- entries -----------------------------------------------------------
+    def entry(self, key: str) -> LazyCompressedDataset:
+        """One entry as a lazy dataset; siblings are never touched.
+
+        Entries share the archive's byte source (closing one is a no-op);
+        close the archive itself when done with all of them.
+        """
+        if key not in self._index:
+            raise KeyError(f"no entry {key!r}; archive holds {self.keys()}")
+        offset, _length = self._index[key]
+        return LazyCompressedDataset._parse(self._source, offset, owns_source=False)
+
+    def decompress(
+        self, key: str, structure: AMRDataset | None = None, decode_workers: int = 1
+    ) -> AMRDataset:
+        """Restore one entry via the codec registry, reading only it."""
+        comp = self.entry(key)
+        return _entry_decompress(comp, comp.method, structure, decode_workers)
+
+    def decompress_level(
+        self, key: str, level: int, structure: AMRDataset | None = None,
+        decode_workers: int = 1,
+    ):
+        """Restore a single AMR level of one entry (partial read)."""
+        comp = self.entry(key)
+        return _entry_decompress_level(comp, comp.method, level, structure, decode_workers)
+
+    # -- lifecycle ---------------------------------------------------------
+    def close(self) -> None:
+        self._source.close()
+
+    def __enter__(self) -> "LazyBatchArchive":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
 
 
 def is_batch_archive(blob: bytes) -> bool:

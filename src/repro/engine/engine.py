@@ -32,9 +32,9 @@ from typing import Iterable, Sequence
 from repro.amr.hierarchy import AMRDataset
 from repro.amr.io import load_dataset
 from repro.core.container import CompressedDataset
-from repro.core.tac import TACCompressor
 from repro.engine import registry
 from repro.engine.archive import BatchArchive
+from repro.engine.registry import supports_kwarg
 from repro.utils.timer import TimingRecord
 from repro.utils.validation import check_positive_int
 
@@ -186,7 +186,7 @@ def _execute_job(job: CompressionJob, level_workers: int) -> tuple[CompressedDat
     kwargs: dict = {}
     if job.per_level_scale is not None:
         kwargs["per_level_scale"] = job.per_level_scale
-    if level_workers > 1 and isinstance(codec, TACCompressor):
+    if level_workers > 1 and supports_kwarg(codec.compress, "level_workers"):
         kwargs["level_workers"] = level_workers
     start = time.perf_counter()
     dataset = job.dataset

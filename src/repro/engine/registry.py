@@ -24,6 +24,7 @@ workers that merely ``import repro.engine``.
 
 from __future__ import annotations
 
+import inspect
 from dataclasses import dataclass, field
 from typing import Callable, Protocol, runtime_checkable
 
@@ -44,6 +45,70 @@ class Codec(Protocol):
     ) -> CompressedDataset: ...
 
     def decompress(self, comp: CompressedDataset, **kwargs) -> AMRDataset: ...
+
+
+@runtime_checkable
+class PartialCodec(Codec, Protocol):
+    """Codecs whose read path supports the plan/execute partial API.
+
+    All built-ins qualify (they derive it from
+    :class:`repro.core.plan.PlanExecutorMixin`); downstream codecs opt in
+    by exposing the same surface.  Consumers (the CLI's ``extract``, lazy
+    archives) feature-detect with :func:`supports_partial_decode` instead
+    of assuming it.
+    """
+
+    def build_decode_plan(self, comp: CompressedDataset, levels=None): ...
+
+    def decompress_level(
+        self, comp: CompressedDataset, level: int, structure=None, decode_workers: int = 1
+    ): ...
+
+    def decompress_levels(
+        self, comp: CompressedDataset, levels, structure=None, decode_workers: int = 1
+    ): ...
+
+    def decompress_region(
+        self, comp: CompressedDataset, level: int, region, structure=None,
+        decode_workers: int = 1,
+    ): ...
+
+
+def supports_partial_decode(codec) -> bool:
+    """Whether ``codec`` exposes the partial-decompression surface."""
+    return isinstance(codec, PartialCodec)
+
+
+def supports_kwarg(call, name: str) -> bool:
+    """Whether ``call`` accepts keyword argument ``name``.
+
+    Capability detection for optional codec knobs (``level_workers`` on
+    compress, ``decode_workers`` on decompress): any registered codec that
+    grows the keyword gets it forwarded — no isinstance special-cases
+    against built-in classes.
+    """
+    try:
+        signature = inspect.signature(call)
+    except (TypeError, ValueError):
+        return False
+    for parameter in signature.parameters.values():
+        if parameter.kind is inspect.Parameter.VAR_KEYWORD:
+            return True
+        if parameter.name == name and parameter.kind in (
+            inspect.Parameter.POSITIONAL_OR_KEYWORD,
+            inspect.Parameter.KEYWORD_ONLY,
+        ):
+            return True
+    return False
+
+
+def decode_kwargs(codec, decode_workers: int) -> dict:
+    """``decompress`` kwargs forwarding ``decode_workers`` only when
+    supported, so downstream codecs without parallel decode degrade to
+    their (bit-identical anyway) serial path instead of a TypeError."""
+    if decode_workers != 1 and supports_kwarg(codec.decompress, "decode_workers"):
+        return {"decode_workers": decode_workers}
+    return {}
 
 
 @dataclass(frozen=True)

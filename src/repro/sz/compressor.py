@@ -295,7 +295,6 @@ class SZCompressor:
         if header.mode == ErrorMode.PW_REL.value:
             with timed(timings, "transform"):
                 n = values.size
-                _, signs_payload = parsed.section(stream.SEC_SIGNS)
                 codec, payload = parsed.section(stream.SEC_SIGNS)
                 signs = np.unpackbits(
                     np.frombuffer(lossless.decompress_bytes(codec, payload), dtype=np.uint8)

@@ -166,9 +166,8 @@ def serialize(header: StreamHeader, sections: list[tuple[int, int, bytes]]) -> b
     return bytes(out)
 
 
-def parse(blob: bytes) -> Stream:
-    """Parse a container blob; raises ``ValueError`` on any malformation."""
-    view = memoryview(blob)
+def _parse_header(view: memoryview) -> tuple[StreamHeader, int]:
+    """Decode the fixed header; returns it and the section-table offset."""
     head_size = struct.calcsize(_HEADER_FMT)
     if len(view) < head_size:
         raise ValueError("blob too short to be a compressed stream")
@@ -189,6 +188,26 @@ def parse(blob: bytes) -> Stream:
         offset += 8
     eb_user, eb_abs = struct.unpack_from("<dd", view, offset)
     offset += 16
+    header = StreamHeader(
+        mode=_CODE_MODES[mode_code],
+        dtype=_CODE_DTYPES[dtype_code],
+        shape=tuple(shape),
+        eb_user=float(eb_user),
+        eb_abs=float(eb_abs),
+        flags=int(flags),
+    )
+    return header, offset
+
+
+def peek_header(blob: bytes) -> StreamHeader:
+    """Header only — dtype/shape/bound probe without touching sections."""
+    return _parse_header(memoryview(blob))[0]
+
+
+def parse(blob: bytes) -> Stream:
+    """Parse a container blob; raises ``ValueError`` on any malformation."""
+    view = memoryview(blob)
+    header, offset = _parse_header(view)
     (n_sections,) = struct.unpack_from("<B", view, offset)
     offset += 1
     sections: dict[int, tuple[int, bytes]] = {}
@@ -204,12 +223,4 @@ def parse(blob: bytes) -> Stream:
         offset += length
     if offset != len(view):
         raise ValueError(f"{len(view) - offset} trailing bytes after last section")
-    header = StreamHeader(
-        mode=_CODE_MODES[mode_code],
-        dtype=_CODE_DTYPES[dtype_code],
-        shape=tuple(shape),
-        eb_user=float(eb_user),
-        eb_abs=float(eb_abs),
-        flags=int(flags),
-    )
     return Stream(header=header, sections=sections)

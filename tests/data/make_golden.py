@@ -1,14 +1,22 @@
-"""Regenerate the golden batch-archive fixture.
+"""Regenerate the golden batch-archive fixtures (both wire versions).
 
 Run from the repo root::
 
     PYTHONPATH=src:. python tests/data/make_golden.py
 
-Writes ``golden_batch.rpbt`` (the container bytes the regression test
-pins) and ``golden_batch.json`` (expected manifest plus per-entry
-decompressed-value statistics).  Only regenerate when the container
-format version is *intentionally* bumped — the whole point of the fixture
-is that accidental format drift fails ``tests/test_golden_format.py``.
+Writes, for each container version, the archive bytes the regression test
+pins and a JSON record of the expected manifest plus per-entry
+decompressed-value statistics:
+
+* ``golden_batch.rpbt`` / ``golden_batch.json`` — version 1 (the original
+  length-prefixed layout; proves old stored archives stay readable);
+* ``golden_batch_v2.rpbt`` / ``golden_batch_v2.json`` — version 2 (part-
+  and entry-indexed layout used for lazy/partial reads).
+
+The two differ only in framing: identical codecs, identical payload
+bytes.  Only regenerate when a container version is *intentionally*
+bumped — the whole point of the fixtures is that accidental format drift
+fails ``tests/test_golden_format.py``.
 """
 
 from __future__ import annotations
@@ -28,20 +36,23 @@ MODE = "abs"
 CODECS = ("tac", "1d", "zmesh", "3d")
 
 
-def main() -> None:
+def build_archive(container_version: int) -> bytes:
     ds = golden_dataset()
     jobs = [
         CompressionJob(ds, codec=c, error_bound=EB, mode=MODE, label=f"golden/{c}")
         for c in CODECS
     ]
-    blob = CompressionEngine().run_to_archive(
-        jobs, fixture="golden", eb=EB, mode=MODE
-    ).to_bytes()
-    (HERE / "golden_batch.rpbt").write_bytes(blob)
-    # Record expectations from the canonical (serialized) form, whose
-    # entries are key-sorted.
-    archive = BatchArchive.from_bytes(blob)
+    archive = CompressionEngine().run_to_archive(jobs, fixture="golden", eb=EB, mode=MODE)
+    archive.version = container_version
+    for comp in archive.entries.values():
+        comp.container_version = container_version
+    return archive.to_bytes()
 
+
+def expectations(blob: bytes) -> dict:
+    # Record from the canonical (serialized) form, whose entries are
+    # key-sorted.
+    archive = BatchArchive.from_bytes(blob)
     expected: dict = {
         "sha256": hashlib.sha256(blob).hexdigest(),
         "n_bytes": len(blob),
@@ -63,8 +74,16 @@ def main() -> None:
             }
             for lvl in restored.levels
         ]
-    (HERE / "golden_batch.json").write_text(json.dumps(expected, indent=2) + "\n")
-    print(f"wrote golden_batch.rpbt ({len(blob)} bytes) and golden_batch.json")
+    return expected
+
+
+def main() -> None:
+    for version, stem in ((1, "golden_batch"), (2, "golden_batch_v2")):
+        blob = build_archive(version)
+        (HERE / f"{stem}.rpbt").write_bytes(blob)
+        expected = expectations(blob)
+        (HERE / f"{stem}.json").write_text(json.dumps(expected, indent=2) + "\n")
+        print(f"wrote {stem}.rpbt ({len(blob)} bytes) and {stem}.json")
 
 
 if __name__ == "__main__":

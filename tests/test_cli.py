@@ -166,6 +166,116 @@ class TestBatchCommand:
             assert name in out
 
 
+class TestExtractCommand:
+    @pytest.fixture
+    def archive(self, dataset_file, tmp_path):
+        path = tmp_path / "z10.tac"
+        assert main([
+            "compress", str(dataset_file), "-o", str(path), "--eb", "1e-3",
+        ]) == 0
+        return path
+
+    def test_extract_level_matches_full_decompress(self, dataset_file, archive, tmp_path, capsys):
+        out = tmp_path / "lvl0.npz"
+        assert main([
+            "extract", str(archive), "-o", str(out), "--level", "0", "--workers", "2",
+        ]) == 0
+        stdout = capsys.readouterr().out
+        assert "parts read" in stdout
+
+        full = tmp_path / "full.npz"
+        assert main(["decompress", str(archive), "-o", str(full)]) == 0
+        reference = load_dataset(full)
+        with np.load(out) as arrays:
+            data = arrays["data_0"]
+            size = int(np.prod(data.shape))
+            mask = np.unpackbits(arrays["mask_0"])[:size].astype(bool).reshape(data.shape)
+        assert np.array_equal(data, reference.levels[0].data)
+        assert np.array_equal(mask, reference.levels[0].mask)
+
+    def test_extract_region_matches_sliced_full(self, archive, tmp_path):
+        out = tmp_path / "roi.npz"
+        assert main([
+            "extract", str(archive), "-o", str(out),
+            "--level", "0", "--region", "2:10,0:7,5:16",
+        ]) == 0
+        full = tmp_path / "full.npz"
+        assert main(["decompress", str(archive), "-o", str(full)]) == 0
+        reference = load_dataset(full)
+        with np.load(out) as arrays:
+            data = arrays["data"]
+            assert int(arrays["level"]) == 0
+        assert np.array_equal(
+            data, reference.levels[0].data[2:10, 0:7, 5:16]
+        )
+
+    def test_extract_from_batch_archive_key(self, dataset_file, tmp_path):
+        batch = tmp_path / "b.rpbt"
+        assert main(["batch", str(dataset_file), "-o", str(batch), "--eb", "1e-3"]) == 0
+        out = tmp_path / "lvl1.npz"
+        assert main([
+            "extract", str(batch), "-o", str(out),
+            "--key", "z10/baryon_density/tac", "--level", "1",
+        ]) == 0
+        assert "data_1" in np.load(out)
+
+    def test_extract_region_needs_one_level(self, archive, tmp_path, capsys):
+        assert main([
+            "extract", str(archive), "-o", str(tmp_path / "x.npz"),
+            "--region", "0:4,0:4,0:4",
+        ]) == 2
+        assert "--level" in capsys.readouterr().err
+
+    def test_extract_bad_region_spec(self, archive, tmp_path, capsys):
+        assert main([
+            "extract", str(archive), "-o", str(tmp_path / "x.npz"),
+            "--level", "0", "--region", "0:4,0:4",
+        ]) == 2
+        assert "region" in capsys.readouterr().err
+
+    def test_decompress_with_workers_matches_serial(self, archive, tmp_path):
+        serial = tmp_path / "s.npz"
+        parallel = tmp_path / "p.npz"
+        assert main(["decompress", str(archive), "-o", str(serial)]) == 0
+        assert main([
+            "decompress", str(archive), "-o", str(parallel), "--workers", "4",
+        ]) == 0
+        a = load_dataset(serial)
+        b = load_dataset(parallel)
+        for la, lb in zip(a.levels, b.levels):
+            assert np.array_equal(la.data, lb.data)
+
+
+class TestInspectCommand:
+    def test_inspect_single_blob(self, dataset_file, tmp_path, capsys):
+        archive = tmp_path / "z10.tac"
+        assert main([
+            "compress", str(dataset_file), "-o", str(archive), "--eb", "1e-3",
+        ]) == 0
+        capsys.readouterr()
+        assert main(["inspect", str(archive)]) == 0
+        out = capsys.readouterr().out
+        assert "container v2" in out
+        assert "strategy" in out
+        assert "mask/L0" in out
+
+    def test_inspect_batch_archive(self, dataset_file, tmp_path, capsys):
+        batch = tmp_path / "b.rpbt"
+        assert main(["batch", str(dataset_file), "-o", str(batch)]) == 0
+        capsys.readouterr()
+        assert main(["inspect", str(batch)]) == 0
+        out = capsys.readouterr().out
+        assert "batch archive v2" in out
+        assert "z10/baryon_density/tac" in out
+
+    def test_inspect_unknown_key(self, dataset_file, tmp_path, capsys):
+        batch = tmp_path / "b.rpbt"
+        assert main(["batch", str(dataset_file), "-o", str(batch)]) == 0
+        capsys.readouterr()
+        assert main(["inspect", str(batch), "--key", "nope"]) == 2
+        assert "no entry" in capsys.readouterr().err
+
+
 class TestExperimentsCommand:
     def test_list(self, capsys):
         assert main(["experiments", "--list"]) == 0

@@ -1,0 +1,267 @@
+"""Container v2 + lazy-reader unit tests.
+
+Contracts under test:
+
+* v2 blobs round-trip (``to_bytes → from_bytes → to_bytes`` byte-stable)
+  and v1 writing is still available (``container_version=1``), also
+  byte-stable — mixed-version batch archives included;
+* :class:`LazyCompressedDataset` opens bytes, files, and archive members
+  without reading any payload, serves parts on demand, and logs every
+  fetch (the accounting partial-decode proofs rely on);
+* corrupt/truncated inputs fail loudly, not with garbage data.
+"""
+
+from __future__ import annotations
+
+import io
+
+import numpy as np
+import pytest
+
+from repro.core.container import (
+    CompressedDataset,
+    LazyCompressedDataset,
+    pack_mask,
+)
+from repro.engine import BatchArchive, LazyBatchArchive
+from tests.helpers import two_level_dataset
+
+
+@pytest.fixture(scope="module")
+def sample() -> CompressedDataset:
+    comp = CompressedDataset(
+        method="tac",
+        dataset_name="toy",
+        meta={"shapes": [[4, 4, 4]], "levels": []},
+        original_bytes=1024,
+        n_values=64,
+    )
+    comp.parts["L0/layout"] = b"layout-bytes"
+    comp.parts["L0/g0"] = b"group-zero-payload"
+    comp.parts["mask/L0"] = pack_mask(np.ones((4, 4, 4), dtype=bool))
+    return comp
+
+
+class TestContainerV2:
+    def test_v2_roundtrip_byte_stable(self, sample):
+        blob = sample.to_bytes()
+        back = CompressedDataset.from_bytes(blob)
+        assert back.container_version == 2
+        assert back.parts == sample.parts
+        assert back.meta == sample.meta
+        assert back.to_bytes() == blob
+
+    def test_v1_still_writable_and_byte_stable(self, sample):
+        sample_v1 = CompressedDataset(
+            method=sample.method,
+            dataset_name=sample.dataset_name,
+            parts=dict(sample.parts),
+            meta=sample.meta,
+            original_bytes=sample.original_bytes,
+            n_values=sample.n_values,
+            container_version=1,
+        )
+        blob = sample_v1.to_bytes()
+        back = CompressedDataset.from_bytes(blob)
+        assert back.container_version == 1
+        assert back.parts == sample.parts
+        assert back.to_bytes() == blob
+
+    def test_versions_carry_identical_parts(self, sample):
+        v2 = sample.to_bytes()
+        sample_v1 = CompressedDataset.from_bytes(v2)
+        sample_v1.container_version = 1
+        v1 = sample_v1.to_bytes()
+        assert v1 != v2
+        assert CompressedDataset.from_bytes(v1).parts == CompressedDataset.from_bytes(v2).parts
+
+    def test_unknown_version_rejected(self, sample):
+        blob = bytearray(sample.to_bytes())
+        blob[4] = 99
+        with pytest.raises(ValueError, match="unsupported container version"):
+            CompressedDataset.from_bytes(bytes(blob))
+        with pytest.raises(ValueError, match="unsupported container version"):
+            CompressedDataset(method="x", dataset_name="y", container_version=7).to_bytes()
+
+    def test_trailing_bytes_rejected(self, sample):
+        with pytest.raises(ValueError, match="trailing"):
+            CompressedDataset.from_bytes(sample.to_bytes() + b"extra")
+
+    def test_foreign_blob_rejected(self):
+        with pytest.raises(ValueError, match="not a CompressedDataset"):
+            CompressedDataset.from_bytes(b"JUNKJUNKJUNKJUNK")
+
+
+class TestLazyCompressedDataset:
+    @pytest.fixture(scope="class", params=[1, 2], ids=["v1", "v2"])
+    def blob(self, request, sample):
+        comp = CompressedDataset.from_bytes(sample.to_bytes())
+        comp.container_version = request.param
+        return comp.to_bytes()
+
+    def test_header_without_payload_reads(self, blob, sample):
+        lazy = LazyCompressedDataset.open(blob)
+        assert lazy.method == "tac"
+        assert lazy.dataset_name == "toy"
+        assert lazy.meta == sample.meta
+        assert lazy.part_sizes() == sample.part_sizes()
+        assert lazy.compressed_bytes() == sample.compressed_bytes()
+        assert lazy.compressed_bytes(include_masks=False) == sample.compressed_bytes(
+            include_masks=False
+        )
+        assert "L0/g0" in lazy.parts  # membership probes read nothing
+        assert lazy.parts.accessed() == set()
+        assert lazy.parts.bytes_read == 0
+
+    def test_parts_served_on_demand_and_logged(self, blob, sample):
+        lazy = LazyCompressedDataset.open(blob)
+        assert lazy.parts["L0/g0"] == sample.parts["L0/g0"]
+        assert lazy.parts.accessed() == {"L0/g0"}
+        assert lazy.parts.bytes_read == len(sample.parts["L0/g0"])
+        assert lazy.parts["L0/g0"] == sample.parts["L0/g0"]
+        assert lazy.parts.access_counts["L0/g0"] == 2
+        lazy.parts.reset_access_log()
+        assert lazy.parts.n_reads == 0
+
+    def test_materialize_matches_eager(self, blob):
+        lazy = LazyCompressedDataset.open(blob)
+        eager = CompressedDataset.from_bytes(blob)
+        materialized = lazy.materialize()
+        assert materialized.parts == eager.parts
+        assert materialized.to_bytes() == blob
+
+    def test_open_from_file_and_fileobj(self, blob, tmp_path):
+        path = tmp_path / "blob.rpam"
+        path.write_bytes(blob)
+        with LazyCompressedDataset.open(path) as lazy:
+            assert lazy.parts["L0/layout"] == b"layout-bytes"
+        with LazyCompressedDataset.open(io.BytesIO(blob)) as lazy:
+            assert lazy.parts["L0/layout"] == b"layout-bytes"
+
+    def test_unknown_part_raises(self, blob):
+        lazy = LazyCompressedDataset.open(blob)
+        with pytest.raises(KeyError):
+            lazy.parts["nope"]
+
+    def test_truncated_blob_fails_loudly(self, blob):
+        lazy = LazyCompressedDataset.open(blob[:-5])
+        with pytest.raises(ValueError, match="read past end|short read"):
+            lazy.parts["mask/L0"]  # last part's payload is cut off
+
+    def test_unsupported_source_type(self):
+        with pytest.raises(TypeError, match="byte source"):
+            LazyCompressedDataset.open(12345)
+
+
+class TestArchiveVersions:
+    @pytest.fixture(scope="class")
+    def archive(self) -> BatchArchive:
+        ds = two_level_dataset(n=8, fine_fraction=0.3, seed=3)
+        from repro.engine import get_codec
+
+        archive = BatchArchive(meta={"purpose": "v2-test"})
+        for codec_name in ("tac", "1d"):
+            comp = get_codec(codec_name).compress(ds, 1e-3, mode="abs")
+            archive.add(f"toy/{codec_name}", comp)
+        return archive
+
+    def test_v2_roundtrip_byte_stable(self, archive):
+        blob = archive.to_bytes()
+        back = BatchArchive.from_bytes(blob)
+        assert back.version == 2
+        assert back.to_bytes() == blob
+
+    def test_v1_roundtrip_byte_stable(self, archive):
+        archive_v1 = BatchArchive.from_bytes(archive.to_bytes())
+        archive_v1.version = 1
+        for comp in archive_v1.entries.values():
+            comp.container_version = 1
+        blob = archive_v1.to_bytes()
+        back = BatchArchive.from_bytes(blob)
+        assert back.version == 1
+        assert back.to_bytes() == blob
+
+    def test_mixed_entry_versions_roundtrip(self, archive):
+        mixed = BatchArchive.from_bytes(archive.to_bytes())
+        mixed.get("toy/1d").container_version = 1
+        blob = mixed.to_bytes()
+        back = BatchArchive.from_bytes(blob)
+        assert back.get("toy/1d").container_version == 1
+        assert back.get("toy/tac").container_version == 2
+        assert back.to_bytes() == blob
+
+    def test_lazy_open_both_versions(self, archive):
+        for version in (1, 2):
+            eager = BatchArchive.from_bytes(archive.to_bytes())
+            eager.version = version
+            for comp in eager.entries.values():
+                comp.container_version = version
+            blob = eager.to_bytes()
+            with LazyBatchArchive.open(blob) as lazy:
+                assert lazy.version == version
+                assert sorted(lazy.keys()) == sorted(eager.keys())
+                entry = lazy.entry("toy/tac")
+                assert entry.part_sizes() == eager.get("toy/tac").part_sizes()
+                restored = lazy.decompress("toy/tac")
+                reference = eager.decompress("toy/tac")
+                for a, b in zip(reference.levels, restored.levels):
+                    assert np.array_equal(a.data, b.data)
+
+    def test_lazy_missing_entry(self, archive):
+        with LazyBatchArchive.open(archive.to_bytes()) as lazy:
+            with pytest.raises(KeyError, match="no entry"):
+                lazy.entry("nope")
+
+    def test_lazy_rejects_foreign_blobs(self):
+        with pytest.raises(ValueError, match="not a BatchArchive"):
+            LazyBatchArchive.open(b"junkjunkjunkjunk")
+
+    def test_partial_reads_reject_non_partial_codecs(self, archive):
+        """A Codec-protocol-only downstream codec fails with a clear
+        error on decompress_level and degrades to serial on workers."""
+        from repro.amr.hierarchy import AMRDataset
+        from repro.core.container import CompressedDataset
+        from repro.engine import register, unregister
+
+        @register("blobonly", method_name="blobonly", description="test only")
+        class BlobOnlyCodec:
+            method_name = "blobonly"
+
+            def compress(self, dataset, error_bound, mode="rel"):
+                raise NotImplementedError
+
+            def decompress(self, comp, structure=None):
+                import numpy as _np
+                from repro.amr.hierarchy import AMRLevel
+
+                shape = tuple(comp.meta["shapes"][0])
+                lvl = AMRLevel(
+                    data=_np.zeros(shape, dtype=_np.float32),
+                    mask=_np.ones(shape, dtype=bool),
+                    level=0,
+                )
+                return AMRDataset(levels=[lvl], name="blob")
+
+        try:
+            stored = BatchArchive(meta={})
+            stored.add(
+                "x",
+                CompressedDataset(
+                    method="blobonly", dataset_name="x",
+                    meta={"shapes": [[4, 4, 4]]},
+                ),
+            )
+            # decode_workers degrades to the serial path, no TypeError.
+            restored = stored.decompress("x", decode_workers=4)
+            assert restored.n_levels == 1
+            with pytest.raises(TypeError, match="partial"):
+                stored.decompress_level("x", 0)
+        finally:
+            unregister("blobonly")
+
+    def test_entry_sizes_match_manifest(self, archive):
+        blob = archive.to_bytes()
+        with LazyBatchArchive.open(blob) as lazy:
+            sizes = lazy.entry_sizes()
+            for key in archive.keys():
+                assert sizes[key] == len(archive.get(key).to_bytes())

@@ -1,18 +1,24 @@
 """Golden-format regression: stored archives must stay readable, byte-stable.
 
-``tests/data/golden_batch.rpbt`` is a checked-in batch archive holding
-the fully analytic :func:`tests.helpers.golden_dataset` compressed by all
-four registry codecs (``tests/data/make_golden.py`` regenerates it).  The
-assertions pin the container contract future refactors must keep:
+``tests/data/golden_batch.rpbt`` (wire version 1) and
+``tests/data/golden_batch_v2.rpbt`` (version 2, part/entry-indexed) are
+checked-in batch archives holding the fully analytic
+:func:`tests.helpers.golden_dataset` compressed by all four registry
+codecs (``tests/data/make_golden.py`` regenerates them).  The assertions
+pin the container contract future refactors must keep:
 
 * the bytes parse (no silent format break for existing stored archives);
-* parse → re-serialize reproduces the identical bytes;
+* parse → re-serialize reproduces the identical bytes — for *both*
+  versions (a blob remembers the version it was stored in);
 * the manifest matches what was recorded at fixture-creation time;
 * every entry still decompresses to the recorded values and honours the
-  recorded error bound against the analytically regenerated original.
+  recorded error bound against the analytically regenerated original;
+* the lazy readers (:class:`~repro.engine.LazyBatchArchive`,
+  :class:`~repro.core.container.LazyCompressedDataset`) see the same
+  entries and decode to the same values as the eager path.
 
-If a format change is intentional, bump the container version, keep a
-reader for version 1, and only then regenerate the fixture.
+If a format change is intentional, bump the container version, keep
+readers for every older version, and only then regenerate the fixtures.
 """
 
 from __future__ import annotations
@@ -24,20 +30,30 @@ from pathlib import Path
 import numpy as np
 import pytest
 
-from repro.engine import BatchArchive, is_batch_archive
+from repro.engine import BatchArchive, LazyBatchArchive, is_batch_archive
 from tests.helpers import assert_error_bounded, golden_dataset
 
 DATA = Path(__file__).parent / "data"
 
+FIXTURES = {
+    1: "golden_batch",
+    2: "golden_batch_v2",
+}
+
+
+@pytest.fixture(scope="module", params=sorted(FIXTURES), ids=lambda v: f"v{v}")
+def fixture_version(request) -> int:
+    return request.param
+
 
 @pytest.fixture(scope="module")
-def golden_blob() -> bytes:
-    return (DATA / "golden_batch.rpbt").read_bytes()
+def golden_blob(fixture_version) -> bytes:
+    return (DATA / f"{FIXTURES[fixture_version]}.rpbt").read_bytes()
 
 
 @pytest.fixture(scope="module")
-def expected() -> dict:
-    return json.loads((DATA / "golden_batch.json").read_text())
+def expected(fixture_version) -> dict:
+    return json.loads((DATA / f"{FIXTURES[fixture_version]}.json").read_text())
 
 
 class TestGoldenFormat:
@@ -49,6 +65,12 @@ class TestGoldenFormat:
     def test_magic_sniff(self, golden_blob):
         assert is_batch_archive(golden_blob)
         assert not is_batch_archive(b"PK\x03\x04whatever")
+
+    def test_wire_version_preserved(self, golden_blob, fixture_version):
+        archive = BatchArchive.from_bytes(golden_blob)
+        assert archive.version == fixture_version
+        for comp in archive.entries.values():
+            assert comp.container_version == fixture_version
 
     def test_deserialization_is_byte_stable(self, golden_blob):
         archive = BatchArchive.from_bytes(golden_blob)
@@ -86,3 +108,62 @@ class TestGoldenFormat:
             for orig, back in zip(original.levels, restored.levels):
                 assert np.array_equal(orig.mask, back.mask)
                 assert_error_bounded(orig.values(), back.values(), expected["eb"])
+
+    def test_both_fixture_versions_hold_identical_payloads(self):
+        """v1 and v2 differ only in framing — parts and meta are equal."""
+        v1 = BatchArchive.from_bytes((DATA / "golden_batch.rpbt").read_bytes())
+        v2 = BatchArchive.from_bytes((DATA / "golden_batch_v2.rpbt").read_bytes())
+        assert v1.keys() == v2.keys()
+        for key in v1.keys():
+            a, b = v1.get(key), v2.get(key)
+            assert a.meta == b.meta
+            assert list(a.parts) == list(b.parts)
+            for name in a.parts:
+                assert a.parts[name] == b.parts[name]
+
+
+class TestGoldenLazyReaders:
+    def test_lazy_archive_matches_eager(self, golden_blob, expected):
+        eager = BatchArchive.from_bytes(golden_blob)
+        with LazyBatchArchive.open(golden_blob) as lazy:
+            assert lazy.keys() == eager.keys()
+            assert lazy.manifest() == eager.manifest()
+            for key in lazy.keys():
+                a = eager.decompress(key)
+                b = lazy.decompress(key)
+                for la, lb in zip(a.levels, b.levels):
+                    assert np.array_equal(la.data, lb.data)
+                    assert np.array_equal(la.mask, lb.mask)
+
+    def test_lazy_entry_reads_only_itself(self, golden_blob):
+        """Random access: decoding one entry never touches its siblings."""
+        from repro.engine import codec_for_method
+
+        with LazyBatchArchive.open(golden_blob) as lazy:
+            key = "golden/tac"
+            entry = lazy.entry(key)
+            eager_entry = BatchArchive.from_bytes(golden_blob).get(key)
+            assert entry.part_sizes() == eager_entry.part_sizes()
+            codec_for_method(entry.method).decompress(entry)
+            # Decoding went through this entry's logged store, and the
+            # fetched byte total is bounded by this entry alone.
+            assert 0 < entry.parts.bytes_read <= eager_entry.compressed_bytes()
+            assert entry.parts.accessed() <= set(eager_entry.parts)
+
+    def test_entry_close_leaves_archive_usable(self, golden_blob):
+        """An entry's context-manager exit must not poison its siblings
+        (entries share the archive's byte source)."""
+        with LazyBatchArchive.open(golden_blob) as lazy:
+            with lazy.entry("golden/tac") as entry:
+                entry.parts["mask/L0"]
+            restored = lazy.decompress("golden/1d")
+            assert restored.n_levels == 2
+
+    def test_lazy_archive_from_file(self, golden_blob, tmp_path):
+        path = tmp_path / "golden.rpbt"
+        path.write_bytes(golden_blob)
+        with LazyBatchArchive.open(path) as lazy:
+            restored = lazy.decompress("golden/1d")
+            eager = BatchArchive.from_bytes(golden_blob).decompress("golden/1d")
+            for la, lb in zip(eager.levels, restored.levels):
+                assert np.array_equal(la.data, lb.data)
