@@ -1,15 +1,25 @@
 """Micro-benchmarks of the SZ substrate itself (codec throughput).
 
 Not a paper figure — this pins the compressor's own speed so regressions in
-the substrate are visible independently of the TAC pipeline.
+the substrate are visible independently of the TAC pipeline.  Every
+benchmark also emits its best time into ``BENCH_hotpaths.json`` through
+:mod:`benchmarks.perf_harness`, growing the repo's recorded perf
+trajectory.
 """
 
 import numpy as np
 import pytest
 
 from benchmarks.conftest import SCALE
+from benchmarks.perf_harness import merge_write, op_entry
 from repro.sim.nyx import generate_field
 from repro.sz import SZCompressor, SZConfig
+
+
+def emit(benchmark, op: str, n_values: int, nbytes: int | None = None) -> None:
+    """Record a pytest-benchmark result in the shared perf trajectory."""
+    seconds = benchmark.stats.stats.min
+    merge_write({op: op_entry(seconds, n_values, nbytes)}, scale=SCALE)
 
 
 @pytest.fixture(scope="module")
@@ -24,6 +34,7 @@ def bench_sz_compress(benchmark, field, predictor):
     blob = benchmark(codec.compress, field, 1e-3, "rel")
     benchmark.extra_info["ratio"] = round(field.nbytes / len(blob), 2)
     benchmark.extra_info["mb"] = round(field.nbytes / 1e6, 1)
+    emit(benchmark, f"pytest_sz_compress_{predictor}", field.size, field.nbytes)
 
 
 @pytest.mark.parametrize("predictor", ["interp", "lorenzo"])
@@ -32,6 +43,7 @@ def bench_sz_decompress(benchmark, field, predictor):
     blob = codec.compress(field, 1e-3, "rel")
     out = benchmark(codec.decompress, blob)
     assert out.shape == field.shape
+    emit(benchmark, f"pytest_sz_decompress_{predictor}", field.size, field.nbytes)
 
 
 def bench_sz_huffman_decode(benchmark):
@@ -44,3 +56,4 @@ def bench_sz_huffman_decode(benchmark):
     encoded = codec.encode(symbols)
     decoded = benchmark(codec.decode, encoded)
     assert np.array_equal(decoded, symbols)
+    emit(benchmark, "pytest_huffman_decode", symbols.size, symbols.size * 8)

@@ -1,0 +1,367 @@
+"""Shared perf-regression harness for the SZ/TAC hot paths.
+
+This is the machine-readable perf trajectory of the repo: every op is
+timed at a pinned scale, recorded as ``op → {seconds, mb_per_s,
+n_values}``, and merged into ``BENCH_hotpaths.json`` at the repo root.
+Re-running after a change (or in CI's ``perf-smoke`` job) makes speedups
+measurable and regressions loud — the ``--baseline`` mode fails the run
+when any op is slower than a checked-in reference by more than
+``--max-slowdown`` (a generous factor, to tolerate runner jitter).
+
+Three ways in:
+
+* **CLI** — ``PYTHONPATH=src python benchmarks/perf_harness.py
+  [--scale 4] [--ops huffman_decode,tac_compress] [--baseline FILE]``;
+* **pytest emitters** — ``bench_sz_codec.py`` / ``bench_table2_throughput.py``
+  call :func:`merge_write` so the pytest-benchmark runs land in the same
+  JSON trajectory;
+* **library** — :func:`time_op` + :func:`merge_write` for new benchmarks.
+
+Op workloads are pinned (fixed seeds, scale-derived sizes) so numbers are
+comparable across commits at the same ``--scale``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+DEFAULT_OUTPUT = REPO_ROOT / "BENCH_hotpaths.json"
+
+#: Version of the ``BENCH_hotpaths.json`` layout.
+SCHEMA_VERSION = 1
+
+#: JSON key reserved for run metadata (everything else is an op entry).
+META_KEY = "_meta"
+
+
+# ----------------------------------------------------------------------
+# measurement + persistence primitives
+# ----------------------------------------------------------------------
+def time_op(fn, repeats: int = 3) -> float:
+    """Best-of-``repeats`` wall time of ``fn()`` in seconds."""
+    best = float("inf")
+    for _ in range(max(1, repeats)):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def op_entry(seconds: float, n_values: int, nbytes: int | None = None) -> dict:
+    """One schema entry: seconds, MB/s over the op's input, value count."""
+    if nbytes is None:
+        nbytes = 0
+    return {
+        "seconds": round(float(seconds), 6),
+        "mb_per_s": round(nbytes / 1e6 / seconds, 3) if seconds > 0 and nbytes else None,
+        "n_values": int(n_values),
+    }
+
+
+def merge_write(results: dict, path: Path | str = DEFAULT_OUTPUT, **meta) -> Path:
+    """Merge op entries into the JSON trajectory file (create if absent).
+
+    Existing entries for other ops are preserved, so the CLI suite and the
+    pytest emitters can each contribute their slice of the trajectory.
+    """
+    path = Path(path)
+    existing: dict = {}
+    if path.exists():
+        try:
+            existing = json.loads(path.read_text())
+        except (ValueError, OSError):
+            existing = {}
+    existing_meta = existing.get(META_KEY, {})
+    existing.update(results)
+    existing_meta.update(
+        {
+            "schema": SCHEMA_VERSION,
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+        }
+    )
+    existing_meta.update(meta)
+    existing[META_KEY] = existing_meta
+    path.write_text(json.dumps(existing, indent=1, sort_keys=True) + "\n")
+    return path
+
+
+def compare_to_baseline(
+    results: dict, baseline: dict, max_slowdown: float, min_delta: float = 0.005
+) -> list[str]:
+    """Regression report: ops slower than ``baseline * max_slowdown``.
+
+    Only ops present in both records are compared; returns one message per
+    offending op (empty list = pass).  ``min_delta`` (seconds) is absolute
+    slack on top of the ratio so sub-millisecond smoke-scale ops can't trip
+    the gate on scheduler jitter alone.
+    """
+    failures = []
+    for op, entry in sorted(results.items()):
+        if op == META_KEY or not isinstance(entry, dict):
+            continue
+        ref = baseline.get(op)
+        if not isinstance(ref, dict) or "seconds" not in ref:
+            continue
+        ref_s = float(ref["seconds"])
+        now_s = float(entry["seconds"])
+        if ref_s > 0 and now_s > ref_s * max_slowdown + min_delta:
+            failures.append(
+                f"{op}: {now_s:.6f}s vs baseline {ref_s:.6f}s "
+                f"({now_s / ref_s:.2f}x > {max_slowdown:.2f}x allowed)"
+            )
+    return failures
+
+
+# ----------------------------------------------------------------------
+# the pinned op suite
+# ----------------------------------------------------------------------
+def _huffman_ops(scale: int, repeats: int) -> dict:
+    from repro.sz.huffman import HuffmanCodec
+
+    n = max(2_000_000 // scale, 50_000)
+    rng = np.random.default_rng(0)
+    symbols = np.clip(rng.geometric(0.3, size=n) + 4096 - 1, 0, 8192)
+    codec = HuffmanCodec.from_symbols(symbols, alphabet_size=8193)
+    encoded = codec.encode(symbols)
+    codec.decode(encoded)  # warm the decode table
+    nbytes = symbols.size * 8
+    ops = {
+        "huffman_encode": op_entry(
+            time_op(lambda: codec.encode(symbols), repeats), n, nbytes
+        ),
+        "huffman_decode": op_entry(
+            time_op(lambda: codec.decode(encoded), repeats), n, nbytes
+        ),
+    }
+    # Ragged tail: a stream length far from a block multiple exercises the
+    # active-lane schedule of the lockstep decoder.
+    ragged = symbols[: n - n // 9 * 4 - 223]
+    codec_r = HuffmanCodec.from_symbols(ragged, alphabet_size=8193)
+    enc_r = codec_r.encode(ragged, block_size=4096)
+    codec_r.decode(enc_r)
+    ops["huffman_decode_ragged"] = op_entry(
+        time_op(lambda: codec_r.decode(enc_r), repeats), ragged.size, ragged.size * 8
+    )
+
+    def table_build():
+        fresh = HuffmanCodec(codec.lengths, max_len=codec.max_len)
+        fresh._build_table()
+
+    ops["huffman_table_build"] = op_entry(
+        time_op(table_build, max(repeats, 10)), 1 << codec.max_len
+    )
+    return ops
+
+
+def _blocks_ops(scale: int, repeats: int) -> dict:
+    from repro.core.blocks import BlockExtraction, block_counts, gather_blocks
+
+    n = max(512 // scale, 32)
+    rng = np.random.default_rng(1)
+    data = rng.standard_normal((n, n, n)).astype(np.float32)
+    grid = np.arange(0, n, 4, dtype=np.int32)
+    origins = np.stack(
+        [g.ravel() for g in np.meshgrid(grid, grid, grid, indexing="ij")], axis=1
+    )
+    shape = (4, 4, 4)
+    stacked = gather_blocks(data, origins, shape)
+    extraction = BlockExtraction(
+        padded_shape=data.shape, orig_shape=data.shape, block_size=4
+    )
+    extraction.coords[shape] = origins
+    extraction.perms[shape] = np.zeros(origins.shape[0], dtype=np.uint8)
+    out = np.zeros_like(data)
+    mask = rng.random((n, n, n)) < 0.4
+    return {
+        "gather_blocks": op_entry(
+            time_op(lambda: gather_blocks(data, origins, shape), repeats),
+            data.size,
+            data.nbytes,
+        ),
+        "scatter_blocks": op_entry(
+            time_op(lambda: extraction.scatter_group(shape, stacked, out), repeats),
+            data.size,
+            data.nbytes,
+        ),
+        "block_counts": op_entry(
+            time_op(lambda: block_counts(mask, 16), repeats), mask.size, mask.size
+        ),
+    }
+
+
+def _sz_ops(scale: int, repeats: int) -> dict:
+    from repro.sim.nyx import generate_field
+    from repro.sz import SZCompressor, SZConfig
+
+    n = max(512 // scale, 32)
+    field = generate_field("baryon_density", n, seed=42)
+    ops = {}
+    for predictor in ("interp", "lorenzo"):
+        codec = SZCompressor(SZConfig(predictor=predictor))
+        ops[f"sz_compress_{predictor}"] = op_entry(
+            time_op(lambda: codec.compress(field, 1e-3, "rel"), repeats),
+            field.size,
+            field.nbytes,
+        )
+        blob = codec.compress(field, 1e-3, "rel")
+        ops[f"sz_decompress_{predictor}"] = op_entry(
+            time_op(lambda: codec.decompress(blob), repeats), field.size, field.nbytes
+        )
+    return ops
+
+
+def _codec_ops(scale: int, repeats: int) -> dict:
+    """Compress / decompress / preprocess per registered paper codec."""
+    from repro.engine.registry import get_codec
+    from repro.sim.datasets import make_dataset
+    from repro.utils.timer import TimingRecord
+
+    dataset = make_dataset("Run1_Z3", scale=scale)
+    nbytes = dataset.original_bytes()
+    n_values = dataset.total_points()
+    ops = {}
+    for name in ("tac", "1d", "zmesh", "3d"):
+        codec = get_codec(name)
+        ops[f"{name}_compress"] = op_entry(
+            time_op(lambda: codec.compress(dataset, 1e-4, mode="rel"), repeats),
+            n_values,
+            nbytes,
+        )
+        comp = codec.compress(dataset, 1e-4, mode="rel")
+        ops[f"{name}_decompress"] = op_entry(
+            time_op(lambda: codec.decompress(comp), repeats), n_values, nbytes
+        )
+    # Pre-process share of a TAC compress (the paper's Fig. 13 quantity).
+    record = TimingRecord()
+    get_codec("tac").compress(dataset, 1e-4, mode="rel", timings=record)
+    ops["tac_preprocess"] = op_entry(record.get("preprocess"), n_values, nbytes)
+    return ops
+
+
+OP_GROUPS = {
+    "huffman": _huffman_ops,
+    "blocks": _blocks_ops,
+    "sz": _sz_ops,
+    "codecs": _codec_ops,
+}
+
+
+#: Op names each group can emit, for ``--ops`` selection without running
+#: the group first (codecs additionally has dynamic per-codec names).
+GROUP_OPS = {
+    "huffman": ("huffman_encode", "huffman_decode", "huffman_decode_ragged", "huffman_table_build"),
+    "blocks": ("gather_blocks", "scatter_blocks", "block_counts"),
+    "sz": tuple(f"sz_{op}_{p}" for op in ("compress", "decompress") for p in ("interp", "lorenzo")),
+    "codecs": tuple(
+        f"{c}_{op}" for c in ("tac", "1d", "zmesh", "3d") for op in ("compress", "decompress")
+    ) + ("tac_preprocess",),
+}
+
+
+def run_suite(scale: int = 4, repeats: int = 3, ops: set[str] | None = None) -> dict:
+    """Time every (selected) op group at the pinned scale.
+
+    ``ops`` may name groups (``huffman``) or individual ops
+    (``tac_compress``).  Selection is *group-granular*: naming any op runs
+    that op's whole group (group setup dominates the cost anyway) and then
+    records only the selected entries; groups with no selected op are
+    never executed.
+    """
+    if ops is not None:
+        known = set(OP_GROUPS) | {op for names in GROUP_OPS.values() for op in names}
+        unknown = ops - known
+        if unknown:
+            raise ValueError(
+                f"unknown ops {sorted(unknown)}; choose groups {sorted(OP_GROUPS)} "
+                f"or ops {sorted(known - set(OP_GROUPS))}"
+            )
+    results: dict = {}
+    for group, runner in OP_GROUPS.items():
+        if ops is not None and group not in ops and not (ops & set(GROUP_OPS[group])):
+            continue
+        group_results = runner(scale, repeats)
+        if ops is not None:
+            group_results = {
+                op: entry
+                for op, entry in group_results.items()
+                if op in ops or group in ops
+            }
+        results.update(group_results)
+    return results
+
+
+# ----------------------------------------------------------------------
+# CLI
+# ----------------------------------------------------------------------
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Time SZ/TAC hot paths and maintain BENCH_hotpaths.json"
+    )
+    parser.add_argument("--scale", type=int, default=4, help="grid divisor (power of two)")
+    parser.add_argument("--repeats", type=int, default=3, help="best-of repeats per op")
+    parser.add_argument(
+        "--ops", default=None,
+        help="comma-separated op or group names to run (default: all; "
+             "group-granular — naming an op runs its whole group, records "
+             "only the selection)",
+    )
+    parser.add_argument(
+        "-o", "--output", type=Path, default=DEFAULT_OUTPUT,
+        help=f"trajectory JSON to merge into (default {DEFAULT_OUTPUT})",
+    )
+    parser.add_argument(
+        "--baseline", type=Path, default=None,
+        help="reference JSON; fail when any shared op regresses past --max-slowdown",
+    )
+    parser.add_argument(
+        "--max-slowdown", type=float, default=2.0,
+        help="allowed seconds ratio vs baseline (default 2.0 — runner jitter headroom)",
+    )
+    parser.add_argument(
+        "--min-delta", type=float, default=0.005,
+        help="absolute slack in seconds on top of the ratio (shields tiny "
+             "smoke-scale ops and cross-machine speed differences)",
+    )
+    args = parser.parse_args(argv)
+
+    wanted = {op for op in args.ops.split(",") if op} if args.ops else None
+    try:
+        results = run_suite(scale=args.scale, repeats=args.repeats, ops=wanted)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if not results:
+        print("error: --ops selected nothing to run", file=sys.stderr)
+        return 2
+    path = merge_write(results, args.output, scale=args.scale, repeats=args.repeats)
+    width = max(len(op) for op in results)
+    for op, entry in sorted(results.items()):
+        rate = f"{entry['mb_per_s']:>10.1f} MB/s" if entry["mb_per_s"] else " " * 15
+        print(f"{op:<{width}}  {entry['seconds']:>10.6f}s {rate}")
+    print(f"wrote {path} ({len(results)} ops)")
+
+    if args.baseline is not None:
+        baseline = json.loads(Path(args.baseline).read_text())
+        failures = compare_to_baseline(
+            results, baseline, args.max_slowdown, min_delta=args.min_delta
+        )
+        if failures:
+            print("PERF REGRESSION:", file=sys.stderr)
+            for line in failures:
+                print(f"  {line}", file=sys.stderr)
+            return 1
+        print(f"baseline check ok (max allowed slowdown {args.max_slowdown}x)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -81,6 +81,10 @@ def build_parser() -> argparse.ArgumentParser:
         help="per-level error-bound multipliers, finest first (e.g. 3 1)",
     )
     p_comp.add_argument("--predictor", choices=["interp", "lorenzo"], default="interp")
+    p_comp.add_argument(
+        "--profile", action="store_true",
+        help="print the per-stage timing breakdown (predict/encode/lossless/...)",
+    )
 
     p_dec = sub.add_parser("decompress", help="restore an AMR .npz from an archive")
     p_dec.add_argument("path", type=Path)
@@ -141,6 +145,10 @@ def build_parser() -> argparse.ArgumentParser:
         "--level-workers", type=int, default=1,
         help="parallel AMR levels inside each TAC job",
     )
+    p_batch.add_argument(
+        "--profile", action="store_true",
+        help="print the per-stage timing breakdown aggregated over all jobs",
+    )
 
     sub.add_parser("codecs", help="list registered codecs")
 
@@ -196,6 +204,18 @@ def cmd_info(args) -> int:
     return 0
 
 
+def _print_profile(record, indent: str = "") -> None:
+    """Per-stage wall-time breakdown of a codec's TimingRecord."""
+    total = record.total()
+    if not record.spans:
+        print(f"{indent}profile     : no stage timings recorded")
+        return
+    print(f"{indent}profile     : {total:.3f}s total")
+    for name, seconds in sorted(record.spans.items(), key=lambda kv: -kv[1]):
+        share = 100.0 * seconds / total if total else 0.0
+        print(f"{indent}  {name:16s} {seconds:9.4f}s {share:5.1f}%")
+
+
 def cmd_compress(args) -> int:
     dataset = load_dataset(args.path)
     try:
@@ -218,6 +238,8 @@ def cmd_compress(args) -> int:
     print(f"bit rate    : {compressed.bit_rate():.3f} bits/value")
     for name, size in sorted(compressed.part_sizes().items()):
         print(f"  {name:16s} {size} B")
+    if args.profile:
+        _print_profile(compressed.timings)
     print(f"wrote {args.output}")
     return 0
 
@@ -425,6 +447,8 @@ def cmd_batch(args) -> int:
         print(f"error: {len(batch.failures)}/{len(batch)} jobs failed; "
               "no archive written", file=sys.stderr)
         return 1
+    if args.profile:
+        _print_profile(batch.timings())
     archive = batch.to_archive(
         tool="repro batch", method=args.method, eb=args.eb, mode=args.mode
     )

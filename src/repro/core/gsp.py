@@ -117,8 +117,6 @@ def gsp_pad(
 
     accum = np.zeros(n, dtype=np.float64)
     count = np.zeros(n, dtype=np.int32)
-    # Per-cell offset within its unit block, for slab selection per face.
-    local = [np.arange(n[axis]) % block_size for axis in range(3)]
 
     for axis, sign in _FACES:
         # Empty blocks whose (axis, sign) neighbour is non-empty.
@@ -145,27 +143,25 @@ def gsp_pad(
         recipients &= valid_block
         if not recipients.any():
             continue
-        # Expand to cells: recipient slab of thickness x_layers on the side
-        # facing the neighbour.
-        cell_recipient = np.repeat(
-            np.repeat(np.repeat(recipients, block_size, 0), block_size, 1),
-            block_size,
-            2,
-        )
-        cell_value = np.repeat(
-            np.repeat(np.repeat(ghost_block, block_size, 0), block_size, 1),
-            block_size,
-            2,
-        )
+        # Write each recipient block's facing slab (thickness x_layers)
+        # through one batched fancy-indexed accumulate — only recipient
+        # cells are touched, instead of expanding whole block grids to cell
+        # resolution.  Recipient blocks are distinct within a face, so the
+        # slab cells are disjoint and a plain ``+=`` is exact.
+        bx, by, bz = (idx.astype(np.int64) for idx in np.nonzero(recipients))
+        vals = ghost_block[recipients]
         if sign > 0:  # neighbour is at higher index: pad the block's top slab
-            in_slab = local[axis] >= block_size - x_layers
+            slab = np.arange(block_size - x_layers, block_size, dtype=np.int64)
         else:
-            in_slab = local[axis] < x_layers
-        shape_ax = [1, 1, 1]
-        shape_ax[axis] = n[axis]
-        slab_mask = cell_recipient & in_slab.reshape(shape_ax)
-        accum[slab_mask] += cell_value[slab_mask]
-        count[slab_mask] += 1
+            slab = np.arange(0, x_layers, dtype=np.int64)
+        full = np.arange(block_size, dtype=np.int64)
+        spans = [full, full, full]
+        spans[axis] = slab
+        ix = (bx[:, None] * block_size + spans[0])[:, :, None, None]
+        iy = (by[:, None] * block_size + spans[1])[:, None, :, None]
+        iz = (bz[:, None] * block_size + spans[2])[:, None, None, :]
+        accum[ix, iy, iz] += vals[:, None, None, None]
+        count[ix, iy, iz] += 1
 
     pad_mask = count > 0
     padded = values.astype(np.float64)

@@ -90,12 +90,15 @@ def _box(table, x0, y0, z0, x1, y1, z1):
     )
 
 
-def _recompute_window(bs, occ, table, lo, hi, cap) -> None:
+def _recompute_window(bs, occ, lo, hi, cap) -> None:
     """Re-run the BS erosion for anchors in the window ``[lo, hi)``.
 
     Only anchors at indices >= the extraction origin and within ``cap``
     (the paper's ``maxSide``) of it can change, so the window is bounded
-    regardless of grid size.
+    regardless of grid size.  The box queries only reach ``cap`` blocks
+    before the window, so a *local* integral image over that support
+    region replaces the full-grid rebuild the caller used to pay for
+    after every extraction.
     """
     xs = np.arange(lo[0], hi[0])
     ys = np.arange(lo[1], hi[1])
@@ -104,20 +107,30 @@ def _recompute_window(bs, occ, table, lo, hi, cap) -> None:
         return
     window_occ = occ[lo[0] : hi[0], lo[1] : hi[1], lo[2] : hi[2]]
     new_bs = window_occ.astype(np.int32)
-    x1 = xs[:, None, None] + 1
-    y1 = ys[None, :, None] + 1
-    z1 = zs[None, None, :] + 1
+    # Support region of every query box: anchors' far corners lie in
+    # (lo, hi]; near corners reach back at most cap-1 blocks.
+    base = tuple(max(lo[d] + 1 - cap, 0) for d in range(3))
+    table = integral_image(
+        occ[base[0] : hi[0], base[1] : hi[1], base[2] : hi[2]]
+    )
+    x1 = xs[:, None, None] + 1 - base[0]
+    y1 = ys[None, :, None] + 1 - base[1]
+    z1 = zs[None, None, :] + 1 - base[2]
     for s in range(2, cap + 1):
         x0 = x1 - s
         y0 = y1 - s
         z0 = z1 - s
-        valid = (x0 >= 0) & (y0 >= 0) & (z0 >= 0)
+        # Global-coordinate validity: the box must start inside the grid.
+        valid = (x0 >= -base[0]) & (y0 >= -base[1]) & (z0 >= -base[2])
         if not valid.any():
             break
         counts = _box(table, np.maximum(x0, 0), np.maximum(y0, 0), np.maximum(z0, 0), x1, y1, z1)
         full = valid & (counts == s**3)
         if not full.any():
-            continue
+            # No s-cube in the window is full, so no larger cube can be
+            # (every full (s+1)-cube contains a full s-cube at the same
+            # far corner) — the erosion is done.
+            break
         new_bs[full] = s
     bs[lo[0] : hi[0], lo[1] : hi[1], lo[2] : hi[2]] = new_bs
 
@@ -134,32 +147,33 @@ def opst_plan(occ: np.ndarray) -> list[tuple[tuple[int, int, int], int]]:
     max_side = int(bs.max(initial=0))
     if max_side == 0:
         return []
-    table = integral_image(occ)
     nb = occ.shape
+    bs_flat = bs.ravel()  # C-order view: cheap per-anchor size lookup
+    stride_x = nb[1] * nb[2]
     cubes: list[tuple[tuple[int, int, int], int]] = []
     # Reverse scan order (Alg. 1 line 11, bottom-right-rear first).  The
     # sorted anchor list is refreshed lazily: anchors whose BS was zeroed by
     # a previous extraction are skipped on visit.
     for flat in range(occ.size - 1, -1, -1):
-        x, y, z = np.unravel_index(flat, nb)
-        size = int(bs[x, y, z])
+        size = int(bs_flat[flat])
         if size < 1:
             continue
+        x, rem = divmod(flat, stride_x)
+        y, z = divmod(rem, nb[2])
         origin = (x - size + 1, y - size + 1, z - size + 1)
         cubes.append((origin, size))
         occ[origin[0] : x + 1, origin[1] : y + 1, origin[2] : z + 1] = False
-        # Integral image refresh: three cumsums over the (small) block grid.
-        table = integral_image(occ)
         bs[origin[0] : x + 1, origin[1] : y + 1, origin[2] : z + 1] = 0
         # Bounded partial update (Alg. 1's updateBs): anchors whose cube
-        # could overlap the removed region.
+        # could overlap the removed region.  The window recompute builds
+        # its own local integral image, so no full-grid refresh is needed.
         lo = origin
         hi = (
             min(origin[0] + size + max_side - 1, nb[0]),
             min(origin[1] + size + max_side - 1, nb[1]),
             min(origin[2] + size + max_side - 1, nb[2]),
         )
-        _recompute_window(bs, occ, table, lo, hi, max_side)
+        _recompute_window(bs, occ, lo, hi, max_side)
     return cubes
 
 

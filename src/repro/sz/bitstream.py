@@ -58,23 +58,26 @@ def pack_codes(codes: np.ndarray, lengths: np.ndarray) -> tuple[bytes, int]:
 
     ends = np.cumsum(lengths)
     total_bits = int(ends[-1])
-    starts = ends - lengths
 
-    nbits_padded = (total_bits + 7) & ~7
-    bits = np.zeros(nbits_padded, dtype=np.uint8)
-    # Scatter bit j of every codeword whose length exceeds j.  At most
-    # ``max_len`` vectorized passes; each pass touches only the symbols that
-    # actually have a j-th bit.
-    for j in range(max_len):
-        mask = lengths > j
-        if not mask.any():
-            break
-        sel_codes = codes[mask]
-        sel_lengths = lengths[mask]
-        # Bit j counts from the MSB end of each codeword.
-        bitvals = (sel_codes >> (sel_lengths - 1 - j).astype(np.uint64)) & np.uint64(1)
-        bits[starts[mask] + j] = bitvals.astype(np.uint8)
-    packed = np.packbits(bits)
+    # One flat pass over the output bits: global bit position ``p`` belongs
+    # to the symbol whose codeword covers it, and its in-codeword shift from
+    # the LSB is ``ends[sym] - 1 - p``.  ``np.repeat`` expands the per-symbol
+    # quantities to bit granularity, so the whole stream packs in a handful
+    # of whole-array operations — O(total_bits), independent of ``max_len``
+    # (the old per-bit-plane loop cost O(n_symbols * max_len)).  int32
+    # arithmetic halves the bandwidth of the two big repeats whenever both
+    # the codes and the bit offsets fit (always, for length-limited codes
+    # on streams under 2**31 bits).
+    dtype = np.int32 if (max_len <= 31 and total_bits <= np.iinfo(np.int32).max) else np.int64
+    shifts = np.repeat(ends.astype(dtype, copy=False), lengths)
+    shifts -= 1
+    shifts -= np.arange(total_bits, dtype=dtype)
+    bitvals = np.repeat(codes.astype(dtype), lengths)
+    bitvals >>= shifts
+    bitvals &= 1
+    # np.packbits zero-pads the final partial byte, matching the explicit
+    # zero bit array this replaces.
+    packed = np.packbits(bitvals.astype(np.uint8))
     return packed.tobytes() + b"\x00" * _PEEK_PAD, total_bits
 
 
@@ -90,6 +93,34 @@ def as_peekable(buffer: bytes | np.ndarray) -> np.ndarray:
     else:
         arr = np.asarray(buffer, dtype=np.uint8)
     return np.concatenate([arr, np.zeros(_PEEK_PAD, dtype=np.uint8)])
+
+
+#: Above this payload size (bytes) :func:`window_words` is skipped and the
+#: decoder falls back to per-round 4-byte gathers — the window array costs
+#: 4 bytes per payload byte, which is fine for group-stream-sized payloads
+#: but not for multi-hundred-MB monolithic streams.
+WINDOW_WORDS_LIMIT = 256 * 1024 * 1024
+
+
+def window_words(buf: np.ndarray) -> np.ndarray:
+    """Big-endian ``uint32`` read of ``buf`` at *every* byte offset.
+
+    ``window_words(buf)[i]`` equals the 32-bit big-endian word starting at
+    byte ``i``, so a fixed-width peek at bit offset ``p`` collapses to one
+    gather: ``(words[p >> 3] << (p & 7)) >> (32 - width)``.  Built once per
+    decode, this replaces the four per-round byte gathers of
+    :func:`peek_bits` with a single one.
+
+    ``buf`` must carry the :data:`_PEEK_PAD` slack (see :func:`as_peekable`).
+    """
+    words = buf[: buf.size - 3].astype(np.uint32)
+    words <<= np.uint32(8)
+    words |= buf[1 : buf.size - 2]
+    words <<= np.uint32(8)
+    words |= buf[2 : buf.size - 1]
+    words <<= np.uint32(8)
+    words |= buf[3:]
+    return words
 
 
 def peek_bits(buf: np.ndarray, bit_offsets: np.ndarray, width: int) -> np.ndarray:

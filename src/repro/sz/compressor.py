@@ -202,10 +202,16 @@ class SZCompressor:
         with timed(timings, "encode"):
             radius = cfg.radius
             escape = 2 * radius
-            symbols = residuals + radius
-            in_range = (symbols >= 0) & (symbols < escape)
-            outliers = residuals[~in_range]
-            symbols = np.where(in_range, symbols, escape)
+            # `residuals` is freshly materialized by the predictor, so the
+            # symbol shift happens in place; escape masking reuses the
+            # in-range mask buffer instead of a second np.where temporary.
+            symbols = residuals
+            symbols += radius
+            out_of_range = symbols < 0
+            out_of_range |= symbols >= escape
+            positions = np.flatnonzero(out_of_range)
+            outliers = symbols[positions] - radius
+            symbols[positions] = escape
             counts = np.bincount(symbols, minlength=escape + 1)
             codec = HuffmanCodec.from_counts(counts, max_len=cfg.max_code_len)
             encoded = codec.encode(symbols, block_size=cfg.block_size)
@@ -317,7 +323,10 @@ class SZCompressor:
             lengths = np.frombuffer(
                 lossless.decompress_bytes(codec_tag, payload), dtype=np.uint8
             )
-            codec = HuffmanCodec(lengths, max_len=meta["max_len"])
+            # Shared LRU codec: the hundreds of per-group streams in one TAC
+            # blob frequently repeat code-length tables, and the dense
+            # decode table is the expensive part of decoder setup.
+            codec = HuffmanCodec.cached(lengths, meta["max_len"])
             codec_tag, payload = parsed.section(stream.SEC_BLOCK_OFFSETS)
             n_blocks = -(-meta["n_symbols"] // meta["block_size"]) if meta["n_symbols"] else 0
             deltas = lossless.unpack_int_array(codec_tag, payload, np.int64, n_blocks)
@@ -331,11 +340,14 @@ class SZCompressor:
                 n_symbols=meta["n_symbols"],
                 block_size=meta["block_size"],
             )
-            symbols = codec.decode(encoded).astype(np.int64)
+            symbols = codec.decode(encoded)
         with timed(timings, "reconstruct"):
             radius = meta["radius"]
             escape = 2 * radius
-            residuals = symbols - radius
+            # Escape positions are found on the compact int32 symbol stream;
+            # the widening to int64 doubles as the shift's working copy.
+            residuals = symbols.astype(np.int64)
+            residuals -= radius
             if meta["n_outliers"]:
                 codec_tag, payload = parsed.section(stream.SEC_OUTLIERS)
                 outliers = lossless.unpack_int_array(codec_tag, payload, np.int64, meta["n_outliers"])

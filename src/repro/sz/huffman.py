@@ -26,14 +26,26 @@ from __future__ import annotations
 
 import heapq
 from dataclasses import dataclass
+from functools import lru_cache
 
 import numpy as np
 
-from repro.sz.bitstream import as_peekable, pack_codes, peek_bits
+from repro.sz.bitstream import (
+    WINDOW_WORDS_LIMIT,
+    as_peekable,
+    pack_codes,
+    peek_bits,
+    window_words,
+)
 
 #: Default cap on codeword length; the decode table is ``2**DEFAULT_MAX_LEN``
-#: entries (65536 at 16 → ~320 KB of int32/uint8 tables).
+#: entries (65536 at 16 → ~768 KB of int32/int64 tables).
 DEFAULT_MAX_LEN = 16
+
+#: Bound on the decoder-codec LRU cache (:meth:`HuffmanCodec.cached`).  At
+#: the default ``max_len=16`` each cached codec holds ~768 KB of decode
+#: tables, so the cache tops out around 24 MB.
+DECODE_CACHE_SIZE = 32
 
 #: Bounds on the adaptive decode block size.
 _MIN_BLOCK = 64
@@ -147,14 +159,22 @@ def canonical_codes(lengths: np.ndarray) -> np.ndarray:
     if present.size == 0:
         return codes
     order = present[np.lexsort((present, lengths[present]))]
+    sorted_lens = lengths[order]
+    max_len = int(sorted_lens[-1])
+    hist = np.bincount(sorted_lens, minlength=max_len + 1)
+    # First canonical code per length via the standard recurrence
+    # ``first[L] = (first[L-1] + hist[L-1]) << 1`` — O(max_len), not O(n).
+    first = np.zeros(max_len + 1, dtype=np.int64)
     code = 0
-    prev_len = int(lengths[order[0]])
-    for sym in order:
-        length = int(lengths[sym])
-        code <<= length - prev_len
-        codes[sym] = code
-        code += 1
-        prev_len = length
+    for length in range(1, max_len + 1):
+        code = (code + int(hist[length - 1])) << 1
+        first[length] = code
+    # Within a length group codes are consecutive; the rank of each symbol
+    # inside its group is its sorted position minus the group's start.
+    group_start = np.concatenate(([0], np.cumsum(hist)))[sorted_lens]
+    codes[order] = (first[sorted_lens] + np.arange(order.size) - group_start).astype(
+        np.uint32
+    )
     return codes
 
 
@@ -208,6 +228,21 @@ class HuffmanCodec:
         counts = np.bincount(np.asarray(symbols, dtype=np.int64), minlength=alphabet_size)
         return cls.from_counts(counts, max_len=max_len)
 
+    @classmethod
+    def cached(cls, code_lengths: np.ndarray, max_len: int) -> "HuffmanCodec":
+        """A shared decoder codec with its decode table already built.
+
+        One TAC blob holds hundreds of small per-group SZ streams, and many
+        of them (near-constant residual blocks especially) carry identical
+        code-length tables — rebuilding the dense ``2**max_len``-entry
+        decode table for each is pure waste.  Codecs returned here are
+        memoized in a bounded LRU (:data:`DECODE_CACHE_SIZE` entries) keyed
+        on the raw length bytes; treat them as immutable.  Inspect with
+        :func:`decode_table_cache_info`.
+        """
+        key = np.ascontiguousarray(code_lengths, dtype=np.uint8).tobytes()
+        return _cached_decoder(key, int(max_len))
+
     # -- stats ----------------------------------------------------------
     def expected_bits(self, counts: np.ndarray) -> int:
         """Exact payload bit count for encoding the histogram ``counts``."""
@@ -237,17 +272,28 @@ class HuffmanCodec:
 
     # -- decode ----------------------------------------------------------
     def _build_table(self) -> None:
-        """Materialize the dense ``2**max_len`` peek → (symbol, len) table."""
+        """Materialize the dense ``2**max_len`` peek → (symbol, len) table.
+
+        Canonical codes occupy a single contiguous run of code space
+        starting at 0 (each code's ``[lo, hi)`` table interval abuts the
+        previous one), so the whole table is two ``np.repeat`` fills — no
+        per-symbol Python loop.  Any unassigned slack past the Kraft sum
+        stays zero (length 0 marks undecodable space).
+        """
         size = 1 << self.max_len
         table_sym = np.zeros(size, dtype=np.int32)
-        table_len = np.zeros(size, dtype=np.uint8)
+        # int64 lengths so ``positions += lens`` in decode needs no cast.
+        table_len = np.zeros(size, dtype=np.int64)
         present = np.flatnonzero(self.lengths)
-        for sym in present:
-            length = int(self.lengths[sym])
-            lo = int(self.codes[sym]) << (self.max_len - length)
-            hi = lo + (1 << (self.max_len - length))
-            table_sym[lo:hi] = sym
-            table_len[lo:hi] = length
+        if present.size:
+            plens = self.lengths[present].astype(np.int64)
+            order = np.lexsort((present, plens))
+            syms = present[order]
+            lens_sorted = plens[order]
+            spans = np.int64(1) << (self.max_len - lens_sorted)
+            used = int(spans.sum())
+            table_sym[:used] = np.repeat(syms.astype(np.int32), spans)
+            table_len[:used] = np.repeat(lens_sorted, spans)
         self._table_sym = table_sym
         self._table_len = table_len
 
@@ -266,34 +312,81 @@ class HuffmanCodec:
         expected_blocks = -(-n // block)
         if n_blocks != expected_blocks:
             raise ValueError("block offset table does not match symbol count")
-        counts = np.full(n_blocks, block, dtype=np.int64)
-        counts[-1] = n - block * (n_blocks - 1)
+        tail = n - block * (n_blocks - 1)  # symbols in the (ragged) last block
         positions = encoded.block_offsets.astype(np.int64).copy()
-        out = np.empty((n_blocks, block), dtype=out_dtype)
-        full_rounds = int(counts.min())
+        # Round-major layout: each round writes one contiguous row (a
+        # strided column write is ~40% slower per np.take); the stitch at
+        # the end transposes back to block-major stream order.
+        out = np.empty((block, n_blocks), dtype=out_dtype)
         width = self.max_len
-        # Lockstep rounds: all blocks still needing a symbol decode one
-        # symbol per round via a single gathered table lookup.
-        for r in range(full_rounds):
-            peeks = peek_bits(buf, positions, width)
-            lens = table_len[peeks]
-            if lens.min() == 0:
+        down = np.uint32(32 - width)
+        # One big-endian 32-bit window per byte offset: each round's peek is
+        # a single gather plus two shifts.  Falls back to the 4-byte-gather
+        # peek for payloads too large to window affordably, and for widths
+        # over 24 bits (phase 7 + width must fit the 32-bit window; the
+        # fallback then raises peek_bits' width error, as decode always has).
+        words = (
+            window_words(buf)
+            if width <= 24 and buf.size <= WINDOW_WORDS_LIMIT
+            else None
+        )
+        # Reused per-round scratch (views shrink with the active lane set).
+        byte_idx = np.empty(n_blocks, dtype=np.int64)
+        peeks = np.empty(n_blocks, dtype=np.uint32)
+        phase = np.empty(n_blocks, dtype=np.uint32)
+        lens = np.empty(n_blocks, dtype=np.int64)
+        m = n_blocks
+        pos_v = positions
+        bidx_v, peek_v, ph_v, lens_v = byte_idx, peeks, phase, lens
+        # Lockstep rounds: every active block decodes one symbol per round
+        # via whole-array gathers.  The schedule is known up front — all
+        # blocks run for ``tail`` rounds, then the last (ragged) block drops
+        # out and the remaining contiguous prefix runs to ``block`` rounds —
+        # so no per-round active-set scan is needed.
+        for r in range(block):
+            if r == tail:  # only reachable when tail < block
+                if n_blocks == 1:
+                    break
+                m = n_blocks - 1
+                pos_v = positions[:m]
+                bidx_v, peek_v = byte_idx[:m], peeks[:m]
+                ph_v, lens_v = phase[:m], lens[:m]
+            np.right_shift(pos_v, 3, out=bidx_v)
+            np.bitwise_and(pos_v, 7, out=ph_v, casting="unsafe")
+            if words is not None:
+                # mode="clip" clamps like peek_bits: corrupt/oversized
+                # offsets read the zero padding (and fail the unassigned-
+                # space check below) instead of raising IndexError.
+                np.take(words, bidx_v, out=peek_v, mode="clip")
+                np.left_shift(peek_v, ph_v, out=peek_v)
+                np.right_shift(peek_v, down, out=peek_v)
+            else:
+                peek_v[...] = peek_bits(buf, pos_v, width)
+            np.take(table_len, peek_v, out=lens_v)
+            if not int(lens_v.min()):
                 raise ValueError("corrupt Huffman stream (unassigned code space)")
-            out[:, r] = table_sym[peeks]
-            positions += lens
-        for r in range(full_rounds, block):
-            active = np.flatnonzero(counts > r)
-            if active.size == 0:
-                break
-            peeks = peek_bits(buf, positions[active], width)
-            lens = table_len[peeks]
-            if lens.min() == 0:
-                raise ValueError("corrupt Huffman stream (unassigned code space)")
-            out[active, r] = table_sym[peeks]
-            positions[active] += lens
-        # Stitch per-block rows back into one stream, trimming the ragged tail.
-        if counts[-1] == block:
-            return out.reshape(-1)
-        head = out[:-1].reshape(-1)
-        tail = out[-1, : counts[-1]]
-        return np.concatenate([head, tail])
+            np.take(table_sym, peek_v, out=out[r, :m])
+            pos_v += lens_v
+        # Stitch rounds back into block-major stream order, trimming the
+        # ragged tail (the transpose's reshape is the single copy).
+        if tail == block:
+            return out.T.reshape(-1)
+        head = out[:, :-1].T.reshape(-1)
+        return np.concatenate([head, out[:tail, -1]])
+
+
+@lru_cache(maxsize=DECODE_CACHE_SIZE)
+def _cached_decoder(lengths_bytes: bytes, max_len: int) -> HuffmanCodec:
+    codec = HuffmanCodec(np.frombuffer(lengths_bytes, dtype=np.uint8), max_len=max_len)
+    codec._build_table()
+    return codec
+
+
+def decode_table_cache_info():
+    """``functools`` cache statistics for :meth:`HuffmanCodec.cached`."""
+    return _cached_decoder.cache_info()
+
+
+def decode_table_cache_clear() -> None:
+    """Drop all memoized decoder codecs (testing / memory-pressure hook)."""
+    _cached_decoder.cache_clear()

@@ -73,15 +73,22 @@ def _pass_slices(shape, spatial_axes, axis, s: int, h: int):
 
 
 def _predict(recon: np.ndarray, new_ix, left_ix, right_ix, axis: int) -> np.ndarray:
-    """Linear midpoint prediction; edge points fall back to their left parent."""
-    left = recon[left_ix]
+    """Linear midpoint prediction; edge points fall back to their left parent.
+
+    Returns a freshly-owned array (callers mutate it in place as the
+    reconstruction buffer).  The midpoint ``0.5 * (left + right)`` is
+    computed in place on the copied left-parent values — bit-identical to
+    the explicit expression, since ``* 0.5`` commutes and rounds once
+    either way.
+    """
     right = recon[right_ix]
-    pred = left.astype(np.float64, copy=True)
+    pred = np.array(recon[left_ix], dtype=np.float64)
     if right.size:
-        n_right = right.shape[axis]
         head = [slice(None)] * pred.ndim
-        head[axis] = slice(0, n_right)
-        pred[tuple(head)] = 0.5 * (left[tuple(head)] + right)
+        head[axis] = slice(0, right.shape[axis])
+        sub = pred[tuple(head)]
+        sub += right
+        sub *= 0.5
     return pred
 
 
@@ -131,9 +138,16 @@ def interp_compress(data: np.ndarray, abs_eb: float) -> np.ndarray:
                 continue
             new_ix, left_ix, right_ix = plan
             pred = _predict(recon, new_ix, left_ix, right_ix, axis)
-            resid = np.rint((arr[new_ix] - pred) / pitch).astype(np.int64)
+            # One scratch buffer carries diff → code → dequantized residual;
+            # `pred` is then reused in place as the reconstruction values.
+            scratch = arr[new_ix] - pred
+            scratch /= pitch
+            np.rint(scratch, out=scratch)
+            resid = scratch.astype(np.int64)
             codes.append(resid.ravel())
-            recon[new_ix] = pred + resid.astype(np.float64) * pitch
+            scratch *= pitch
+            pred += scratch
+            recon[new_ix] = pred
     return np.concatenate(codes)
 
 
@@ -180,7 +194,12 @@ def interp_decompress(codes: np.ndarray, abs_eb: float, shape: tuple[int, ...]) 
             n_new = int(np.prod(pred.shape))
             resid = codes[cursor : cursor + n_new].reshape(pred.shape)
             cursor += n_new
-            recon[new_ix] = pred + resid.astype(np.float64) * pitch
+            # Dequantize into one scratch buffer and accumulate onto the
+            # owned prediction in place (same float ops, fewer temporaries).
+            scratch = resid.astype(np.float64)
+            scratch *= pitch
+            pred += scratch
+            recon[new_ix] = pred
     if cursor != codes.size:
         raise ValueError("code stream length mismatch (corrupt stream)")
     return recon

@@ -290,3 +290,39 @@ class TestExperimentsCommand:
     def test_unknown_experiment(self, capsys):
         assert main(["experiments", "fig99"]) == 2
         assert "unknown" in capsys.readouterr().err
+
+
+class TestProfileFlag:
+    @pytest.fixture
+    def second_file(self, tmp_path):
+        path = tmp_path / "t2.npz"
+        assert main(["make", "Run2_T2", "-o", str(path), "--scale", "16"]) == 0
+        return path
+
+    def test_compress_profile_prints_stage_breakdown(self, dataset_file, tmp_path, capsys):
+        archive = tmp_path / "prof.tac"
+        assert main([
+            "compress", str(dataset_file), "-o", str(archive),
+            "--eb", "1e-3", "--profile",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "profile" in out
+        # TAC's compress pipeline times at least these stages.
+        assert "preprocess" in out
+        assert "compress" in out
+        assert "% " in out or "%" in out
+
+    def test_batch_profile_aggregates_jobs(self, dataset_file, second_file, tmp_path, capsys):
+        out_path = tmp_path / "prof.batch"
+        assert main([
+            "batch", str(dataset_file), str(second_file),
+            "-o", str(out_path), "--eb", "1e-3", "--profile",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "profile" in out
+        assert "compress" in out
+
+    def test_no_profile_by_default(self, dataset_file, tmp_path, capsys):
+        archive = tmp_path / "noprof.tac"
+        assert main(["compress", str(dataset_file), "-o", str(archive)]) == 0
+        assert "profile     :" not in capsys.readouterr().out

@@ -191,3 +191,75 @@ class TestEdgeCases:
         result, seconds = tac.preprocess_only(z10_small.levels[0], Strategy.OPST)
         assert seconds >= 0
         assert result.n_blocks() > 0
+
+
+class TestDecodeTableCacheReuse:
+    """The Huffman decode-table LRU across one blob's many group streams."""
+
+    def _constant_level_dataset(self):
+        # Three levels, the two finest sharing one constant value: their
+        # group streams quantize to identical symbol sets, so their Huffman
+        # code-length tables match byte for byte and the decoder must reuse
+        # the cached decode table.  Masks are 2-block-aligned so NaST(2)
+        # blocks hold only valid (constant) cells.
+        from repro.amr.hierarchy import AMRDataset, AMRLevel
+        from repro.amr.upsample import upsample
+
+        rng_local = np.random.default_rng(5)
+        refine = rng_local.random((4, 4, 4)) < 0.5
+        coarse_mask = ~refine
+        owned_mid = upsample(refine, 2)
+        refine_mid = upsample(refine & (rng_local.random((4, 4, 4)) < 0.5), 2)
+        mid_mask = owned_mid & ~refine_mid
+        fine_mask = upsample(refine_mid, 2)
+
+        def const_level(mask, value, level):
+            data = np.where(mask, np.float32(value), np.float32(0))
+            return AMRLevel(data=data, mask=mask, level=level)
+
+        ds = AMRDataset(
+            levels=[
+                const_level(fine_mask, 7.5, 0),
+                const_level(mid_mask, 7.5, 1),
+                const_level(coarse_mask, 3.0, 2),
+            ],
+            name="const3",
+            field="test_field",
+        )
+        ds.validate()
+        return ds
+
+    def test_multi_level_decompress_hits_cache(self):
+        from repro.sz.huffman import decode_table_cache_clear, decode_table_cache_info
+
+        tac = TACCompressor(TACConfig(force_strategy=Strategy.NAST, unit_block=2))
+        ds = self._constant_level_dataset()
+        comp = tac.compress(ds, 1e-3, mode="rel")
+        n_streams = sum(1 for name in comp.parts if "/g" in name or "/grid" in name)
+        assert n_streams >= 2, "need multiple group streams to exercise reuse"
+
+        decode_table_cache_clear()
+        recon = tac.decompress(comp)
+        info = decode_table_cache_info()
+        # ≥ 1 hit per reused table: the two constant-7.5 levels share one
+        # code-length table, so at most n_streams - 1 misses can occur.
+        assert info.hits >= 1
+        assert info.hits + info.misses >= n_streams
+        assert info.misses <= n_streams - 1
+        for orig, back in zip(ds.levels, recon.levels):
+            assert_error_bounded(orig.values(), back.values(), comp.meta["levels"][orig.level]["eb_abs"])
+
+    def test_repeated_decompress_is_all_hits(self, tac, z10_small):
+        from repro.sz.huffman import decode_table_cache_clear, decode_table_cache_info
+
+        comp = tac.compress(z10_small, 1e-3, mode="rel")
+        first = tac.decompress(comp)
+        decode_table_cache_clear()
+        tac.decompress(comp)
+        misses_cold = decode_table_cache_info().misses
+        again = tac.decompress(comp)
+        info = decode_table_cache_info()
+        assert info.misses == misses_cold, "second decompress must be pure hits"
+        assert info.hits >= misses_cold
+        for a, b in zip(first.levels, again.levels):
+            assert np.array_equal(a.data, b.data)

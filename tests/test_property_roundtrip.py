@@ -23,15 +23,20 @@ import pytest
 
 from repro.amr.hierarchy import AMRDataset, AMRLevel
 from repro.amr.upsample import upsample
+from repro.core.blocks import AXIS_PERMS, BlockExtraction, gather_blocks, invert_perm
 from repro.core.container import CompressedDataset, resolve_global_eb
 from repro.engine.registry import codec_names, get_codec, get_spec
 from repro.sz.compressor import SZCompressor
+from repro.sz.huffman import HuffmanCodec, canonical_codes, huffman_code_lengths
 
 from tests.helpers import assert_error_bounded, smooth_cube
 
-#: Case counts: 120 SZ cases + 24 AMR scenarios × 4 codecs = 216 total.
+#: Case counts: 120 SZ cases + 24 AMR scenarios × 4 codecs = 216 total,
+#: plus 40 block gather/scatter and 40 Huffman-table bit-identity cases.
 N_SZ_CASES = 120
 N_AMR_SCENARIOS = 24
+N_BLOCK_CASES = 40
+N_TABLE_CASES = 40
 
 #: Registry codecs under fuzz (canonical names; tac-hybrid shares tac's
 #: format and is exercised separately by the strategy tests).
@@ -176,6 +181,178 @@ class TestSZRoundTripFuzz:
         out = codec.decompress(codec.compress(arr, eb, mode="abs"))
         ulp = float(np.spacing(np.max(np.abs(arr))))
         assert float(np.max(np.abs(out - arr))) <= eb + 2.0 * ulp
+
+
+# ----------------------------------------------------------------------
+# vectorized-hot-path bit-identity fuzz (naive pure-Python references)
+# ----------------------------------------------------------------------
+def _naive_gather_blocks(data, origins, shape, perm_ids=None):
+    """Reference gather: one Python loop iteration per sub-block."""
+    out = np.empty((origins.shape[0], *shape), dtype=data.dtype)
+    for idx in range(origins.shape[0]):
+        x, y, z = (int(v) for v in origins[idx])
+        perm = AXIS_PERMS[int(perm_ids[idx])] if perm_ids is not None else (0, 1, 2)
+        in_shape = tuple(shape[perm.index(axis)] for axis in range(3))
+        block = data[x : x + in_shape[0], y : y + in_shape[1], z : z + in_shape[2]]
+        if perm != (0, 1, 2):
+            block = block.transpose(perm)
+        out[idx] = block
+    return out
+
+
+def _naive_scatter(out, stacked, origins, perm_ids, indices):
+    """Reference scatter: one Python loop iteration per selected block."""
+    for idx in indices:
+        idx = int(idx)
+        block = stacked[idx]
+        perm = AXIS_PERMS[int(perm_ids[idx])]
+        if perm != (0, 1, 2):
+            block = block.transpose(invert_perm(perm))
+        x, y, z = (int(v) for v in origins[idx])
+        sx, sy, sz = block.shape
+        out[x : x + sx, y : y + sy, z : z + sz] = block
+
+
+def _block_case(seed: int):
+    """Random grid + disjoint same-canonical-shape blocks with random perms."""
+    rng = np.random.default_rng(4000 + seed)
+    dtype = np.float32 if rng.random() < 0.5 else np.float64
+    shape = tuple(
+        int(rng.integers(1, 9)) for _ in range(3)
+    )  # canonical (not necessarily sorted — perms are arbitrary ids)
+    lattice = int(max(shape))
+    nb = int(rng.integers(2, 5))
+    grid_n = lattice * nb
+    data = rng.standard_normal((grid_n, grid_n, grid_n)).astype(dtype)
+    # Disjoint origins on the `lattice` grid (blocks fit because every
+    # in-grid extent is <= lattice).
+    cells = rng.permutation(nb**3)[: int(rng.integers(1, min(nb**3, 12) + 1))]
+    bx, rem = np.divmod(cells, nb * nb)
+    by, bz = np.divmod(rem, nb)
+    origins = (np.stack([bx, by, bz], axis=1) * lattice).astype(np.int32)
+    use_perms = rng.random() < 0.6
+    perm_ids = (
+        rng.integers(0, len(AXIS_PERMS), origins.shape[0]).astype(np.uint8)
+        if use_perms
+        else None
+    )
+    return data, origins, shape, perm_ids
+
+
+class TestBlockGatherScatterBitIdentity:
+    @pytest.mark.parametrize("seed", range(N_BLOCK_CASES), ids=lambda s: f"case{s}")
+    def test_gather_matches_naive(self, seed):
+        data, origins, shape, perm_ids = _block_case(seed)
+        fast = gather_blocks(data, origins, shape, perm_ids)
+        naive = _naive_gather_blocks(data, origins, shape, perm_ids)
+        assert fast.dtype == naive.dtype
+        assert np.array_equal(fast, naive), "vectorized gather diverged from reference"
+
+    @pytest.mark.parametrize("seed", range(N_BLOCK_CASES), ids=lambda s: f"case{s}")
+    def test_scatter_matches_naive(self, seed):
+        data, origins, shape, perm_ids = _block_case(seed)
+        if perm_ids is None:
+            perm_ids = np.zeros(origins.shape[0], dtype=np.uint8)
+        stacked = _naive_gather_blocks(data, origins, shape, perm_ids)
+        extraction = BlockExtraction(
+            padded_shape=data.shape, orig_shape=data.shape, block_size=1
+        )
+        extraction.coords[shape] = origins
+        extraction.perms[shape] = perm_ids
+        rng = np.random.default_rng(9000 + seed)
+        if rng.random() < 0.5:
+            indices = None
+            chosen = range(origins.shape[0])
+        else:
+            k = int(rng.integers(1, origins.shape[0] + 1))
+            indices = rng.permutation(origins.shape[0])[:k]
+            chosen = indices
+        fast = np.zeros(data.shape, dtype=data.dtype)
+        extraction.scatter_group(shape, stacked, fast, indices=indices)
+        naive = np.zeros(data.shape, dtype=data.dtype)
+        _naive_scatter(naive, stacked, origins, perm_ids, chosen)
+        assert np.array_equal(fast, naive), "vectorized scatter diverged from reference"
+
+
+def _naive_canonical_codes(lengths: np.ndarray) -> np.ndarray:
+    """Reference canonical assignment: the per-symbol sequential loop."""
+    lengths = np.asarray(lengths, dtype=np.int64)
+    codes = np.zeros(lengths.size, dtype=np.uint32)
+    present = np.flatnonzero(lengths)
+    if present.size == 0:
+        return codes
+    order = present[np.lexsort((present, lengths[present]))]
+    code = 0
+    prev_len = int(lengths[order[0]])
+    for sym in order:
+        length = int(lengths[sym])
+        code <<= length - prev_len
+        codes[sym] = code
+        code += 1
+        prev_len = length
+    return codes
+
+
+def _naive_decode_table(lengths, codes, max_len):
+    """Reference dense decode table: one Python slice-fill per symbol."""
+    size = 1 << max_len
+    table_sym = np.zeros(size, dtype=np.int32)
+    table_len = np.zeros(size, dtype=np.int64)
+    for sym in np.flatnonzero(lengths):
+        length = int(lengths[sym])
+        lo = int(codes[sym]) << (max_len - length)
+        hi = lo + (1 << (max_len - length))
+        table_sym[lo:hi] = sym
+        table_len[lo:hi] = length
+    return table_sym, table_len
+
+
+def _histogram_case(seed: int) -> np.ndarray:
+    """Random histogram, biased toward the skewed shapes SZ produces."""
+    rng = np.random.default_rng(6000 + seed)
+    alphabet = int(rng.integers(1, 600))
+    kind = rng.choice(["geometric", "zipf", "uniform", "sparse", "single", "two"])
+    if kind == "geometric":
+        counts = np.bincount(
+            np.clip(rng.geometric(0.2, 4000), 1, alphabet) - 1, minlength=alphabet
+        )
+    elif kind == "zipf":
+        weights = 1.0 / np.arange(1, alphabet + 1) ** 1.3
+        counts = np.bincount(
+            rng.choice(alphabet, size=3000, p=weights / weights.sum()),
+            minlength=alphabet,
+        )
+    elif kind == "uniform":
+        counts = rng.integers(0, 50, alphabet)
+    elif kind == "sparse":
+        counts = np.where(rng.random(alphabet) < 0.05, rng.integers(1, 1000), 0)
+    elif kind == "single":
+        counts = np.zeros(alphabet, dtype=np.int64)
+        counts[int(rng.integers(0, alphabet))] = 100
+    else:  # two symbols, wildly unequal
+        counts = np.zeros(alphabet, dtype=np.int64)
+        counts[int(rng.integers(0, alphabet))] = 1
+        counts[int(rng.integers(0, alphabet))] += 10**6
+    return np.asarray(counts, dtype=np.int64)
+
+
+class TestHuffmanTableBitIdentity:
+    @pytest.mark.parametrize("seed", range(N_TABLE_CASES), ids=lambda s: f"case{s}")
+    def test_vectorized_table_build_matches_naive(self, seed):
+        counts = _histogram_case(seed)
+        max_len = int(np.random.default_rng(seed).choice([8, 12, 16]))
+        if (1 << max_len) < int(np.count_nonzero(counts)):
+            max_len = 16  # the 8-bit cap cannot hold wide uniform alphabets
+        lengths = huffman_code_lengths(counts, max_len=max_len)
+        fast_codes = canonical_codes(lengths)
+        naive_codes = _naive_canonical_codes(lengths)
+        assert np.array_equal(fast_codes, naive_codes), "canonical codes diverged"
+
+        codec = HuffmanCodec(lengths, max_len=max_len)
+        codec._build_table()
+        ref_sym, ref_len = _naive_decode_table(lengths, naive_codes, max_len)
+        assert np.array_equal(codec._table_sym, ref_sym), "decode table syms diverged"
+        assert np.array_equal(codec._table_len, ref_len), "decode table lens diverged"
 
 
 # ----------------------------------------------------------------------

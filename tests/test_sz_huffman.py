@@ -6,8 +6,11 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.sz.huffman import (
+    DECODE_CACHE_SIZE,
     HuffmanCodec,
     canonical_codes,
+    decode_table_cache_clear,
+    decode_table_cache_info,
     default_block_size,
     huffman_code_lengths,
 )
@@ -210,6 +213,119 @@ class TestCodecRoundTrip:
         symbols = rng.choice(alphabet, size=n, p=weights / weights.sum())
         codec = HuffmanCodec.from_symbols(symbols, alphabet_size=alphabet)
         assert np.array_equal(codec.decode(codec.encode(symbols)), symbols)
+
+
+class TestRaggedTailDecode:
+    """The lockstep decoder's precomputed active-lane schedule.
+
+    After ``tail`` rounds the ragged last block drops out and the remaining
+    contiguous lane prefix runs to ``block`` rounds — no per-round
+    active-set scan.  These tests pin the schedule across tail positions
+    and prove corruption is still detected inside the ragged rounds.
+    """
+
+    def test_deep_ragged_tail_roundtrip(self, rng):
+        # Large block, tiny tail: almost every round runs on the reduced
+        # lane set (the regime the old np.flatnonzero path made slow).
+        symbols = rng.integers(0, 16, size=4096 * 3 + 5)
+        codec = HuffmanCodec.from_symbols(symbols, alphabet_size=16)
+        encoded = codec.encode(symbols, block_size=4096)
+        assert np.array_equal(codec.decode(encoded), symbols)
+
+    def test_single_ragged_block(self, rng):
+        # n < block: the only block is the ragged one; the loop must stop
+        # at its tail round without touching the (empty) lane prefix.
+        symbols = rng.integers(0, 8, size=37)
+        codec = HuffmanCodec.from_symbols(symbols, alphabet_size=8)
+        encoded = codec.encode(symbols, block_size=4096)
+        assert np.array_equal(codec.decode(encoded), symbols)
+
+    @pytest.mark.parametrize("n", [127, 128, 129, 191, 193, 255])
+    def test_every_tail_phase(self, rng, n):
+        symbols = rng.integers(0, 6, size=n)
+        codec = HuffmanCodec.from_symbols(symbols, alphabet_size=6)
+        encoded = codec.encode(symbols, block_size=64)
+        assert np.array_equal(codec.decode(encoded), symbols)
+
+    def test_oversized_block_offsets_never_raise_indexerror(self, rng):
+        # Corrupt offsets past the payload must behave like the clamped
+        # peek path: read padding (raising the corrupt-stream ValueError
+        # when that lands in unassigned code space), never IndexError.
+        codec = HuffmanCodec(np.array([3, 3, 3, 3, 3], dtype=np.uint8))
+        symbols = rng.integers(0, 5, size=300)
+        encoded = codec.encode(symbols, block_size=64)
+        bad_offsets = encoded.block_offsets.copy()
+        bad_offsets[2] = encoded.total_bits + 10_000  # way past the buffer
+        corrupted = encoded.__class__(
+            payload=encoded.payload,
+            total_bits=encoded.total_bits,
+            block_offsets=bad_offsets,
+            n_symbols=encoded.n_symbols,
+            block_size=encoded.block_size,
+        )
+        try:
+            decoded = codec.decode(corrupted)
+            assert decoded.shape == (300,)  # garbage tolerated, like peek_bits
+        except ValueError:
+            pass  # corrupt-stream detection is the expected outcome
+        except IndexError:  # pragma: no cover - the regression this pins
+            pytest.fail("decode leaked an IndexError for corrupt offsets")
+
+    def test_corrupt_stream_detected_in_ragged_rounds(self, rng):
+        # Sparse depth-3 code leaves unassigned code space; corruption that
+        # only the post-tail rounds reach must still raise.
+        codec = HuffmanCodec(np.array([3, 3, 3, 3, 3], dtype=np.uint8))
+        symbols = rng.integers(0, 5, size=150)
+        encoded = codec.encode(symbols, block_size=128)  # tail = 22
+        tail_bit = int(encoded.block_offsets[0]) + 3 * 30  # inside block 0,
+        # round 30 > tail — decoded only after the last block dropped out.
+        payload = bytearray(encoded.payload)
+        payload[tail_bit // 8] = 0xFF  # 111 is unassigned for 5 symbols
+        payload[tail_bit // 8 + 1] = 0xFF
+        corrupted = encoded.__class__(
+            payload=bytes(payload),
+            total_bits=encoded.total_bits,
+            block_offsets=encoded.block_offsets,
+            n_symbols=encoded.n_symbols,
+            block_size=encoded.block_size,
+        )
+        with pytest.raises(ValueError, match="corrupt|unassigned"):
+            codec.decode(corrupted)
+
+
+class TestDecodeTableCache:
+    def test_cached_returns_shared_instance(self, rng):
+        decode_table_cache_clear()
+        lengths = huffman_code_lengths(np.array([5, 3, 2, 1, 1]))
+        a = HuffmanCodec.cached(lengths, 16)
+        b = HuffmanCodec.cached(lengths.copy(), 16)
+        assert a is b
+        assert decode_table_cache_info().hits == 1
+        assert a._table_sym is not None  # table prebuilt on insert
+
+    def test_cache_key_includes_max_len(self):
+        decode_table_cache_clear()
+        lengths = huffman_code_lengths(np.array([5, 3, 2, 1, 1]))
+        a = HuffmanCodec.cached(lengths, 16)
+        b = HuffmanCodec.cached(lengths, 12)
+        assert a is not b
+        assert decode_table_cache_info().misses == 2
+
+    def test_cached_codec_decodes_correctly(self, rng):
+        decode_table_cache_clear()
+        symbols = rng.integers(0, 9, size=2048)
+        enc_codec = HuffmanCodec.from_symbols(symbols, alphabet_size=9)
+        encoded = enc_codec.encode(symbols)
+        dec = HuffmanCodec.cached(enc_codec.lengths, enc_codec.max_len)
+        assert np.array_equal(dec.decode(encoded), symbols)
+
+    def test_cache_is_bounded_lru(self):
+        decode_table_cache_clear()
+        assert decode_table_cache_info().maxsize == DECODE_CACHE_SIZE
+        for fill in range(DECODE_CACHE_SIZE + 5):
+            counts = np.ones(fill + 2, dtype=np.int64)
+            HuffmanCodec.cached(huffman_code_lengths(counts), 16)
+        assert decode_table_cache_info().currsize == DECODE_CACHE_SIZE
 
 
 class TestBlockSizeHeuristic:
