@@ -1,0 +1,134 @@
+"""Sharded streaming-write smoke benchmark (the CI ``shard-smoke`` step).
+
+Not a paper figure — exercises the v3 write path end-to-end at batch
+scale and asserts its two contracts:
+
+* **bounded memory**: streaming a compressed batch into payload shards
+  allocates (tracemalloc) less than 2x the largest single part — an
+  eager ``to_bytes`` would allocate the whole batch;
+* **bit identity**: the sharded archive round-trips entry-identical to
+  the monolithic archive of the same batch.
+
+Writes ``benchmarks/results/shard_manifest.json`` (head manifest +
+shard table), which CI uploads as an artifact on every push.
+"""
+
+import json
+import tracemalloc
+
+import pytest
+
+from benchmarks.conftest import SCALE
+from repro.engine import CompressionEngine, CompressionJob, LazyBatchArchive
+from repro.sim.datasets import make_dataset
+from repro.sim.nyx import NYX_FIELDS
+
+BATCH_FIELDS = tuple(NYX_FIELDS[:3])
+
+
+@pytest.fixture(scope="module")
+def batch_jobs():
+    return [
+        CompressionJob(
+            make_dataset("Run1_Z2", scale=SCALE, field=field),
+            codec="tac",
+            error_bound=1e-4,
+            label=f"Run1_Z2/{field}",
+        )
+        for field in BATCH_FIELDS
+    ]
+
+
+def bench_shard_stream_write(benchmark, batch_jobs, results_dir, tmp_path):
+    """Streamed sharded write of a precompressed batch: memory + identity."""
+    batch = CompressionEngine(max_workers=1).run(batch_jobs)
+    assert all(r.ok for r in batch)
+    largest_part = max(
+        len(payload)
+        for result in batch
+        for payload in result.compressed.parts.values()
+    )
+
+    from repro.engine import ShardedArchiveWriter
+
+    head = tmp_path / "snapshot.rpbt"
+    shard_size = max(1, largest_part)  # force several shards
+
+    def write():
+        for path in tmp_path.glob("snapshot*"):
+            path.unlink()
+        tracemalloc.start()
+        with ShardedArchiveWriter(head, shard_size=shard_size) as writer:
+            for result in batch:
+                writer.add_entry(result.label, result.compressed)
+        _current, peak = tracemalloc.get_traced_memory()
+        tracemalloc.stop()
+        return writer.report, peak
+
+    report, peak = benchmark.pedantic(write, rounds=1, iterations=1)
+    assert len(report.shard_paths) >= 2
+    # The shard-smoke acceptance bound: bounded by the largest part, not
+    # the batch (small absolute slack for index/JSON bookkeeping).
+    limit = 2 * largest_part + (1 << 20)
+    assert peak < limit, (
+        f"writer peak {peak / 2**20:.2f} MiB exceeds 2x largest part "
+        f"({largest_part / 2**20:.2f} MiB)"
+    )
+
+    with LazyBatchArchive.open(head, verify_shards=True) as lazy:
+        for result in batch:
+            entry = lazy.entry(result.label)
+            for name, payload in result.compressed.parts.items():
+                assert entry.parts[name] == payload, f"diverged: {result.label}/{name}"
+        manifest = {
+            "scale": SCALE,
+            "largest_part_bytes": largest_part,
+            "writer_peak_bytes": peak,
+            "shards": lazy.shards(),
+            "entry_shards": lazy.entry_shards(),
+            "manifest": lazy.manifest(),
+        }
+    (results_dir / "shard_manifest.json").write_text(json.dumps(manifest, indent=2) + "\n")
+    benchmark.extra_info["peak_mib"] = round(peak / 2**20, 3)
+    benchmark.extra_info["largest_part_mib"] = round(largest_part / 2**20, 3)
+    benchmark.extra_info["n_shards"] = len(report.shard_paths)
+
+
+def bench_shard_stream_engine(benchmark, batch_jobs, results_dir, tmp_path):
+    """End-to-end ``run_to_shards`` vs monolithic archive wall time."""
+    import time
+
+    def compare():
+        t0 = time.perf_counter()
+        archive = CompressionEngine(max_workers=2).run_to_archive(batch_jobs)
+        mono = tmp_path / "mono.rpbt"
+        archive.save(mono)
+        t_mono = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        sharded = CompressionEngine(max_workers=2).run_to_shards(
+            batch_jobs, tmp_path / "streamed.rpbt"
+        )
+        t_stream = time.perf_counter() - t0
+        with LazyBatchArchive.open(sharded.head_path) as lazy:
+            for key in archive.keys():
+                entry = lazy.entry(key)
+                for name, payload in archive.get(key).parts.items():
+                    assert entry.parts[name] == payload
+        return t_mono, t_stream
+
+    t_mono, t_stream = benchmark.pedantic(compare, rounds=1, iterations=1)
+    text = (
+        f"== shard_stream: monolithic vs streamed write (scale {SCALE}) ==\n"
+        f"monolithic: {t_mono:.3f}s (compress + save)\n"
+        f"streamed  : {t_stream:.3f}s (run_to_shards, bounded memory)\n"
+        f"overhead  : {t_stream / t_mono if t_mono else 1:.2f}x "
+        f"(outputs entry-identical)\n"
+    )
+    print("\n" + text)
+    (results_dir / "shard_stream.txt").write_text(text)
+    benchmark.extra_info["mono_s"] = round(t_mono, 3)
+    benchmark.extra_info["stream_s"] = round(t_stream, 3)
+    # Streaming must not cost catastrophically more than the eager path.
+    assert t_stream < 3.0 * t_mono + 1.0, (
+        f"streamed write pathologically slow: {t_stream:.2f}s vs {t_mono:.2f}s"
+    )

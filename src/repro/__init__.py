@@ -43,6 +43,7 @@ from repro.engine import (
     CompressionEngine,
     CompressionJob,
     LazyBatchArchive,
+    ShardedArchiveWriter,
     get_codec,
     register_codec,
 )
@@ -69,6 +70,7 @@ __all__ = [
     "BatchArchive",
     "CompressionEngine",
     "CompressionJob",
+    "ShardedArchiveWriter",
     "get_codec",
     "register_codec",
     "make_dataset",

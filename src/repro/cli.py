@@ -149,6 +149,16 @@ def build_parser() -> argparse.ArgumentParser:
         "--profile", action="store_true",
         help="print the per-stage timing breakdown aggregated over all jobs",
     )
+    p_batch.add_argument(
+        "--stream", action="store_true",
+        help="stream results into a sharded (v3) archive as jobs finish "
+             "(bounded memory; implies --shard-size with its default)",
+    )
+    p_batch.add_argument(
+        "--shard-size", type=_parse_size, default=None, metavar="SIZE",
+        help="payload-shard roll-over size for the streamed write, e.g. "
+             "64M, 512K, or plain bytes (implies --stream)",
+    )
 
     sub.add_parser("codecs", help="list registered codecs")
 
@@ -160,6 +170,22 @@ def build_parser() -> argparse.ArgumentParser:
     p_exp.add_argument("--list", action="store_true", help="list available experiments")
 
     return parser
+
+
+def _parse_size(text: str) -> int:
+    """``"64M"`` / ``"512K"`` / ``"1G"`` / plain bytes → byte count."""
+    spec = text.strip().upper()
+    multiplier = 1
+    if spec and spec[-1] in "KMG":
+        multiplier = {"K": 1024, "M": 1024**2, "G": 1024**3}[spec[-1]]
+        spec = spec[:-1]
+    try:
+        value = int(spec)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"invalid size {text!r}") from None
+    if value <= 0:
+        raise argparse.ArgumentTypeError(f"size must be positive, got {text!r}")
+    return value * multiplier
 
 
 def _build_codec(method: str, predictor: str = "interp"):
@@ -186,9 +212,13 @@ def cmd_info(args) -> int:
             original = sum(row["original_bytes"] for row in manifest)
             compressed = sum(row["compressed_bytes"] for row in manifest)
             ratio = original / compressed if compressed else float("inf")
-            print(f"batch archive: {len(archive)} entries, "
+            kind = "sharded batch archive" if archive.is_sharded else "batch archive"
+            print(f"{kind}: {len(archive)} entries, "
                   f"ratio {ratio:.2f}x "
                   f"({original} -> {compressed} bytes)")
+            for shard in archive.shards():
+                print(f"  shard {shard['name']}: {shard['n_bytes']} B "
+                      f"crc32 {shard['crc32']:#010x}")
             for row in manifest:
                 print(f"  {row['key']:40s} {row['method']:12s} "
                       f"{row['compressed_bytes']:>10d} B  {row['n_values']} values")
@@ -390,6 +420,13 @@ def cmd_inspect(args) -> int:
                       f"{archive.keys()}", file=sys.stderr)
                 return 2
             print(f"batch archive v{archive.version}: {len(archive)} entries")
+            if archive.is_sharded:
+                entry_shards = archive.entry_shards()
+                for shard in archive.shards():
+                    members = sum(1 for name in entry_shards.values() if name == shard["name"])
+                    print(f"shard {shard['name']}: {shard['n_bytes']} B, "
+                          f"{members} entr{'y' if members == 1 else 'ies'}, "
+                          f"crc32 {shard['crc32']:#010x}")
             for key in keys:
                 entry = archive.entry(key)
                 print(f"{key}:")
@@ -436,6 +473,8 @@ def cmd_batch(args) -> int:
         executor=args.executor,
         level_workers=args.level_workers,
     )
+    if args.stream or args.shard_size is not None:
+        return _batch_streamed(args, engine, jobs)
     batch = engine.run(jobs)
     for row in batch.summary_rows():
         if row["error"] is None:
@@ -455,6 +494,40 @@ def cmd_batch(args) -> int:
     size = archive.save(args.output)
     print(f"wrote {args.output}: {len(archive)} entries, {size} bytes, "
           f"ratio {archive.ratio():.2f}x, wall {batch.wall_seconds:.3f}s "
+          f"({args.workers} worker(s))")
+    return 0
+
+
+def _batch_streamed(args, engine: CompressionEngine, jobs) -> int:
+    """``repro batch --stream/--shard-size``: bounded-memory sharded write."""
+    from repro.engine import DEFAULT_SHARD_SIZE
+
+    if args.profile:
+        print(
+            "note: --profile is unavailable with --stream (payloads are "
+            "released as they reach disk)",
+            file=sys.stderr,
+        )
+    shard_size = args.shard_size if args.shard_size is not None else DEFAULT_SHARD_SIZE
+    try:
+        sharded = engine.run_to_shards(
+            jobs, args.output, shard_size=shard_size,
+            tool="repro batch", method=args.method, eb=args.eb, mode=args.mode,
+        )
+    except RuntimeError as exc:
+        print(f"error: {exc}; no archive written", file=sys.stderr)
+        return 1
+    rows = {row["key"]: row for row in sharded.manifest()}
+    for result in sharded:
+        row = rows[result.label]
+        print(f"  {result.label:40s} {row['compressed_bytes']:>10d} B  "
+              f"{result.wall_seconds:.3f}s")
+    report = sharded.report
+    for path in report.shard_paths:
+        print(f"  shard {path.name}: {path.stat().st_size} bytes")
+    print(f"wrote {report.head_path} (head) + {len(report.shard_paths)} payload "
+          f"shard(s): {report.n_entries} entries, {report.total_bytes()} bytes, "
+          f"ratio {sharded.ratio():.2f}x, wall {sharded.wall_seconds:.3f}s "
           f"({args.workers} worker(s))")
     return 0
 

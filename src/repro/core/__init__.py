@@ -5,9 +5,12 @@ from repro.core.akdtree import akdtree_extract, akdtree_plan, akdtree_restore
 from repro.core.blocks import BlockExtraction, block_occupancy, integral_image
 from repro.core.container import (
     CompressedDataset,
+    ContainerIOError,
     LazyCompressedDataset,
+    StreamingContainerWriter,
     pack_mask,
     resolve_global_eb,
+    stream_dataset,
     unpack_mask,
 )
 from repro.core.density import (
@@ -38,7 +41,10 @@ __all__ = [
     "snapshot_savings",
     "Strategy",
     "CompressedDataset",
+    "ContainerIOError",
     "LazyCompressedDataset",
+    "StreamingContainerWriter",
+    "stream_dataset",
     "DecodeUnit",
     "DecompressionPlan",
     "PlanExecutorMixin",

@@ -12,7 +12,7 @@ and compression accounting is identical everywhere:
   value, exactly as in Figs. 14–15);
 * ``to_bytes``/``from_bytes`` give a stable on-disk form.
 
-Two wire versions coexist:
+Three wire versions coexist:
 
 * **version 1** — JSON header listing part names, then length-prefixed
   payloads.  Reading part *k* requires walking the prefixes of parts
@@ -24,8 +24,16 @@ Two wire versions coexist:
   payload, serve parts on demand — cheap, and it is the substrate for the
   partial-decompression API (``decompress_level`` / ``decompress_region``
   on every codec).
+* **version 3** (the streaming layout) — the part index moves *behind*
+  the payloads and the fixed-width header carries its offset/length,
+  patched in after the last part is written.  That is what lets
+  :class:`StreamingContainerWriter` emit parts one at a time straight to
+  a file: nothing about the index has to be known up front, so peak
+  writer memory is bounded by the largest single part, not the dataset.
+  Readers (eager and lazy) treat v3 identically to v2 once the index is
+  located.
 
-Both versions deserialize through :meth:`CompressedDataset.from_bytes`
+All versions deserialize through :meth:`CompressedDataset.from_bytes`
 and re-serialize byte-for-byte (a blob remembers its version), so stored
 version-1 archives, including the golden fixtures, stay valid forever.
 """
@@ -33,6 +41,7 @@ version-1 archives, including the golden fixtures, stay valid forever.
 from __future__ import annotations
 
 import json
+import mmap as _mmap_module
 import struct
 import threading
 import zlib
@@ -47,9 +56,25 @@ from repro.utils.timer import TimingRecord
 _MAGIC = b"RPAM"
 #: Wire version written by default for new blobs.
 CONTAINER_VERSION = 2
-_SUPPORTED_VERSIONS = (1, 2)
+#: Wire version written by :class:`StreamingContainerWriter` (index-at-tail).
+STREAMING_CONTAINER_VERSION = 3
+_SUPPORTED_VERSIONS = (1, 2, 3)
 _HEAD = struct.Struct("<BQ")
+#: v3 extension after ``_HEAD``: index offset (relative to the blob start)
+#: and index length, zero-filled by the streaming writer until ``close()``.
+_V3_INDEX = struct.Struct("<QQ")
 _LEN = struct.Struct("<Q")
+
+
+class ContainerIOError(OSError, ValueError):
+    """A container byte source failed to open or serve a read.
+
+    Subclasses both :class:`OSError` (the underlying failure family) and
+    :class:`ValueError` (what the in-memory truncation checks historically
+    raised), so existing ``except`` clauses keep working while the message
+    gains the container path / part name context that makes lazy-read
+    failures diagnosable.
+    """
 
 #: Part-name prefix for per-level validity masks.
 MASK_PREFIX = "mask/"
@@ -127,19 +152,30 @@ class CompressedDataset:
         record = _head_record(
             self.method, self.dataset_name, self.meta, self.original_bytes, self.n_values
         )
+        index = []
+        offset = 0
+        for name, payload in self.parts.items():
+            index.append([name, offset, len(payload)])
+            offset += len(payload)
         if self.container_version == 1:
             record["part_names"] = list(self.parts)
-        else:
-            index = []
-            offset = 0
-            for name, payload in self.parts.items():
-                index.append([name, offset, len(payload)])
-                offset += len(payload)
+        elif self.container_version == 2:
             record["part_index"] = index
         head = json.dumps(record, sort_keys=True).encode("utf-8")
         out = bytearray()
         out += _MAGIC
         out += _HEAD.pack(self.container_version, len(head))
+        if self.container_version == 3:
+            # Index-at-tail: the fixed-width slot mirrors what the
+            # streaming writer patches in after the last part.
+            index_blob = json.dumps(index, sort_keys=True).encode("utf-8")
+            payload_base = 4 + _HEAD.size + _V3_INDEX.size + len(head)
+            out += _V3_INDEX.pack(payload_base + offset, len(index_blob))
+            out += head
+            for payload in self.parts.values():
+                out += payload
+            out += index_blob
+            return bytes(out)
         out += head
         for name in self.parts:
             payload = self.parts[name]
@@ -157,6 +193,9 @@ class CompressedDataset:
         if version not in _SUPPORTED_VERSIONS:
             raise ValueError(f"unsupported container version {version}")
         offset = 4 + _HEAD.size
+        if version == 3:
+            index_off, index_len = _V3_INDEX.unpack_from(view, offset)
+            offset += _V3_INDEX.size
         head = json.loads(bytes(view[offset : offset + head_len]).decode("utf-8"))
         offset += head_len
         parts: dict[str, bytes] = {}
@@ -166,6 +205,19 @@ class CompressedDataset:
                 offset += _LEN.size
                 parts[name] = bytes(view[offset : offset + length])
                 offset += length
+        elif version == 3:
+            if index_off + index_len != len(view):
+                raise ValueError("trailing bytes after v3 part index")
+            payload_base = offset
+            part_index = json.loads(bytes(view[index_off : index_off + index_len]).decode("utf-8"))
+            for name, part_off, length in part_index:
+                lo = payload_base + part_off
+                if part_off < 0 or lo + length > index_off:
+                    raise ValueError(
+                        f"part {name!r} extends past the payload region (corrupt blob)"
+                    )
+                parts[name] = bytes(view[lo : lo + length])
+            offset = len(view)
         else:
             payload_base = offset
             for name, part_off, length in head["part_index"]:
@@ -191,6 +243,8 @@ class CompressedDataset:
 class _BytesSource:
     """Random-access byte source over an in-memory buffer (zero-copy view)."""
 
+    label = "<memory>"
+
     def __init__(self, buf):
         self._view = memoryview(buf)
 
@@ -207,10 +261,11 @@ class _BytesSource:
 class _FileSource:
     """Random-access byte source over a seekable file (thread-safe)."""
 
-    def __init__(self, fh, owns: bool):
+    def __init__(self, fh, owns: bool, label: str = "<file>"):
         self._fh = fh
         self._owns = owns
         self._lock = threading.Lock()
+        self.label = label
 
     def read_at(self, offset: int, length: int) -> bytes:
         with self._lock:
@@ -225,13 +280,62 @@ class _FileSource:
             self._fh.close()
 
 
-def make_source(source):
-    """Wrap bytes / memoryview / path / seekable binary file for random access."""
+class _MmapSource:
+    """Byte source over a memory-mapped file: no seek, no lock.
+
+    ``_FileSource`` serializes every ``seek+read`` pair behind a lock, so
+    concurrent part fetches (``decode_workers > 1``, parallel shard reads)
+    contend on one file position.  A private read-only mapping has no
+    position at all — reads are plain slices out of the page cache and any
+    number of threads can fetch parts at once.  The ROADMAP's "async /
+    mmap I/O" read-path item.
+    """
+
+    def __init__(self, path):
+        self.label = str(path)
+        with open(path, "rb") as fh:
+            self._mm = _mmap_module.mmap(fh.fileno(), 0, access=_mmap_module.ACCESS_READ)
+        self._view = memoryview(self._mm)
+
+    def read_at(self, offset: int, length: int) -> bytes:
+        end = offset + length
+        if end > len(self._view):
+            raise ValueError(f"read past end of mapped file {self.label!r}")
+        return bytes(self._view[offset:end])
+
+    def close(self) -> None:
+        self._view.release()
+        self._mm.close()
+
+
+def make_source(source, *, mmap: bool = False):
+    """Wrap bytes / memoryview / path / seekable binary file for random access.
+
+    ``mmap=True`` maps path sources read-only (lock-free concurrent reads;
+    ignored for in-memory buffers, which are already lock-free, and
+    rejected for raw file objects whose lifetime we do not own).  Open
+    failures raise :class:`ContainerIOError` carrying the path, so a
+    missing or unreadable container names itself instead of surfacing a
+    bare :class:`OSError` from deep inside a lazy read.
+    """
     if isinstance(source, (bytes, bytearray, memoryview)):
         return _BytesSource(source)
     if isinstance(source, (str, Path)):
-        return _FileSource(open(source, "rb"), owns=True)
+        try:
+            if mmap:
+                return _MmapSource(source)
+            return _FileSource(open(source, "rb"), owns=True, label=str(source))
+        except OSError as exc:
+            raise ContainerIOError(
+                f"cannot open container file {str(source)!r}: {exc}"
+            ) from exc
+        except ValueError as exc:  # e.g. mmap of an empty file
+            raise ContainerIOError(
+                f"cannot map container file {str(source)!r}: {exc}"
+            ) from exc
     if hasattr(source, "seek") and hasattr(source, "read"):
+        if mmap:
+            raise TypeError("mmap=True requires a path source, not an open file object")
         return _FileSource(source, owns=False)
     raise TypeError(f"cannot open {type(source).__name__!r} as a byte source")
 
@@ -256,7 +360,14 @@ class LazyPartStore(Mapping):
     # -- mapping protocol (no payload reads except __getitem__) ----------
     def __getitem__(self, name: str) -> bytes:
         offset, length = self._index[name]
-        payload = self._source.read_at(offset, length)
+        try:
+            payload = self._source.read_at(offset, length)
+        except (OSError, ValueError) as exc:
+            label = getattr(self._source, "label", "<unknown source>")
+            raise ContainerIOError(
+                f"failed reading part {name!r} ({length} bytes at offset {offset}) "
+                f"from {label}: {exc}"
+            ) from exc
         with self._log_lock:
             self.access_counts[name] = self.access_counts.get(name, 0) + 1
             self.bytes_read += length
@@ -318,9 +429,13 @@ class LazyCompressedDataset:
 
     # -- construction ------------------------------------------------------
     @classmethod
-    def open(cls, source, offset: int = 0) -> "LazyCompressedDataset":
-        """Open a blob lazily; ``offset`` locates it inside a larger stream."""
-        return cls._parse(make_source(source), offset)
+    def open(cls, source, offset: int = 0, *, mmap: bool = False) -> "LazyCompressedDataset":
+        """Open a blob lazily; ``offset`` locates it inside a larger stream.
+
+        ``mmap=True`` serves parts through a lock-free memory mapping
+        (path sources only).
+        """
+        return cls._parse(make_source(source, mmap=mmap), offset)
 
     @classmethod
     def _parse(cls, src, base: int, owns_source: bool = True) -> "LazyCompressedDataset":
@@ -331,6 +446,9 @@ class LazyCompressedDataset:
         if version not in _SUPPORTED_VERSIONS:
             raise ValueError(f"unsupported container version {version}")
         head_off = base + 4 + _HEAD.size
+        if version == 3:
+            index_off, index_len = _V3_INDEX.unpack(src.read_at(head_off, _V3_INDEX.size))
+            head_off += _V3_INDEX.size
         head = json.loads(src.read_at(head_off, head_len).decode("utf-8"))
         payload_base = head_off + head_len
         index: dict[str, tuple[int, int]] = {}
@@ -342,6 +460,15 @@ class LazyCompressedDataset:
                 (length,) = _LEN.unpack(src.read_at(offset, _LEN.size))
                 index[name] = (offset + _LEN.size, length)
                 offset += _LEN.size + length
+        elif version == 3:
+            # Index-at-tail: one extra bounded read locates every part.
+            part_index = json.loads(src.read_at(base + index_off, index_len).decode("utf-8"))
+            for name, part_off, length in part_index:
+                if part_off < 0 or payload_base + part_off + length > base + index_off:
+                    raise ValueError(
+                        f"part {name!r} extends past the payload region (corrupt blob)"
+                    )
+                index[name] = (payload_base + part_off, length)
         else:
             for name, part_off, length in head["part_index"]:
                 index[name] = (payload_base + part_off, length)
@@ -393,6 +520,154 @@ class LazyCompressedDataset:
 
     def __exit__(self, *exc) -> None:
         self.close()
+
+
+# ----------------------------------------------------------------------
+# streaming writing
+# ----------------------------------------------------------------------
+class StreamingContainerWriter:
+    """Write a version-3 container part-by-part with bounded memory.
+
+    ``CompressedDataset.to_bytes`` materializes header + every payload in
+    one buffer — fine for experiment-sized blobs, quadratically painful
+    for snapshot-scale dumps.  This writer emits the fixed-width v3
+    header immediately (index offset zero-filled), streams each part to
+    the sink the moment it is added, and on :meth:`close` appends the
+    part index and patches the header slot — so peak memory is one part,
+    never the dataset, and the resulting bytes are **identical** to
+    ``to_bytes()`` with ``container_version=3``.
+
+    The sink may be a path (opened/closed by the writer) or a seekable
+    binary file positioned where the blob should start — which is how
+    :class:`~repro.engine.archive.ShardedArchiveWriter` streams whole
+    entries into payload shards: all recorded offsets are relative to
+    the blob's own base, so a v3 blob is position-independent.
+    """
+
+    def __init__(
+        self,
+        sink,
+        method: str,
+        dataset_name: str,
+        *,
+        meta: dict | None = None,
+        original_bytes: int = 0,
+        n_values: int = 0,
+    ):
+        if isinstance(sink, (str, Path)):
+            self._fh = open(sink, "wb")
+            self._owns = True
+        elif hasattr(sink, "write") and hasattr(sink, "seek"):
+            self._fh = sink
+            self._owns = False
+        else:
+            raise TypeError(f"cannot stream to {type(sink).__name__!r}: need a path or seekable file")
+        self._base = self._fh.tell()
+        record = _head_record(method, dataset_name, meta or {}, original_bytes, n_values)
+        head = json.dumps(record, sort_keys=True).encode("utf-8")
+        self._fh.write(_MAGIC)
+        self._fh.write(_HEAD.pack(STREAMING_CONTAINER_VERSION, len(head)))
+        self._patch_at = self._base + 4 + _HEAD.size
+        self._fh.write(_V3_INDEX.pack(0, 0))
+        self._fh.write(head)
+        self._payload_base = 4 + _HEAD.size + _V3_INDEX.size + len(head)
+        self._index: list[list] = []
+        self._offset = 0
+        self._names: set[str] = set()
+        self._closed = False
+        #: Size of the biggest single part so far (the memory bound).
+        self.largest_part = 0
+        #: Total blob length, set by :meth:`close`.
+        self.total_bytes = 0
+
+    # -- writing -----------------------------------------------------------
+    def add_part(self, name: str, payload) -> None:
+        """Append one named part; the payload is not retained."""
+        if self._closed:
+            raise ValueError("writer is closed")
+        if name in self._names:
+            raise ValueError(f"duplicate part name {name!r}")
+        payload = bytes(payload) if not isinstance(payload, bytes) else payload
+        self._fh.write(payload)
+        self._index.append([name, self._offset, len(payload)])
+        self._offset += len(payload)
+        self._names.add(name)
+        self.largest_part = max(self.largest_part, len(payload))
+
+    def add_parts(self, items) -> None:
+        """Append ``(name, payload)`` pairs from any iterable (e.g. a
+        generator that produces parts one at a time).  Each pair is
+        released before the next is pulled, so a generator source keeps
+        at most one payload alive at a time."""
+        for item in items:
+            self.add_part(item[0], item[1])
+            del item
+
+    @property
+    def n_parts(self) -> int:
+        return len(self._index)
+
+    @property
+    def bytes_written(self) -> int:
+        """Payload bytes streamed so far (header and index excluded)."""
+        return self._offset
+
+    # -- lifecycle ---------------------------------------------------------
+    def close(self) -> int:
+        """Write the part index, patch the header, and return the total
+        blob length.  Idempotent only in the sense that calling twice is
+        an error — a closed blob is final."""
+        if self._closed:
+            raise ValueError("writer is already closed")
+        index_blob = json.dumps(self._index, sort_keys=True).encode("utf-8")
+        index_off = self._payload_base + self._offset
+        self._fh.write(index_blob)
+        end = self._fh.tell()
+        self._fh.seek(self._patch_at)
+        self._fh.write(_V3_INDEX.pack(index_off, len(index_blob)))
+        self._fh.seek(end)
+        self._closed = True
+        self.total_bytes = index_off + len(index_blob)
+        if self._owns:
+            self._fh.close()
+        else:
+            self._fh.flush()
+        return self.total_bytes
+
+    def __enter__(self) -> "StreamingContainerWriter":
+        return self
+
+    def __exit__(self, exc_type, *exc) -> None:
+        if exc_type is not None:
+            # Abandon the partial blob: never patch the header, so the
+            # zero-filled index slot marks it unreadable-by-construction.
+            self._closed = True
+            if self._owns:
+                self._fh.close()
+            return
+        if not self._closed:
+            self.close()
+
+
+def stream_dataset(comp, sink) -> int:
+    """Serialize an existing :class:`CompressedDataset` (or lazy view)
+    through :class:`StreamingContainerWriter`, one part at a time.
+
+    Returns the blob length.  With a lazy ``comp`` this is a true
+    bounded-memory copy: each part is fetched, written, and dropped.
+    """
+    writer = StreamingContainerWriter(
+        sink,
+        comp.method,
+        comp.dataset_name,
+        meta=comp.meta,
+        original_bytes=comp.original_bytes,
+        n_values=comp.n_values,
+    )
+    with writer:
+        for name in comp.parts:
+            writer.add_part(name, comp.parts[name])
+    return writer.total_bytes
 
 
 def resolve_global_eb(dataset, error_bound: float, mode: str) -> float:

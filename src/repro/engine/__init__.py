@@ -10,12 +10,20 @@ The architectural seam for scaling this reproduction into a service:
   datasets into one manifest-carrying container.
 """
 
-from repro.engine.archive import BatchArchive, LazyBatchArchive, is_batch_archive
+from repro.engine.archive import (
+    DEFAULT_SHARD_SIZE,
+    BatchArchive,
+    LazyBatchArchive,
+    ShardedArchiveWriter,
+    ShardedWriteReport,
+    is_batch_archive,
+)
 from repro.engine.engine import (
     BatchResult,
     CompressionEngine,
     CompressionJob,
     JobResult,
+    ShardedBatchResult,
 )
 from repro.engine.registry import (
     Codec,
@@ -43,9 +51,13 @@ __all__ = [
     "CodecSpec",
     "CompressionEngine",
     "CompressionJob",
+    "DEFAULT_SHARD_SIZE",
     "JobResult",
     "LazyBatchArchive",
     "PartialCodec",
+    "ShardedArchiveWriter",
+    "ShardedBatchResult",
+    "ShardedWriteReport",
     "all_specs",
     "codec_for_method",
     "codec_names",

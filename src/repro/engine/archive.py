@@ -13,32 +13,59 @@ Wire format (all integers little-endian)::
     b"RPBT" | u8 version | u64 head_len | JSON head | entry blobs
 
 Version 1 length-prefixes each entry blob; version 2 (default for new
-archives) instead records an entry index (``key → offset/length`` relative
-to the payload region) in the head, so one entry is reachable with a
-single seek.  :class:`LazyBatchArchive` builds on that for true random
-access: open a file or buffer, read the head, and serve any entry as a
+monolithic archives) instead records an entry index (``key →
+offset/length`` relative to the payload region) in the head, so one entry
+is reachable with a single seek.  :class:`LazyBatchArchive` builds on
+that for true random access: open a file or buffer, read the head, and
+serve any entry as a
 :class:`~repro.core.container.LazyCompressedDataset` without parsing its
 siblings.  Keys are sorted on serialization, so equal archives serialize
 to equal bytes and ``from_bytes → to_bytes`` is byte-stable in both
 versions — the property the golden-format regression tests pin down.
+
+**Version 3 is the sharded layout**: the ``RPBT`` file becomes a
+manifest-only *head shard* — JSON head, zero payload bytes — whose entry
+index points into external *payload shards* (``<stem>.shard-NNNN.rpsh``
+files next to the head today; the shard records carry plain names
+resolved through a pluggable opener, which is the object-storage seam).
+Payload shards are raw concatenations of container blobs, each written
+in one pass by :class:`~repro.core.container.StreamingContainerWriter`,
+so :class:`ShardedArchiveWriter` streams an arbitrarily large batch with
+peak memory bounded by one entry.  The head records per-shard sizes and
+CRC-32s, so a damaged or missing shard names itself instead of decoding
+garbage.
 """
 
 from __future__ import annotations
 
 import json
 import struct
+import threading
+import zlib
 from dataclasses import dataclass, field
+from pathlib import Path
 
 from repro.amr.hierarchy import AMRDataset
-from repro.core.container import CompressedDataset, LazyCompressedDataset, make_source
+from repro.core.container import (
+    CompressedDataset,
+    ContainerIOError,
+    LazyCompressedDataset,
+    StreamingContainerWriter,
+    make_source,
+)
 from repro.engine import registry
 
 _MAGIC = b"RPBT"
-#: Wire version written by default for new archives.
+#: Wire version written by default for new monolithic archives.
 ARCHIVE_VERSION = 2
-_SUPPORTED_VERSIONS = (1, 2)
+#: Wire version of sharded (head + payload shards) archives.
+SHARDED_ARCHIVE_VERSION = 3
+_SUPPORTED_VERSIONS = (1, 2, 3)
 _HEAD = struct.Struct("<BQ")
 _LEN = struct.Struct("<Q")
+
+#: Default payload-shard roll-over size (bytes) for sharded writes.
+DEFAULT_SHARD_SIZE = 64 * 1024 * 1024
 
 
 def _entry_decompress(comp, method: str, structure, decode_workers: int) -> AMRDataset:
@@ -163,6 +190,11 @@ class BatchArchive:
     # -- serialization -----------------------------------------------------
     def to_bytes(self) -> bytes:
         """Serialize; equal archives yield equal bytes (keys are sorted)."""
+        if self.version == SHARDED_ARCHIVE_VERSION:
+            raise ValueError(
+                "version 3 is the sharded layout; write it with "
+                "ShardedArchiveWriter / save_sharded, not to_bytes"
+            )
         if self.version not in _SUPPORTED_VERSIONS:
             raise ValueError(f"unsupported batch-archive version {self.version}")
         keys = sorted(self.entries)
@@ -202,6 +234,12 @@ class BatchArchive:
         offset = 4 + _HEAD.size
         head = json.loads(bytes(view[offset : offset + head_len]).decode("utf-8"))
         offset += head_len
+        if version == 3:
+            raise ValueError(
+                "this is a sharded (v3) archive head whose payloads live in "
+                "external shard files; open it from its path with "
+                "BatchArchive.load or LazyBatchArchive.open"
+            )
         archive = cls(meta=head.get("meta", {}), version=version)
         if version == 1:
             for key in head["keys"]:
@@ -228,10 +266,313 @@ class BatchArchive:
             fh.write(data)
         return len(data)
 
+    def save_sharded(self, path, shard_size: int = DEFAULT_SHARD_SIZE) -> "ShardedWriteReport":
+        """Write this archive as a v3 head shard plus payload shards.
+
+        Entries are streamed in sorted-key order (mirroring
+        :meth:`to_bytes` determinism: equal archives produce byte-equal
+        shard sets).  Returns the writer's report (head path, shard
+        paths, sizes).
+        """
+        with ShardedArchiveWriter(path, shard_size=shard_size, meta=self.meta) as writer:
+            for key in sorted(self.entries):
+                writer.add_entry(key, self.entries[key])
+        return writer.report
+
     @classmethod
     def load(cls, path) -> "BatchArchive":
+        """Read an archive from ``path`` — monolithic or a v3 head shard
+        (whose entries are materialized from the payload shards)."""
         with open(path, "rb") as fh:
-            return cls.from_bytes(fh.read())
+            blob = fh.read()
+        if blob[4:5] == bytes([SHARDED_ARCHIVE_VERSION]) and blob[:4] == _MAGIC:
+            with LazyBatchArchive.open(path) as lazy:
+                archive = cls(meta=dict(lazy.meta), version=ARCHIVE_VERSION)
+                for key in lazy.keys():
+                    archive.add(key, lazy.entry(key).materialize())
+                return archive
+        return cls.from_bytes(blob)
+
+
+def _shard_name(head_path: Path, idx: int) -> str:
+    return f"{head_path.stem}.shard-{idx:04d}.rpsh"
+
+
+def _file_crc32(path, chunk: int = 1 << 18) -> int:
+    """CRC-32 of a file, read in bounded chunks (never the whole file)."""
+    crc = 0
+    with open(path, "rb") as fh:
+        while True:
+            block = fh.read(chunk)
+            if not block:
+                return crc
+            crc = zlib.crc32(block, crc)
+
+
+@dataclass
+class ShardedWriteReport:
+    """What a completed sharded write produced (paths and accounting)."""
+
+    head_path: Path
+    shard_paths: list[Path]
+    n_entries: int
+    payload_bytes: int
+    head_bytes: int
+
+    def total_bytes(self) -> int:
+        return self.payload_bytes + self.head_bytes
+
+
+class ShardedArchiveWriter:
+    """Stream entries into payload shards; emit the v3 head at close.
+
+    The bounded-memory batch write path: each entry is serialized
+    part-by-part through
+    :class:`~repro.core.container.StreamingContainerWriter` straight into
+    the current shard file, so peak memory is one entry's largest part
+    plus the entry's (already materialized) part dict — never the batch.
+    A new shard starts whenever the current one has reached
+    ``shard_size`` (an entry is never split across shards, so shards can
+    exceed it by one entry).  ``close()`` writes the manifest-only head;
+    an exception inside the ``with`` block aborts and removes every file
+    written, so a crashed batch leaves no half-archive behind.
+    """
+
+    def __init__(
+        self,
+        head_path,
+        *,
+        shard_size: int = DEFAULT_SHARD_SIZE,
+        meta: dict | None = None,
+    ):
+        if shard_size <= 0:
+            raise ValueError(f"shard_size must be positive, got {shard_size}")
+        self._head_path = Path(head_path)
+        self._shard_size = int(shard_size)
+        self._meta = dict(meta or {})
+        self._dir = self._head_path.parent
+        self._index: dict[str, list[int]] = {}
+        self._manifest: dict[str, dict] = {}
+        self._shards: list[dict] = []
+        self._shard_paths: list[Path] = []
+        self._fh = None
+        self._shard_offset = 0
+        self._closed = False
+        self._head_written = False
+        #: Set by :meth:`close`.
+        self.report: ShardedWriteReport | None = None
+
+    # -- shard lifecycle ---------------------------------------------------
+    def _open_shard(self) -> None:
+        name = _shard_name(self._head_path, len(self._shard_paths))
+        path = self._dir / name
+        self._fh = open(path, "wb")
+        self._shard_paths.append(path)
+        self._shard_offset = 0
+
+    def _finalize_shard(self) -> None:
+        if self._fh is None:
+            return
+        self._fh.close()
+        self._fh = None
+        path = self._shard_paths[-1]
+        # The CRC is a chunked re-read rather than a running accumulator:
+        # each entry's header slot is seek-patched after its payloads, so
+        # the byte stream is not written in final order.  The shard was
+        # just written, so this pass reads from the page cache.
+        self._shards.append(
+            {
+                "name": path.name,
+                "n_bytes": self._shard_offset,
+                "crc32": _file_crc32(path),
+            }
+        )
+
+    # -- writing -----------------------------------------------------------
+    def add_entry(self, key: str, comp) -> None:
+        """Stream one compressed dataset (eager or lazy view) into the
+        current payload shard; the payload bytes are not retained."""
+        if self._closed:
+            raise ValueError("writer is closed")
+        if not key:
+            raise ValueError("entry key must be a non-empty string")
+        if key in self._index:
+            raise ValueError(f"duplicate archive key {key!r}")
+        if self._fh is None:
+            self._open_shard()
+        elif self._shard_offset >= self._shard_size:
+            self._finalize_shard()
+            self._open_shard()
+        start = self._shard_offset
+        writer = StreamingContainerWriter(
+            self._fh,
+            comp.method,
+            comp.dataset_name,
+            meta=comp.meta,
+            original_bytes=comp.original_bytes,
+            n_values=comp.n_values,
+        )
+        for name in comp.parts:
+            writer.add_part(name, comp.parts[name])
+        length = writer.close()
+        self._shard_offset = start + length
+        self._index[key] = [len(self._shard_paths) - 1, start, length]
+        self._manifest[key] = {
+            "key": key,
+            "method": comp.method,
+            "dataset": comp.dataset_name,
+            "original_bytes": comp.original_bytes,
+            "compressed_bytes": writer.bytes_written,
+            "n_values": comp.n_values,
+            "n_parts": writer.n_parts,
+        }
+
+    # -- lifecycle ---------------------------------------------------------
+    def close(self) -> ShardedWriteReport:
+        """Finalize the open shard and write the manifest-only head."""
+        if self._closed:
+            raise ValueError("writer is already closed")
+        self._finalize_shard()
+        keys = sorted(self._index)
+        record = {
+            "version": SHARDED_ARCHIVE_VERSION,
+            "keys": keys,
+            "meta": self._meta,
+            "manifest": [self._manifest[key] for key in keys],
+            "shards": self._shards,
+            "index": self._index,
+        }
+        head = json.dumps(record, sort_keys=True).encode("utf-8")
+        with open(self._head_path, "wb") as fh:
+            fh.write(_MAGIC)
+            fh.write(_HEAD.pack(SHARDED_ARCHIVE_VERSION, len(head)))
+            fh.write(head)
+        self._head_written = True
+        self._closed = True
+        self.report = ShardedWriteReport(
+            head_path=self._head_path,
+            shard_paths=list(self._shard_paths),
+            n_entries=len(self._index),
+            payload_bytes=sum(rec["n_bytes"] for rec in self._shards),
+            head_bytes=4 + _HEAD.size + len(head),
+        )
+        return self.report
+
+    def abort(self) -> None:
+        """Close and delete everything *this writer* wrote.
+
+        The head is only removed if :meth:`close` wrote it this run — a
+        failed re-run over an existing archive must not delete the old
+        head (note that shards this run already opened have overwritten
+        their same-named predecessors; the surviving head at least names
+        what the archive held).
+        """
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+        for path in self._shard_paths:
+            path.unlink(missing_ok=True)
+        if self._head_written:
+            self._head_path.unlink(missing_ok=True)
+        self._closed = True
+
+    def __enter__(self) -> "ShardedArchiveWriter":
+        return self
+
+    def __exit__(self, exc_type, *exc) -> None:
+        if exc_type is not None:
+            self.abort()
+        elif not self._closed:
+            self.close()
+
+
+class _ShardStore:
+    """Lazily opened byte sources for a v3 archive's payload shards.
+
+    ``opener(name) → source`` is the pluggable resolution seam: the
+    default binds shard names to files next to the head, but anything
+    that returns a ``read_at``/``close`` object (an object-storage
+    client, a remote fetcher) slots in.  Open failures and integrity
+    mismatches surface as :class:`ContainerIOError` naming the archive,
+    the shard, and the entry that needed it.
+    """
+
+    def __init__(self, label: str, records: list[dict], opener, verify: bool):
+        self._label = label
+        self._records = records
+        self._opener = opener
+        self._verify = verify
+        self._sources: dict[int, object] = {}
+        self._lock = threading.Lock()
+        self._open_locks: dict[int, threading.Lock] = {}
+
+    def source(self, shard_idx: int, key: str):
+        # Concurrent entry() calls are part of the contract (mmap mode
+        # exists for them): a per-shard lock serializes first-open so
+        # racing threads never double-open (and leak) the same shard,
+        # while different shards still open — and CRC-verify — in
+        # parallel.
+        with self._lock:
+            src = self._sources.get(shard_idx)
+            if src is not None:
+                return src
+            open_lock = self._open_locks.setdefault(shard_idx, threading.Lock())
+        with open_lock:
+            with self._lock:
+                src = self._sources.get(shard_idx)
+                if src is not None:
+                    return src
+            rec = self._records[shard_idx]
+            name = rec["name"]
+            try:
+                src = self._opener(name)
+            except (OSError, ValueError) as exc:
+                raise ContainerIOError(
+                    f"archive {self._label}: payload shard {name!r} (needed for "
+                    f"entry {key!r}) could not be opened: {exc}"
+                ) from exc
+            if self._verify:
+                self._check_integrity(src, rec)
+            with self._lock:
+                self._sources[shard_idx] = src
+            return src
+
+    def _check_integrity(self, src, rec: dict, chunk: int = 1 << 18) -> None:
+        """Bounded-memory size + CRC-32 check (mirrors ``_file_crc32``)."""
+        name, n_bytes = rec["name"], rec["n_bytes"]
+        crc = 0
+        try:
+            for offset in range(0, n_bytes, chunk):
+                crc = zlib.crc32(src.read_at(offset, min(chunk, n_bytes - offset)), crc)
+        except (OSError, ValueError) as exc:
+            src.close()
+            raise ContainerIOError(
+                f"archive {self._label}: payload shard {name!r} is "
+                f"shorter than its recorded {n_bytes} bytes: {exc}"
+            ) from exc
+        if crc != rec["crc32"]:
+            src.close()
+            raise ContainerIOError(
+                f"archive {self._label}: payload shard {name!r} failed "
+                f"its checksum (crc32 {crc:#010x} != recorded "
+                f"{rec['crc32']:#010x}); refusing to decode corrupt data"
+            )
+
+    def close(self) -> None:
+        with self._lock:
+            for src in self._sources.values():
+                src.close()
+            self._sources = {}
+
+
+def _default_shard_opener(base_dir: Path, mmap: bool):
+    def opener(name: str):
+        candidate = Path(name)
+        if candidate.is_absolute() or ".." in candidate.parts:
+            raise ValueError(f"refusing non-local shard name {name!r}")
+        return make_source(base_dir / candidate, mmap=mmap)
+
+    return opener
 
 
 class LazyBatchArchive:
@@ -243,19 +584,56 @@ class LazyBatchArchive:
     even reading) its siblings.  Version-2 archives locate entries from
     the head's index; version-1 archives are scanned once, 8 bytes per
     entry, to recover the same index.
+
+    Version-3 (sharded) heads carry no payload at all: the entry index
+    points into payload shards, resolved lazily — and pluggably, via
+    ``shard_opener`` — so the manifest of a petabyte batch is readable
+    from the head file alone, and only the shards an entry actually
+    lives in are ever opened.  ``mmap=True`` maps path-backed sources
+    read-only, giving lock-free concurrent part reads.
     """
 
-    def __init__(self, source, head: dict, entry_index: dict[str, tuple[int, int]]):
+    def __init__(
+        self,
+        source,
+        head: dict,
+        entry_index: dict[str, tuple],
+        shard_store: "_ShardStore | None" = None,
+    ):
         self._source = source
         self._head = head
         self._index = entry_index
+        self._shards = shard_store
         self.meta: dict = head.get("meta", {})
         self.version: int = head["version"]
 
     @classmethod
-    def open(cls, source) -> "LazyBatchArchive":
-        """Open an archive lazily from bytes, a path, or a seekable file."""
-        src = make_source(source)
+    def open(
+        cls,
+        source,
+        *,
+        mmap: bool = False,
+        shard_opener=None,
+        verify_shards: bool = False,
+    ) -> "LazyBatchArchive":
+        """Open an archive lazily from bytes, a path, or a seekable file.
+
+        Parameters
+        ----------
+        mmap:
+            Serve path-backed reads (head and default-resolved shards)
+            through lock-free memory mappings.
+        shard_opener:
+            ``name → byte source`` callable for resolving a v3 head's
+            payload shards.  Defaults to files next to the head (which
+            therefore requires ``source`` to be a path).
+        verify_shards:
+            Check each payload shard's recorded size and CRC-32 the
+            first time it is opened (reads the whole shard once).
+        """
+        # make_source enforces the mmap contract: loud TypeError for file
+        # objects, documented no-op for in-memory buffers.
+        src = make_source(source, mmap=mmap)
         prefix = src.read_at(0, 4 + _HEAD.size)
         if prefix[:4] != _MAGIC:
             raise ValueError("not a BatchArchive blob")
@@ -266,18 +644,33 @@ class LazyBatchArchive:
         head = json.loads(src.read_at(head_off, head_len).decode("utf-8"))
         head.setdefault("version", version)
         payload_base = head_off + head_len
-        index: dict[str, tuple[int, int]] = {}
+        index: dict[str, tuple] = {}
         if version == 1:
             offset = payload_base
             for key in head["keys"]:
                 (length,) = _LEN.unpack(src.read_at(offset, _LEN.size))
                 index[key] = (offset + _LEN.size, length)
                 offset += _LEN.size + length
-        else:
+            return cls(src, head, index)
+        if version == 2:
             for key in head["keys"]:
                 entry_off, length = head["index"][key]
                 index[key] = (payload_base + entry_off, length)
-        return cls(src, head, index)
+            return cls(src, head, index)
+        # v3: manifest-only head; entries live in payload shards.
+        label = getattr(src, "label", "<memory>")
+        if shard_opener is None:
+            if not isinstance(source, (str, Path)):
+                raise ValueError(
+                    "a sharded (v3) archive head opened from bytes needs an "
+                    "explicit shard_opener to locate its payload shards"
+                )
+            shard_opener = _default_shard_opener(Path(source).parent, mmap)
+        for key in head["keys"]:
+            shard_idx, entry_off, length = head["index"][key]
+            index[key] = (shard_idx, entry_off, length)
+        store = _ShardStore(label, head["shards"], shard_opener, verify_shards)
+        return cls(src, head, index, shard_store=store)
 
     # -- container protocol ------------------------------------------------
     def __len__(self) -> int:
@@ -295,18 +688,41 @@ class LazyBatchArchive:
 
     def entry_sizes(self) -> dict[str, int]:
         """Per-entry stored byte counts straight from the index."""
-        return {key: length for key, (_off, length) in self._index.items()}
+        return {key: loc[-1] for key, loc in self._index.items()}
+
+    @property
+    def is_sharded(self) -> bool:
+        return self._shards is not None
+
+    def shards(self) -> list[dict]:
+        """The head's shard records (name / size / crc32); empty for
+        monolithic archives.  No shard is opened."""
+        return list(self._head.get("shards", []))
+
+    def entry_shards(self) -> dict[str, str]:
+        """Which payload shard each entry lives in (v3 archives only)."""
+        if not self.is_sharded:
+            return {}
+        shard_names = [rec["name"] for rec in self._head["shards"]]
+        return {key: shard_names[loc[0]] for key, loc in self._index.items()}
 
     # -- entries -----------------------------------------------------------
     def entry(self, key: str) -> LazyCompressedDataset:
         """One entry as a lazy dataset; siblings are never touched.
 
-        Entries share the archive's byte source (closing one is a no-op);
-        close the archive itself when done with all of them.
+        Entries share the archive's byte sources (closing one is a
+        no-op); close the archive itself when done with all of them.  In
+        a sharded archive this call opens — at most — the one payload
+        shard the entry lives in.
         """
         if key not in self._index:
             raise KeyError(f"no entry {key!r}; archive holds {self.keys()}")
-        offset, _length = self._index[key]
+        loc = self._index[key]
+        if self.is_sharded:
+            shard_idx, offset, _length = loc
+            src = self._shards.source(shard_idx, key)
+            return LazyCompressedDataset._parse(src, offset, owns_source=False)
+        offset, _length = loc
         return LazyCompressedDataset._parse(self._source, offset, owns_source=False)
 
     def decompress(
@@ -326,6 +742,8 @@ class LazyBatchArchive:
 
     # -- lifecycle ---------------------------------------------------------
     def close(self) -> None:
+        if self._shards is not None:
+            self._shards.close()
         self._source.close()
 
     def __enter__(self) -> "LazyBatchArchive":

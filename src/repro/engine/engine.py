@@ -33,7 +33,12 @@ from repro.amr.hierarchy import AMRDataset
 from repro.amr.io import load_dataset
 from repro.core.container import CompressedDataset
 from repro.engine import registry
-from repro.engine.archive import BatchArchive
+from repro.engine.archive import (
+    DEFAULT_SHARD_SIZE,
+    BatchArchive,
+    ShardedArchiveWriter,
+    ShardedWriteReport,
+)
 from repro.engine.registry import supports_kwarg
 from repro.utils.timer import TimingRecord
 from repro.utils.validation import check_positive_int
@@ -180,6 +185,53 @@ class BatchResult:
         return rows
 
 
+@dataclass
+class ShardedBatchResult:
+    """Outcome of a streamed batch write: job results + what hit disk.
+
+    Payloads are (by default) already released — accounting comes from
+    the write :attr:`report` and, for per-entry detail, from the head
+    shard's manifest, which is readable without touching a payload
+    shard.
+    """
+
+    results: list[JobResult]
+    report: ShardedWriteReport
+    wall_seconds: float = 0.0
+    max_workers: int = 1
+    executor: str = "thread"
+
+    def __iter__(self):
+        return iter(self.results)
+
+    def __len__(self) -> int:
+        return len(self.results)
+
+    @property
+    def head_path(self):
+        return self.report.head_path
+
+    @property
+    def shard_paths(self):
+        return self.report.shard_paths
+
+    def manifest(self) -> list[dict]:
+        """Per-entry manifest rows, read back from the head shard alone
+        (cached — the head is immutable once written)."""
+        if getattr(self, "_manifest_rows", None) is None:
+            from repro.engine.archive import LazyBatchArchive
+
+            with LazyBatchArchive.open(self.report.head_path) as archive:
+                self._manifest_rows = archive.manifest()
+        return self._manifest_rows
+
+    def ratio(self) -> float:
+        rows = self.manifest()
+        original = sum(row["original_bytes"] for row in rows)
+        compressed = sum(row["compressed_bytes"] for row in rows)
+        return original / compressed if compressed else float("inf")
+
+
 def _execute_job(job: CompressionJob, level_workers: int) -> tuple[CompressedDataset, float]:
     """Run one job to completion (top-level so process pools can pickle it)."""
     codec = registry.get_codec(job.codec, **job.codec_options)
@@ -270,6 +322,96 @@ class CompressionEngine:
     def run_to_archive(self, jobs: Iterable[CompressionJob], **meta) -> BatchArchive:
         """``run`` + pack into one :class:`BatchArchive` (all jobs must succeed)."""
         return self.run(jobs).to_archive(**meta)
+
+    def run_to_shards(
+        self,
+        jobs: Iterable[CompressionJob],
+        head_path,
+        *,
+        shard_size: int = DEFAULT_SHARD_SIZE,
+        keep_payloads: bool = False,
+        **meta,
+    ) -> "ShardedBatchResult":
+        """Compress a batch straight into a sharded (v3) archive.
+
+        The streaming counterpart of :meth:`run_to_archive`: workers
+        compress jobs concurrently while the caller's thread drains
+        finished results *in submission order* into a
+        :class:`~repro.engine.archive.ShardedArchiveWriter`, releasing
+        each entry's payloads as soon as they hit disk.  Submission is
+        windowed (``2 * max_workers`` jobs outstanding), so even when
+        the batch's slowest job is first, peak memory is the window —
+        never the whole compressed batch — while shard layout,
+        manifest, and payload bytes stay deterministic for a given job
+        list.
+
+        All jobs must succeed: a failure aborts the write, removes every
+        file already written, and re-raises (chained), so a crashed
+        batch never leaves a half-archive behind.  ``keep_payloads=True``
+        retains each ``JobResult.compressed`` for callers that want both
+        the files and the in-memory batch (tests, small batches).
+        """
+        jobs = list(jobs)
+        labels = self._unique_labels(jobs)
+        results = [
+            JobResult(label=labels[i], codec=job.codec, index=i)
+            for i, job in enumerate(jobs)
+        ]
+        start = time.perf_counter()
+        writer = ShardedArchiveWriter(head_path, shard_size=shard_size, meta=dict(meta))
+        try:
+            if self.max_workers == 1 or len(jobs) <= 1:
+                for i, job in enumerate(jobs):
+                    self._fill(results[i], job)
+                    self._stream_result(writer, results[i], keep_payloads)
+            else:
+                # Bounded submission window: with everything submitted up
+                # front, a slow job 0 would let every other result pile up
+                # inside undrained futures — the memory profile streaming
+                # exists to avoid.  Keeping 2x max_workers outstanding
+                # feeds the pool without unbounding the backlog.
+                window = 2 * self.max_workers
+                futures: dict[int, object] = {}
+                with self._make_pool() as pool:
+                    try:
+                        submitted = 0
+                        for i in range(len(jobs)):
+                            while submitted < len(jobs) and submitted < i + window:
+                                futures[submitted] = pool.submit(
+                                    _execute_job, jobs[submitted], self.level_workers
+                                )
+                                submitted += 1
+                            self._fill(results[i], jobs[i], futures.pop(i))
+                            self._stream_result(writer, results[i], keep_payloads)
+                    except BaseException:
+                        # Abort promptly: never wait for doomed siblings.
+                        for future in futures.values():
+                            future.cancel()
+                        raise
+            report = writer.close()
+        except BaseException:
+            writer.abort()
+            raise
+        return ShardedBatchResult(
+            results=results,
+            report=report,
+            wall_seconds=time.perf_counter() - start,
+            max_workers=self.max_workers,
+            executor=self.executor,
+        )
+
+    @staticmethod
+    def _stream_result(
+        writer: ShardedArchiveWriter, result: JobResult, keep_payloads: bool
+    ) -> None:
+        """Write one finished job into the shard writer and drop its payloads."""
+        if not result.ok:
+            raise RuntimeError(
+                f"job {result.label!r} (#{result.index}) failed: {result.error}"
+            ) from result.error
+        writer.add_entry(result.label, result.compressed)
+        if not keep_payloads:
+            result.compressed = None
 
     # ------------------------------------------------------------------
     def _make_pool(self) -> Executor:

@@ -11,9 +11,14 @@ decompressed-value statistics:
 * ``golden_batch.rpbt`` / ``golden_batch.json`` — version 1 (the original
   length-prefixed layout; proves old stored archives stay readable);
 * ``golden_batch_v2.rpbt`` / ``golden_batch_v2.json`` — version 2 (part-
-  and entry-indexed layout used for lazy/partial reads).
+  and entry-indexed layout used for lazy/partial reads);
+* ``golden_batch_v3.rpbt`` + ``golden_batch_v3.shard-NNNN.rpsh`` /
+  ``golden_batch_v3.json`` — version 3 (sharded streaming layout: a
+  manifest-only head whose index points into payload shards, written by
+  ``ShardedArchiveWriter``; the shard size is chosen so the four entries
+  span two shards).
 
-The two differ only in framing: identical codecs, identical payload
+All versions differ only in framing: identical codecs, identical payload
 bytes.  Only regenerate when a container version is *intentionally*
 bumped — the whole point of the fixtures is that accidental format drift
 fails ``tests/test_golden_format.py``.
@@ -34,6 +39,8 @@ HERE = Path(__file__).parent
 EB = 1e-3
 MODE = "abs"
 CODECS = ("tac", "1d", "zmesh", "3d")
+#: Forces the four golden entries across two payload shards.
+V3_SHARD_SIZE = 2048
 
 
 def build_archive(container_version: int) -> bytes:
@@ -77,13 +84,52 @@ def expectations(blob: bytes) -> dict:
     return expected
 
 
+def sharded_expectations(blob_v2: bytes) -> dict:
+    """Write the v3 fixture from the v2 archive's entries and record it.
+
+    Deriving v3 from the *stored v2 bytes* (not a fresh compression) pins
+    the writer itself: the regression test replays exactly this
+    construction from the checked-in v2 fixture and asserts byte-equal
+    head + shards.
+    """
+    archive = BatchArchive.from_bytes(blob_v2)
+    head_path = HERE / "golden_batch_v3.rpbt"
+    report = archive.save_sharded(head_path, shard_size=V3_SHARD_SIZE)
+    expected: dict = {
+        "eb": EB,
+        "mode": MODE,
+        "shard_size": V3_SHARD_SIZE,
+        "keys": archive.keys(),
+        "head": {
+            "name": head_path.name,
+            "n_bytes": head_path.stat().st_size,
+            "sha256": hashlib.sha256(head_path.read_bytes()).hexdigest(),
+        },
+        "shards": [
+            {
+                "name": path.name,
+                "n_bytes": path.stat().st_size,
+                "sha256": hashlib.sha256(path.read_bytes()).hexdigest(),
+            }
+            for path in report.shard_paths
+        ],
+    }
+    return expected
+
+
 def main() -> None:
+    blobs = {}
     for version, stem in ((1, "golden_batch"), (2, "golden_batch_v2")):
         blob = build_archive(version)
+        blobs[version] = blob
         (HERE / f"{stem}.rpbt").write_bytes(blob)
         expected = expectations(blob)
         (HERE / f"{stem}.json").write_text(json.dumps(expected, indent=2) + "\n")
         print(f"wrote {stem}.rpbt ({len(blob)} bytes) and {stem}.json")
+    expected = sharded_expectations(blobs[2])
+    (HERE / "golden_batch_v3.json").write_text(json.dumps(expected, indent=2) + "\n")
+    names = [rec["name"] for rec in expected["shards"]]
+    print(f"wrote golden_batch_v3.rpbt + {names} and golden_batch_v3.json")
 
 
 if __name__ == "__main__":

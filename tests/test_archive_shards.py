@@ -1,0 +1,444 @@
+"""Sharded (v3) archive and streaming-writer contracts.
+
+The write-path counterpart of ``tests/test_container_v2.py``:
+
+* property-based round-trip — a random batch written through
+  :class:`ShardedArchiveWriter` (head shard + N payload shards) reads
+  back entry-identical via :class:`LazyBatchArchive`, in any access
+  order, for any shard-roll size;
+* the sharded form is bit-identical to the monolithic archive (same part
+  names, same part bytes, same decompressed values);
+* error contracts — a missing payload shard, a truncated shard, and a
+  checksum mismatch all fail loudly with the shard name, the entry key,
+  and the archive in the message;
+* the streaming writer's peak memory is bounded by the largest single
+  part (asserted with ``tracemalloc``), not the dataset;
+* the mmap-backed source serves lock-free concurrent reads identical to
+  the file-backed source.
+"""
+
+from __future__ import annotations
+
+import tempfile
+import tracemalloc
+from concurrent.futures import ThreadPoolExecutor
+from pathlib import Path
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.container import (
+    CompressedDataset,
+    ContainerIOError,
+    LazyCompressedDataset,
+    StreamingContainerWriter,
+    stream_dataset,
+)
+from repro.engine import (
+    BatchArchive,
+    CompressionEngine,
+    CompressionJob,
+    LazyBatchArchive,
+    ShardedArchiveWriter,
+)
+from tests.helpers import two_level_dataset
+
+
+def make_entry(key: str, parts: dict[str, bytes]) -> CompressedDataset:
+    comp = CompressedDataset(
+        method="tac",
+        dataset_name=key,
+        meta={"origin": key},
+        original_bytes=sum(len(p) for p in parts.values()) * 4,
+        n_values=max(1, len(parts)),
+    )
+    comp.parts.update(parts)
+    return comp
+
+
+part_names = st.lists(
+    st.text(alphabet="abcdefgh/_0123456789", min_size=1, max_size=12),
+    min_size=1,
+    max_size=6,
+    unique=True,
+)
+payloads = st.binary(min_size=0, max_size=80)
+
+
+@st.composite
+def batches(draw):
+    """A handful of entries with random part names/payloads."""
+    keys = draw(
+        st.lists(
+            st.text(alphabet="abcdefgh/_0123456789", min_size=1, max_size=16),
+            min_size=1,
+            max_size=5,
+            unique=True,
+        )
+    )
+    entries = {}
+    for key in keys:
+        names = draw(part_names)
+        entries[key] = {name: draw(payloads) for name in names}
+    return entries
+
+
+class TestShardedRoundtripProperty:
+    @settings(max_examples=30, deadline=None)
+    @given(entries=batches(), shard_size=st.integers(1, 400), data=st.data())
+    def test_roundtrip_any_shard_size_any_order(self, entries, shard_size, data):
+        archive = BatchArchive(meta={"suite": "property"})
+        for key, parts in entries.items():
+            archive.add(key, make_entry(key, parts))
+        with tempfile.TemporaryDirectory() as tmp:
+            head = Path(tmp) / "prop.rpbt"
+            report = archive.save_sharded(head, shard_size=shard_size)
+            assert report.n_entries == len(entries)
+            assert len(report.shard_paths) >= 1
+            order = data.draw(st.permutations(sorted(entries)))
+            with LazyBatchArchive.open(head, verify_shards=True) as lazy:
+                assert lazy.version == 3
+                assert sorted(lazy.keys()) == sorted(entries)
+                for key in order:
+                    entry = lazy.entry(key)
+                    assert {n: entry.parts[n] for n in entry.parts} == entries[key]
+                    assert entry.meta == {"origin": key}
+
+    @settings(max_examples=15, deadline=None)
+    @given(entries=batches(), shard_size=st.integers(1, 200))
+    def test_sharded_matches_monolithic(self, entries, shard_size):
+        archive = BatchArchive(meta={"suite": "property"})
+        for key, parts in entries.items():
+            archive.add(key, make_entry(key, parts))
+        mono = BatchArchive.from_bytes(archive.to_bytes())
+        with tempfile.TemporaryDirectory() as tmp:
+            head = Path(tmp) / "prop.rpbt"
+            archive.save_sharded(head, shard_size=shard_size)
+            back = BatchArchive.load(head)
+        assert back.keys() == mono.keys()
+        for key in mono.keys():
+            assert back.get(key).parts == mono.get(key).parts
+            assert back.get(key).meta == mono.get(key).meta
+
+
+@pytest.fixture(scope="module")
+def compressed_batch() -> BatchArchive:
+    """Two real codec outputs — the shard contents exercised below."""
+    ds = two_level_dataset(n=16, fine_fraction=0.3, seed=7)
+    jobs = [
+        CompressionJob(ds, codec=c, error_bound=1e-3, mode="abs", label=f"toy/{c}")
+        for c in ("tac", "1d")
+    ]
+    return CompressionEngine().run_to_archive(jobs, suite="shards")
+
+
+@pytest.fixture
+def sharded(tmp_path, compressed_batch):
+    """One head + one-entry-per-shard layout on disk."""
+    head = tmp_path / "batch.rpbt"
+    report = compressed_batch.save_sharded(head, shard_size=1)
+    assert len(report.shard_paths) == len(compressed_batch)
+    return head, report
+
+
+class TestShardErrorContracts:
+    def test_missing_shard_names_itself(self, sharded):
+        head, report = sharded
+        with LazyBatchArchive.open(head) as lazy:
+            victim_name = lazy.entry_shards()["toy/tac"]
+        (head.parent / victim_name).unlink()
+        with LazyBatchArchive.open(head) as lazy:
+            with pytest.raises(ContainerIOError) as excinfo:
+                lazy.entry("toy/tac")
+        message = str(excinfo.value)
+        assert victim_name in message
+        assert "toy/tac" in message
+        assert head.name in message
+
+    def test_checksum_mismatch_detected(self, sharded):
+        head, report = sharded
+        victim = report.shard_paths[0]
+        raw = bytearray(victim.read_bytes())
+        raw[len(raw) // 2] ^= 0xFF
+        victim.write_bytes(bytes(raw))
+        with LazyBatchArchive.open(head, verify_shards=True) as lazy:
+            key = next(
+                k for k, s in lazy.entry_shards().items() if s == victim.name
+            )
+            with pytest.raises(ContainerIOError, match="checksum"):
+                lazy.entry(key)
+
+    def test_truncated_shard_detected(self, sharded):
+        head, report = sharded
+        victim = report.shard_paths[0]
+        victim.write_bytes(victim.read_bytes()[:-20])
+        with LazyBatchArchive.open(head, verify_shards=True) as lazy:
+            key = next(
+                k for k, s in lazy.entry_shards().items() if s == victim.name
+            )
+            with pytest.raises(ContainerIOError, match="short"):
+                lazy.entry(key)
+
+    def test_unverified_open_defers_shard_reads(self, sharded):
+        """Without verify_shards, opening the head touches no shard at all
+        (manifest-only inspection of a batch whose shards are elsewhere)."""
+        head, report = sharded
+        for path in report.shard_paths:
+            path.unlink()
+        with LazyBatchArchive.open(head) as lazy:
+            assert len(lazy.manifest()) == 2
+            assert lazy.entry_sizes()
+            assert len(lazy.shards()) == 2
+
+    def test_head_from_bytes_needs_shard_opener(self, sharded):
+        head, _report = sharded
+        blob = head.read_bytes()
+        with pytest.raises(ValueError, match="shard_opener"):
+            LazyBatchArchive.open(blob)
+        with pytest.raises(ValueError, match="sharded"):
+            BatchArchive.from_bytes(blob)
+
+    def test_custom_shard_opener_resolves_relocated_shards(self, sharded):
+        """The object-storage seam: shards can live anywhere the opener
+        can reach — here, a different directory, opened from raw bytes."""
+        from repro.core.container import make_source
+
+        head, report = sharded
+        blob = head.read_bytes()
+        with tempfile.TemporaryDirectory() as elsewhere:
+            for path in report.shard_paths:
+                (Path(elsewhere) / path.name).write_bytes(path.read_bytes())
+                path.unlink()
+            opener = lambda name: make_source(Path(elsewhere) / name)  # noqa: E731
+            with LazyBatchArchive.open(blob, shard_opener=opener) as lazy:
+                restored = lazy.decompress("toy/tac")
+                assert restored.n_levels == 2
+
+    def test_non_local_shard_names_rejected(self, tmp_path, sharded):
+        head, _report = sharded
+        import json
+        import struct
+
+        blob = head.read_bytes()
+        version, head_len = struct.unpack_from("<BQ", blob, 4)
+        record = json.loads(blob[13 : 13 + head_len].decode("utf-8"))
+        record["shards"][0]["name"] = "../evil.rpsh"
+        new_head = json.dumps(record, sort_keys=True).encode("utf-8")
+        evil = tmp_path / "evil_head.rpbt"
+        evil.write_bytes(blob[:5] + struct.pack("<Q", len(new_head)) + new_head)
+        first_key = record["keys"][0]
+        target = next(
+            k for k in record["keys"] if record["index"][k][0] == 0
+        ) or first_key
+        with LazyBatchArchive.open(evil) as lazy:
+            with pytest.raises(ContainerIOError, match="non-local"):
+                lazy.entry(target)
+
+
+class TestShardedBitIdentity:
+    def test_parts_and_values_match_monolithic(self, sharded, compressed_batch):
+        head, _report = sharded
+        with LazyBatchArchive.open(head, verify_shards=True) as lazy:
+            for key in compressed_batch.keys():
+                entry = lazy.entry(key)
+                reference = compressed_batch.get(key)
+                assert list(entry.parts) == list(reference.parts)
+                for name in reference.parts:
+                    assert entry.parts[name] == reference.parts[name]
+                a = lazy.decompress(key)
+                b = compressed_batch.decompress(key)
+                for la, lb in zip(a.levels, b.levels):
+                    assert np.array_equal(la.data, lb.data)
+                    assert np.array_equal(la.mask, lb.mask)
+
+    def test_deterministic_regeneration(self, tmp_path, compressed_batch):
+        """Equal archives produce byte-equal shard sets (golden-fixture
+        prerequisite)."""
+        head_a = tmp_path / "a" / "batch.rpbt"
+        head_b = tmp_path / "b" / "batch.rpbt"
+        head_a.parent.mkdir()
+        head_b.parent.mkdir()
+        ra = compressed_batch.save_sharded(head_a, shard_size=4096)
+        rb = compressed_batch.save_sharded(head_b, shard_size=4096)
+        assert head_a.read_bytes() == head_b.read_bytes()
+        assert [p.name for p in ra.shard_paths] == [p.name for p in rb.shard_paths]
+        for pa, pb in zip(ra.shard_paths, rb.shard_paths):
+            assert pa.read_bytes() == pb.read_bytes()
+
+    def test_partial_decode_reads_one_shard(self, sharded):
+        head, _report = sharded
+        with LazyBatchArchive.open(head) as lazy:
+            level = lazy.decompress_level("toy/tac", 1)
+            assert level.n_points() > 0
+
+
+class TestStreamingWriterMemory:
+    def test_peak_memory_bounded_by_largest_part(self, tmp_path):
+        """The tentpole contract: streaming a multi-part dataset allocates
+        at most ~2x the largest single part, never the sum of parts."""
+        rng = np.random.default_rng(11)
+        n_parts, part_size = 8, 4 << 20
+        path = tmp_path / "big.rpam"
+
+        def parts():
+            for i in range(n_parts):
+                yield f"L{i}/payload", rng.bytes(part_size)
+
+        tracemalloc.start()
+        writer = StreamingContainerWriter(path, "tac", "big", meta={"levels": []})
+        writer.add_parts(parts())
+        total = writer.close()
+        _current, peak = tracemalloc.get_traced_memory()
+        tracemalloc.stop()
+        assert total > n_parts * part_size
+        assert writer.largest_part == part_size
+        # One part in flight (generator) + one being written + slack; an
+        # eager to_bytes() would have needed > n_parts * part_size here.
+        assert peak < 2 * part_size + (1 << 20), (
+            f"peak {peak / 2**20:.1f} MiB vs largest part {part_size / 2**20:.1f} MiB"
+        )
+        lazy = LazyCompressedDataset.open(path)
+        assert len(lazy.parts) == n_parts
+        lazy.close()
+
+    def test_streamed_bytes_equal_eager_v3(self, tmp_path, compressed_batch):
+        comp = compressed_batch.get("toy/tac")
+        eager = CompressedDataset.from_bytes(comp.to_bytes())
+        eager.container_version = 3
+        path = tmp_path / "entry.rpam"
+        total = stream_dataset(comp, path)
+        assert path.read_bytes() == eager.to_bytes()
+        assert total == path.stat().st_size
+
+    def test_writer_rejects_duplicates_and_use_after_close(self, tmp_path):
+        writer = StreamingContainerWriter(tmp_path / "x.rpam", "tac", "x")
+        writer.add_part("a", b"one")
+        with pytest.raises(ValueError, match="duplicate"):
+            writer.add_part("a", b"two")
+        writer.close()
+        with pytest.raises(ValueError, match="closed"):
+            writer.add_part("b", b"three")
+
+    def test_aborted_writer_leaves_unreadable_partial(self, tmp_path):
+        path = tmp_path / "partial.rpam"
+        with pytest.raises(RuntimeError, match="boom"):
+            with StreamingContainerWriter(path, "tac", "x") as writer:
+                writer.add_part("a", b"payload")
+                raise RuntimeError("boom")
+        # Header was never patched: the zero index slot refuses to parse
+        # as a complete blob instead of serving half a dataset.
+        with pytest.raises(ValueError):
+            CompressedDataset.from_bytes(path.read_bytes())
+
+
+class TestMmapSource:
+    def test_mmap_reads_match_file_reads(self, sharded, compressed_batch):
+        head, _report = sharded
+        with LazyBatchArchive.open(head, mmap=True) as lazy:
+            for key in compressed_batch.keys():
+                entry = lazy.entry(key)
+                for name, payload in compressed_batch.get(key).parts.items():
+                    assert entry.parts[name] == payload
+
+    def test_concurrent_lockfree_reads(self, tmp_path, compressed_batch):
+        comp = compressed_batch.get("toy/tac")
+        path = tmp_path / "entry.rpam"
+        path.write_bytes(comp.to_bytes())
+        with LazyCompressedDataset.open(path, mmap=True) as lazy:
+            names = list(comp.parts) * 8
+            with ThreadPoolExecutor(max_workers=8) as pool:
+                fetched = list(pool.map(lambda n: lazy.parts[n], names))
+            for name, payload in zip(names, fetched):
+                assert payload == comp.parts[name]
+
+    def test_concurrent_entry_calls_open_each_shard_once(self, sharded):
+        """Racing entry() calls must not double-open (and leak) a shard."""
+        from repro.core.container import make_source
+
+        head, report = sharded
+        opens: list[str] = []
+
+        def opener(name):
+            opens.append(name)
+            return make_source(head.parent / name)
+
+        with LazyBatchArchive.open(head.read_bytes(), shard_opener=opener) as lazy:
+            keys = lazy.keys() * 8
+            with ThreadPoolExecutor(max_workers=8) as pool:
+                entries = list(pool.map(lazy.entry, keys))
+            assert all(entry.n_values > 0 for entry in entries)
+        assert sorted(opens) == sorted(set(opens)), f"shard double-opened: {opens}"
+        assert len(opens) == len(report.shard_paths)
+
+    def test_mmap_rejects_file_objects(self, tmp_path):
+        from repro.core.container import make_source
+
+        path = tmp_path / "x.bin"
+        path.write_bytes(b"RPAMxxxx")
+        with open(path, "rb") as fh:
+            with pytest.raises(TypeError, match="path source"):
+                make_source(fh, mmap=True)
+
+
+class TestEngineStreamedBatch:
+    def test_run_to_shards_matches_run_to_archive(self, tmp_path):
+        datasets = [two_level_dataset(n=16, fine_fraction=0.25, seed=s) for s in range(3)]
+        jobs = [
+            CompressionJob(ds, codec="tac", error_bound=1e-3, label=f"f{i}/tac")
+            for i, ds in enumerate(datasets)
+        ]
+        reference = CompressionEngine(max_workers=1).run_to_archive(jobs, batch="ref")
+        head = tmp_path / "streamed.rpbt"
+        sharded = CompressionEngine(max_workers=3).run_to_shards(
+            jobs, head, shard_size=1, batch="ref"
+        )
+        assert sharded.report.n_entries == len(jobs)
+        assert len(sharded.shard_paths) == len(jobs)
+        assert all(r.ok and r.compressed is None for r in sharded)
+        with LazyBatchArchive.open(head, verify_shards=True) as lazy:
+            assert lazy.meta == {"batch": "ref"}
+            for key in reference.keys():
+                entry = lazy.entry(key)
+                for name, payload in reference.get(key).parts.items():
+                    assert entry.parts[name] == payload
+
+    def test_failed_job_aborts_and_cleans_up(self, tmp_path):
+        good = two_level_dataset(n=16, fine_fraction=0.25, seed=0)
+        jobs = [
+            CompressionJob(good, codec="tac", error_bound=1e-3, label="good/tac"),
+            CompressionJob(str(tmp_path / "missing.npz"), codec="tac", label="bad/tac"),
+        ]
+        head = tmp_path / "doomed.rpbt"
+        with pytest.raises(RuntimeError, match="bad/tac"):
+            CompressionEngine(max_workers=2).run_to_shards(jobs, head, shard_size=1)
+        leftovers = sorted(p.name for p in tmp_path.iterdir() if p.suffix != ".npz")
+        assert leftovers == [], f"half-written archive left behind: {leftovers}"
+
+    def test_failed_rerun_preserves_existing_archive(self, tmp_path):
+        """A re-run that fails before writing anything must not delete
+        the previously written archive."""
+        ds = two_level_dataset(n=16, fine_fraction=0.25, seed=2)
+        head = tmp_path / "arch.rpbt"
+        CompressionEngine().run_to_shards(
+            [CompressionJob(ds, codec="1d", error_bound=1e-3, label="a/1d")], head
+        )
+        before = head.read_bytes()
+        bad = [CompressionJob(str(tmp_path / "missing.npz"), codec="1d", label="bad/1d")]
+        with pytest.raises(RuntimeError, match="bad/1d"):
+            CompressionEngine().run_to_shards(bad, head)
+        assert head.read_bytes() == before
+        with LazyBatchArchive.open(head) as lazy:
+            assert lazy.decompress("a/1d").n_levels == 2
+
+    def test_keep_payloads_retains_results(self, tmp_path):
+        ds = two_level_dataset(n=16, fine_fraction=0.25, seed=1)
+        jobs = [CompressionJob(ds, codec="1d", error_bound=1e-3, label="f/1d")]
+        sharded = CompressionEngine().run_to_shards(
+            jobs, tmp_path / "kept.rpbt", keep_payloads=True
+        )
+        assert sharded.results[0].compressed is not None
+        rows = sharded.manifest()
+        assert rows[0]["key"] == "f/1d"
+        assert sharded.ratio() > 1.0

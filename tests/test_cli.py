@@ -159,6 +159,77 @@ class TestBatchCommand:
         assert main(["decompress", str(archive), "-o", str(out)]) == 0
         assert load_dataset(out).name == "Run1_Z10"
 
+
+class TestShardedBatchCommand:
+    @pytest.fixture
+    def second_file(self, tmp_path):
+        path = tmp_path / "t2.npz"
+        assert main(["make", "Run2_T2", "-o", str(path), "--scale", "16"]) == 0
+        return path
+
+    def test_streamed_batch_writes_head_and_shards(
+        self, dataset_file, second_file, tmp_path, capsys
+    ):
+        head = tmp_path / "batch.rpbt"
+        assert main([
+            "batch", str(dataset_file), str(second_file), "-o", str(head),
+            "--eb", "1e-3", "--workers", "2", "--stream", "--shard-size", "1K",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "payload shard(s)" in out and "(head)" in out
+        shards = sorted(tmp_path.glob("batch.shard-*.rpsh"))
+        assert len(shards) == 2  # one entry per 1K shard at this scale
+
+        assert main(["info", str(head)]) == 0
+        out = capsys.readouterr().out
+        assert "sharded batch archive" in out and "crc32" in out
+
+        assert main(["inspect", str(head)]) == 0
+        out = capsys.readouterr().out
+        assert "batch archive v3" in out
+        assert "shard batch.shard-0000.rpsh" in out
+
+    def test_streamed_entries_bitwise_match_monolithic(self, dataset_file, tmp_path):
+        from repro.engine import BatchArchive
+
+        mono = tmp_path / "mono.rpbt"
+        head = tmp_path / "sharded.rpbt"
+        assert main(["batch", str(dataset_file), "-o", str(mono), "--eb", "1e-3"]) == 0
+        assert main([
+            "batch", str(dataset_file), "-o", str(head), "--eb", "1e-3", "--stream",
+        ]) == 0
+        a = BatchArchive.load(mono)
+        b = BatchArchive.load(head)
+        assert a.keys() == b.keys()
+        for key in a.keys():
+            assert a.get(key).parts == b.get(key).parts
+
+    def test_decompress_and_extract_from_sharded(self, dataset_file, tmp_path, capsys):
+        head = tmp_path / "sharded.rpbt"
+        assert main([
+            "batch", str(dataset_file), "-o", str(head), "--eb", "1e-3", "--stream",
+        ]) == 0
+        capsys.readouterr()
+        back = tmp_path / "back.npz"
+        assert main(["decompress", str(head), "-o", str(back)]) == 0
+        restored = load_dataset(back)
+        assert restored.name == "Run1_Z10"
+        extracted = tmp_path / "lvl.npz"
+        assert main([
+            "extract", str(head), "--key", "z10/baryon_density/tac",
+            "--level", "1", "-o", str(extracted),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "parts read" in out
+
+    def test_bad_shard_size_rejected(self, dataset_file, tmp_path, capsys):
+        with pytest.raises(SystemExit):
+            main([
+                "batch", str(dataset_file), "-o", str(tmp_path / "x.rpbt"),
+                "--shard-size", "zero",
+            ])
+        assert "invalid size" in capsys.readouterr().err
+
     def test_codecs_lists_registry(self, capsys):
         assert main(["codecs"]) == 0
         out = capsys.readouterr().out

@@ -1,14 +1,18 @@
-"""Container v2 + lazy-reader unit tests.
+"""Container v2/v3 + lazy-reader unit tests.
 
 Contracts under test:
 
 * v2 blobs round-trip (``to_bytes → from_bytes → to_bytes`` byte-stable)
   and v1 writing is still available (``container_version=1``), also
   byte-stable — mixed-version batch archives included;
+* v3 (index-at-tail, the streaming layout) round-trips byte-stably too,
+  eager and lazy, standalone and embedded in an archive;
 * :class:`LazyCompressedDataset` opens bytes, files, and archive members
   without reading any payload, serves parts on demand, and logs every
   fetch (the accounting partial-decode proofs rely on);
-* corrupt/truncated inputs fail loudly, not with garbage data.
+* corrupt/truncated inputs fail loudly, not with garbage data — and
+  lazy-read failures carry the container path and part name
+  (:class:`ContainerIOError`).
 """
 
 from __future__ import annotations
@@ -20,7 +24,9 @@ import pytest
 
 from repro.core.container import (
     CompressedDataset,
+    ContainerIOError,
     LazyCompressedDataset,
+    make_source,
     pack_mask,
 )
 from repro.engine import BatchArchive, LazyBatchArchive
@@ -92,8 +98,103 @@ class TestContainerV2:
             CompressedDataset.from_bytes(b"JUNKJUNKJUNKJUNK")
 
 
+class TestContainerV3:
+    def test_v3_roundtrip_byte_stable(self, sample):
+        comp = CompressedDataset.from_bytes(sample.to_bytes())
+        comp.container_version = 3
+        blob = comp.to_bytes()
+        back = CompressedDataset.from_bytes(blob)
+        assert back.container_version == 3
+        assert back.parts == sample.parts
+        assert back.meta == sample.meta
+        assert back.to_bytes() == blob
+
+    def test_all_versions_carry_identical_parts(self, sample):
+        blobs = {}
+        for version in (1, 2, 3):
+            comp = CompressedDataset.from_bytes(sample.to_bytes())
+            comp.container_version = version
+            blobs[version] = comp.to_bytes()
+        assert len(set(blobs.values())) == 3  # framing differs
+        parsed = {v: CompressedDataset.from_bytes(b).parts for v, b in blobs.items()}
+        assert parsed[1] == parsed[2] == parsed[3]
+
+    def test_v3_trailing_bytes_rejected(self, sample):
+        comp = CompressedDataset.from_bytes(sample.to_bytes())
+        comp.container_version = 3
+        with pytest.raises(ValueError, match="trailing"):
+            CompressedDataset.from_bytes(comp.to_bytes() + b"extra")
+
+    def test_v3_truncated_blob_fails_at_open(self, sample):
+        """The tail index is the last thing written: a truncated v3 blob
+        cannot even open, rather than serving a partial part set."""
+        comp = CompressedDataset.from_bytes(sample.to_bytes())
+        comp.container_version = 3
+        with pytest.raises(ValueError):
+            LazyCompressedDataset.open(comp.to_bytes()[:-10]).parts["mask/L0"]
+
+    def test_v3_overstated_part_length_rejected(self, sample):
+        """A tampered tail index whose part overlaps the index region must
+        fail loudly, not serve a silently truncated payload."""
+        import struct
+
+        comp = CompressedDataset.from_bytes(sample.to_bytes())
+        comp.container_version = 3
+        blob = bytearray(comp.to_bytes())
+        index_off, index_len = struct.unpack_from("<QQ", blob, 13)
+        import json
+
+        index = json.loads(bytes(blob[index_off : index_off + index_len]))
+        index[0][2] += 1000
+        new_index = json.dumps(index, sort_keys=True).encode("utf-8")
+        tampered = blob[:index_off] + new_index
+        struct.pack_into("<QQ", tampered, 13, index_off, len(new_index))
+        with pytest.raises(ValueError, match="payload region"):
+            CompressedDataset.from_bytes(bytes(tampered))
+        with pytest.raises(ValueError, match="payload region"):
+            LazyCompressedDataset.open(bytes(tampered))
+
+    def test_v3_entries_inside_batch_archive(self, sample):
+        archive = BatchArchive(meta={"mixed": True})
+        v3_entry = CompressedDataset.from_bytes(sample.to_bytes())
+        v3_entry.container_version = 3
+        archive.add("toy/v3", v3_entry)
+        archive.add("toy/v2", CompressedDataset.from_bytes(sample.to_bytes()))
+        blob = archive.to_bytes()
+        back = BatchArchive.from_bytes(blob)
+        assert back.get("toy/v3").container_version == 3
+        assert back.get("toy/v2").container_version == 2
+        assert back.to_bytes() == blob
+        with LazyBatchArchive.open(blob) as lazy:
+            entry = lazy.entry("toy/v3")
+            assert entry.container_version == 3
+            assert entry.parts["L0/g0"] == sample.parts["L0/g0"]
+
+
+class TestContainerIOErrors:
+    def test_missing_file_names_path(self, tmp_path):
+        missing = tmp_path / "nope" / "gone.rpam"
+        with pytest.raises(ContainerIOError, match="gone.rpam"):
+            make_source(missing)
+        with pytest.raises(OSError):
+            LazyCompressedDataset.open(missing)
+
+    def test_part_read_failure_names_part_and_source(self, sample, tmp_path):
+        path = tmp_path / "cut.rpam"
+        path.write_bytes(sample.to_bytes()[:-5])
+        lazy = LazyCompressedDataset.open(path)
+        with pytest.raises(ContainerIOError) as excinfo:
+            lazy.parts["mask/L0"]
+        message = str(excinfo.value)
+        assert "mask/L0" in message
+        assert "cut.rpam" in message
+        # Both historical except clauses keep catching it.
+        assert isinstance(excinfo.value, OSError)
+        assert isinstance(excinfo.value, ValueError)
+
+
 class TestLazyCompressedDataset:
-    @pytest.fixture(scope="class", params=[1, 2], ids=["v1", "v2"])
+    @pytest.fixture(scope="class", params=[1, 2, 3], ids=["v1", "v2", "v3"])
     def blob(self, request, sample):
         comp = CompressedDataset.from_bytes(sample.to_bytes())
         comp.container_version = request.param
@@ -144,6 +245,11 @@ class TestLazyCompressedDataset:
             lazy.parts["nope"]
 
     def test_truncated_blob_fails_loudly(self, blob):
+        if blob[4] == 3:
+            # v3 keeps its index at the tail: truncation fails at open.
+            with pytest.raises(ValueError, match="read past end|short read"):
+                LazyCompressedDataset.open(blob[:-5])
+            return
         lazy = LazyCompressedDataset.open(blob[:-5])
         with pytest.raises(ValueError, match="read past end|short read"):
             lazy.parts["mask/L0"]  # last part's payload is cut off

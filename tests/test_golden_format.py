@@ -17,6 +17,14 @@ pin the container contract future refactors must keep:
   :class:`~repro.core.container.LazyCompressedDataset`) see the same
   entries and decode to the same values as the eager path.
 
+``tests/data/golden_batch_v3.rpbt`` plus its two
+``golden_batch_v3.shard-NNNN.rpsh`` files pin wire version 3, the
+sharded streaming layout: the head is manifest-only, entries live in the
+payload shards, and the fixture is *derived from the v2 fixture's
+entries* through ``ShardedArchiveWriter`` — so the regression test can
+replay that exact construction and assert byte-equal output, pinning
+the streaming write path itself, not just the read path.
+
 If a format change is intentional, bump the container version, keep
 readers for every older version, and only then regenerate the fixtures.
 """
@@ -167,3 +175,84 @@ class TestGoldenLazyReaders:
             eager = BatchArchive.from_bytes(golden_blob).decompress("golden/1d")
             for la, lb in zip(eager.levels, restored.levels):
                 assert np.array_equal(la.data, lb.data)
+
+
+class TestGoldenShardedV3:
+    """The sharded streaming fixture: head + payload shards stay
+    byte-stable, readable, and payload-identical to the v2 archive."""
+
+    @pytest.fixture(scope="class")
+    def expected_v3(self) -> dict:
+        return json.loads((DATA / "golden_batch_v3.json").read_text())
+
+    @pytest.fixture(scope="class")
+    def head_path(self) -> Path:
+        return DATA / "golden_batch_v3.rpbt"
+
+    def test_fixture_integrity(self, expected_v3, head_path):
+        head = expected_v3["head"]
+        blob = head_path.read_bytes()
+        assert len(blob) == head["n_bytes"]
+        assert hashlib.sha256(blob).hexdigest() == head["sha256"]
+        assert is_batch_archive(blob)
+        for record in expected_v3["shards"]:
+            shard = (DATA / record["name"]).read_bytes()
+            assert len(shard) == record["n_bytes"]
+            assert hashlib.sha256(shard).hexdigest() == record["sha256"]
+
+    def test_lazy_open_verified(self, expected_v3, head_path):
+        with LazyBatchArchive.open(head_path, verify_shards=True) as lazy:
+            assert lazy.version == 3
+            assert lazy.is_sharded
+            assert lazy.keys() == expected_v3["keys"]
+            assert [rec["name"] for rec in lazy.shards()] == [
+                rec["name"] for rec in expected_v3["shards"]
+            ]
+
+    def test_payloads_identical_to_v2_fixture(self, head_path):
+        v2 = BatchArchive.from_bytes((DATA / "golden_batch_v2.rpbt").read_bytes())
+        with LazyBatchArchive.open(head_path) as lazy:
+            assert lazy.keys() == v2.keys()
+            assert lazy.manifest() == v2.manifest()
+            for key in v2.keys():
+                entry = lazy.entry(key)
+                reference = v2.get(key)
+                assert entry.meta == reference.meta
+                assert list(entry.parts) == list(reference.parts)
+                for name in reference.parts:
+                    assert entry.parts[name] == reference.parts[name]
+
+    def test_entries_decompress_and_honour_bound(self, expected_v3, head_path):
+        original = golden_dataset()
+        assert expected_v3["mode"] == "abs"
+        with LazyBatchArchive.open(head_path) as lazy:
+            for key in lazy.keys():
+                restored = lazy.decompress(key)
+                for orig, back in zip(original.levels, restored.levels):
+                    assert np.array_equal(orig.mask, back.mask)
+                    assert_error_bounded(
+                        orig.values(), back.values(), expected_v3["eb"]
+                    )
+
+    def test_streaming_writer_regenerates_fixture_bytes(
+        self, expected_v3, head_path, tmp_path
+    ):
+        """Replaying the fixture construction (v2 entries through
+        ShardedArchiveWriter) reproduces the checked-in bytes exactly —
+        the write path, not just the read path, is golden-pinned."""
+        archive = BatchArchive.from_bytes((DATA / "golden_batch_v2.rpbt").read_bytes())
+        head = tmp_path / "golden_batch_v3.rpbt"
+        report = archive.save_sharded(head, shard_size=expected_v3["shard_size"])
+        assert head.read_bytes() == head_path.read_bytes()
+        assert [p.name for p in report.shard_paths] == [
+            rec["name"] for rec in expected_v3["shards"]
+        ]
+        for path, record in zip(report.shard_paths, expected_v3["shards"]):
+            assert path.read_bytes() == (DATA / record["name"]).read_bytes()
+
+    def test_eager_load_materializes_from_shards(self, head_path):
+        eager = BatchArchive.load(head_path)
+        v2 = BatchArchive.from_bytes((DATA / "golden_batch_v2.rpbt").read_bytes())
+        assert eager.keys() == v2.keys()
+        for key in v2.keys():
+            assert eager.get(key).parts == v2.get(key).parts
