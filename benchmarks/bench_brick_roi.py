@@ -1,0 +1,111 @@
+"""Brick-chunked GSP ROI benchmark: region reads proportional to the ROI.
+
+The CI gate for the GSP/ZF region index (strategy format 2): compress a
+dataset whose dense level selects GSP with brick chunking enabled, read a
+1/8-domain ROI through the lazy container, and assert
+
+* the ROI read is **bit-identical** to slicing the full reconstruction;
+* it touches **< 30% of the blob's payload parts** (the brick grid makes
+  an 1/8-domain ROI hit ~1/8 of the bricks, plus the other level's
+  streams it skips entirely);
+* it reads strictly fewer payload bytes than a full decode.
+
+The lazy reader's access log — the proof — is written to
+``benchmarks/results/brick_roi_access.json`` (uploaded as a CI artifact),
+and the ROI decode time lands in ``BENCH_hotpaths.json`` through the
+shared perf harness as ``tac_gsp_brick_roi_decode``.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+
+import numpy as np
+
+from benchmarks.conftest import SCALE
+from benchmarks.perf_harness import merge_write, op_entry
+from repro.core.container import MASK_PREFIX, LazyCompressedDataset
+from repro.core.tac import TACCompressor
+from repro.sim.datasets import make_dataset
+
+#: Maximum fraction of payload parts an 1/8-domain ROI read may touch.
+MAX_PART_FRACTION = 0.30
+
+#: Brick edge: small enough that the smoke-scale GSP level (32³ at
+#: REPRO_SCALE=4 on Run1_Z10's coarse level) still splits into 4³ bricks.
+BRICK_SIZE = 8
+
+
+def bench_brick_roi_reads_fraction_of_parts(benchmark, results_dir):
+    dataset = make_dataset("Run1_Z10", scale=SCALE, field="baryon_density")
+    tac = TACCompressor(brick_size=BRICK_SIZE)
+    comp = tac.compress(dataset, 1e-4, mode="rel")
+    gsp_levels = [m["level"] for m in comp.meta["levels"] if m.get("bricks") is not None]
+    assert gsp_levels, "benchmark premise: at least one brick-chunked GSP/ZF level"
+    level = gsp_levels[0]
+    blob = comp.to_bytes()
+
+    lazy_full = LazyCompressedDataset.open(blob)
+    full = tac.decompress(lazy_full)
+    full_payloads = {n for n in lazy_full.parts.accessed() if not n.startswith(MASK_PREFIX)}
+
+    n = full.levels[level].n
+    roi = tuple(slice(0, n // 2) for _ in range(3))  # 1/8 of the domain
+
+    def roi_read():
+        lazy = LazyCompressedDataset.open(blob)
+        t0 = time.perf_counter()
+        region = tac.decompress_region(lazy, level, roi)
+        seconds = time.perf_counter() - t0
+        return lazy, region, seconds
+
+    lazy_roi, region, roi_seconds = benchmark.pedantic(roi_read, rounds=1, iterations=1)
+    assert np.array_equal(region, full.levels[level].data[roi]), (
+        "ROI read diverged from slicing the full reconstruction"
+    )
+
+    roi_payloads = {n for n in lazy_roi.parts.accessed() if not n.startswith(MASK_PREFIX)}
+    total_parts = sum(1 for n in comp.parts if not n.startswith(MASK_PREFIX))
+    fraction = len(roi_payloads) / total_parts
+    assert fraction < MAX_PART_FRACTION, (
+        f"1/8-domain ROI touched {len(roi_payloads)}/{total_parts} payload parts "
+        f"({fraction:.1%}); the brick region index must keep this under "
+        f"{MAX_PART_FRACTION:.0%}"
+    )
+    assert lazy_roi.parts.bytes_read < lazy_full.parts.bytes_read
+
+    benchmark.extra_info["roi_parts"] = len(roi_payloads)
+    benchmark.extra_info["total_parts"] = total_parts
+    benchmark.extra_info["part_fraction"] = round(fraction, 4)
+
+    access_log = {
+        "dataset": "Run1_Z10",
+        "scale": SCALE,
+        "brick_size": BRICK_SIZE,
+        "level": level,
+        "roi": [[s.start, s.stop] for s in roi],
+        "roi_seconds": round(roi_seconds, 6),
+        "total_payload_parts": total_parts,
+        "roi_parts_touched": sorted(roi_payloads),
+        "part_fraction": fraction,
+        "bytes_read_roi": lazy_roi.parts.bytes_read,
+        "bytes_read_full": lazy_full.parts.bytes_read,
+        "full_parts_touched": len(full_payloads),
+        "access_counts": lazy_roi.parts.access_counts,
+    }
+    (results_dir / "brick_roi_access.json").write_text(
+        json.dumps(access_log, indent=2, sort_keys=True) + "\n"
+    )
+
+    roi_op = op_entry(roi_seconds, int(np.prod(region.shape)), region.nbytes)
+    merge_write({"tac_gsp_brick_roi_decode": roi_op}, scale=SCALE)
+
+    print(
+        f"\n== brick_roi: 1/8-domain ROI on level {level} "
+        f"(Run1_Z10, scale {SCALE}, {BRICK_SIZE}^3 bricks) ==\n"
+        f"parts touched : {len(roi_payloads)}/{total_parts} ({fraction:.1%})\n"
+        f"bytes read    : {lazy_roi.parts.bytes_read} vs full "
+        f"{lazy_full.parts.bytes_read}\n"
+        f"roi decode    : {roi_seconds:.4f}s"
+    )

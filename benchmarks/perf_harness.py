@@ -159,6 +159,37 @@ def _huffman_ops(scale: int, repeats: int) -> dict:
     ops["huffman_table_build"] = op_entry(
         time_op(table_build, max(repeats, 10)), 1 << codec.max_len
     )
+
+    # Chunked decode windows: force the over-limit path (one window per
+    # contiguous lane chunk) so the big-payload fast path — previously a
+    # 4-gather peek fallback — is tracked alongside the single-window
+    # decode it must stay close to.  block_size=32 gives the many-lane
+    # shape snapshot-scale streams have: at the harness floor of 50 000
+    # symbols the 2-chunk split still leaves >= 780 lanes per chunk, so
+    # the lanes-per-chunk guard routes to the chunked path at *every*
+    # --scale (asserted below — this op must never silently time the
+    # 4-gather fallback instead).
+    from repro.sz import bitstream
+    from repro.sz.huffman import _MIN_CHUNK_LANES
+
+    enc_many = codec.encode(symbols, block_size=32)
+    assert enc_many.block_offsets.size // 2 >= _MIN_CHUNK_LANES, (
+        "huffman_decode_chunked_window premise broken: the lanes-per-chunk "
+        "guard would route this op to the unwindowed fallback"
+    )
+
+    def decode_chunked():
+        saved = bitstream.WINDOW_WORDS_LIMIT
+        bitstream.WINDOW_WORDS_LIMIT = len(enc_many.payload) // 2
+        try:
+            return codec.decode(enc_many)
+        finally:
+            bitstream.WINDOW_WORDS_LIMIT = saved
+
+    assert np.array_equal(decode_chunked(), symbols)
+    ops["huffman_decode_chunked_window"] = op_entry(
+        time_op(decode_chunked, repeats), n, nbytes
+    )
     return ops
 
 
@@ -258,7 +289,13 @@ OP_GROUPS = {
 #: Op names each group can emit, for ``--ops`` selection without running
 #: the group first (codecs additionally has dynamic per-codec names).
 GROUP_OPS = {
-    "huffman": ("huffman_encode", "huffman_decode", "huffman_decode_ragged", "huffman_table_build"),
+    "huffman": (
+        "huffman_encode",
+        "huffman_decode",
+        "huffman_decode_ragged",
+        "huffman_table_build",
+        "huffman_decode_chunked_window",
+    ),
     "blocks": ("gather_blocks", "scatter_blocks", "block_counts"),
     "sz": tuple(f"sz_{op}_{p}" for op in ("compress", "decompress") for p in ("interp", "lorenzo")),
     "codecs": tuple(

@@ -32,7 +32,7 @@ from pathlib import Path
 import numpy as np
 
 from repro.amr.io import load_dataset, peek_meta, save_dataset
-from repro.core.container import LazyCompressedDataset
+from repro.core.container import LazyCompressedDataset, collapse_part_sizes
 from repro.engine import (
     CompressionEngine,
     CompressionJob,
@@ -81,6 +81,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="per-level error-bound multipliers, finest first (e.g. 3 1)",
     )
     p_comp.add_argument("--predictor", choices=["interp", "lorenzo"], default="interp")
+    p_comp.add_argument(
+        "--brick-size", type=int, default=None, metavar="N",
+        help="edge of the independently-compressed bricks GSP/ZF levels are "
+             "chunked into (TAC; ROI reads then decode only touched bricks); "
+             "0 writes the legacy single-stream layout, default 64",
+    )
     p_comp.add_argument(
         "--profile", action="store_true",
         help="print the per-stage timing breakdown (predict/encode/lossless/...)",
@@ -188,11 +194,19 @@ def _parse_size(text: str) -> int:
     return value * multiplier
 
 
-def _build_codec(method: str, predictor: str = "interp"):
-    """A fresh codec from the registry, honouring the predictor override."""
+def _build_codec(method: str, predictor: str = "interp", brick_size: int | None = None):
+    """A fresh codec from the registry, honouring CLI codec overrides.
+
+    ``brick_size`` follows the flag convention: ``None`` keeps the codec's
+    default, ``0`` disables bricking (legacy single-stream GSP/ZF levels),
+    a positive value sets the brick edge.
+    """
+    options: dict = {}
     if predictor != "interp":
-        return get_codec(method, sz=SZConfig(predictor=predictor))
-    return get_codec(method)
+        options["sz"] = SZConfig(predictor=predictor)
+    if brick_size is not None:
+        options["brick_size"] = None if brick_size == 0 else brick_size
+    return get_codec(method, **options)
 
 
 def cmd_make(args) -> int:
@@ -247,13 +261,19 @@ def _print_profile(record, indent: str = "") -> None:
 
 
 def cmd_compress(args) -> int:
+    # Flag validation precedes the dataset load — a typo must error
+    # instantly, not after reading a multi-GB snapshot.
+    if args.brick_size is not None and args.brick_size < 0:
+        print("error: --brick-size must be >= 0 (0 disables bricking)", file=sys.stderr)
+        return 2
     dataset = load_dataset(args.path)
     try:
-        compressor = _build_codec(args.method, args.predictor)
+        compressor = _build_codec(args.method, args.predictor, args.brick_size)
     except TypeError:
-        # A downstream-registered codec whose factory takes no `sz` config.
+        # A codec whose factory takes no `sz` config / `brick_size` knob.
         print(
-            f"error: codec {args.method!r} does not accept a --predictor override",
+            f"error: codec {args.method!r} does not accept the requested "
+            "--predictor/--brick-size overrides",
             file=sys.stderr,
         )
         return 2
@@ -266,8 +286,8 @@ def cmd_compress(args) -> int:
     print(f"ratio       : {compressed.ratio():.2f}x "
           f"({compressed.original_bytes} -> {compressed.compressed_bytes()} bytes)")
     print(f"bit rate    : {compressed.bit_rate():.3f} bits/value")
-    for name, size in sorted(compressed.part_sizes().items()):
-        print(f"  {name:16s} {size} B")
+    for label, _count, size in collapse_part_sizes(compressed.part_sizes()):
+        print(f"  {label:16s} {size} B")
     if args.profile:
         _print_profile(compressed.timings)
     print(f"wrote {args.output}")
@@ -400,13 +420,19 @@ def _print_entry_breakdown(entry, indent: str = "") -> None:
                 f"eb {level_meta.get('eb_abs', 0.0):.3e}")
         if "n_blocks" in level_meta:
             line += f"  {level_meta['n_blocks']} blocks / {level_meta['n_groups']} groups"
+        if "bricks" in level_meta:
+            bricks = level_meta["bricks"]
+            grid = "x".join(str(g) for g in bricks["grid"])
+            line += f"  {bricks['n']} bricks ({grid} of {bricks['size']}^3)"
         print(line)
     if "levels" not in entry.meta:
         # Baseline blobs record a flat per-level bound list instead.
         for idx, eb in enumerate(entry.meta.get("level_ebs", [])):
             print(f"{indent}  level {idx}: eb {eb:.3e}")
-    for name, size in sorted(entry.part_sizes().items()):
-        print(f"{indent}  {name:24s} {size:>10d} B")
+    # Numbered sibling parts (brick/group streams) collapse to one row so
+    # a 512-brick level does not print 512 lines.
+    for label, _count, size in collapse_part_sizes(entry.part_sizes()):
+        print(f"{indent}  {label:24s} {size:>10d} B")
 
 
 def cmd_inspect(args) -> int:

@@ -94,6 +94,32 @@ def unpack_mask(payload: bytes, shape: tuple[int, ...]) -> np.ndarray:
     return bits[:size].astype(bool).reshape(shape)
 
 
+def collapse_part_sizes(
+    part_sizes: Mapping, min_group: int = 4
+) -> list[tuple[str, int, int]]:
+    """Aggregate numbered sibling parts into ``(label, count, bytes)`` rows.
+
+    Brick-chunked GSP/ZF levels put tens to hundreds of ``L<idx>/b<k>``
+    parts in one blob; a per-part listing drowns the breakdown.  Parts
+    whose name ends in a decimal run (``L0/b12``, ``L1/g3``) group under
+    their stem when the stem has at least ``min_group`` members, rendered
+    as ``"L0/b* x64"``-style labels; everything else keeps one row per
+    part.  Rows come back sorted by label.
+    """
+    groups: dict[str, list[tuple[str, int]]] = {}
+    for name, size in part_sizes.items():
+        stem = name.rstrip("0123456789")
+        key = stem if stem != name and not stem.endswith("/") else name
+        groups.setdefault(key, []).append((name, int(size)))
+    rows: list[tuple[str, int, int]] = []
+    for stem, members in groups.items():
+        if len(members) >= min_group:
+            rows.append((f"{stem}* x{len(members)}", len(members), sum(s for _n, s in members)))
+        else:
+            rows.extend((name, 1, size) for name, size in members)
+    return sorted(rows)
+
+
 def _head_record(method, dataset_name, meta, original_bytes, n_values) -> dict:
     return {
         "method": method,

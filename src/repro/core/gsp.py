@@ -21,6 +21,8 @@ Fig. 12.
 
 from __future__ import annotations
 
+import struct
+import zlib
 from dataclasses import dataclass
 
 import numpy as np
@@ -30,6 +32,12 @@ from repro.utils.validation import check_positive_int
 
 #: The six axis-aligned face directions (axis, sign).
 _FACES = [(axis, sign) for axis in range(3) for sign in (+1, -1)]
+
+#: Default edge (cells) of the independently-compressed bricks a padded
+#: GSP/ZF grid is chunked into (strategy format 2).  64³ keeps per-brick SZ
+#: overhead negligible on snapshot-scale levels while making an ROI read
+#: proportional to the ROI, not the domain (cf. zfp's independent blocks).
+DEFAULT_BRICK_SIZE = 64
 
 
 @dataclass
@@ -185,4 +193,113 @@ def zero_fill(data: np.ndarray, mask: np.ndarray, block_size: int) -> GSPResult:
         orig_shape=data.shape,
         block_size=block_size,
         n_padded_blocks=0,
+    )
+
+
+# ----------------------------------------------------------------------
+# brick chunking (strategy format 2): the GSP/ZF region index
+# ----------------------------------------------------------------------
+#
+# A padded GSP/ZF grid compressed as one SZ stream forces every ROI read
+# to decode the whole level.  Chunking the grid into independently
+# compressed bricks — one container part and one decode unit per brick —
+# makes the decoded byte count proportional to the brick-aligned ROI
+# volume.  The brick grid is regular (C-order flat indexing, ragged final
+# brick per axis), so the "region index" is pure arithmetic; the small
+# serialized :class:`BrickTable` travels in the blob as its own part so
+# the layout is self-describing and inspectable without the level meta.
+
+_BRICK_TABLE = struct.Struct("<H3I3II")
+_BRICK_TABLE_VERSION = 1
+
+
+@dataclass(frozen=True)
+class BrickTable:
+    """Geometry of a brick-chunked padded grid (regular tiling).
+
+    ``padded_shape`` is the block-padded grid the bricks tile;
+    ``orig_shape`` the level extents the decoder crops back to;
+    ``brick_size`` the brick edge (final brick per axis may be ragged).
+    """
+
+    padded_shape: tuple[int, int, int]
+    orig_shape: tuple[int, int, int]
+    brick_size: int
+
+    def grid(self) -> tuple[int, int, int]:
+        """Bricks per axis."""
+        return tuple(-(-dim // self.brick_size) for dim in self.padded_shape)
+
+    def n_bricks(self) -> int:
+        gx, gy, gz = self.grid()
+        return gx * gy * gz
+
+    def boxes(self) -> list[tuple[tuple[int, int], ...]]:
+        """Half-open padded-grid box of every brick, flat C order."""
+        return brick_boxes(self.padded_shape, self.brick_size)
+
+    def bricks_in_box(self, box) -> np.ndarray:
+        """Flat indices of the bricks intersecting a half-open box."""
+        return bricks_in_box(self.padded_shape, self.brick_size, box)
+
+
+def brick_boxes(
+    padded_shape: tuple[int, int, int], brick_size: int
+) -> list[tuple[tuple[int, int], ...]]:
+    """Half-open boxes of a regular brick tiling, flat C order."""
+    brick_size = check_positive_int(brick_size, name="brick_size")
+    spans = [
+        [(lo, min(lo + brick_size, dim)) for lo in range(0, dim, brick_size)]
+        for dim in padded_shape
+    ]
+    return [(sx, sy, sz) for sx in spans[0] for sy in spans[1] for sz in spans[2]]
+
+
+def bricks_in_box(
+    padded_shape: tuple[int, int, int],
+    brick_size: int,
+    box: tuple[tuple[int, int], ...],
+) -> np.ndarray:
+    """Flat C-order indices of the bricks a half-open box intersects.
+
+    The brick grid is regular, so this is arithmetic on the box bounds —
+    no table walk, no payload access: the per-axis brick index range is
+    ``[lo // brick, ceil(hi / brick))`` clipped to the grid.
+    """
+    brick_size = check_positive_int(brick_size, name="brick_size")
+    grid = tuple(-(-dim // brick_size) for dim in padded_shape)
+    ranges = []
+    for (lo, hi), n in zip(box, grid):
+        i0 = max(int(lo) // brick_size, 0)
+        i1 = min(-(-int(hi) // brick_size), n)
+        if i1 <= i0:
+            return np.zeros(0, dtype=np.int64)
+        ranges.append(np.arange(i0, i1, dtype=np.int64))
+    ix, iy, iz = np.meshgrid(*ranges, indexing="ij")
+    return ((ix * grid[1] + iy) * grid[2] + iz).ravel()
+
+
+def serialize_brick_table(table: BrickTable) -> bytes:
+    """Pack a brick table into the blob's ``L<idx>/bricks`` part."""
+    raw = _BRICK_TABLE.pack(
+        _BRICK_TABLE_VERSION,
+        *table.padded_shape,
+        *table.orig_shape,
+        table.brick_size,
+    )
+    return zlib.compress(raw, 1)
+
+
+def deserialize_brick_table(payload: bytes) -> BrickTable:
+    """Invert :func:`serialize_brick_table`."""
+    raw = zlib.decompress(payload)
+    if len(raw) != _BRICK_TABLE.size:
+        raise ValueError("brick table record has the wrong length")
+    version, px, py, pz, ox, oy, oz, brick_size = _BRICK_TABLE.unpack(raw)
+    if version != _BRICK_TABLE_VERSION:
+        raise ValueError(f"unsupported brick table version {version}")
+    return BrickTable(
+        padded_shape=(px, py, pz),
+        orig_shape=(ox, oy, oz),
+        brick_size=int(brick_size),
     )

@@ -57,12 +57,19 @@ class DecodeUnit:
         Pure closure performing the decode; must not share mutable state
         with other units (that is what makes parallel execution
         bit-identical to serial).
+    box:
+        Half-open ``((x0, x1), (y0, y1), (z0, z1))`` region of the unit's
+        level that this unit covers, in level-grid cells, or ``None``
+        when the unit serves the whole level (monolithic streams, layout
+        records).  Units with a box are prunable by ROI intersection:
+        a region read drops every unit whose box misses the ROI.
     """
 
     key: str
     level: int
     part_names: tuple[str, ...]
     decode: Callable[[], object]
+    box: tuple[tuple[int, int], ...] | None = None
 
 
 @dataclass
@@ -94,6 +101,21 @@ class DecompressionPlan:
             [u for u in self.units if u.level in wanted or u.level == -1]
         )
 
+    def for_region(self, box: tuple[tuple[int, int], ...]) -> "DecompressionPlan":
+        """Sub-plan containing only units whose box intersects ``box``.
+
+        Units without geometry (``box is None``) serve the whole level
+        and are always kept, so a plan over monolithic streams passes
+        through unchanged — pruning only ever removes units that declare
+        a region they cover (e.g. one brick of a chunked GSP grid).
+        """
+        return DecompressionPlan(
+            [
+                u for u in self.units
+                if u.box is None or boxes_intersect(u.box, box)
+            ]
+        )
+
 
 def execute_plan(plan: DecompressionPlan, decode_workers: int = 1) -> dict[str, object]:
     """Run every unit and return ``{unit.key: decoded}``.
@@ -113,29 +135,70 @@ def execute_plan(plan: DecompressionPlan, decode_workers: int = 1) -> dict[str, 
     return {unit.key: result for unit, result in zip(units, decoded)}
 
 
+def _resolve_bound(value, dim: int, default: int, axis: int) -> int:
+    """One explicit ``(lo, hi)``-pair bound → concrete index in ``[0, dim]``.
+
+    ``None`` means the axis default (0 / ``dim``); negative values follow
+    Python indexing (``-1`` is the last cell); anything that would land
+    outside the level is rejected loudly — explicit pairs, unlike
+    ``slice`` objects, carry no clamping convention, so a bound past the
+    extent is a caller bug, not a request for "everything there is".
+    """
+    if value is None:
+        return default
+    if isinstance(value, bool) or not isinstance(value, (int, np.integer)):
+        raise TypeError(
+            f"region axis {axis} bound must be an int or None, got {value!r}"
+        )
+    resolved = int(value)
+    if resolved < 0:
+        resolved += dim
+    if not 0 <= resolved <= dim:
+        raise ValueError(
+            f"region axis {axis} bound {value} is out of range for extent {dim} "
+            f"(resolved to {resolved}; valid bounds are -{dim}..{dim})"
+        )
+    return resolved
+
+
 def normalize_region(region, shape) -> tuple[tuple[int, int], ...]:
     """Resolve a 3-axis ROI spec against a level shape.
 
     ``region`` is a sequence of three entries, each a ``slice`` (step 1)
-    or an ``(lo, hi)`` pair; negative indices follow Python slicing rules.
-    Returns concrete half-open ``(lo, hi)`` bounds per axis and rejects
-    empty boxes — an empty ROI is almost always a caller bug.
+    or an ``(lo, hi)`` pair.  Negative indices follow Python indexing on
+    both forms; ``None`` bounds mean the full extent.  Slices keep
+    Python's clamping semantics (``slice(0, 10**9)`` reads to the end);
+    explicit pairs are validated strictly — an out-of-range bound raises
+    instead of silently clamping.  Returns concrete half-open
+    ``(lo, hi)`` bounds per axis and rejects empty boxes — an empty ROI
+    is almost always a caller bug.
     """
     if len(region) != 3:
         raise ValueError(f"a region needs 3 axis specs, got {len(region)}")
     box = []
-    for spec, dim in zip(region, shape):
+    for axis, (spec, dim) in enumerate(zip(region, shape)):
         if isinstance(spec, slice):
             if spec.step not in (None, 1):
                 raise ValueError("region slices must have step 1")
             lo, hi, _ = spec.indices(dim)
         else:
             lo_raw, hi_raw = spec
-            lo, hi, _ = slice(lo_raw, hi_raw).indices(dim)
+            lo = _resolve_bound(lo_raw, dim, 0, axis)
+            hi = _resolve_bound(hi_raw, dim, dim, axis)
         if hi <= lo:
-            raise ValueError(f"empty region on axis with extent {dim}: {spec!r}")
+            raise ValueError(
+                f"empty region on axis {axis} (extent {dim}): {spec!r} "
+                f"resolved to [{lo}, {hi})"
+            )
         box.append((int(lo), int(hi)))
     return tuple(box)
+
+
+def boxes_intersect(
+    a: tuple[tuple[int, int], ...], b: tuple[tuple[int, int], ...]
+) -> bool:
+    """Whether two half-open axis-aligned boxes overlap on every axis."""
+    return all(lo_a < hi_b and lo_b < hi_a for (lo_a, hi_a), (lo_b, hi_b) in zip(a, b))
 
 
 def region_slices(box: tuple[tuple[int, int], ...]) -> tuple[slice, ...]:
@@ -187,12 +250,28 @@ class PlanExecutorMixin:
         """One level's data restricted to ``region`` (masked-out cells zero).
 
         Identical to ``decompress(comp).levels[level].data[region]``.  The
-        default decodes the whole level; codecs whose layout admits finer
-        selection (TAC's block strategies) override this to decode only
-        the groups intersecting the ROI.
+        level's plan is pruned by per-unit ROI intersection before any
+        payload is decoded: units that declare a covered ``box`` missing
+        the ROI are dropped, so codecs with region-indexed layouts (one
+        unit per brick of a chunked GSP grid) decode only what the ROI
+        touches.  Units without geometry are always decoded, so
+        monolithic-stream codecs degrade to decode-the-level-and-slice.
+        Codecs whose finer selection needs payload metadata (TAC's block
+        strategies consult the layout record) override this instead.
         """
-        lvl = self.decompress_level(comp, level, structure, decode_workers)
-        box = normalize_region(region, lvl.shape)
+        (idx,) = check_level_indices([level], self._n_levels(comp))
+        plan = self.build_decode_plan(comp, levels=[idx])
+        if any(unit.box is not None for unit in plan.units):
+            shape = tuple(comp.meta["shapes"][idx])
+            box = normalize_region(region, shape)
+            results = execute_plan(plan.for_region(box), decode_workers)
+            lvl = self._assemble_level(comp, idx, results, structure)
+        else:
+            # No unit geometry to prune by — decode the level and slice.
+            # This also serves codecs that override ``decompress_levels``
+            # wholesale instead of implementing ``_assemble_level``.
+            lvl = self.decompress_level(comp, idx, structure, decode_workers)
+            box = normalize_region(region, lvl.shape)
         return np.ascontiguousarray(lvl.data[region_slices(box)])
 
 

@@ -34,7 +34,14 @@ from repro.core.container import (
     unpack_mask,
 )
 from repro.core.density import DEFAULT_T1, DEFAULT_T2, Strategy, select_strategy
-from repro.core.gsp import gsp_pad, zero_fill
+from repro.core.gsp import (
+    DEFAULT_BRICK_SIZE,
+    BrickTable,
+    brick_boxes,
+    gsp_pad,
+    serialize_brick_table,
+    zero_fill,
+)
 from repro.core.layout import (
     blocks_in_region,
     deserialize_layout,
@@ -47,6 +54,7 @@ from repro.core.plan import (
     DecodeUnit,
     DecompressionPlan,
     PlanExecutorMixin,
+    boxes_intersect,
     execute_plan,
     normalize_region,
     region_slices,
@@ -86,6 +94,14 @@ class TACConfig:
         (used by the Fig. 7/11/12 strategy studies).
     pad_layers / avg_layers:
         GSP slab thickness / neighbour averaging depth (Alg. 3's x and y).
+    brick_size:
+        Edge (cells) of the independently-compressed bricks a GSP/ZF
+        padded grid is chunked into (strategy format 2: one container
+        part + one decode unit per brick, so ROI reads decode only the
+        bricks they touch).  ``None`` writes the legacy single-stream
+        layout (format 1, one ``L<idx>/grid`` part) — what every blob
+        stored before the brick format existed; those blobs stay
+        readable either way.
     store_masks:
         Include packed validity masks in the output parts.
     sz:
@@ -99,12 +115,15 @@ class TACConfig:
     force_strategy: Strategy | None = None
     pad_layers: int | None = None
     avg_layers: int = 2
+    brick_size: int | None = DEFAULT_BRICK_SIZE
     store_masks: bool = True
     sz: SZConfig = field(default_factory=SZConfig)
 
     def __post_init__(self):
         if self.unit_block is not None:
             check_positive_int(self.unit_block, name="unit_block")
+        if self.brick_size is not None:
+            check_positive_int(self.brick_size, name="brick_size")
         if not 0.0 < self.t1 <= self.t2 <= 1.0:
             raise ValueError(f"need 0 < t1 <= t2 <= 1, got t1={self.t1}, t2={self.t2}")
 
@@ -230,11 +249,35 @@ class TACCompressor(PlanExecutorMixin):
                     )
                 else:
                     result = zero_fill(data, lvl.mask, block)
-            with timed(timings, "compress"):
-                parts[f"L{lvl.level}/grid"] = self.codec.compress(
-                    result.padded, eb_abs, mode="abs"
-                )
             meta["padded_shape"] = list(result.padded.shape)
+            if cfg.brick_size is None:
+                # Legacy single-stream layout (strategy format 1).
+                with timed(timings, "compress"):
+                    parts[f"L{lvl.level}/grid"] = self.codec.compress(
+                        result.padded, eb_abs, mode="abs"
+                    )
+                return meta
+            # Strategy format 2: chunk the padded grid into independently
+            # compressed bricks — one part per brick plus the brick table,
+            # so an ROI read decodes only the bricks it touches.
+            table = BrickTable(
+                padded_shape=result.padded.shape,
+                orig_shape=data.shape,
+                brick_size=cfg.brick_size,
+            )
+            parts[f"L{lvl.level}/bricks"] = serialize_brick_table(table)
+            with timed(timings, "compress"):
+                for brick_idx, box in enumerate(table.boxes()):
+                    sub = result.padded[region_slices(box)]
+                    parts[f"L{lvl.level}/b{brick_idx}"] = self.codec.compress(
+                        sub, eb_abs, mode="abs"
+                    )
+            meta["strategy_format"] = 2
+            meta["bricks"] = {
+                "size": cfg.brick_size,
+                "grid": list(table.grid()),
+                "n": table.n_bricks(),
+            }
             return meta
 
         extract = {
@@ -285,14 +328,23 @@ class TACCompressor(PlanExecutorMixin):
             if strategy == "empty":
                 continue
             if strategy in (Strategy.GSP.value, Strategy.ZF.value):
-                name = f"L{idx}/grid"
-                units.append(
-                    DecodeUnit(
-                        key=name,
-                        level=idx,
-                        part_names=(name,),
-                        decode=lambda name=name: self.codec.decompress(comp.parts[name]),
+                bricks = level_meta.get("bricks")
+                if not bricks:
+                    # Legacy format 1: the level is one monolithic stream.
+                    name = f"L{idx}/grid"
+                    units.append(
+                        DecodeUnit(
+                            key=name,
+                            level=idx,
+                            part_names=(name,),
+                            decode=lambda name=name: self.codec.decompress(comp.parts[name]),
+                        )
                     )
+                    continue
+                # Format 2: one independent unit per brick, tagged with
+                # the level-space box it covers.
+                units.extend(
+                    unit for _bbox, unit in self._brick_units(comp, idx, level_meta)
                 )
                 continue
             layout_name = f"L{idx}/layout"
@@ -315,6 +367,38 @@ class TACCompressor(PlanExecutorMixin):
                     )
                 )
         return DecompressionPlan(units)
+
+    def _brick_units(
+        self, comp, idx: int, level_meta: dict
+    ) -> list[tuple[tuple[tuple[int, int], ...], DecodeUnit]]:
+        """``(padded-grid box, DecodeUnit)`` per brick of a format-2 level.
+
+        The single source of brick part naming, decode closures, and unit
+        geometry — both the level plan and the ROI fast path consume it,
+        so the two read paths cannot drift apart.  Each unit's ``box`` is
+        the brick's padded-grid box *clipped to the level extents*: a
+        brick wholly inside the block padding covers nothing visible and
+        is prunable by any ROI.
+        """
+        shape = tuple(comp.meta["shapes"][idx])
+        padded_shape = tuple(level_meta["padded_shape"])
+        out = []
+        for brick_idx, bbox in enumerate(
+            brick_boxes(padded_shape, level_meta["bricks"]["size"])
+        ):
+            name = f"L{idx}/b{brick_idx}"
+            clipped = tuple(
+                (min(lo, dim), min(hi, dim)) for (lo, hi), dim in zip(bbox, shape)
+            )
+            unit = DecodeUnit(
+                key=name,
+                level=idx,
+                part_names=(name,),
+                decode=lambda name=name: self.codec.decompress(comp.parts[name]),
+                box=clipped,
+            )
+            out.append((bbox, unit))
+        return out
 
     def decompress(
         self,
@@ -375,7 +459,11 @@ class TACCompressor(PlanExecutorMixin):
         if strategy == "empty":
             data = np.zeros(shape, dtype=np.float32)
         elif strategy in (Strategy.GSP.value, Strategy.ZF.value):
-            padded = results[f"L{idx}/grid"]
+            bricks = level_meta.get("bricks")
+            if bricks:
+                padded = self._reassemble_bricks(level_meta, idx, results)
+            else:
+                padded = results[f"L{idx}/grid"]
             cropped = padded[: shape[0], : shape[1], : shape[2]]
             data = np.where(mask, cropped, cropped.dtype.type(0))
         else:
@@ -386,6 +474,29 @@ class TACCompressor(PlanExecutorMixin):
             data = np.where(mask, restored, restored.dtype.type(0))
         return AMRLevel(data=data, mask=mask, level=idx)
 
+    @staticmethod
+    def _reassemble_bricks(level_meta: dict, idx: int, results: dict) -> np.ndarray:
+        """Stitch decoded bricks back into the (zero-filled) padded grid.
+
+        Tolerates missing brick results — a plan pruned by ROI intersection
+        simply leaves the untouched bricks at zero, which the region read
+        then never looks at.  A brick *part* missing from the blob still
+        fails loudly inside its decode unit.
+        """
+        bricks = level_meta["bricks"]
+        padded_shape = tuple(level_meta["padded_shape"])
+        padded = None
+        for brick_idx, bbox in enumerate(brick_boxes(padded_shape, bricks["size"])):
+            decoded = results.get(f"L{idx}/b{brick_idx}")
+            if decoded is None:
+                continue
+            if padded is None:
+                padded = np.zeros(padded_shape, dtype=decoded.dtype)
+            padded[region_slices(bbox)] = decoded
+        if padded is None:  # every brick pruned (ROI missed the level)
+            padded = np.zeros(padded_shape, dtype=np.float32)
+        return padded
+
     def decompress_region(
         self, comp, level: int, region, structure=None, decode_workers: int = 1
     ) -> np.ndarray:
@@ -394,8 +505,11 @@ class TACCompressor(PlanExecutorMixin):
         Identical to ``decompress(comp).levels[level].data[region]``.  For
         block strategies (OpST/AKDTree/NaST) only the group streams with a
         block intersecting the ROI are decoded — the layout record alone
-        (≪ the payloads) decides which; GSP/ZF levels are single SZ
-        streams, so the ROI read decodes that one grid and slices it.
+        (≪ the payloads) decides which.  Brick-chunked GSP/ZF levels
+        (strategy format 2) decode only the bricks the ROI touches, so
+        the decoded cell count is the brick-aligned ROI volume; legacy
+        single-stream GSP/ZF levels (format 1) decode their one grid and
+        slice it.
         """
         delegate = self._delegate(comp)
         if delegate is not None:
@@ -410,6 +524,10 @@ class TACCompressor(PlanExecutorMixin):
         mask = self._level_mask(comp, structure, level, shape)
         region_mask = mask[slices]
         if strategy in (Strategy.GSP.value, Strategy.ZF.value):
+            if level_meta.get("bricks"):
+                return self._decompress_region_bricks(
+                    comp, level, level_meta, box, region_mask, decode_workers
+                )
             padded = self.codec.decompress(comp.parts[f"L{level}/grid"])
             sliced = padded[: shape[0], : shape[1], : shape[2]][slices]
             return np.where(region_mask, sliced, sliced.dtype.type(0))
@@ -450,6 +568,46 @@ class TACCompressor(PlanExecutorMixin):
             stacked = results[f"L{level}/g{group_idx}"]
             extraction.scatter_group(group_shape, stacked, out, indices=selected[group_shape])
         sliced = extraction.crop(out)[slices]
+        return np.where(region_mask, sliced, sliced.dtype.type(0))
+
+    def _decompress_region_bricks(
+        self, comp, level: int, level_meta: dict, box, region_mask: np.ndarray,
+        decode_workers: int,
+    ) -> np.ndarray:
+        """ROI read over a brick-chunked GSP/ZF level (strategy format 2).
+
+        Decodes exactly the bricks whose (clipped) boxes intersect the
+        ROI — the same units, keys, and geometry the level plan uses
+        (:meth:`_brick_units`); the serialized ``L<idx>/bricks`` table
+        part is wire self-description, not a read dependency — and
+        assembles them into the ROI's brick-aligned bounding box, so the
+        decoded cell count is that bounding box's volume, never the
+        level's.
+        """
+        hit = [
+            (bbox, unit)
+            for bbox, unit in self._brick_units(comp, level, level_meta)
+            if boxes_intersect(unit.box, box)
+        ]
+        results = execute_plan(
+            DecompressionPlan([unit for _bbox, unit in hit]), decode_workers
+        )
+        # Brick-aligned bounding box of the ROI, clipped to the padded grid.
+        size = int(level_meta["bricks"]["size"])
+        padded_shape = tuple(level_meta["padded_shape"])
+        lo = tuple((b_lo // size) * size for b_lo, _hi in box)
+        hi = tuple(
+            min(-(-b_hi // size) * size, dim)
+            for (_lo, b_hi), dim in zip(box, padded_shape)
+        )
+        first = results[hit[0][1].key]
+        out = np.zeros(tuple(h - l for l, h in zip(lo, hi)), dtype=first.dtype)
+        for bbox, unit in hit:
+            target = tuple(
+                slice(b_lo - off, b_hi - off) for (b_lo, b_hi), off in zip(bbox, lo)
+            )
+            out[target] = results[unit.key]
+        sliced = out[tuple(slice(b_lo - off, b_hi - off) for (b_lo, b_hi), off in zip(box, lo))]
         return np.where(region_mask, sliced, sliced.dtype.type(0))
 
     @staticmethod

@@ -30,8 +30,8 @@ from functools import lru_cache
 
 import numpy as np
 
+from repro.sz import bitstream
 from repro.sz.bitstream import (
-    WINDOW_WORDS_LIMIT,
     as_peekable,
     pack_codes,
     peek_bits,
@@ -50,6 +50,12 @@ DECODE_CACHE_SIZE = 32
 #: Bounds on the adaptive decode block size.
 _MIN_BLOCK = 64
 _MAX_BLOCK = 8192
+
+#: Minimum lanes per chunk for the chunked-window decode of over-limit
+#: payloads.  Chunking a stream into k contiguous lane spans multiplies the
+#: lockstep round count by k; below this many lanes per round the fixed
+#: per-round cost dominates and the whole-stream 4-gather peek is faster.
+_MIN_CHUNK_LANES = 512
 
 
 def default_block_size(n_symbols: int) -> int:
@@ -305,7 +311,6 @@ class HuffmanCodec:
             return np.zeros(0, dtype=out_dtype)
         if self._table_sym is None:
             self._build_table()
-        table_sym, table_len = self._table_sym, self._table_len
         buf = as_peekable(encoded.payload)
         block = encoded.block_size
         n_blocks = encoded.block_offsets.size
@@ -313,41 +318,123 @@ class HuffmanCodec:
         if n_blocks != expected_blocks:
             raise ValueError("block offset table does not match symbol count")
         tail = n - block * (n_blocks - 1)  # symbols in the (ragged) last block
-        positions = encoded.block_offsets.astype(np.int64).copy()
+        offsets = encoded.block_offsets.astype(np.int64)
         # Round-major layout: each round writes one contiguous row (a
         # strided column write is ~40% slower per np.take); the stitch at
         # the end transposes back to block-major stream order.
         out = np.empty((block, n_blocks), dtype=out_dtype)
         width = self.max_len
+        # One big-endian 32-bit window per byte offset: each round's peek
+        # is a single gather plus two shifts.  Payloads too large to
+        # window in one array are decoded in contiguous lane chunks, each
+        # with a window over its own byte span, so snapshot-scale streams
+        # keep the one-gather fast path.  Widths over 24 bits cannot use
+        # the 32-bit window (phase 7 + width must fit); that path falls
+        # back to 4-byte-gather peeks and raises peek_bits' width error,
+        # as decode always has.
+        limit = bitstream.WINDOW_WORDS_LIMIT
+        n_chunks = -(-buf.size // max(limit, 1))
+        if width > 24:
+            self._decode_span(buf, None, offsets.copy(), out, 0, n_blocks, tail)
+        elif buf.size <= limit:
+            self._decode_span(
+                buf, window_words(buf), offsets.copy(), out, 0, n_blocks, tail
+            )
+        elif n_blocks // n_chunks >= _MIN_CHUNK_LANES:
+            self._decode_chunked(buf, encoded.total_bits, offsets, out, tail, limit)
+        else:
+            # Too few lanes per chunk for the chunked windows to pay off —
+            # the whole-stream 4-gather peek keeps a single round schedule.
+            self._decode_span(buf, None, offsets.copy(), out, 0, n_blocks, tail)
+        # Stitch rounds back into block-major stream order, trimming the
+        # ragged tail (the transpose's reshape is the single copy).
+        if tail == block:
+            return out.T.reshape(-1)
+        head = out[:, :-1].T.reshape(-1)
+        return np.concatenate([head, out[:tail, -1]])
+
+    def _decode_chunked(
+        self,
+        buf: np.ndarray,
+        total_bits: int,
+        offsets: np.ndarray,
+        out: np.ndarray,
+        tail: int,
+        limit: int,
+    ) -> None:
+        """Windowed decode in lane chunks for over-limit payloads.
+
+        Blocks are contiguous in the bit stream, so a contiguous lane
+        span ``[i, j)`` only touches payload bytes between its first
+        block's start and its last block's end — both known from the
+        block-offset table before any decoding.  Each chunk builds a
+        32-bit window over just its byte span (positions rebased to the
+        slice), bounding window memory by ``limit`` while every round
+        stays a single gather.  A single block whose own span exceeds the
+        limit (pathological block sizes) degrades to 4-byte-gather peeks
+        for that chunk alone.
+        """
+        n_blocks = offsets.size
+        block = out.shape[0]
+        ends = np.empty(n_blocks, dtype=np.int64)
+        ends[:-1] = offsets[1:]
+        ends[-1] = total_bits
+        start = 0
+        while start < n_blocks:
+            lo_byte = int(offsets[start]) >> 3
+            # Largest j with the span's window (end byte + 4-byte gather
+            # slack, rebased to lo_byte) within the limit.
+            j = int(np.searchsorted(ends, (lo_byte + limit - 4) * 8, side="right"))
+            j = min(max(j, start + 1), n_blocks)
+            span_tail = tail if j == n_blocks else block
+            positions = offsets[start:j].copy()
+            hi_byte = (int(ends[j - 1]) + 7) >> 3
+            if j == start + 1 and hi_byte + 4 - lo_byte > limit:
+                self._decode_span(buf, None, positions, out, start, j - start, span_tail)
+            else:
+                words = window_words(buf[lo_byte : hi_byte + 4])
+                positions -= lo_byte << 3
+                self._decode_span(buf, words, positions, out, start, j - start, span_tail)
+            start = j
+
+    def _decode_span(
+        self,
+        buf: np.ndarray,
+        words: np.ndarray | None,
+        positions: np.ndarray,
+        out: np.ndarray,
+        lane0: int,
+        m0: int,
+        tail_rounds: int,
+    ) -> None:
+        """Lockstep rounds over the contiguous lane span ``[lane0, lane0+m0)``.
+
+        Every active lane decodes one symbol per round via whole-array
+        gathers.  The schedule is known up front: all lanes run for
+        ``tail_rounds`` rounds, then the span's last lane drops out (it is
+        the stream's ragged final block) and the remaining contiguous
+        prefix runs to the full block length — no per-round active-set
+        scan.  Spans that do not contain the ragged block pass
+        ``tail_rounds == block`` and never shrink.  ``positions`` must be
+        rebased to ``words``' byte origin when a sliced window is used.
+        """
+        table_sym, table_len = self._table_sym, self._table_len
+        block = out.shape[0]
+        width = self.max_len
         down = np.uint32(32 - width)
-        # One big-endian 32-bit window per byte offset: each round's peek is
-        # a single gather plus two shifts.  Falls back to the 4-byte-gather
-        # peek for payloads too large to window affordably, and for widths
-        # over 24 bits (phase 7 + width must fit the 32-bit window; the
-        # fallback then raises peek_bits' width error, as decode always has).
-        words = (
-            window_words(buf)
-            if width <= 24 and buf.size <= WINDOW_WORDS_LIMIT
-            else None
-        )
         # Reused per-round scratch (views shrink with the active lane set).
-        byte_idx = np.empty(n_blocks, dtype=np.int64)
-        peeks = np.empty(n_blocks, dtype=np.uint32)
-        phase = np.empty(n_blocks, dtype=np.uint32)
-        lens = np.empty(n_blocks, dtype=np.int64)
-        m = n_blocks
+        byte_idx = np.empty(m0, dtype=np.int64)
+        peeks = np.empty(m0, dtype=np.uint32)
+        phase = np.empty(m0, dtype=np.uint32)
+        lens = np.empty(m0, dtype=np.int64)
+        m = m0
         pos_v = positions
         bidx_v, peek_v, ph_v, lens_v = byte_idx, peeks, phase, lens
-        # Lockstep rounds: every active block decodes one symbol per round
-        # via whole-array gathers.  The schedule is known up front — all
-        # blocks run for ``tail`` rounds, then the last (ragged) block drops
-        # out and the remaining contiguous prefix runs to ``block`` rounds —
-        # so no per-round active-set scan is needed.
         for r in range(block):
-            if r == tail:  # only reachable when tail < block
-                if n_blocks == 1:
+            if r == tail_rounds:  # only reachable when tail_rounds < block
+                if m == 1:
                     break
-                m = n_blocks - 1
+                m -= 1
                 pos_v = positions[:m]
                 bidx_v, peek_v = byte_idx[:m], peeks[:m]
                 ph_v, lens_v = phase[:m], lens[:m]
@@ -355,8 +442,9 @@ class HuffmanCodec:
             np.bitwise_and(pos_v, 7, out=ph_v, casting="unsafe")
             if words is not None:
                 # mode="clip" clamps like peek_bits: corrupt/oversized
-                # offsets read the zero padding (and fail the unassigned-
-                # space check below) instead of raising IndexError.
+                # offsets read the window's final words (and fail the
+                # unassigned-space check below on the zero padding)
+                # instead of raising IndexError.
                 np.take(words, bidx_v, out=peek_v, mode="clip")
                 np.left_shift(peek_v, ph_v, out=peek_v)
                 np.right_shift(peek_v, down, out=peek_v)
@@ -365,14 +453,8 @@ class HuffmanCodec:
             np.take(table_len, peek_v, out=lens_v)
             if not int(lens_v.min()):
                 raise ValueError("corrupt Huffman stream (unassigned code space)")
-            np.take(table_sym, peek_v, out=out[r, :m])
+            np.take(table_sym, peek_v, out=out[r, lane0 : lane0 + m])
             pos_v += lens_v
-        # Stitch rounds back into block-major stream order, trimming the
-        # ragged tail (the transpose's reshape is the single copy).
-        if tail == block:
-            return out.T.reshape(-1)
-        head = out[:, :-1].T.reshape(-1)
-        return np.concatenate([head, out[:tail, -1]])
 
 
 @lru_cache(maxsize=DECODE_CACHE_SIZE)

@@ -32,8 +32,9 @@ from pathlib import Path
 
 import numpy as np
 
+from repro.core.tac import TACCompressor
 from repro.engine import BatchArchive, CompressionEngine, CompressionJob
-from tests.helpers import golden_dataset
+from tests.helpers import golden_dataset, golden_gsp_dataset
 
 HERE = Path(__file__).parent
 EB = 1e-3
@@ -41,6 +42,10 @@ MODE = "abs"
 CODECS = ("tac", "1d", "zmesh", "3d")
 #: Forces the four golden entries across two payload shards.
 V3_SHARD_SIZE = 2048
+#: Brick edge of the bricked GSP fixture: 16^3 padded level -> 4^3 bricks.
+GSP_BRICK_SIZE = 4
+#: ROI pinned by the GSP fixtures' partial-read expectations (1/8 domain).
+GSP_ROI = (slice(0, 8), slice(0, 8), slice(0, 8))
 
 
 def build_archive(container_version: int) -> bytes:
@@ -117,6 +122,57 @@ def sharded_expectations(blob_v2: bytes) -> dict:
     return expected
 
 
+def gsp_expectations() -> dict:
+    """Write and record the GSP strategy-format fixtures.
+
+    Two blobs over the analytic :func:`tests.helpers.golden_gsp_dataset`
+    (fine level ~70% dense -> GSP, coarse -> OpST):
+
+    * ``golden_gsp_legacy.rpbt`` — ``brick_size=None``: the strategy
+      format 1 single-stream layout every pre-brick blob used (one
+      ``L0/grid`` part).  Pins that the legacy write path still produces
+      the exact pre-brick bytes and that such blobs stay readable.
+    * ``golden_gsp_bricks.rpbt`` — ``brick_size=GSP_BRICK_SIZE``:
+      strategy format 2 (brick table part + one part per brick).
+
+    The JSON records sha256/bytes, per-level decode stats, and the
+    values of a pinned 1/8-domain ROI read on the GSP level, so the
+    partial-read output itself is golden-pinned for both formats.
+    """
+    ds = golden_gsp_dataset()
+    expected: dict = {"eb": EB, "mode": MODE, "brick_size": GSP_BRICK_SIZE,
+                      "roi": [[s.start, s.stop] for s in GSP_ROI], "blobs": {}}
+    variants = {
+        "golden_gsp_legacy": TACCompressor(brick_size=None),
+        "golden_gsp_bricks": TACCompressor(brick_size=GSP_BRICK_SIZE),
+    }
+    for stem, tac in variants.items():
+        comp = tac.compress(ds, EB, mode=MODE)
+        blob = comp.to_bytes()
+        (HERE / f"{stem}.rpbt").write_bytes(blob)
+        roi = tac.decompress_region(comp, 0, GSP_ROI)
+        record = {
+            "sha256": hashlib.sha256(blob).hexdigest(),
+            "n_bytes": len(blob),
+            "strategies": [m["strategy"] for m in comp.meta["levels"]],
+            "levels": [
+                {
+                    "level": lvl.level,
+                    "n_points": lvl.n_points(),
+                    "sum": float(lvl.values().sum(dtype=np.float64)),
+                }
+                for lvl in tac.decompress(comp).levels
+            ],
+            "roi_sum": float(roi.sum(dtype=np.float64)),
+            "roi_nonzero": int(np.count_nonzero(roi)),
+        }
+        bricks = comp.meta["levels"][0].get("bricks")
+        if bricks:
+            record["bricks"] = bricks
+        expected["blobs"][stem] = record
+    return expected
+
+
 def main() -> None:
     blobs = {}
     for version, stem in ((1, "golden_batch"), (2, "golden_batch_v2")):
@@ -130,6 +186,9 @@ def main() -> None:
     (HERE / "golden_batch_v3.json").write_text(json.dumps(expected, indent=2) + "\n")
     names = [rec["name"] for rec in expected["shards"]]
     print(f"wrote golden_batch_v3.rpbt + {names} and golden_batch_v3.json")
+    expected = gsp_expectations()
+    (HERE / "golden_gsp.json").write_text(json.dumps(expected, indent=2) + "\n")
+    print(f"wrote {list(expected['blobs'])} fixtures and golden_gsp.json")
 
 
 if __name__ == "__main__":

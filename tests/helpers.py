@@ -106,6 +106,44 @@ def golden_dataset(n: int = 8) -> AMRDataset:
     return ds
 
 
+def golden_gsp_dataset(n: int = 16) -> AMRDataset:
+    """Fully analytic two-level dataset whose fine level selects GSP.
+
+    Companion to :func:`golden_dataset` for the GSP/ZF golden fixtures: the
+    fine level is ~70% dense (>= T2, so the density filter picks GSP) and
+    the coarse level holds the remaining ~30% (OpST), giving one blob with
+    both a padded-grid level and a block-strategy level.  No RNG anywhere —
+    the mask is a fixed modular pattern and the data a closed-form wave
+    field, reproducible on any platform/numpy forever.
+    """
+    coarse_n = n // 2
+    idx = np.arange(coarse_n**3).reshape((coarse_n,) * 3)
+    refined = (idx % 10) < 7  # 70% of coarse cells refine -> dense fine level
+    fine_mask = np.repeat(np.repeat(np.repeat(refined, 2, 0), 2, 1), 2, 2)
+
+    def wave(m: int, phase: float) -> np.ndarray:
+        axis = np.linspace(0.0, 2.0 * np.pi, m)
+        x = axis[:, None, None]
+        y = axis[None, :, None]
+        z = axis[None, None, :]
+        return (np.cos(x - phase) * np.sin(y) + 0.5 * np.sin(2 * z + phase)).astype(
+            np.float32
+        )
+
+    fine_data = np.where(fine_mask, wave(n, 0.75), np.float32(0))
+    coarse_data = np.where(~refined, wave(coarse_n, 2.25), np.float32(0))
+    ds = AMRDataset(
+        levels=[
+            AMRLevel(data=fine_data, mask=fine_mask, level=0),
+            AMRLevel(data=coarse_data, mask=~refined, level=1),
+        ],
+        name="golden-gsp",
+        field="golden_field",
+    )
+    ds.validate()
+    return ds
+
+
 def assert_error_bounded(original, reconstructed, bound: float, rtol: float = 1e-4):
     """Assert max |a-b| <= bound, with the storage-dtype ULP allowance.
 

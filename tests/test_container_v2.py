@@ -371,3 +371,34 @@ class TestArchiveVersions:
             sizes = lazy.entry_sizes()
             for key in archive.keys():
                 assert sizes[key] == len(archive.get(key).to_bytes())
+
+
+class TestCollapsePartSizes:
+    """Display aggregation of numbered sibling parts (brick/group streams)."""
+
+    def test_numbered_runs_collapse_above_threshold(self):
+        from repro.core.container import collapse_part_sizes
+
+        sizes = {f"L0/b{i}": 10 for i in range(6)}
+        sizes.update({"L0/bricks": 3, "L1/layout": 7, "mask/L0": 5})
+        rows = collapse_part_sizes(sizes)
+        assert ("L0/b* x6", 6, 60) in rows
+        # Small families and unnumbered parts keep their own rows.
+        assert ("L0/bricks", 1, 3) in rows
+        assert ("L1/layout", 1, 7) in rows
+        assert ("mask/L0", 1, 5) in rows
+
+    def test_small_families_stay_individual(self):
+        from repro.core.container import collapse_part_sizes
+
+        sizes = {"L1/g0": 4, "L1/g1": 6, "L0/grid": 9}
+        rows = collapse_part_sizes(sizes)
+        assert ("L1/g0", 1, 4) in rows and ("L1/g1", 1, 6) in rows
+        assert ("L0/grid", 1, 9) in rows
+
+    def test_totals_preserved(self):
+        from repro.core.container import collapse_part_sizes
+
+        sizes = {f"L0/b{i}": i + 1 for i in range(12)}
+        rows = collapse_part_sizes(sizes)
+        assert sum(total for _label, _count, total in rows) == sum(sizes.values())

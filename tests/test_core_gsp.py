@@ -3,7 +3,17 @@
 import numpy as np
 import pytest
 
-from repro.core.gsp import gsp_pad, zero_fill
+import zlib
+
+from repro.core.gsp import (
+    BrickTable,
+    brick_boxes,
+    bricks_in_box,
+    deserialize_brick_table,
+    gsp_pad,
+    serialize_brick_table,
+    zero_fill,
+)
 from tests.helpers import random_mask, smooth_cube
 
 
@@ -157,3 +167,67 @@ class TestGSPCompressibility:
         def roughness(f):
             return sum(float(np.abs(np.diff(f, axis=a)).sum()) for a in range(3))
         assert roughness(gsp) < roughness(zf)
+
+
+class TestBrickGeometry:
+    """The regular brick tiling behind the GSP/ZF region index."""
+
+    def test_boxes_tile_exactly(self):
+        boxes = brick_boxes((10, 8, 4), 4)
+        # 3 x 2 x 1 bricks, ragged on the first axis.
+        assert len(boxes) == 6
+        cover = np.zeros((10, 8, 4), dtype=np.int32)
+        for box in boxes:
+            cover[tuple(slice(lo, hi) for lo, hi in box)] += 1
+        assert (cover == 1).all()
+
+    def test_boxes_flat_c_order(self):
+        boxes = brick_boxes((8, 8, 8), 4)
+        assert boxes[0] == ((0, 4), (0, 4), (0, 4))
+        assert boxes[1] == ((0, 4), (0, 4), (4, 8))  # z fastest
+        assert boxes[2] == ((0, 4), (4, 8), (0, 4))
+
+    def test_bricks_in_box_matches_geometry(self):
+        shape = (12, 12, 12)
+        boxes = brick_boxes(shape, 4)
+        roi = ((2, 6), (0, 4), (5, 12))
+        hit = set(bricks_in_box(shape, 4, roi).tolist())
+        expected = {
+            i for i, box in enumerate(boxes)
+            if all(lo < r_hi and r_lo < hi for (lo, hi), (r_lo, r_hi) in zip(box, roi))
+        }
+        assert hit == expected
+        assert hit  # the ROI really intersects something
+
+    def test_bricks_in_box_empty_intersection(self):
+        # A box entirely outside the grid (clipped away) hits nothing.
+        assert bricks_in_box((8, 8, 8), 4, ((8, 9), (0, 8), (0, 8))).size == 0
+
+    def test_eighth_domain_roi_touches_eighth_of_bricks(self):
+        shape = (16, 16, 16)
+        hit = bricks_in_box(shape, 4, ((0, 8), (0, 8), (0, 8)))
+        assert hit.size == 8  # 2^3 of the 4^3 bricks
+
+    def test_table_roundtrip(self):
+        table = BrickTable(padded_shape=(20, 16, 12), orig_shape=(18, 15, 12), brick_size=8)
+        back = deserialize_brick_table(serialize_brick_table(table))
+        assert back == table
+        assert back.grid() == (3, 2, 2)
+        assert back.n_bricks() == 12
+        assert back.boxes() == brick_boxes((20, 16, 12), 8)
+
+    def test_table_rejects_corrupt_payloads(self):
+        table = BrickTable(padded_shape=(8, 8, 8), orig_shape=(8, 8, 8), brick_size=4)
+        payload = serialize_brick_table(table)
+        with pytest.raises(ValueError, match="length"):
+            deserialize_brick_table(zlib.compress(zlib.decompress(payload) + b"x"))
+        with pytest.raises(ValueError, match="version"):
+            deserialize_brick_table(
+                zlib.compress(b"\xff\xff" + zlib.decompress(payload)[2:])
+            )
+
+    def test_rejects_bad_brick_size(self):
+        with pytest.raises(ValueError, match="positive"):
+            brick_boxes((8, 8, 8), 0)
+        with pytest.raises(ValueError, match="positive"):
+            bricks_in_box((8, 8, 8), -2, ((0, 4), (0, 4), (0, 4)))

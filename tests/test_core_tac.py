@@ -34,6 +34,16 @@ class TestConfig:
         assert default_unit_block(512) == 16  # clamped at 16
         assert default_unit_block(16) == 4    # clamped at 4
 
+    def test_brick_size_default_and_validation(self):
+        from repro.core.gsp import DEFAULT_BRICK_SIZE
+
+        assert TACConfig().brick_size == DEFAULT_BRICK_SIZE
+        assert TACConfig(brick_size=None).brick_size is None  # legacy layout
+        with pytest.raises(ValueError, match="brick_size"):
+            TACConfig(brick_size=0)
+        with pytest.raises(ValueError, match="brick_size"):
+            TACConfig(brick_size=-8)
+
 
 class TestRoundTrip:
     def test_error_bound_per_level(self, tac, z10_small):

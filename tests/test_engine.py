@@ -62,6 +62,31 @@ class TestRegistry:
         codec = get_codec("tac", unit_block=8)
         assert codec.config.unit_block == 8
 
+    def test_brick_size_flows_through_job_codec_options(self):
+        """Engine plumbing for the GSP brick knob: a job's codec_options
+        reach the TAC factory, and the resulting archive entry carries the
+        bricked (or legacy) wire layout accordingly."""
+        from repro.core.density import Strategy
+        from tests.helpers import golden_gsp_dataset
+
+        ds = golden_gsp_dataset()
+        jobs = [
+            CompressionJob(
+                ds, codec="tac", error_bound=1e-3, mode="abs", label="bricked",
+                codec_options={"brick_size": 4, "force_strategy": Strategy.GSP},
+            ),
+            CompressionJob(
+                ds, codec="tac", error_bound=1e-3, mode="abs", label="legacy",
+                codec_options={"brick_size": None, "force_strategy": Strategy.GSP},
+            ),
+        ]
+        batch = CompressionEngine(max_workers=2).run(jobs, raise_errors=True)
+        bricked, legacy = (r.compressed for r in batch)
+        assert bricked.meta["levels"][0]["bricks"]["size"] == 4
+        assert any(name.startswith("L0/b") for name in bricked.parts)
+        assert "bricks" not in legacy.meta["levels"][0]
+        assert "L0/grid" in legacy.parts
+
     def test_method_resolution_prefers_plain_tac(self):
         codec = codec_for_method("tac")
         assert isinstance(codec, TACCompressor)

@@ -256,3 +256,113 @@ class TestGoldenShardedV3:
         assert eager.keys() == v2.keys()
         for key in v2.keys():
             assert eager.get(key).parts == v2.get(key).parts
+
+
+class TestGoldenGSPFormats:
+    """Both GSP strategy formats are golden-pinned.
+
+    ``golden_gsp_legacy.rpbt`` is the single-stream layout (strategy
+    format 1, one ``L0/grid`` part) every blob used before brick chunking
+    existed — its bytes were captured with the pre-brick writer and the
+    ``brick_size=None`` path must keep reproducing them exactly.
+    ``golden_gsp_bricks.rpbt`` pins strategy format 2 (brick table part +
+    one part per brick).  The JSON also records a 1/8-domain ROI read on
+    the GSP level, so the partial-read *values* are pinned for both
+    formats, not just the wire bytes.
+    """
+
+    @pytest.fixture(scope="class")
+    def expected_gsp(self) -> dict:
+        return json.loads((DATA / "golden_gsp.json").read_text())
+
+    def _blob(self, stem: str) -> bytes:
+        return (DATA / f"{stem}.rpbt").read_bytes()
+
+    def _codec(self, stem: str, expected_gsp):
+        from repro.core.tac import TACCompressor
+
+        brick = None if stem.endswith("legacy") else expected_gsp["brick_size"]
+        return TACCompressor(brick_size=brick)
+
+    @pytest.mark.parametrize("stem", ["golden_gsp_legacy", "golden_gsp_bricks"])
+    def test_fixture_integrity_and_byte_stability(self, stem, expected_gsp):
+        from repro.core.container import CompressedDataset
+
+        blob = self._blob(stem)
+        record = expected_gsp["blobs"][stem]
+        assert len(blob) == record["n_bytes"]
+        assert hashlib.sha256(blob).hexdigest() == record["sha256"]
+        assert CompressedDataset.from_bytes(blob).to_bytes() == blob
+
+    @pytest.mark.parametrize("stem", ["golden_gsp_legacy", "golden_gsp_bricks"])
+    def test_writer_regenerates_fixture_bytes(self, stem, expected_gsp):
+        """Re-compressing the analytic dataset reproduces the checked-in
+        bytes — for the legacy stem this proves the ``brick_size=None``
+        escape still writes the exact pre-brick format."""
+        from tests.helpers import golden_gsp_dataset
+
+        tac = self._codec(stem, expected_gsp)
+        blob = tac.compress(
+            golden_gsp_dataset(), expected_gsp["eb"], mode=expected_gsp["mode"]
+        ).to_bytes()
+        assert blob == self._blob(stem)
+
+    @pytest.mark.parametrize("stem", ["golden_gsp_legacy", "golden_gsp_bricks"])
+    def test_decode_matches_recorded_stats_and_bound(self, stem, expected_gsp):
+        from repro.core.container import CompressedDataset
+        from tests.helpers import golden_gsp_dataset
+
+        record = expected_gsp["blobs"][stem]
+        comp = CompressedDataset.from_bytes(self._blob(stem))
+        assert [m["strategy"] for m in comp.meta["levels"]] == record["strategies"]
+        tac = self._codec(stem, expected_gsp)
+        restored = tac.decompress(comp)
+        original = golden_gsp_dataset()
+        for lvl, stats, orig in zip(restored.levels, record["levels"], original.levels):
+            assert lvl.level == stats["level"]
+            assert lvl.n_points() == stats["n_points"]
+            assert float(lvl.values().sum(dtype=np.float64)) == pytest.approx(
+                stats["sum"], rel=1e-10, abs=1e-10
+            )
+            assert_error_bounded(orig.values(), lvl.values(), expected_gsp["eb"])
+
+    @pytest.mark.parametrize("stem", ["golden_gsp_legacy", "golden_gsp_bricks"])
+    def test_roi_read_matches_recorded_values(self, stem, expected_gsp):
+        from repro.core.container import LazyCompressedDataset
+
+        record = expected_gsp["blobs"][stem]
+        roi = tuple(slice(lo, hi) for lo, hi in expected_gsp["roi"])
+        tac = self._codec(stem, expected_gsp)
+        lazy = LazyCompressedDataset.open(self._blob(stem))
+        region = tac.decompress_region(lazy, 0, roi)
+        assert float(region.sum(dtype=np.float64)) == pytest.approx(
+            record["roi_sum"], rel=1e-10, abs=1e-10
+        )
+        assert int(np.count_nonzero(region)) == record["roi_nonzero"]
+        full = tac.decompress(LazyCompressedDataset.open(self._blob(stem)))
+        assert np.array_equal(region, full.levels[0].data[roi])
+
+    def test_brick_fixture_reads_fewer_parts_for_roi(self, expected_gsp):
+        """The brick fixture's ROI read fetches a strict subset of the
+        parts a full decode touches; the legacy fixture cannot (its GSP
+        level is one stream) — the asymmetry the format bump exists for."""
+        from repro.core.container import MASK_PREFIX, LazyCompressedDataset
+
+        record = expected_gsp["blobs"]["golden_gsp_bricks"]
+        roi = tuple(slice(lo, hi) for lo, hi in expected_gsp["roi"])
+        tac = self._codec("golden_gsp_bricks", expected_gsp)
+        blob = self._blob("golden_gsp_bricks")
+
+        lazy_full = LazyCompressedDataset.open(blob)
+        tac.decompress(lazy_full)
+        full_parts = {n for n in lazy_full.parts.accessed() if not n.startswith(MASK_PREFIX)}
+        lazy_roi = LazyCompressedDataset.open(blob)
+        tac.decompress_region(lazy_roi, 0, roi)
+        roi_parts = {n for n in lazy_roi.parts.accessed() if not n.startswith(MASK_PREFIX)}
+
+        assert roi_parts < full_parts
+        assert lazy_roi.parts.bytes_read < lazy_full.parts.bytes_read
+        n_bricks = record["bricks"]["n"]
+        touched = sum(1 for n in roi_parts if n.startswith("L0/b") and n != "L0/bricks")
+        assert touched == 8  # 1/8-domain ROI on the 4^3 brick grid
+        assert touched < n_bricks

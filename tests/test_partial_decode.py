@@ -24,8 +24,9 @@ import pytest
 from repro.amr.hierarchy import AMRDataset, AMRLevel
 from repro.core.container import MASK_PREFIX, LazyCompressedDataset
 from repro.core.density import Strategy
+from repro.core.gsp import brick_boxes, deserialize_brick_table
 from repro.core.layout import blocks_in_region, deserialize_layout, layout_shapes
-from repro.core.plan import DecompressionPlan, normalize_region
+from repro.core.plan import DecompressionPlan, PlanExecutorMixin, normalize_region
 from repro.core.tac import TACCompressor
 from repro.engine import get_codec, supports_partial_decode
 from tests.helpers import smooth_cube, two_level_dataset
@@ -145,6 +146,222 @@ class TestTACPartialDecode:
             sub = plan.for_levels([0])
             assert len(sub) == 1
             assert sub.part_names() == plan.part_names()
+
+
+# ----------------------------------------------------------------------
+# brick-chunked GSP/ZF levels (strategy format 2)
+# ----------------------------------------------------------------------
+class TestGSPBrickPartialDecode:
+    """The GSP/ZF region index: one part + one decode unit per brick."""
+
+    PADDED = ("gsp", "zf")
+
+    def _compressed(self, dataset, strategy, brick_size=4):
+        tac = TACCompressor(force_strategy=strategy, brick_size=brick_size)
+        return tac, tac.compress(dataset, EB, mode="abs")
+
+    @pytest.mark.parametrize("strategy", [Strategy.GSP, Strategy.ZF], ids=lambda s: s.value)
+    def test_multi_brick_bit_identity(self, dataset, strategy):
+        tac, comp = self._compressed(dataset, strategy)
+        assert comp.meta["levels"][0]["bricks"]["n"] == 64  # 16^3 at 4^3 bricks
+        assert comp.meta["levels"][0]["strategy_format"] == 2
+        full = tac.decompress(comp)
+        for idx in range(dataset.n_levels):
+            lvl = tac.decompress_level(comp, idx)
+            _assert_levels_equal(full.levels[idx], lvl)
+            region = tac.decompress_region(comp, idx, REGION)
+            assert np.array_equal(region, full.levels[idx].data[REGION])
+
+    @pytest.mark.parametrize("strategy", [Strategy.GSP, Strategy.ZF], ids=lambda s: s.value)
+    def test_parallel_brick_decode_bit_identical(self, dataset, strategy):
+        tac, comp = self._compressed(dataset, strategy)
+        serial = tac.decompress(comp)
+        parallel = tac.decompress(comp, decode_workers=4)
+        for a, b in zip(serial.levels, parallel.levels):
+            _assert_levels_equal(a, b)
+        assert np.array_equal(
+            tac.decompress_region(comp, 0, REGION),
+            tac.decompress_region(comp, 0, REGION, decode_workers=4),
+        )
+
+    def test_brick_plan_units_carry_boxes(self, dataset):
+        tac, comp = self._compressed(dataset, Strategy.GSP)
+        plan = tac.build_decode_plan(comp, levels=[0])
+        brick_units = [u for u in plan.units if u.key.startswith("L0/b")]
+        assert len(brick_units) == 64
+        assert all(u.box is not None for u in brick_units)
+        # Pruning by the ROI keeps exactly the intersecting bricks.
+        box = normalize_region(REGION, (16, 16, 16))
+        pruned = plan.for_region(box)
+        assert 0 < len(pruned) < len(plan)
+
+    def test_legacy_single_stream_layout_still_written_and_read(self, dataset):
+        tac = TACCompressor(force_strategy=Strategy.GSP, brick_size=None)
+        comp = tac.compress(dataset, EB, mode="abs")
+        assert "L0/grid" in comp.parts
+        assert not any(name.startswith("L0/b") for name in comp.parts)
+        assert "bricks" not in comp.meta["levels"][0]
+        full = tac.decompress(comp)
+        region = tac.decompress_region(comp, 0, REGION)
+        assert np.array_equal(region, full.levels[0].data[REGION])
+
+    @pytest.mark.parametrize("container_version", [1, 2, 3])
+    def test_bricked_blob_roundtrips_every_container_version(
+        self, dataset, container_version
+    ):
+        tac, comp = self._compressed(dataset, Strategy.GSP)
+        comp.container_version = container_version
+        blob = comp.to_bytes()
+        lazy = LazyCompressedDataset.open(blob)
+        assert lazy.container_version == container_version
+        full = tac.decompress(comp)
+        restored = tac.decompress(lazy)
+        for a, b in zip(full.levels, restored.levels):
+            _assert_levels_equal(a, b)
+        # Byte-stable re-serialization, as for every wire version.
+        from repro.core.container import CompressedDataset
+
+        assert CompressedDataset.from_bytes(blob).to_bytes() == blob
+
+    def test_roi_decodes_strictly_fewer_parts_and_bytes(self, dataset):
+        """The acceptance criterion: for a sub-domain ROI on a GSP level,
+        strictly fewer container parts are fetched and strictly fewer
+        payload bytes decoded than a full decode — previously the whole
+        grid was decoded and cropped."""
+        tac, comp = self._compressed(dataset, Strategy.GSP)
+        blob = comp.to_bytes()
+
+        lazy_full = LazyCompressedDataset.open(blob)
+        full = tac.decompress(lazy_full)
+        full_parts = {n for n in lazy_full.parts.accessed() if not n.startswith(MASK_PREFIX)}
+
+        roi = (slice(0, 8), slice(0, 8), slice(0, 8))  # 1/8 of the domain
+        lazy_roi = LazyCompressedDataset.open(blob)
+        region = tac.decompress_region(lazy_roi, 0, roi)
+        roi_parts = {n for n in lazy_roi.parts.accessed() if not n.startswith(MASK_PREFIX)}
+
+        assert np.array_equal(region, full.levels[0].data[roi])
+        assert roi_parts < full_parts
+        assert lazy_roi.parts.bytes_read < lazy_full.parts.bytes_read
+        # 1/8-domain ROI on a 4^3 brick grid: 2^3 of 64 bricks.
+        assert sum(1 for n in roi_parts if n.startswith("L0/b") and n != "L0/bricks") == 8
+
+    def test_decoded_cells_bounded_by_brick_aligned_roi(self, dataset):
+        """Satellite regression: an ROI read must decode at most the
+        brick-aligned ROI volume, never the level volume."""
+        tac, comp = self._compressed(dataset, Strategy.GSP)
+        lazy = LazyCompressedDataset.open(comp.to_bytes())
+        roi = (slice(2, 7), slice(3, 9), slice(1, 5))
+        tac.decompress_region(lazy, 0, roi)
+
+        table = deserialize_brick_table(comp.parts["L0/bricks"])
+        boxes = brick_boxes(table.padded_shape, table.brick_size)
+        decoded_cells = 0
+        for name in lazy.parts.accessed():
+            if name.startswith("L0/b") and name != "L0/bricks":
+                box = boxes[int(name[len("L0/b"):])]
+                decoded_cells += int(np.prod([hi - lo for lo, hi in box]))
+        size = table.brick_size
+        aligned = [
+            (spec.start // size * size, -(-spec.stop // size) * size) for spec in roi
+        ]
+        aligned_volume = int(np.prod([hi - lo for lo, hi in aligned]))
+        assert 0 < decoded_cells <= aligned_volume
+        assert decoded_cells < int(np.prod(table.padded_shape))
+
+    def test_generic_mixin_region_path_prunes_brick_units(self, dataset):
+        """`PlanExecutorMixin.decompress_region` (the default every codec
+        inherits) must prune prunable units itself — not materialize the
+        level — when unit geometry is available."""
+        tac, comp = self._compressed(dataset, Strategy.GSP)
+        lazy = LazyCompressedDataset.open(comp.to_bytes())
+        roi = (slice(0, 4), slice(0, 4), slice(0, 4))  # exactly one brick
+        out = PlanExecutorMixin.decompress_region(tac, lazy, 0, roi)
+        full = tac.decompress(comp)
+        assert np.array_equal(out, full.levels[0].data[roi])
+        touched = {
+            n for n in lazy.parts.accessed()
+            if n.startswith("L0/b") and n != "L0/bricks"
+        }
+        assert len(touched) == 1
+
+    def test_pad_only_bricks_prunable_by_any_roi(self):
+        """A brick wholly inside the block padding covers no level cells;
+        its plan unit's clipped box must never intersect an ROI."""
+        n = 6  # pads to 12 with unit_block=12 -> brick layers beyond shape
+        mask = np.ones((n, n, n), dtype=bool)
+        ds = AMRDataset(
+            levels=[AMRLevel(data=smooth_cube(n, seed=9), mask=mask, level=0)],
+            name="pad-brick",
+        )
+        tac = TACCompressor(force_strategy=Strategy.ZF, unit_block=12, brick_size=4)
+        comp = tac.compress(ds, EB, mode="abs")
+        plan = tac.build_decode_plan(comp)
+        full_box = ((0, n), (0, n), (0, n))
+        kept = plan.for_region(full_box)
+        assert len(kept) < len(plan)  # pad-only bricks dropped even for a full ROI
+        region = tac.decompress_region(comp, 0, tuple(slice(0, n) for _ in range(3)))
+        assert np.array_equal(region, tac.decompress(comp).levels[0].data)
+
+
+# ----------------------------------------------------------------------
+# normalize_region: negative / out-of-range specs resolve or fail loudly
+# ----------------------------------------------------------------------
+class TestNormalizeRegion:
+    SHAPE = (16, 16, 16)
+
+    def test_plain_int_pairs(self):
+        assert normalize_region(((2, 10), (0, 7), (5, 16)), self.SHAPE) == (
+            (2, 10), (0, 7), (5, 16),
+        )
+
+    def test_negative_pairs_follow_python_indexing(self):
+        assert normalize_region(((-8, -2), (0, -1), (-16, 16)), self.SHAPE) == (
+            (8, 14), (0, 15), (0, 16),
+        )
+
+    def test_none_bounds_mean_full_extent(self):
+        assert normalize_region(((None, 8), (4, None), (None, None)), self.SHAPE) == (
+            (0, 8), (4, 16), (0, 16),
+        )
+
+    def test_negative_slices_follow_python_indexing(self):
+        assert normalize_region(
+            (slice(-8, -2), slice(None, -1), slice(-16, None)), self.SHAPE
+        ) == ((8, 14), (0, 15), (0, 16))
+
+    def test_out_of_range_pair_rejected(self):
+        with pytest.raises(ValueError, match="out of range"):
+            normalize_region(((0, 17), (0, 16), (0, 16)), self.SHAPE)
+        with pytest.raises(ValueError, match="out of range"):
+            normalize_region(((-17, 4), (0, 16), (0, 16)), self.SHAPE)
+
+    def test_oversized_slice_clamps_like_python(self):
+        assert normalize_region(
+            (slice(0, 10**9), slice(-99, None), slice(None)), self.SHAPE
+        ) == ((0, 16), (0, 16), (0, 16))
+
+    def test_empty_region_message_names_axis_and_bounds(self):
+        with pytest.raises(ValueError, match=r"axis 1.*resolved to \[4, 4\)"):
+            normalize_region((slice(0, 4), (4, 4), slice(0, 4)), self.SHAPE)
+        with pytest.raises(ValueError, match="empty region"):
+            normalize_region(((8, -12), (0, 4), (0, 4)), self.SHAPE)
+
+    def test_non_int_bound_rejected(self):
+        with pytest.raises(TypeError, match="axis 0"):
+            normalize_region(((0.5, 4), (0, 4), (0, 4)), self.SHAPE)
+        with pytest.raises(TypeError, match="int or None"):
+            normalize_region(((True, 4), (0, 4), (0, 4)), self.SHAPE)
+
+    def test_wrong_arity_and_step(self):
+        with pytest.raises(ValueError, match="3 axis"):
+            normalize_region((slice(0, 4), slice(0, 4)), self.SHAPE)
+        with pytest.raises(ValueError, match="step 1"):
+            normalize_region((slice(0, 4, 2), slice(0, 4), slice(0, 4)), self.SHAPE)
+
+    def test_numpy_int_bounds_accepted(self):
+        region = ((np.int64(2), np.int32(10)), (0, 7), (5, 16))
+        assert normalize_region(region, self.SHAPE)[0] == (2, 10)
 
 
 # ----------------------------------------------------------------------

@@ -337,3 +337,142 @@ class TestBlockSizeHeuristic:
     def test_bounds(self):
         assert default_block_size(1) == 64
         assert default_block_size(2**40) == 8192
+
+
+class TestChunkedWindowDecode:
+    """Over-limit payloads decode through per-chunk windows, bit-identically.
+
+    `WINDOW_WORDS_LIMIT` bounds the one-gather window array; payloads past
+    it used to fall back to 4-gather byte peeks for the *whole* stream.
+    Now contiguous lane chunks each build a window over their own byte
+    span (positions rebased), so the fast path survives at any size —
+    unless the lanes-per-chunk guard says the round-count multiplication
+    would cost more, in which case the old fallback still runs.  Either
+    way the output must be identical to the unlimited-window decode.
+    """
+
+    def _roundtrip_with_limit(self, monkeypatch, symbols, block_size, limit):
+        from repro.sz import bitstream
+
+        codec = HuffmanCodec.from_symbols(symbols, alphabet_size=int(symbols.max()) + 1)
+        encoded = codec.encode(symbols, block_size=block_size)
+        reference = codec.decode(encoded)
+        assert np.array_equal(reference, symbols)
+        monkeypatch.setattr(bitstream, "WINDOW_WORDS_LIMIT", limit)
+        assert np.array_equal(codec.decode(encoded), symbols)
+
+    @pytest.mark.parametrize("limit", [16, 64, 257, 1024, 8192])
+    def test_many_lane_stream_every_limit(self, rng, monkeypatch, limit):
+        symbols = rng.integers(0, 300, size=60_000)
+        self._roundtrip_with_limit(monkeypatch, symbols, 16, limit)
+
+    def test_ragged_tail_lands_in_final_chunk(self, rng, monkeypatch):
+        # n far from a block multiple: the ragged block is the last lane of
+        # the last chunk and must drop out at its tail round.
+        symbols = rng.integers(0, 64, size=16 * 4000 + 5)
+        self._roundtrip_with_limit(monkeypatch, symbols, 16, 512)
+
+    def test_single_block_stream_over_limit(self, rng, monkeypatch):
+        # One (ragged) block larger than the window budget: the chunk
+        # degrades to 4-gather peeks and still decodes exactly.
+        symbols = rng.integers(0, 32, size=1000)
+        self._roundtrip_with_limit(monkeypatch, symbols, 4096, 8)
+
+    def test_lane_guard_uses_whole_stream_fallback(self, rng, monkeypatch):
+        # Few lanes + tiny limit: chunking would multiply rounds with no
+        # lanes to amortize them; the guard must route to the whole-stream
+        # peek fallback, which is also bit-identical.
+        from repro.sz import bitstream
+        from repro.sz.huffman import _MIN_CHUNK_LANES
+
+        symbols = rng.integers(0, 32, size=2048)
+        codec = HuffmanCodec.from_symbols(symbols, alphabet_size=32)
+        encoded = codec.encode(symbols, block_size=256)  # 8 lanes
+        assert encoded.block_offsets.size < _MIN_CHUNK_LANES
+        monkeypatch.setattr(bitstream, "WINDOW_WORDS_LIMIT", 32)
+        assert np.array_equal(codec.decode(encoded), symbols)
+
+    def test_chunked_matches_unchunked_bit_exactly(self, rng, monkeypatch):
+        from repro.sz import bitstream
+
+        symbols = np.where(
+            rng.random(50_000) < 0.95, 0, rng.integers(1, 500, size=50_000)
+        )
+        codec = HuffmanCodec.from_symbols(symbols, alphabet_size=500)
+        encoded = codec.encode(symbols, block_size=32)
+        reference = codec.decode(encoded)
+        monkeypatch.setattr(bitstream, "WINDOW_WORDS_LIMIT", 100)
+        chunked = codec.decode(encoded)
+        assert chunked.dtype == reference.dtype
+        assert np.array_equal(chunked, reference)
+
+    def test_corruption_detected_in_chunked_mode(self, rng, monkeypatch):
+        from repro.sz import bitstream
+
+        codec = HuffmanCodec(np.array([3, 3, 3, 3, 3], dtype=np.uint8))
+        symbols = rng.integers(0, 5, size=40_000)
+        encoded = codec.encode(symbols, block_size=16)
+        corrupted = encoded.__class__(
+            payload=b"\xff" * len(encoded.payload),
+            total_bits=encoded.total_bits,
+            block_offsets=encoded.block_offsets,
+            n_symbols=encoded.n_symbols,
+            block_size=encoded.block_size,
+        )
+        monkeypatch.setattr(bitstream, "WINDOW_WORDS_LIMIT", 256)
+        with pytest.raises(ValueError, match="corrupt|unassigned"):
+            codec.decode(corrupted)
+
+
+class TestDecodeCacheThreadSafety:
+    """`HuffmanCodec.cached` under concurrent decodes racing `cache_clear`.
+
+    A cleared LRU must never corrupt in-flight decodes: evicted codecs
+    stay alive through the references their callers hold, and re-inserts
+    build fresh (equivalent) tables.  Every thread's every decode must be
+    bit-exact while the main thread hammers `decode_table_cache_clear`.
+    """
+
+    def test_cache_clear_racing_decodes_is_bit_exact(self, rng):
+        import threading
+
+        n_streams, n_iters = 6, 40
+        streams = []
+        for i in range(n_streams):
+            symbols = rng.integers(0, 40 + i, size=4096)
+            enc_codec = HuffmanCodec.from_symbols(symbols, alphabet_size=40 + i)
+            streams.append((enc_codec.lengths, enc_codec.max_len,
+                            enc_codec.encode(symbols), symbols))
+
+        errors: list[str] = []
+        start = threading.Barrier(n_streams + 1)
+
+        def worker(idx: int) -> None:
+            lengths, max_len, encoded, expected = streams[idx]
+            start.wait()
+            for _ in range(n_iters):
+                dec = HuffmanCodec.cached(lengths, max_len)
+                got = dec.decode(encoded)
+                if not np.array_equal(got, expected):
+                    errors.append(f"stream {idx} decoded wrong under cache_clear race")
+                    return
+
+        threads = [threading.Thread(target=worker, args=(i,)) for i in range(n_streams)]
+        for t in threads:
+            t.start()
+        start.wait()
+        for _ in range(200):
+            decode_table_cache_clear()
+        for t in threads:
+            t.join()
+        assert not errors, errors
+
+    def test_clear_then_cached_rebuilds_equivalent_codec(self, rng):
+        symbols = rng.integers(0, 16, size=2048)
+        enc_codec = HuffmanCodec.from_symbols(symbols, alphabet_size=16)
+        encoded = enc_codec.encode(symbols)
+        before = HuffmanCodec.cached(enc_codec.lengths, enc_codec.max_len)
+        decode_table_cache_clear()
+        after = HuffmanCodec.cached(enc_codec.lengths, enc_codec.max_len)
+        assert before is not after  # cleared entry really was dropped
+        assert np.array_equal(before.decode(encoded), after.decode(encoded))
