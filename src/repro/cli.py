@@ -9,6 +9,7 @@ Commands
 ``extract``     partial decompression: one entry, level subset, or ROI
 ``inspect``     per-part breakdown of a blob/archive (no payload decode)
 ``batch``       compress many ``.npz`` files into one batch archive
+``serve``       drive concurrent ROI reads through the read service
 ``codecs``      list the codec registry
 ``experiments`` run paper experiments and print their report tables
 
@@ -27,6 +28,7 @@ from __future__ import annotations
 
 import argparse
 import sys
+import time
 from pathlib import Path
 
 import numpy as np
@@ -166,6 +168,55 @@ def build_parser() -> argparse.ArgumentParser:
              "64M, 512K, or plain bytes (implies --stream)",
     )
 
+    p_srv = sub.add_parser(
+        "serve",
+        help="drive concurrent ROI reads against an archive and report "
+             "latency, bytes, and cache behaviour",
+    )
+    p_srv.add_argument("path", type=Path)
+    p_srv.add_argument(
+        "--key", default=None,
+        help="entry to serve (defaults to every entry in the archive)",
+    )
+    p_srv.add_argument(
+        "--level", type=int, default=None,
+        help="AMR level to read (default: the finest level of each entry)",
+    )
+    p_srv.add_argument(
+        "--requests", type=int, default=64, help="total ROI requests to issue"
+    )
+    p_srv.add_argument(
+        "--rois", type=int, default=8,
+        help="distinct ROIs in the pool (requests cycle through them, so "
+             "smaller pools mean more overlap and more cache hits)",
+    )
+    p_srv.add_argument(
+        "--roi-frac", type=float, default=0.25,
+        help="ROI edge as a fraction of the level edge",
+    )
+    p_srv.add_argument(
+        "--threads", type=int, default=4, help="concurrent request workers"
+    )
+    p_srv.add_argument(
+        "--cache-bytes", type=_parse_cache_size, default=256 * 1024**2, metavar="SIZE",
+        help="decoded-brick cache budget (e.g. 64M; 0 disables the cache)",
+    )
+    p_srv.add_argument(
+        "--io-workers", type=int, default=4, help="shard fetch pool size"
+    )
+    p_srv.add_argument(
+        "--decode-workers", type=int, default=2, help="brick decode pool size"
+    )
+    p_srv.add_argument(
+        "--gap", type=int, default=4096,
+        help="coalesce part fetches closer than this many bytes",
+    )
+    p_srv.add_argument("--seed", type=int, default=0, help="ROI placement seed")
+    p_srv.add_argument(
+        "--json", type=Path, default=None, metavar="PATH",
+        help="also write the full stats report as JSON",
+    )
+
     sub.add_parser("codecs", help="list registered codecs")
 
     p_exp = sub.add_parser("experiments", help="run paper experiments")
@@ -192,6 +243,13 @@ def _parse_size(text: str) -> int:
     if value <= 0:
         raise argparse.ArgumentTypeError(f"size must be positive, got {text!r}")
     return value * multiplier
+
+
+def _parse_cache_size(text: str) -> int:
+    """Like :func:`_parse_size` but ``"0"`` (cache disabled) is allowed."""
+    if text.strip() == "0":
+        return 0
+    return _parse_size(text)
 
 
 def _build_codec(method: str, predictor: str = "interp", brick_size: int | None = None):
@@ -558,6 +616,94 @@ def _batch_streamed(args, engine: CompressionEngine, jobs) -> int:
     return 0
 
 
+def _percentile(values: list[float], q: float) -> float:
+    """Nearest-rank percentile of a non-empty list."""
+    ordered = sorted(values)
+    rank = min(len(ordered) - 1, max(0, int(round(q / 100 * (len(ordered) - 1)))))
+    return ordered[rank]
+
+
+def cmd_serve(args) -> int:
+    import json as json_mod
+    import random
+
+    from repro.serve import ArchiveReader
+
+    if args.requests < 1 or args.rois < 1 or args.threads < 1:
+        print("serve: --requests, --rois, and --threads must be >= 1", file=sys.stderr)
+        return 2
+    if not 0.0 < args.roi_frac <= 1.0:
+        print(f"serve: --roi-frac must be in (0, 1], got {args.roi_frac}",
+              file=sys.stderr)
+        return 2
+    rng = random.Random(args.seed)
+    with ArchiveReader(
+        args.path,
+        cache_bytes=args.cache_bytes,
+        io_workers=args.io_workers,
+        decode_workers=args.decode_workers,
+        request_workers=args.threads,
+        coalesce_gap=args.gap,
+    ) as reader:
+        keys = [args.key] if args.key else reader.keys()
+        if args.key and args.key not in reader.keys():
+            print(f"serve: no entry {args.key!r}; archive holds {reader.keys()}",
+                  file=sys.stderr)
+            return 2
+        # A pool of ROIs per entry; requests cycle through the pool, so
+        # overlap (and therefore cache reuse) is built into the workload.
+        rois: list[tuple[str, int, tuple]] = []
+        for key in keys:
+            shapes = reader.entry_shapes(key)
+            level = args.level if args.level is not None else len(shapes) - 1
+            if not 0 <= level < len(shapes):
+                print(f"serve: entry {key!r} has no level {level}", file=sys.stderr)
+                return 2
+            shape = shapes[level]
+            for _ in range(args.rois):
+                box = []
+                for n in shape:
+                    edge = max(1, min(n, int(round(n * args.roi_frac))))
+                    lo = rng.randint(0, n - edge)
+                    box.append((lo, lo + edge))
+                rois.append((key, level, tuple(box)))
+        requests = [rois[i % len(rois)] for i in range(args.requests)]
+        rng.shuffle(requests)
+        t0 = time.perf_counter()
+        results = reader.read_many(requests)
+        wall = time.perf_counter() - t0
+        stats = reader.stats()
+
+    latencies = [req_stats.seconds for _data, req_stats in results]
+    report = {
+        "archive": str(args.path),
+        "entries": keys,
+        "n_requests": len(results),
+        "threads": args.threads,
+        "wall_seconds": round(wall, 6),
+        "requests_per_second": round(len(results) / wall, 2) if wall else None,
+        "latency_p50": round(_percentile(latencies, 50), 6),
+        "latency_p99": round(_percentile(latencies, 99), 6),
+        "bytes_fetched": stats["bytes_fetched"],
+        "bytes_served": stats["bytes_served"],
+        "cache": stats["cache"],
+        "fetch": stats["fetch"],
+    }
+    if args.json:
+        args.json.parent.mkdir(parents=True, exist_ok=True)
+        args.json.write_text(json_mod.dumps(report, indent=2, sort_keys=True) + "\n")
+    cache = stats["cache"]
+    hit_rate = f"{cache['hit_rate']:.1%}" if cache else "off"
+    print(f"served {len(results)} requests in {wall:.3f}s "
+          f"({args.threads} thread(s), p50 {report['latency_p50'] * 1e3:.2f}ms, "
+          f"p99 {report['latency_p99'] * 1e3:.2f}ms)")
+    print(f"bytes fetched {stats['bytes_fetched']} vs served {stats['bytes_served']} "
+          f"| cache hit rate {hit_rate} "
+          f"| opens {stats['fetch']['opens']} "
+          f"retries {stats['fetch']['open_retries'] + stats['fetch']['read_retries']}")
+    return 0
+
+
 def cmd_codecs(args) -> int:
     for spec in all_specs():
         aliases = f" (aliases: {', '.join(spec.aliases)})" if spec.aliases else ""
@@ -596,6 +742,7 @@ def main(argv: list[str] | None = None) -> int:
         "extract": cmd_extract,
         "inspect": cmd_inspect,
         "batch": cmd_batch,
+        "serve": cmd_serve,
         "codecs": cmd_codecs,
         "experiments": cmd_experiments,
     }[args.command]

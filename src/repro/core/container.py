@@ -47,7 +47,7 @@ import threading
 import zlib
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Iterator, Mapping
+from typing import Iterator, Mapping, Sequence
 
 import numpy as np
 
@@ -266,6 +266,22 @@ class CompressedDataset:
 # ----------------------------------------------------------------------
 # lazy reading
 # ----------------------------------------------------------------------
+def _check_span(offset: int, length: int, label: str) -> None:
+    """Reject negative read spans before they touch a buffer.
+
+    Python slicing indexes from the buffer's *end* for negative offsets,
+    so a corrupt part index (an offset that went negative through
+    arithmetic on bogus stored values) would return plausible garbage
+    from the wrong end of the blob instead of erroring.  Same failure
+    family as an overrun, same error message family.
+    """
+    if offset < 0 or length < 0:
+        raise ValueError(
+            f"negative read span ({length} bytes at offset {offset}) from "
+            f"{label} (corrupt or truncated blob)"
+        )
+
+
 class _BytesSource:
     """Random-access byte source over an in-memory buffer (zero-copy view)."""
 
@@ -275,6 +291,7 @@ class _BytesSource:
         self._view = memoryview(buf)
 
     def read_at(self, offset: int, length: int) -> bytes:
+        _check_span(offset, length, self.label)
         end = offset + length
         if end > len(self._view):
             raise ValueError("read past end of buffer (corrupt or truncated blob)")
@@ -294,6 +311,7 @@ class _FileSource:
         self.label = label
 
     def read_at(self, offset: int, length: int) -> bytes:
+        _check_span(offset, length, self.label)
         with self._lock:
             self._fh.seek(offset)
             data = self._fh.read(length)
@@ -324,9 +342,12 @@ class _MmapSource:
         self._view = memoryview(self._mm)
 
     def read_at(self, offset: int, length: int) -> bytes:
+        _check_span(offset, length, self.label)
         end = offset + length
         if end > len(self._view):
-            raise ValueError(f"read past end of mapped file {self.label!r}")
+            raise ValueError(
+                f"read past end of mapped file {self.label!r} (corrupt or truncated blob)"
+            )
         return bytes(self._view[offset:end])
 
     def close(self) -> None:
@@ -366,6 +387,30 @@ def make_source(source, *, mmap: bool = False):
     raise TypeError(f"cannot open {type(source).__name__!r} as a byte source")
 
 
+def coalesce_spans(
+    spans: Sequence[tuple[int, int]], max_gap: int = 0
+) -> list[tuple[int, int]]:
+    """Merge adjacent ``(offset, length)`` spans into fewer, larger reads.
+
+    Spans are sorted by offset; two spans merge when the gap between them
+    is at most ``max_gap`` bytes (overlapping spans always merge).  A
+    request whose decompression plan touches many small neighbouring parts
+    — e.g. a run of 64³ bricks stored back to back in one shard — then
+    costs one ranged fetch instead of one round trip per part, which is
+    the difference that matters against object storage.
+    """
+    if max_gap < 0:
+        raise ValueError(f"max_gap must be non-negative, got {max_gap}")
+    merged: list[list[int]] = []
+    for offset, length in sorted((int(o), int(n)) for o, n in spans):
+        if merged and offset <= merged[-1][0] + merged[-1][1] + max_gap:
+            last = merged[-1]
+            last[1] = max(last[1], offset + length - last[0])
+        else:
+            merged.append([offset, length])
+    return [(offset, length) for offset, length in merged]
+
+
 class LazyPartStore(Mapping):
     """Read-on-demand mapping ``part name → bytes`` over a part index.
 
@@ -374,18 +419,30 @@ class LazyPartStore(Mapping):
     bounded read instead of the blob having been copied up front.  Every
     fetch is logged (:attr:`access_counts`, :attr:`bytes_read`), which is
     how partial-decode tests *prove* they did less decode work.
+
+    :meth:`prefetch` is the read-service seam: it fetches a set of parts
+    through coalesced ranged reads and *stages* the payloads, so the next
+    ``__getitem__`` of each staged part is served from memory instead of
+    issuing another source read.  ``bytes_read`` counts actual source
+    I/O — staged hand-offs add an access count but no bytes.
     """
 
     def __init__(self, source, index: dict[str, tuple[int, int]]):
         self._source = source
         self._index = index
         self._log_lock = threading.Lock()
+        self._staged: dict[str, bytes] = {}
         self.access_counts: dict[str, int] = {}
         self.bytes_read = 0
 
     # -- mapping protocol (no payload reads except __getitem__) ----------
     def __getitem__(self, name: str) -> bytes:
         offset, length = self._index[name]
+        with self._log_lock:
+            staged = self._staged.pop(name, None)
+            if staged is not None:
+                self.access_counts[name] = self.access_counts.get(name, 0) + 1
+                return staged
         try:
             payload = self._source.read_at(offset, length)
         except (OSError, ValueError) as exc:
@@ -398,6 +455,49 @@ class LazyPartStore(Mapping):
             self.access_counts[name] = self.access_counts.get(name, 0) + 1
             self.bytes_read += length
         return payload
+
+    # -- prefetching -------------------------------------------------------
+    def prefetch(self, names: Sequence[str], max_gap: int = 0) -> tuple[int, int]:
+        """Fetch ``names`` with coalesced ranged reads and stage them.
+
+        Adjacent spans (gap at most ``max_gap`` bytes) merge into one
+        ``read_at`` — per-request range coalescing.  Returns ``(n_reads,
+        bytes_fetched)``: how many source reads were issued and how many
+        bytes they covered (including any bridged gap bytes, which is the
+        honest transfer cost).  Already-staged parts are not re-fetched.
+        """
+        with self._log_lock:
+            wanted = [name for name in names if name not in self._staged]
+        spans = {name: self._index[name] for name in wanted}
+        if not spans:
+            return (0, 0)
+        n_reads = 0
+        bytes_fetched = 0
+        for lo, length in coalesce_spans(list(spans.values()), max_gap):
+            try:
+                window = self._source.read_at(lo, length)
+            except (OSError, ValueError) as exc:
+                label = getattr(self._source, "label", "<unknown source>")
+                raise ContainerIOError(
+                    f"failed prefetching {len(spans)} part(s) ({length} bytes at "
+                    f"offset {lo}) from {label}: {exc}"
+                ) from exc
+            n_reads += 1
+            bytes_fetched += length
+            staged = {
+                name: window[offset - lo : offset - lo + n]
+                for name, (offset, n) in spans.items()
+                if lo <= offset and offset + n <= lo + length
+            }
+            with self._log_lock:
+                self._staged.update(staged)
+                self.bytes_read += length
+        return (n_reads, bytes_fetched)
+
+    def discard_staged(self) -> None:
+        """Drop staged payloads a request prefetched but never consumed."""
+        with self._log_lock:
+            self._staged = {}
 
     def __contains__(self, name) -> bool:
         return name in self._index
@@ -412,6 +512,14 @@ class LazyPartStore(Mapping):
     def sizes(self) -> dict[str, int]:
         """Per-part byte sizes straight from the index (no payload reads)."""
         return {name: length for name, (_off, length) in self._index.items()}
+
+    def spans(self) -> dict[str, tuple[int, int]]:
+        """Per-part ``(offset, length)`` spans straight from the index.
+
+        What a prefetcher needs to group parts into coalesced ranged
+        reads before issuing any of them (no payload reads).
+        """
+        return dict(self._index)
 
     # -- access accounting ------------------------------------------------
     @property

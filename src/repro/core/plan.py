@@ -117,22 +117,36 @@ class DecompressionPlan:
         )
 
 
-def execute_plan(plan: DecompressionPlan, decode_workers: int = 1) -> dict[str, object]:
+def execute_plan(
+    plan: DecompressionPlan,
+    decode_workers: int = 1,
+    preloaded: dict[str, object] | None = None,
+) -> dict[str, object]:
     """Run every unit and return ``{unit.key: decoded}``.
 
     ``decode_workers > 1`` decodes units concurrently in a thread pool
     (the hot loops release the GIL inside NumPy/zlib).  Units are pure and
     results are keyed, so the outcome is identical to the serial path
     regardless of completion order.
+
+    ``preloaded`` is the cache seam: units whose key it already holds are
+    neither fetched nor decoded — their stored result is carried into the
+    output — so a decoded-brick cache can satisfy part of a plan and pay
+    I/O + decode only for the misses.
     """
     decode_workers = check_positive_int(decode_workers, name="decode_workers")
     units = plan.units
+    results: dict[str, object] = {}
+    if preloaded:
+        results = {u.key: preloaded[u.key] for u in units if u.key in preloaded}
+        units = [unit for unit in units if unit.key not in preloaded]
     if decode_workers > 1 and len(units) > 1:
         with ThreadPoolExecutor(max_workers=decode_workers) as pool:
             decoded = list(pool.map(lambda unit: unit.decode(), units))
     else:
         decoded = [unit.decode() for unit in units]
-    return {unit.key: result for unit, result in zip(units, decoded)}
+    results.update({unit.key: result for unit, result in zip(units, decoded)})
+    return results
 
 
 def _resolve_bound(value, dim: int, default: int, axis: int) -> int:

@@ -16,6 +16,7 @@ from repro.engine.archive import (
     LazyBatchArchive,
     ShardedArchiveWriter,
     ShardedWriteReport,
+    default_shard_opener,
     is_batch_archive,
 )
 from repro.engine.engine import (
@@ -62,6 +63,7 @@ __all__ = [
     "codec_for_method",
     "codec_names",
     "decode_kwargs",
+    "default_shard_opener",
     "get_codec",
     "get_spec",
     "is_batch_archive",

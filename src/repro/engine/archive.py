@@ -505,6 +505,7 @@ class _ShardStore:
         self._sources: dict[int, object] = {}
         self._lock = threading.Lock()
         self._open_locks: dict[int, threading.Lock] = {}
+        self._closed = False
 
     def source(self, shard_idx: int, key: str):
         # Concurrent entry() calls are part of the contract (mmap mode
@@ -513,12 +514,14 @@ class _ShardStore:
         # while different shards still open — and CRC-verify — in
         # parallel.
         with self._lock:
+            self._check_open(key)
             src = self._sources.get(shard_idx)
             if src is not None:
                 return src
             open_lock = self._open_locks.setdefault(shard_idx, threading.Lock())
         with open_lock:
             with self._lock:
+                self._check_open(key)
                 src = self._sources.get(shard_idx)
                 if src is not None:
                     return src
@@ -534,8 +537,21 @@ class _ShardStore:
             if self._verify:
                 self._check_integrity(src, rec)
             with self._lock:
+                if self._closed:
+                    # close() won the race while we were opening: a source
+                    # inserted now would leak (close already swept the
+                    # dict), so drop it and fail like any post-close read.
+                    src.close()
+                    self._check_open(key)
                 self._sources[shard_idx] = src
             return src
+
+    def _check_open(self, key: str) -> None:
+        if self._closed:
+            raise ContainerIOError(
+                f"archive {self._label}: shard store is closed "
+                f"(entry {key!r} requested after close())"
+            )
 
     def _check_integrity(self, src, rec: dict, chunk: int = 1 << 18) -> None:
         """Bounded-memory size + CRC-32 check (mirrors ``_file_crc32``)."""
@@ -559,13 +575,27 @@ class _ShardStore:
             )
 
     def close(self) -> None:
+        """Close every opened shard source.  Idempotent; any later
+        :meth:`source` call raises instead of silently reopening shards
+        on a closed store."""
         with self._lock:
-            for src in self._sources.values():
-                src.close()
+            if self._closed:
+                return
+            self._closed = True
+            sources = list(self._sources.values())
             self._sources = {}
+        for src in sources:
+            src.close()
 
 
-def _default_shard_opener(base_dir: Path, mmap: bool):
+def default_shard_opener(base_dir, *, mmap: bool = False):
+    """``name → byte source`` opener binding shard names to files under
+    ``base_dir`` (what :meth:`LazyBatchArchive.open` builds for path
+    sources).  Public so serving layers can wrap it — retry/backoff,
+    fetch accounting — without re-implementing the non-local-name guard.
+    """
+    base_dir = Path(base_dir)
+
     def opener(name: str):
         candidate = Path(name)
         if candidate.is_absolute() or ".." in candidate.parts:
@@ -634,6 +664,19 @@ class LazyBatchArchive:
         # make_source enforces the mmap contract: loud TypeError for file
         # objects, documented no-op for in-memory buffers.
         src = make_source(source, mmap=mmap)
+        try:
+            return cls._parse_head(src, source, mmap, shard_opener, verify_shards)
+        except Exception:
+            # Head parsing failed (bad magic, unsupported version,
+            # truncated/corrupt JSON, v3-from-bytes without an opener):
+            # the source we just opened must not leak with the exception.
+            src.close()
+            raise
+
+    @classmethod
+    def _parse_head(
+        cls, src, source, mmap: bool, shard_opener, verify_shards: bool
+    ) -> "LazyBatchArchive":
         prefix = src.read_at(0, 4 + _HEAD.size)
         if prefix[:4] != _MAGIC:
             raise ValueError("not a BatchArchive blob")
@@ -665,7 +708,7 @@ class LazyBatchArchive:
                     "a sharded (v3) archive head opened from bytes needs an "
                     "explicit shard_opener to locate its payload shards"
                 )
-            shard_opener = _default_shard_opener(Path(source).parent, mmap)
+            shard_opener = default_shard_opener(Path(source).parent, mmap=mmap)
         for key in head["keys"]:
             shard_idx, entry_off, length = head["index"][key]
             index[key] = (shard_idx, entry_off, length)

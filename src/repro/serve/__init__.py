@@ -1,0 +1,33 @@
+"""Read-side serving layer for batch archives.
+
+Production plumbing on top of :class:`~repro.engine.LazyBatchArchive`:
+
+* :mod:`repro.serve.opener` — retrying shard openers with fetch
+  accounting (:func:`retrying_opener`, :class:`RetryPolicy`,
+  :class:`FetchStats`, :class:`RetryingSource`);
+* :mod:`repro.serve.cache` — bounded thread-safe LRU of decoded bricks
+  (:class:`DecodedBrickCache`);
+* :mod:`repro.serve.prefetch` — coalesced fetch windows pipelined ahead
+  of decode (:class:`PrefetchPipeline`, :class:`PipelineStats`);
+* :mod:`repro.serve.reader` — the :class:`ArchiveReader` front-end
+  serving concurrent ROI requests with per-request stats
+  (:class:`RequestStats`).
+"""
+
+from repro.serve.cache import DecodedBrickCache
+from repro.serve.opener import FetchStats, RetryingSource, RetryPolicy, retrying_opener
+from repro.serve.prefetch import DEFAULT_COALESCE_GAP, PipelineStats, PrefetchPipeline
+from repro.serve.reader import ArchiveReader, RequestStats
+
+__all__ = [
+    "ArchiveReader",
+    "DEFAULT_COALESCE_GAP",
+    "DecodedBrickCache",
+    "FetchStats",
+    "PipelineStats",
+    "PrefetchPipeline",
+    "RequestStats",
+    "RetryPolicy",
+    "RetryingSource",
+    "retrying_opener",
+]

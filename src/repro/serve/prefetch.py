@@ -1,0 +1,227 @@
+"""Prefetching executor: pipeline part fetches ahead of brick decode.
+
+``DecompressionPlan.part_names()`` enumerates a request's full I/O set
+before any payload is touched, and every decode unit is pure — so fetch
+and decode are independent stages that a serial read needlessly runs in
+lockstep (fetch brick, decode brick, fetch next...).  This module runs
+them as a pipeline:
+
+1. the request's part spans are grouped into **coalesced fetch windows**
+   (:func:`repro.core.container.coalesce_spans` — adjacent parts merge
+   into one ranged read);
+2. each window is fetched on a dedicated I/O pool and staged into the
+   entry's :class:`~repro.core.container.LazyPartStore`;
+3. the moment the last window a unit depends on lands, the unit's decode
+   is submitted to the decode pool — so bricks decode while later
+   windows are still in flight, overlapping network with CPU.
+
+Units already satisfied by a decoded-brick cache are skipped entirely
+(``preloaded``), and eager in-memory ``parts`` dicts degrade to a plain
+(optionally parallel) decode with no fetch stage.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from bisect import bisect_right
+from concurrent.futures import ThreadPoolExecutor, as_completed
+from dataclasses import dataclass, field
+
+from repro.core.container import coalesce_spans
+from repro.core.plan import DecompressionPlan, execute_plan
+
+#: Default fetch-window gap: parts closer than this many bytes merge into
+#: one ranged read.  4 KiB bridges part-index padding without dragging in
+#: megabytes of unrequested payload.
+DEFAULT_COALESCE_GAP = 4096
+
+
+@dataclass
+class PipelineStats:
+    """What one pipelined execution fetched, decoded, and overlapped."""
+
+    n_parts: int = 0
+    n_fetches: int = 0
+    bytes_fetched: int = 0
+    n_decoded: int = 0
+    n_preloaded: int = 0
+    #: perf_counter timestamps proving overlap: decode of ready units
+    #: starts (first_decode_start) before the last window lands
+    #: (last_fetch_end) whenever the request spans several windows.
+    first_decode_start: float | None = None
+    last_fetch_end: float | None = None
+
+    def overlapped(self) -> bool:
+        """Whether any decode started while fetches were still in flight."""
+        return (
+            self.first_decode_start is not None
+            and self.last_fetch_end is not None
+            and self.first_decode_start < self.last_fetch_end
+        )
+
+
+@dataclass
+class _WindowPlan:
+    """Fetch windows for a unit set, and which windows each unit needs."""
+
+    windows: list[tuple[int, int]] = field(default_factory=list)
+    window_names: list[list[str]] = field(default_factory=list)
+    unit_windows: dict[str, set[int]] = field(default_factory=dict)
+
+
+def _plan_windows(spans: dict, units, max_gap: int) -> _WindowPlan:
+    needed: dict[str, tuple[int, int]] = {}
+    for unit in units:
+        for name in unit.part_names:
+            if name in spans:
+                needed[name] = spans[name]
+    plan = _WindowPlan()
+    if not needed:
+        return plan
+    plan.windows = coalesce_spans(list(needed.values()), max_gap)
+    window_los = [lo for lo, _length in plan.windows]
+    plan.window_names = [[] for _ in plan.windows]
+    name_window: dict[str, int] = {}
+    for name, (offset, _length) in needed.items():
+        idx = bisect_right(window_los, offset) - 1
+        plan.window_names[idx].append(name)
+        name_window[name] = idx
+    for unit in units:
+        plan.unit_windows[unit.key] = {
+            name_window[name] for name in unit.part_names if name in name_window
+        }
+    return plan
+
+
+class PrefetchPipeline:
+    """Overlap coalesced part fetches with decode across two pools.
+
+    One pipeline is shared by all of a reader's requests: the pools are
+    created once and each :meth:`execute` call schedules its own windows
+    and units onto them.  Safe to call from multiple request threads —
+    all per-call state is local, and the staged hand-off inside
+    :class:`~repro.core.container.LazyPartStore` is lock-protected.
+    """
+
+    def __init__(
+        self,
+        io_workers: int = 4,
+        decode_workers: int = 2,
+        max_gap: int = DEFAULT_COALESCE_GAP,
+    ):
+        if io_workers < 1 or decode_workers < 1:
+            raise ValueError("io_workers and decode_workers must be >= 1")
+        if max_gap < 0:
+            raise ValueError(f"max_gap must be non-negative, got {max_gap}")
+        self.max_gap = int(max_gap)
+        self._io_pool = ThreadPoolExecutor(
+            max_workers=io_workers, thread_name_prefix="serve-io"
+        )
+        self._decode_pool = ThreadPoolExecutor(
+            max_workers=decode_workers, thread_name_prefix="serve-decode"
+        )
+        self._decode_workers = decode_workers
+        self._closed = False
+
+    # -- execution ---------------------------------------------------------
+    def execute(
+        self, parts, units, preloaded: dict | None = None
+    ) -> tuple[dict, PipelineStats]:
+        """Fetch + decode ``units`` and return ``({key: decoded}, stats)``.
+
+        ``parts`` is the entry's part mapping; prefetch only happens for
+        lazy stores (``spans``/``prefetch``), eager dicts decode
+        directly.  ``preloaded`` results (cache hits) skip both stages.
+        """
+        if self._closed:
+            raise RuntimeError("pipeline is closed")
+        stats = PipelineStats()
+        results: dict = {}
+        if preloaded:
+            results.update(
+                {u.key: preloaded[u.key] for u in units if u.key in preloaded}
+            )
+            stats.n_preloaded = len(results)
+        pending = [u for u in units if u.key not in results]
+        if not pending:
+            return results, stats
+        stats.n_decoded = len(pending)
+        if not (hasattr(parts, "spans") and hasattr(parts, "prefetch")):
+            results.update(
+                execute_plan(DecompressionPlan(list(pending)), self._decode_workers)
+            )
+            return results, stats
+
+        window_plan = _plan_windows(parts.spans(), pending, self.max_gap)
+        stats.n_parts = sum(len(names) for names in window_plan.window_names)
+        time_lock = threading.Lock()
+
+        def fetch(names: list[str]):
+            n_reads, nbytes = parts.prefetch(names, max_gap=self.max_gap)
+            now = time.perf_counter()
+            with time_lock:
+                stats.n_fetches += n_reads
+                stats.bytes_fetched += nbytes
+                if stats.last_fetch_end is None or now > stats.last_fetch_end:
+                    stats.last_fetch_end = now
+            return names
+
+        def decode(unit):
+            now = time.perf_counter()
+            with time_lock:
+                if stats.first_decode_start is None:
+                    stats.first_decode_start = now
+            return unit.decode()
+
+        fetch_futures = {
+            self._io_pool.submit(fetch, names): idx
+            for idx, names in enumerate(window_plan.window_names)
+            if names
+        }
+        # Units whose parts live in no window (eager sibling parts, empty
+        # part lists) are ready immediately.
+        waiting = {
+            unit.key: set(window_plan.unit_windows.get(unit.key, ()))
+            for unit in pending
+        }
+        decode_futures = {}
+        for unit in pending:
+            if not waiting[unit.key]:
+                decode_futures[unit.key] = self._decode_pool.submit(decode, unit)
+        by_window: dict[int, list] = {}
+        for unit in pending:
+            for idx in waiting[unit.key]:
+                by_window.setdefault(idx, []).append(unit)
+        try:
+            for future in as_completed(fetch_futures):
+                idx = fetch_futures[future]
+                future.result()
+                for unit in by_window.get(idx, ()):  # decode when last window lands
+                    waiting[unit.key].discard(idx)
+                    if not waiting[unit.key] and unit.key not in decode_futures:
+                        decode_futures[unit.key] = self._decode_pool.submit(decode, unit)
+            results.update(
+                {key: future.result() for key, future in decode_futures.items()}
+            )
+        except Exception:
+            # A failed fetch or decode abandons the request: drop anything
+            # staged for it so the entry's store does not accrete payloads
+            # no one will read.
+            parts.discard_staged()
+            raise
+        return results, stats
+
+    # -- lifecycle ---------------------------------------------------------
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        self._io_pool.shutdown(wait=True)
+        self._decode_pool.shutdown(wait=True)
+
+    def __enter__(self) -> "PrefetchPipeline":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

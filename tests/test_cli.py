@@ -1,5 +1,7 @@
 """Unit tests for the command-line interface."""
 
+import json
+
 import numpy as np
 import pytest
 
@@ -345,6 +347,46 @@ class TestInspectCommand:
         capsys.readouterr()
         assert main(["inspect", str(batch), "--key", "nope"]) == 2
         assert "no entry" in capsys.readouterr().err
+
+
+class TestServeCommand:
+    @pytest.fixture
+    def archive_file(self, dataset_file, tmp_path):
+        path = tmp_path / "batch.rpbt"
+        assert main([
+            "batch", str(dataset_file), "-o", str(path), "--method", "tac", "--stream",
+        ]) == 0
+        return path
+
+    def test_serve_reports_latency_and_cache(self, archive_file, tmp_path, capsys):
+        stats_path = tmp_path / "serve.json"
+        assert main([
+            "serve", str(archive_file), "--requests", "16", "--rois", "2",
+            "--threads", "2", "--seed", "1", "--json", str(stats_path),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "served 16 requests" in out
+        assert "cache hit rate" in out
+        report = json.loads(stats_path.read_text())
+        assert report["n_requests"] == 16
+        assert report["cache"]["hit_rate"] > 0  # overlapping pool reuses bricks
+        assert report["latency_p50"] <= report["latency_p99"]
+        assert report["bytes_served"] > 0
+
+    def test_serve_cache_disabled(self, archive_file, capsys):
+        assert main([
+            "serve", str(archive_file), "--requests", "4", "--rois", "2",
+            "--cache-bytes", "0",
+        ]) == 0
+        assert "cache hit rate off" in capsys.readouterr().out
+
+    def test_serve_unknown_key_fails(self, archive_file, capsys):
+        assert main(["serve", str(archive_file), "--key", "nope"]) == 2
+        assert "no entry" in capsys.readouterr().err
+
+    def test_serve_bad_roi_frac_fails(self, archive_file, capsys):
+        assert main(["serve", str(archive_file), "--roi-frac", "1.5"]) == 2
+        assert "roi-frac" in capsys.readouterr().err
 
 
 class TestExperimentsCommand:

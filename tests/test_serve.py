@@ -1,0 +1,854 @@
+"""Read-service layer: lifecycle bugfixes and the serving stack.
+
+Three regression suites for bugs fixed in this change set:
+
+* ``LazyBatchArchive.open`` must close the source it just opened when
+  head parsing fails (bad magic, unsupported version, corrupt head,
+  v3-from-bytes without an opener) — previously it leaked;
+* ``_ShardStore.close()`` vs a concurrent first-open: the late opener
+  must not insert (and leak) a source into a swept store, and any
+  post-close access must raise instead of silently reopening shards;
+* negative ``read_at`` spans must be rejected by every byte source —
+  Python's buffer slicing would otherwise serve plausible garbage from
+  the end of the blob.
+
+Plus contracts for the serving stack built on top: span coalescing,
+prefetch staging, the ``execute_plan`` preload seam, the decoded-brick
+LRU, retrying openers, the prefetch pipeline, and the ``ArchiveReader``
+front-end (bit-identical to direct decode, cache hits on repeats,
+correct under concurrency, graceful fallback for monolithic codecs).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+
+import numpy as np
+import pytest
+
+import repro.engine.archive as archive_mod
+from repro.core.container import (
+    ContainerIOError,
+    LazyPartStore,
+    coalesce_spans,
+    make_source,
+)
+from repro.core.plan import DecodeUnit, DecompressionPlan, execute_plan
+from repro.core.tac import TACCompressor
+from repro.baselines.zmesh import ZMeshCompressor
+from repro.engine import LazyBatchArchive, ShardedArchiveWriter, default_shard_opener
+from repro.serve import (
+    ArchiveReader,
+    DecodedBrickCache,
+    FetchStats,
+    PrefetchPipeline,
+    RetryPolicy,
+    retrying_opener,
+)
+from tests.helpers import two_level_dataset
+
+EB = 1e-3
+
+
+# ---------------------------------------------------------------------------
+# helpers
+# ---------------------------------------------------------------------------
+
+
+class CountingSource:
+    """In-memory byte source that logs every read_at call."""
+
+    label = "<counting>"
+
+    def __init__(self, payload: bytes, fail_first: int = 0, delay: float = 0.0):
+        self.payload = payload
+        self.reads: list[tuple[int, int]] = []
+        self.closed = False
+        self.fail_first = fail_first
+        self.delay = delay
+        self._lock = threading.Lock()
+
+    def read_at(self, offset: int, length: int) -> bytes:
+        with self._lock:
+            if self.fail_first > 0:
+                self.fail_first -= 1
+                raise OSError("simulated transient failure")
+            self.reads.append((offset, length))
+        if self.delay:
+            time.sleep(self.delay)
+        if offset < 0 or length < 0 or offset + length > len(self.payload):
+            raise ValueError("read past end")
+        return self.payload[offset : offset + length]
+
+    def close(self) -> None:
+        self.closed = True
+
+
+def write_sharded(tmp_path, entries, shard_size=1 << 16):
+    head = tmp_path / "batch.rpbt"
+    with ShardedArchiveWriter(head, shard_size=shard_size) as writer:
+        for key, comp in entries:
+            writer.add_entry(key, comp)
+    return head
+
+
+@pytest.fixture(scope="module")
+def tac_blob():
+    codec = TACCompressor(brick_size=8)
+    comp = codec.compress(two_level_dataset(seed=3), EB, mode="abs")
+    return codec, comp
+
+
+# ---------------------------------------------------------------------------
+# coalesce_spans
+# ---------------------------------------------------------------------------
+
+
+class TestCoalesceSpans:
+    def test_empty(self):
+        assert coalesce_spans([]) == []
+
+    def test_disjoint_spans_stay_separate(self):
+        assert coalesce_spans([(0, 4), (10, 4)]) == [(0, 4), (10, 4)]
+
+    def test_adjacent_spans_merge(self):
+        assert coalesce_spans([(0, 4), (4, 4)]) == [(0, 8)]
+
+    def test_unsorted_input_is_sorted_first(self):
+        assert coalesce_spans([(10, 2), (0, 4), (4, 6)]) == [(0, 12)]
+
+    def test_overlapping_spans_merge_to_hull(self):
+        assert coalesce_spans([(0, 10), (2, 3)]) == [(0, 10)]
+
+    def test_gap_bridged_only_up_to_max_gap(self):
+        assert coalesce_spans([(0, 4), (7, 4)], max_gap=2) == [(0, 4), (7, 4)]
+        assert coalesce_spans([(0, 4), (7, 4)], max_gap=3) == [(0, 11)]
+
+    def test_negative_gap_rejected(self):
+        with pytest.raises(ValueError, match="max_gap"):
+            coalesce_spans([(0, 4)], max_gap=-1)
+
+
+# ---------------------------------------------------------------------------
+# negative-span rejection (bugfix)
+# ---------------------------------------------------------------------------
+
+
+class TestNegativeSpanRejection:
+    """read_at(offset<0) must fail loudly, not slice from the buffer end."""
+
+    payload = bytes(range(64))
+
+    def _check(self, src):
+        try:
+            with pytest.raises(ValueError, match="corrupt or truncated"):
+                src.read_at(-8, 4)
+            with pytest.raises(ValueError, match="corrupt or truncated"):
+                src.read_at(0, -4)
+            # Sanity: valid spans still work.
+            assert src.read_at(8, 4) == self.payload[8:12]
+        finally:
+            src.close()
+
+    def test_bytes_source(self):
+        self._check(make_source(self.payload))
+
+    def test_file_source(self, tmp_path):
+        path = tmp_path / "blob.bin"
+        path.write_bytes(self.payload)
+        self._check(make_source(path))
+
+    def test_mmap_source(self, tmp_path):
+        path = tmp_path / "blob.bin"
+        path.write_bytes(self.payload)
+        self._check(make_source(path, mmap=True))
+
+
+# ---------------------------------------------------------------------------
+# LazyPartStore.prefetch
+# ---------------------------------------------------------------------------
+
+
+class TestPartStorePrefetch:
+    def make_store(self, **kwargs):
+        payload = bytes(range(256)) * 4
+        src = CountingSource(payload, **kwargs)
+        index = {"a": (0, 16), "b": (16, 16), "c": (64, 16), "d": (200, 8)}
+        return src, LazyPartStore(src, index)
+
+    def test_adjacent_parts_coalesce_into_one_read(self):
+        src, store = self.make_store()
+        n_reads, nbytes = store.prefetch(["a", "b"])
+        assert (n_reads, nbytes) == (1, 32)
+        assert src.reads == [(0, 32)]
+
+    def test_gap_bridging_counts_bridged_bytes(self):
+        src, store = self.make_store()
+        n_reads, nbytes = store.prefetch(["a", "b", "c"], max_gap=32)
+        assert n_reads == 1
+        assert nbytes == 80  # [0, 80): bridged gap bytes are honest cost
+
+    def test_staged_parts_serve_without_source_reads(self):
+        src, store = self.make_store()
+        store.prefetch(["a", "b"])
+        reads_after_prefetch = list(src.reads)
+        assert store["a"] == src.payload[0:16]
+        assert store["b"] == src.payload[16:32]
+        assert src.reads == reads_after_prefetch  # no extra I/O
+        assert store.access_counts == {"a": 1, "b": 1}
+        assert store.bytes_read == 32  # counted at fetch time, once
+
+    def test_staged_handoff_is_one_shot(self):
+        src, store = self.make_store()
+        store.prefetch(["a"])
+        store["a"]
+        store["a"]  # second access goes back to the source
+        assert (0, 16) in src.reads
+
+    def test_already_staged_parts_not_refetched(self):
+        src, store = self.make_store()
+        store.prefetch(["a"])
+        assert store.prefetch(["a"]) == (0, 0)
+        assert len(src.reads) == 1
+
+    def test_discard_staged(self):
+        src, store = self.make_store()
+        store.prefetch(["a"])
+        store.discard_staged()
+        store["a"]
+        assert src.reads == [(0, 16), (0, 16)]
+
+    def test_failed_prefetch_raises_container_error(self):
+        src, store = self.make_store(fail_first=1)
+        with pytest.raises(ContainerIOError, match="failed prefetching"):
+            store.prefetch(["a"])
+
+    def test_spans_view_reads_no_payload(self):
+        src, store = self.make_store()
+        assert store.spans()["c"] == (64, 16)
+        assert src.reads == []
+
+
+# ---------------------------------------------------------------------------
+# execute_plan preload seam
+# ---------------------------------------------------------------------------
+
+
+class TestExecutePlanPreloaded:
+    def make_units(self, calls):
+        def unit(key):
+            return DecodeUnit(
+                key=key,
+                level=0,
+                part_names=(key,),
+                decode=lambda key=key: calls.append(key) or key.upper(),
+            )
+
+        return [unit("a"), unit("b"), unit("c")]
+
+    def test_preloaded_units_skip_decode(self):
+        calls: list[str] = []
+        plan = DecompressionPlan(self.make_units(calls))
+        results = execute_plan(plan, preloaded={"b": "cached"})
+        assert results == {"a": "A", "b": "cached", "c": "C"}
+        assert calls == ["a", "c"]
+
+    def test_preloaded_keys_outside_plan_ignored(self):
+        calls: list[str] = []
+        plan = DecompressionPlan(self.make_units(calls))
+        results = execute_plan(plan, preloaded={"zz": "stale"})
+        assert "zz" not in results
+        assert sorted(calls) == ["a", "b", "c"]
+
+    def test_all_preloaded_decodes_nothing(self):
+        calls: list[str] = []
+        plan = DecompressionPlan(self.make_units(calls))
+        results = execute_plan(plan, preloaded={"a": 1, "b": 2, "c": 3})
+        assert results == {"a": 1, "b": 2, "c": 3}
+        assert calls == []
+
+
+# ---------------------------------------------------------------------------
+# DecodedBrickCache
+# ---------------------------------------------------------------------------
+
+
+class TestDecodedBrickCache:
+    def test_hit_miss_counters(self):
+        cache = DecodedBrickCache(max_bytes=1 << 20)
+        key = ("e", 0, "L0/b0")
+        assert cache.get(key) is None
+        value = np.arange(8)
+        cache.put(key, value)
+        assert cache.get(key) is value
+        stats = cache.stats()
+        assert (stats["hits"], stats["misses"]) == (1, 1)
+        assert stats["hit_rate"] == 0.5
+
+    def test_byte_bound_evicts_lru(self):
+        block = np.zeros(128, dtype=np.uint8)  # 128 bytes each
+        cache = DecodedBrickCache(max_bytes=3 * block.nbytes)
+        for i in range(3):
+            cache.put(("e", 0, f"b{i}"), block.copy())
+        cache.get(("e", 0, "b0"))  # refresh b0 → b1 is now LRU
+        cache.put(("e", 0, "b3"), block.copy())
+        assert cache.get(("e", 0, "b1")) is None  # evicted
+        assert cache.get(("e", 0, "b0")) is not None
+        stats = cache.stats()
+        assert stats["evictions"] == 1
+        assert stats["current_bytes"] <= stats["max_bytes"]
+
+    def test_oversized_value_not_cached(self):
+        cache = DecodedBrickCache(max_bytes=64)
+        cache.put(("e", 0, "big"), np.zeros(1024, dtype=np.uint8))
+        assert len(cache) == 0
+        assert cache.get(("e", 0, "big")) is None
+
+    def test_replacing_key_updates_bytes(self):
+        cache = DecodedBrickCache(max_bytes=1 << 20)
+        cache.put(("e", 0, "b"), np.zeros(512, dtype=np.uint8))
+        cache.put(("e", 0, "b"), np.zeros(16, dtype=np.uint8))
+        assert cache.stats()["current_bytes"] == 16
+        assert len(cache) == 1
+
+    def test_invalid_budget_rejected(self):
+        with pytest.raises(ValueError, match="max_bytes"):
+            DecodedBrickCache(max_bytes=0)
+
+    def test_thread_hammer_stays_within_budget(self):
+        block = np.zeros(256, dtype=np.uint8)
+        cache = DecodedBrickCache(max_bytes=8 * block.nbytes)
+
+        def worker(seed: int) -> None:
+            for i in range(200):
+                key = ("e", 0, f"b{(seed * 7 + i) % 32}")
+                if cache.get(key) is None:
+                    cache.put(key, block)
+
+        with ThreadPoolExecutor(max_workers=8) as pool:
+            list(pool.map(worker, range(8)))
+        stats = cache.stats()
+        assert stats["current_bytes"] <= stats["max_bytes"]
+        assert stats["entries"] <= 8
+        assert stats["hits"] + stats["misses"] == 8 * 200
+
+
+# ---------------------------------------------------------------------------
+# retrying opener
+# ---------------------------------------------------------------------------
+
+
+class TestRetryingOpener:
+    def recording_policy(self, attempts=4):
+        waits: list[float] = []
+        policy = RetryPolicy(
+            attempts=attempts, base_delay=0.01, multiplier=2.0, sleep=waits.append
+        )
+        return policy, waits
+
+    def test_flaky_open_recovers_with_backoff(self):
+        policy, waits = self.recording_policy()
+        failures = {"n": 2}
+
+        def opener(name):
+            if failures["n"] > 0:
+                failures["n"] -= 1
+                raise OSError("connection reset")
+            return CountingSource(b"shard-bytes")
+
+        wrapped = retrying_opener(opener, policy=policy)
+        src = wrapped("shard_000.rpsh")
+        assert src.read_at(0, 5) == b"shard"
+        assert waits == [0.01, 0.02]  # geometric backoff, no real sleeping
+        assert wrapped.stats.snapshot()["open_retries"] == 2
+
+    def test_flaky_read_recovers(self):
+        policy, _ = self.recording_policy()
+        inner = CountingSource(b"x" * 64, fail_first=1)
+        wrapped = retrying_opener(lambda name: inner, policy=policy)
+        src = wrapped("s")
+        assert src.read_at(0, 8) == b"x" * 8
+        stats = wrapped.stats.snapshot()
+        assert stats["read_retries"] == 1
+        assert stats["bytes_fetched"] == 8
+
+    def test_exhaustion_wraps_in_container_error(self):
+        policy, waits = self.recording_policy(attempts=3)
+
+        def opener(name):
+            raise OSError("still down")
+
+        wrapped = retrying_opener(opener, policy=policy)
+        with pytest.raises(ContainerIOError, match="after 3 attempt"):
+            wrapped("shard_000.rpsh")
+        assert len(waits) == 2
+
+    def test_value_errors_never_retried(self):
+        policy, waits = self.recording_policy()
+        calls = {"n": 0}
+
+        def opener(name):
+            calls["n"] += 1
+            raise ValueError("bad shard name")
+
+        wrapped = retrying_opener(opener, policy=policy)
+        with pytest.raises(ValueError, match="bad shard name"):
+            wrapped("../escape")
+        assert calls["n"] == 1 and waits == []
+
+    def test_container_errors_never_retried(self):
+        """ContainerIOError is an OSError *and* a ValueError: integrity
+        failures must not be retried as if they were transport blips."""
+        policy, waits = self.recording_policy()
+
+        def opener(name):
+            raise ContainerIOError("checksum mismatch")
+
+        wrapped = retrying_opener(opener, policy=policy)
+        with pytest.raises(ContainerIOError, match="checksum"):
+            wrapped("s")
+        assert waits == []
+
+    def test_policy_validation(self):
+        with pytest.raises(ValueError, match="attempts"):
+            RetryPolicy(attempts=0)
+        with pytest.raises(ValueError, match="multiplier"):
+            RetryPolicy(multiplier=0.5)
+
+
+# ---------------------------------------------------------------------------
+# open-failure leak regression (bugfix)
+# ---------------------------------------------------------------------------
+
+
+class TestOpenClosesSourceOnFailure:
+    """LazyBatchArchive.open must not leak the source when parsing fails."""
+
+    def _tracking_make_source(self, monkeypatch):
+        opened: list[object] = []
+        real = archive_mod.make_source
+
+        def tracked(source, *, mmap=False):
+            src = real(source, mmap=mmap)
+            opened.append(src)
+            src_close = src.close
+
+            def close():
+                src.tracked_closed = True
+                src_close()
+
+            src.close = close
+            return src
+
+        monkeypatch.setattr(archive_mod, "make_source", tracked)
+        return opened
+
+    def _assert_all_closed(self, opened):
+        assert opened, "make_source was never called"
+        for src in opened:
+            assert getattr(src, "tracked_closed", False), "leaked byte source"
+
+    def test_bad_magic(self, monkeypatch):
+        opened = self._tracking_make_source(monkeypatch)
+        with pytest.raises(ValueError, match="not a BatchArchive"):
+            LazyBatchArchive.open(b"XXXX" + b"\0" * 32)
+        self._assert_all_closed(opened)
+
+    def test_unsupported_version(self, monkeypatch):
+        opened = self._tracking_make_source(monkeypatch)
+        blob = archive_mod._MAGIC + archive_mod._HEAD.pack(99, 2) + b"{}"
+        with pytest.raises(ValueError, match="version 99"):
+            LazyBatchArchive.open(blob)
+        self._assert_all_closed(opened)
+
+    def test_truncated_head(self, monkeypatch):
+        opened = self._tracking_make_source(monkeypatch)
+        blob = archive_mod._MAGIC + archive_mod._HEAD.pack(2, 500) + b'{"ke'
+        with pytest.raises(ValueError):
+            LazyBatchArchive.open(blob)
+        self._assert_all_closed(opened)
+
+    def test_corrupt_head_json(self, monkeypatch):
+        opened = self._tracking_make_source(monkeypatch)
+        head = b'{"keys": [broken'
+        blob = archive_mod._MAGIC + archive_mod._HEAD.pack(2, len(head)) + head
+        with pytest.raises(ValueError):
+            LazyBatchArchive.open(blob)
+        self._assert_all_closed(opened)
+
+    def test_v3_bytes_without_opener(self, monkeypatch, tmp_path, tac_blob):
+        codec, comp = tac_blob
+        head_path = write_sharded(tmp_path, [("k", comp)])
+        opened = self._tracking_make_source(monkeypatch)
+        with pytest.raises(ValueError, match="shard_opener"):
+            LazyBatchArchive.open(head_path.read_bytes())
+        self._assert_all_closed(opened)
+
+    def test_successful_open_keeps_source(self, monkeypatch, tmp_path, tac_blob):
+        codec, comp = tac_blob
+        head_path = write_sharded(tmp_path, [("k", comp)])
+        opened = self._tracking_make_source(monkeypatch)
+        with LazyBatchArchive.open(head_path) as arch:
+            assert arch.keys() == ["k"]
+            assert not getattr(opened[0], "tracked_closed", False)
+        self._assert_all_closed(opened)
+
+
+# ---------------------------------------------------------------------------
+# shard-store close()/first-open race (bugfix)
+# ---------------------------------------------------------------------------
+
+
+class TestShardStoreCloseRace:
+    def test_entry_after_close_raises(self, tmp_path, tac_blob):
+        codec, comp = tac_blob
+        head = write_sharded(tmp_path, [("k", comp)])
+        arch = LazyBatchArchive.open(head)
+        arch.close()
+        with pytest.raises(ContainerIOError, match="closed"):
+            arch.entry("k")
+
+    def test_close_is_idempotent(self, tmp_path, tac_blob):
+        codec, comp = tac_blob
+        head = write_sharded(tmp_path, [("k", comp)])
+        arch = LazyBatchArchive.open(head)
+        arch.entry("k")
+        arch.close()
+        arch.close()  # second close must be a no-op, not a double-close
+
+    def test_close_winning_the_open_race_leaks_nothing(self, tmp_path, tac_blob):
+        """Deterministic reproduction of the race: a thread past the
+        closed-check blocks inside the opener while close() sweeps the
+        store; its freshly opened source must be closed, not inserted."""
+        codec, comp = tac_blob
+        head = write_sharded(tmp_path, [("k", comp)])
+        inner = default_shard_opener(head.parent)
+        in_opener = threading.Event()
+        release = threading.Event()
+        opened: list[object] = []
+
+        def blocking_opener(name):
+            in_opener.set()
+            assert release.wait(timeout=10)
+            src = inner(name)
+            opened.append(src)
+            return src
+
+        arch = LazyBatchArchive.open(head, shard_opener=blocking_opener)
+        result: dict = {}
+
+        def reader():
+            try:
+                arch.entry("k")
+            except Exception as exc:  # expected: store closed under us
+                result["exc"] = exc
+
+        thread = threading.Thread(target=reader)
+        thread.start()
+        assert in_opener.wait(timeout=10)
+        arch.close()  # wins the race: sweeps the (empty) source dict
+        release.set()
+        thread.join(timeout=10)
+        assert isinstance(result.get("exc"), ContainerIOError)
+        assert opened, "opener never produced a source"
+        # The bug: this source used to be inserted into the swept dict
+        # and leak; now the late opener closes it and raises.
+        assert all(getattr(src, "closed", None) or _source_closed(src) for src in opened)
+
+    def test_threaded_source_vs_close_stress(self, tmp_path, tac_blob):
+        """Hammer entry() from many threads while close() lands midway:
+        every opened source ends up closed and every post-close access
+        raises instead of reopening."""
+        codec, comp = tac_blob
+        head = write_sharded(
+            tmp_path, [(f"k{i}", comp) for i in range(4)], shard_size=1
+        )
+        for _round in range(5):
+            inner = default_shard_opener(head.parent)
+            opened: list[object] = []
+            lock = threading.Lock()
+
+            def tracking_opener(name):
+                src = inner(name)
+                with lock:
+                    opened.append(src)
+                return src
+
+            arch = LazyBatchArchive.open(head, shard_opener=tracking_opener)
+            start = threading.Barrier(9)
+            errors: list[Exception] = []
+
+            def reader(seed: int):
+                start.wait()
+                for i in range(50):
+                    key = f"k{(seed + i) % 4}"
+                    try:
+                        arch.entry(key).parts.sizes()
+                    except ContainerIOError:
+                        pass  # store closed under us: the contract
+                    except Exception as exc:  # pragma: no cover
+                        errors.append(exc)
+
+            threads = [threading.Thread(target=reader, args=(i,)) for i in range(8)]
+            for thread in threads:
+                thread.start()
+            start.wait()
+            arch.close()
+            for thread in threads:
+                thread.join(timeout=30)
+            assert errors == []
+            assert all(_source_closed(src) for src in opened), "leaked shard source"
+            with pytest.raises(ContainerIOError, match="closed"):
+                arch.entry("k0")
+
+
+def _source_closed(src) -> bool:
+    """Whether a file/mmap-backed source has released its handle."""
+    fh = getattr(src, "_fh", None)
+    if fh is not None:
+        return fh.closed
+    mm = getattr(src, "_mmap", None)
+    if mm is not None:
+        return mm.closed
+    closed = getattr(src, "closed", None)
+    return bool(closed)
+
+
+# ---------------------------------------------------------------------------
+# PrefetchPipeline
+# ---------------------------------------------------------------------------
+
+
+class TestPrefetchPipeline:
+    def make_lazy_comp(self, tmp_path, codec, comp, key="k"):
+        head = write_sharded(tmp_path, [(key, comp)])
+        arch = LazyBatchArchive.open(head)
+        return arch, arch.entry(key)
+
+    def test_matches_plain_execute(self, tmp_path, tac_blob):
+        codec, comp = tac_blob
+        arch, lazy = self.make_lazy_comp(tmp_path, codec, comp)
+        plan = codec.build_decode_plan(lazy, levels=[1])
+        expected = execute_plan(codec.build_decode_plan(comp, levels=[1]))
+        with PrefetchPipeline(io_workers=2, decode_workers=2) as pipeline:
+            results, stats = pipeline.execute(lazy.parts, plan.units)
+        assert set(results) == set(expected)
+        for unit_key, value in expected.items():
+            got = results[unit_key]
+            if isinstance(value, np.ndarray):
+                np.testing.assert_array_equal(got, value)
+        assert stats.n_decoded == len(plan.units)
+        assert stats.n_fetches >= 1
+        assert stats.bytes_fetched > 0
+        arch.close()
+
+    def test_preloaded_units_fetch_nothing(self, tmp_path, tac_blob):
+        codec, comp = tac_blob
+        arch, lazy = self.make_lazy_comp(tmp_path, codec, comp)
+        plan = codec.build_decode_plan(lazy, levels=[1])
+        full = execute_plan(codec.build_decode_plan(comp, levels=[1]))
+        with PrefetchPipeline() as pipeline:
+            results, stats = pipeline.execute(lazy.parts, plan.units, preloaded=full)
+        assert stats.n_preloaded == len(plan.units)
+        assert stats.bytes_fetched == 0 and stats.n_fetches == 0
+        assert set(results) == set(full)
+        arch.close()
+
+    def test_eager_parts_degrade_to_plain_decode(self, tac_blob):
+        codec, comp = tac_blob  # eager dict-backed parts
+        plan = codec.build_decode_plan(comp, levels=[0])
+        with PrefetchPipeline() as pipeline:
+            results, stats = pipeline.execute(comp.parts, plan.units)
+        assert stats.n_fetches == 0 and stats.bytes_fetched == 0
+        assert set(results) == {unit.key for unit in plan.units}
+
+    def test_decode_overlaps_inflight_fetches(self):
+        """With several slow windows and instant decodes, the first decode
+        must start before the last window lands."""
+        payload = bytes(1024)
+        src = CountingSource(payload, delay=0.03)
+        # Four well-separated parts → four windows.
+        index = {f"p{i}": (i * 256, 64) for i in range(4)}
+        store = LazyPartStore(src, index)
+        units = [
+            DecodeUnit(
+                key=f"p{i}",
+                level=0,
+                part_names=(f"p{i}",),
+                decode=lambda i=i: store[f"p{i}"],
+            )
+            for i in range(4)
+        ]
+        with PrefetchPipeline(io_workers=2, decode_workers=2, max_gap=0) as pipeline:
+            results, stats = pipeline.execute(store, units)
+        assert len(results) == 4
+        assert stats.n_fetches == 4
+        assert stats.overlapped(), "decode never overlapped in-flight fetches"
+
+    def test_failed_fetch_discards_staged(self):
+        src = CountingSource(bytes(512), fail_first=0)
+        index = {"a": (0, 32), "b": (256, 32)}
+        store = LazyPartStore(src, index)
+
+        def fail():
+            raise RuntimeError("decode blew up")
+
+        units = [
+            DecodeUnit(key="a", level=0, part_names=("a",), decode=lambda: store["a"]),
+            DecodeUnit(key="b", level=0, part_names=("b",), decode=fail),
+        ]
+        with PrefetchPipeline(io_workers=1, decode_workers=1) as pipeline:
+            with pytest.raises(RuntimeError, match="blew up"):
+                pipeline.execute(store, units)
+        assert store._staged == {}  # nothing left behind for the next request
+
+    def test_closed_pipeline_rejects_work(self):
+        pipeline = PrefetchPipeline()
+        pipeline.close()
+        with pytest.raises(RuntimeError, match="closed"):
+            pipeline.execute({}, [])
+
+
+# ---------------------------------------------------------------------------
+# ArchiveReader
+# ---------------------------------------------------------------------------
+
+
+class TestArchiveReader:
+    def test_region_reads_match_direct_decode(self, tmp_path, tac_blob):
+        codec, comp = tac_blob
+        head = write_sharded(tmp_path, [("run/rho/tac", comp)])
+        shape1 = tuple(comp.meta["shapes"][1])
+        rois = [
+            tuple((0, min(6, s)) for s in shape1),
+            tuple((s // 2, s) for s in shape1),
+            ((1, 5), (0, shape1[1]), (3, 7)),
+        ]
+        with ArchiveReader(head) as reader:
+            for roi in rois:
+                data, stats = reader.read_region("run/rho/tac", 1, roi)
+                expected = codec.decompress_region(comp, 1, roi)
+                np.testing.assert_array_equal(data, expected)
+                assert stats.bytes_served == expected.nbytes
+                assert data.flags["C_CONTIGUOUS"]
+
+    def test_repeat_reads_hit_cache_and_fetch_less(self, tmp_path, tac_blob):
+        codec, comp = tac_blob
+        head = write_sharded(tmp_path, [("k", comp)])
+        shape1 = tuple(comp.meta["shapes"][1])
+        roi = tuple((0, min(8, s)) for s in shape1)
+        with ArchiveReader(head) as reader:
+            _, cold = reader.read_region("k", 1, roi)
+            _, warm = reader.read_region("k", 1, roi)
+            assert cold.cache_hits == 0 and cold.cache_misses > 0
+            assert warm.cache_hits > 0 and warm.cache_misses == 0
+            assert warm.bytes_fetched < cold.bytes_fetched
+            assert reader.cache.hit_rate() > 0
+
+    def test_read_level_matches_full_decompress(self, tmp_path, tac_blob):
+        codec, comp = tac_blob
+        head = write_sharded(tmp_path, [("k", comp)])
+        full = codec.decompress(comp)
+        with ArchiveReader(head) as reader:
+            for level in range(len(full.levels)):
+                lvl, stats = reader.read_level("k", level)
+                np.testing.assert_array_equal(lvl.data, full.levels[level].data)
+                assert stats.bytes_served == full.levels[level].data.nbytes
+
+    def test_concurrent_overlapping_requests(self, tmp_path, tac_blob):
+        codec, comp = tac_blob
+        head = write_sharded(tmp_path, [("k", comp)])
+        shape1 = tuple(comp.meta["shapes"][1])
+        roi_a = tuple((0, min(8, s)) for s in shape1)
+        roi_b = tuple((2, min(10, s)) for s in shape1)
+        requests = [("k", 1, roi_a), ("k", 1, roi_b)] * 6
+        with ArchiveReader(head, request_workers=4) as reader:
+            results = reader.read_many(requests)
+            expected_a = codec.decompress_region(comp, 1, roi_a)
+            expected_b = codec.decompress_region(comp, 1, roi_b)
+            for (data, _stats), (_k, _lvl, roi) in zip(results, requests):
+                expected = expected_a if roi is roi_a else expected_b
+                np.testing.assert_array_equal(data, expected)
+            agg = reader.stats()
+            assert agg["n_requests"] == len(requests)
+            assert agg["cache"]["hits"] > 0
+            assert agg["bytes_fetched"] < agg["bytes_served"]
+
+    def test_cache_disabled_still_correct(self, tmp_path, tac_blob):
+        codec, comp = tac_blob
+        head = write_sharded(tmp_path, [("k", comp)])
+        shape1 = tuple(comp.meta["shapes"][1])
+        roi = tuple((0, min(6, s)) for s in shape1)
+        with ArchiveReader(head, cache_bytes=0) as reader:
+            assert reader.cache is None
+            data, _ = reader.read_region("k", 1, roi)
+            _, warm = reader.read_region("k", 1, roi)
+            np.testing.assert_array_equal(data, codec.decompress_region(comp, 1, roi))
+            assert warm.cache_hits == 0
+            assert reader.stats()["cache"] is None
+
+    def test_flaky_shard_reads_recover(self, tmp_path, tac_blob):
+        """Transient OSErrors from the transport are retried invisibly."""
+        codec, comp = tac_blob
+        head = write_sharded(tmp_path, [("k", comp)])
+        inner = default_shard_opener(head.parent)
+
+        class Flaky:
+            def __init__(self, src):
+                self._src = src
+                self._fail_next = True
+                self.label = src.label
+
+            def read_at(self, offset, length):
+                if self._fail_next:
+                    self._fail_next = False
+                    raise OSError("connection reset by peer")
+                return self._src.read_at(offset, length)
+
+            def close(self):
+                self._src.close()
+
+        shape1 = tuple(comp.meta["shapes"][1])
+        roi = tuple((0, min(6, s)) for s in shape1)
+        policy = RetryPolicy(attempts=3, base_delay=0.0)
+        with ArchiveReader(
+            head, shard_opener=lambda name: Flaky(inner(name)), retry=policy
+        ) as reader:
+            data, _ = reader.read_region("k", 1, roi)
+            np.testing.assert_array_equal(data, codec.decompress_region(comp, 1, roi))
+            assert reader.fetch_stats.snapshot()["read_retries"] >= 1
+
+    def test_monolithic_codec_falls_back(self, tmp_path):
+        """Codecs without per-level assembly (zMesh's single interleaved
+        stream) are served through their own region reader, uncached."""
+        codec = ZMeshCompressor()
+        ds = two_level_dataset(seed=5)
+        comp = codec.compress(ds, EB)
+        head = write_sharded(tmp_path, [("k", comp)])
+        shape1 = tuple(comp.meta["shapes"][1])
+        roi = tuple((0, min(6, s)) for s in shape1)
+        with ArchiveReader(head) as reader:
+            data, stats = reader.read_region("k", 1, roi)
+            np.testing.assert_array_equal(data, codec.decompress_region(comp, 1, roi))
+            assert stats.cache_hits == 0 and stats.cache_misses == 0
+
+    def test_closed_reader_rejects_requests(self, tmp_path, tac_blob):
+        codec, comp = tac_blob
+        head = write_sharded(tmp_path, [("k", comp)])
+        reader = ArchiveReader(head)
+        reader.close()
+        reader.close()  # idempotent
+        with pytest.raises(RuntimeError, match="closed"):
+            reader.read_region("k", 1, ((0, 4), (0, 4), (0, 4)))
+
+    def test_fetch_stats_shared_with_opener(self, tmp_path, tac_blob):
+        codec, comp = tac_blob
+        head = write_sharded(tmp_path, [("k", comp)])
+        with ArchiveReader(head) as reader:
+            assert isinstance(reader.fetch_stats, FetchStats)
+            reader.read_level("k", 0)
+            snap = reader.fetch_stats.snapshot()
+            assert snap["opens"] == 1
+            assert snap["bytes_fetched"] > 0
