@@ -1,0 +1,207 @@
+"""Shared-table encode gate: table-byte ratio + encode throughput.
+
+The CI gate for the shared-histogram Huffman mode (one code table per TAC
+level, referenced by every stream):
+
+* **ratio** — total table-carrying bytes under shared-table mode (the
+  ``SEC_TABLE_REF`` sections plus the ``L<idx>/table`` parts) must be
+  < 50% of the per-stream mode's total ``SEC_CODE_LENGTHS`` bytes on the
+  harness dataset;
+* **throughput** — the isolated entropy-coding stage
+  (``tac_compress_shared_tables`` vs ``tac_compress_per_stream`` in the
+  shared perf harness) must be >= 1.3x faster shared;
+* **correctness** — both modes reconstruct bit-identically.
+
+Stats land in ``benchmarks/results/shared_tables_stats.json`` (uploaded as
+a CI artifact).  Runs standalone with numpy only (``python
+benchmarks/bench_shared_tables.py`` in CI's ``perf-smoke``) and as a
+pytest-benchmark case when ``benchmarks/`` is targeted explicitly.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+try:  # imported as a package module (pytest) or run as a script (CI)
+    from benchmarks.perf_harness import _shared_tables_ops
+except ImportError:
+    from perf_harness import _shared_tables_ops
+
+from repro.core.tac import TACCompressor
+from repro.sim.datasets import make_dataset
+from repro.sz import stream
+
+#: Shared-mode table bytes must stay under this fraction of per-stream mode.
+MAX_TABLE_BYTE_FRACTION = 0.50
+
+#: Minimum speedup of the shared entropy stage over the per-stream stage.
+MIN_ENCODE_SPEEDUP = 1.3
+
+#: Brick edge: small enough that the smoke-scale GSP level still splits
+#: into multiple bricks (the many-stream regime the mode targets).
+BRICK_SIZE = 8
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def _is_stream_part(name: str) -> bool:
+    """True for the SZ stream payload parts of a TAC blob."""
+    if not name.startswith("L"):
+        return False
+    _level, _, tail = name.partition("/")
+    if tail in ("layout", "bricks", "table"):
+        return False
+    return tail == "grid" or tail[:1] in ("g", "b")
+
+
+def table_bytes(comp) -> dict:
+    """Table-carrying bytes of a TAC blob, by kind.
+
+    ``code_lengths`` counts each stream's serialized ``SEC_CODE_LENGTHS``
+    section, ``table_refs`` the fixed-size ``SEC_TABLE_REF`` sections, and
+    ``table_parts`` the standalone ``L<idx>/table`` parts.
+    """
+    out = {"code_lengths": 0, "table_refs": 0, "table_parts": 0}
+    for name, blob in comp.parts.items():
+        if name.endswith("/table") and name.startswith("L"):
+            out["table_parts"] += len(blob)
+            continue
+        if not _is_stream_part(name):
+            continue
+        sizes = stream.parse(blob).section_sizes()
+        out["code_lengths"] += sizes.get(stream.SEC_CODE_LENGTHS, 0)
+        out["table_refs"] += sizes.get(stream.SEC_TABLE_REF, 0)
+    return out
+
+
+def run_gate(scale: int, repeats: int) -> dict:
+    """Compress the harness dataset both ways and gate ratio + speedup."""
+    dataset = make_dataset("Run1_Z10", scale=scale, field="baryon_density")
+    per = TACCompressor(brick_size=BRICK_SIZE)
+    shared = TACCompressor(brick_size=BRICK_SIZE, shared_tables=True)
+
+    t0 = time.perf_counter()
+    comp_per = per.compress(dataset, 1e-4, mode="rel")
+    per_seconds = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    comp_shared = shared.compress(dataset, 1e-4, mode="rel")
+    shared_seconds = time.perf_counter() - t0
+
+    shared_levels = [
+        m["shared_table"]["part"]
+        for m in comp_shared.meta["levels"]
+        if "shared_table" in m
+    ]
+    assert shared_levels, "gate premise: at least one level wrote a shared table"
+
+    # Both modes must reconstruct bit-identically (the symbol streams are
+    # the same; only the code tables differ).
+    out_per = per.decompress(comp_per)
+    out_shared = shared.decompress(comp_shared)
+    for a, b in zip(out_per.levels, out_shared.levels):
+        assert np.array_equal(a.data, b.data), "shared-table decode diverged"
+
+    per_tables = table_bytes(comp_per)
+    shared_tables = table_bytes(comp_shared)
+    assert per_tables["table_refs"] == 0 and per_tables["table_parts"] == 0
+    assert shared_tables["code_lengths"] == 0, "shared streams must not carry own tables"
+    per_total = per_tables["code_lengths"]
+    shared_total = shared_tables["table_refs"] + shared_tables["table_parts"]
+    fraction = shared_total / per_total if per_total else float("inf")
+    assert fraction < MAX_TABLE_BYTE_FRACTION, (
+        f"shared-table mode stores {shared_total} table bytes vs {per_total} "
+        f"per-stream ({fraction:.1%}); must stay under {MAX_TABLE_BYTE_FRACTION:.0%}"
+    )
+
+    # Encode-stage throughput: the same isolated workload the perf harness
+    # records as tac_compress_{per_stream,shared_tables}.
+    ops = _shared_tables_ops(scale, repeats)
+    per_op = ops["tac_compress_per_stream"]
+    shared_op = ops["tac_compress_shared_tables"]
+    speedup = per_op["seconds"] / shared_op["seconds"]
+    assert speedup >= MIN_ENCODE_SPEEDUP, (
+        f"shared-table entropy stage is only {speedup:.2f}x faster than "
+        f"per-stream; the gate requires >= {MIN_ENCODE_SPEEDUP}x"
+    )
+
+    return {
+        "dataset": "Run1_Z10",
+        "scale": scale,
+        "brick_size": BRICK_SIZE,
+        "shared_table_parts": shared_levels,
+        "per_stream": {
+            "compress_seconds": round(per_seconds, 6),
+            "compressed_bytes": comp_per.compressed_bytes(),
+            "table_bytes": per_tables,
+        },
+        "shared": {
+            "compress_seconds": round(shared_seconds, 6),
+            "compressed_bytes": comp_shared.compressed_bytes(),
+            "table_bytes": shared_tables,
+        },
+        "table_byte_fraction": round(fraction, 4),
+        "max_table_byte_fraction": MAX_TABLE_BYTE_FRACTION,
+        "encode_ops": ops,
+        "encode_speedup": round(speedup, 3),
+        "min_encode_speedup": MIN_ENCODE_SPEEDUP,
+    }
+
+
+def _write_stats(stats: dict) -> Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / "shared_tables_stats.json"
+    path.write_text(json.dumps(stats, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def _summarize(stats: dict) -> str:
+    per_b = stats["per_stream"]["table_bytes"]["code_lengths"]
+    sh = stats["shared"]["table_bytes"]
+    return (
+        f"== shared_tables gate (Run1_Z10, scale {stats['scale']}, "
+        f"{stats['brick_size']}^3 bricks) ==\n"
+        f"table bytes   : {sh['table_refs'] + sh['table_parts']} shared "
+        f"({sh['table_parts']} parts + {sh['table_refs']} refs) vs "
+        f"{per_b} per-stream ({stats['table_byte_fraction']:.1%})\n"
+        f"archive bytes : {stats['shared']['compressed_bytes']} shared vs "
+        f"{stats['per_stream']['compressed_bytes']} per-stream\n"
+        f"encode stage  : {stats['encode_speedup']}x faster shared "
+        f"(gate {stats['min_encode_speedup']}x)"
+    )
+
+
+def bench_shared_tables_gate(benchmark, results_dir):
+    """pytest-benchmark entry point (bench-figures-smoke)."""
+    from benchmarks.conftest import SCALE
+
+    stats = benchmark.pedantic(run_gate, args=(SCALE, 3), rounds=1, iterations=1)
+    _write_stats(stats)
+    benchmark.extra_info["table_byte_fraction"] = stats["table_byte_fraction"]
+    benchmark.extra_info["encode_speedup"] = stats["encode_speedup"]
+    print("\n" + _summarize(stats))
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--scale", type=int, default=16, help="grid divisor (power of two)")
+    parser.add_argument("--repeats", type=int, default=5, help="best-of repeats per op")
+    args = parser.parse_args(argv)
+    try:
+        stats = run_gate(args.scale, args.repeats)
+    except AssertionError as exc:
+        print(f"GATE FAILED: {exc}", file=sys.stderr)
+        return 1
+    path = _write_stats(stats)
+    print(_summarize(stats))
+    print(f"wrote {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -155,9 +155,15 @@ def _huffman_ops(scale: int, repeats: int) -> dict:
     def table_build():
         fresh = HuffmanCodec(codec.lengths, max_len=codec.max_len)
         fresh._build_table()
+        return fresh
 
+    # Throughput is over the dense decode table the op materializes
+    # (sym + len arrays, 2**max_len entries each) so mb_per_s is real
+    # and the baseline gate covers this op.
+    built = table_build()
+    table_nbytes = built._table_sym.nbytes + built._table_len.nbytes
     ops["huffman_table_build"] = op_entry(
-        time_op(table_build, max(repeats, 10)), 1 << codec.max_len
+        time_op(table_build, max(repeats, 10)), 1 << codec.max_len, table_nbytes
     )
 
     # Chunked decode windows: force the over-limit path (one window per
@@ -232,6 +238,8 @@ def _blocks_ops(scale: int, repeats: int) -> dict:
 def _sz_ops(scale: int, repeats: int) -> dict:
     from repro.sim.nyx import generate_field
     from repro.sz import SZCompressor, SZConfig
+    from repro.sz.predictor import lorenzo_forward
+    from repro.sz.quantizer import quantize, resolve_error_bound
 
     n = max(512 // scale, 32)
     field = generate_field("baryon_density", n, seed=42)
@@ -247,7 +255,78 @@ def _sz_ops(scale: int, repeats: int) -> dict:
         ops[f"sz_decompress_{predictor}"] = op_entry(
             time_op(lambda: codec.decompress(blob), repeats), field.size, field.nbytes
         )
+    # Stage-level ops: the quantize/predict stages are the widest remaining
+    # serial gap (ROADMAP), so track them in isolation — a future PR on
+    # them must land measured against these entries.
+    eb_abs = resolve_error_bound(field, 1e-3, "rel")
+    ops["sz_quantize"] = op_entry(
+        time_op(lambda: quantize(field, eb_abs), repeats), field.size, field.nbytes
+    )
+    lattice = quantize(field, eb_abs)
+    ops["sz_predict"] = op_entry(
+        time_op(lambda: lorenzo_forward(lattice), repeats), field.size, field.nbytes
+    )
     return ops
+
+
+def _shared_tables_ops(scale: int, repeats: int) -> dict:
+    """Per-stream vs shared-table entropy coding over one level's bricks.
+
+    The workload isolates the encode stage the shared-table mode targets:
+    the field is pre-chunked into 8^3 bricks and each brick is *prepared*
+    (predict + histogram) once, outside the timers, because that stage is
+    identical in both modes.  The per-stream op then pays one length-limited
+    table build per brick; the shared op pays one level-wide build plus the
+    table part serialization — the honest end-to-end cost of each mode's
+    entropy stage.
+    """
+    from repro.sim.nyx import generate_field
+    from repro.sz import SZCompressor
+    from repro.sz.compressor import SharedTableResolver
+    from repro.sz.huffman import SharedHuffmanTable
+
+    n = max(512 // scale, 32)
+    field = generate_field("baryon_density", n, seed=42)
+    codec = SZCompressor()
+    eb_abs = 1e-3 * float(field.max() - field.min())
+    brick = 8
+    prepared = [
+        codec.prepare(np.ascontiguousarray(field[x : x + brick, y : y + brick, z : z + brick]), eb_abs, "abs")
+        for x in range(0, n, brick)
+        for y in range(0, n, brick)
+        for z in range(0, n, brick)
+    ]
+    assert all(p.counts is not None for p in prepared), "bricks must entropy-code"
+    max_len = codec.config.max_code_len
+
+    def encode_per_stream():
+        return [codec.encode_prepared(p) for p in prepared]
+
+    def encode_shared():
+        total = prepared[0].counts.copy()
+        for p in prepared[1:]:
+            total += p.counts
+        shared = SharedHuffmanTable.from_counts(total, max_len=max_len)
+        blobs = [codec.encode_prepared(p, shared=shared) for p in prepared]
+        return shared.serialize(), blobs
+
+    # Both modes must reconstruct identically (decode depends only on the
+    # symbol stream, not on which table coded it).
+    table_part, shared_blobs = encode_shared()
+    resolver = SharedTableResolver({"table": table_part}, "table")
+    per_blobs = encode_per_stream()
+    for sb, pb in zip(shared_blobs[:2], per_blobs[:2]):
+        assert np.array_equal(
+            codec.decompress(sb, shared_tables=resolver), codec.decompress(pb)
+        )
+    return {
+        "tac_compress_per_stream": op_entry(
+            time_op(encode_per_stream, repeats), field.size, field.nbytes
+        ),
+        "tac_compress_shared_tables": op_entry(
+            time_op(encode_shared, repeats), field.size, field.nbytes
+        ),
+    }
 
 
 def _codec_ops(scale: int, repeats: int) -> dict:
@@ -282,6 +361,7 @@ OP_GROUPS = {
     "huffman": _huffman_ops,
     "blocks": _blocks_ops,
     "sz": _sz_ops,
+    "shared_tables": _shared_tables_ops,
     "codecs": _codec_ops,
 }
 
@@ -297,7 +377,9 @@ GROUP_OPS = {
         "huffman_decode_chunked_window",
     ),
     "blocks": ("gather_blocks", "scatter_blocks", "block_counts"),
-    "sz": tuple(f"sz_{op}_{p}" for op in ("compress", "decompress") for p in ("interp", "lorenzo")),
+    "sz": tuple(f"sz_{op}_{p}" for op in ("compress", "decompress") for p in ("interp", "lorenzo"))
+    + ("sz_quantize", "sz_predict"),
+    "shared_tables": ("tac_compress_per_stream", "tac_compress_shared_tables"),
     "codecs": tuple(
         f"{c}_{op}" for c in ("tac", "1d", "zmesh", "3d") for op in ("compress", "decompress")
     ) + ("tac_preprocess",),

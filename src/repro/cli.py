@@ -90,6 +90,12 @@ def build_parser() -> argparse.ArgumentParser:
              "0 writes the legacy single-stream layout, default 64",
     )
     p_comp.add_argument(
+        "--shared-tables", action="store_true",
+        help="encode each TAC level's streams under one shared Huffman table "
+             "(stored once per level; faster encode, smaller archives on "
+             "brick-chunked levels)",
+    )
+    p_comp.add_argument(
         "--profile", action="store_true",
         help="print the per-stage timing breakdown (predict/encode/lossless/...)",
     )
@@ -152,6 +158,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_batch.add_argument(
         "--level-workers", type=int, default=1,
         help="parallel AMR levels inside each TAC job",
+    )
+    p_batch.add_argument(
+        "--shared-tables", action="store_true",
+        help="encode each TAC level's streams under one shared Huffman table",
     )
     p_batch.add_argument(
         "--profile", action="store_true",
@@ -252,18 +262,26 @@ def _parse_cache_size(text: str) -> int:
     return _parse_size(text)
 
 
-def _build_codec(method: str, predictor: str = "interp", brick_size: int | None = None):
+def _build_codec(
+    method: str,
+    predictor: str = "interp",
+    brick_size: int | None = None,
+    shared_tables: bool = False,
+):
     """A fresh codec from the registry, honouring CLI codec overrides.
 
     ``brick_size`` follows the flag convention: ``None`` keeps the codec's
     default, ``0`` disables bricking (legacy single-stream GSP/ZF levels),
-    a positive value sets the brick edge.
+    a positive value sets the brick edge.  ``shared_tables`` switches TAC
+    to the one-Huffman-table-per-level encode mode.
     """
     options: dict = {}
     if predictor != "interp":
         options["sz"] = SZConfig(predictor=predictor)
     if brick_size is not None:
         options["brick_size"] = None if brick_size == 0 else brick_size
+    if shared_tables:
+        options["shared_tables"] = True
     return get_codec(method, **options)
 
 
@@ -326,12 +344,14 @@ def cmd_compress(args) -> int:
         return 2
     dataset = load_dataset(args.path)
     try:
-        compressor = _build_codec(args.method, args.predictor, args.brick_size)
+        compressor = _build_codec(
+            args.method, args.predictor, args.brick_size, args.shared_tables
+        )
     except TypeError:
         # A codec whose factory takes no `sz` config / `brick_size` knob.
         print(
             f"error: codec {args.method!r} does not accept the requested "
-            "--predictor/--brick-size overrides",
+            "--predictor/--brick-size/--shared-tables overrides",
             file=sys.stderr,
         )
         return 2
@@ -482,6 +502,9 @@ def _print_entry_breakdown(entry, indent: str = "") -> None:
             bricks = level_meta["bricks"]
             grid = "x".join(str(g) for g in bricks["grid"])
             line += f"  {bricks['n']} bricks ({grid} of {bricks['size']}^3)"
+        if "shared_table" in level_meta:
+            # Metadata only — inspect never decodes the table part itself.
+            line += f"  shared table {level_meta['shared_table']['id']:#010x}"
         print(line)
     if "levels" not in entry.meta:
         # Baseline blobs record a flat per-level bound list instead.
@@ -543,6 +566,7 @@ def cmd_batch(args) -> int:
         # process pools ship a filename instead of pickled levels.  Only
         # the cheap metadata record is read up front, for the label.
         field = peek_meta(path)["field"]
+        codec_options = {"shared_tables": True} if args.shared_tables else {}
         jobs.append(
             CompressionJob(
                 dataset=path,
@@ -550,6 +574,7 @@ def cmd_batch(args) -> int:
                 error_bound=args.eb,
                 mode=args.mode,
                 label=f"{path.stem}/{field}/{args.method}",
+                codec_options=codec_options,
             )
         )
     engine = CompressionEngine(

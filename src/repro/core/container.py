@@ -104,20 +104,33 @@ def collapse_part_sizes(
     whose name ends in a decimal run (``L0/b12``, ``L1/g3``) group under
     their stem when the stem has at least ``min_group`` members, rendered
     as ``"L0/b* x64"``-style labels; everything else keeps one row per
-    part.  Rows come back sorted by label.
+    part.  Shared Huffman tables (``L<idx>/table``, one per level in
+    shared-table mode) vary in the *middle* of the name, so they group
+    under ``"L*/table"`` instead — already at two members, since a blob
+    never holds more than one per level.  Rows come back sorted by label.
     """
     groups: dict[str, list[tuple[str, int]]] = {}
     for name, size in part_sizes.items():
+        if _is_level_table(name):
+            groups.setdefault("L*/table", []).append((name, int(size)))
+            continue
         stem = name.rstrip("0123456789")
         key = stem if stem != name and not stem.endswith("/") else name
         groups.setdefault(key, []).append((name, int(size)))
     rows: list[tuple[str, int, int]] = []
     for stem, members in groups.items():
-        if len(members) >= min_group:
+        if stem == "L*/table" and len(members) >= 2:
+            rows.append((f"{stem} x{len(members)}", len(members), sum(s for _n, s in members)))
+        elif stem != "L*/table" and len(members) >= min_group:
             rows.append((f"{stem}* x{len(members)}", len(members), sum(s for _n, s in members)))
         else:
             rows.extend((name, 1, size) for name, size in members)
     return sorted(rows)
+
+
+def _is_level_table(name: str) -> bool:
+    """True for shared-table part names (``L<digits>/table``)."""
+    return name.startswith("L") and name.endswith("/table") and name[1:-6].isdigit()
 
 
 def _head_record(method, dataset_name, meta, original_bytes, n_values) -> dict:

@@ -59,7 +59,8 @@ from repro.core.plan import (
     normalize_region,
     region_slices,
 )
-from repro.sz.compressor import SZCompressor, SZConfig
+from repro.sz.compressor import SharedTableResolver, SZCompressor, SZConfig
+from repro.sz.huffman import SharedHuffmanTable
 from repro.sz.stream import peek_header
 from repro.utils.timer import TimingRecord, timed
 from repro.utils.validation import check_positive_int
@@ -104,6 +105,13 @@ class TACConfig:
         readable either way.
     store_masks:
         Include packed validity masks in the output parts.
+    shared_tables:
+        Encode all of a level's streams under one shared Huffman table
+        (histogrammed level-wide, stored once as an ``L<idx>/table`` part)
+        instead of one table per stream.  Cuts encode time and table bytes
+        on many-stream levels (brick-chunked especially); decode resolves
+        each stream's ``SEC_TABLE_REF`` through the level part.  Off by
+        default — per-stream blobs are byte-identical to earlier writers.
     sz:
         Configuration of the underlying SZ codec.
     """
@@ -117,6 +125,7 @@ class TACConfig:
     avg_layers: int = 2
     brick_size: int | None = DEFAULT_BRICK_SIZE
     store_masks: bool = True
+    shared_tables: bool = False
     sz: SZConfig = field(default_factory=SZConfig)
 
     def __post_init__(self):
@@ -252,10 +261,10 @@ class TACCompressor(PlanExecutorMixin):
             meta["padded_shape"] = list(result.padded.shape)
             if cfg.brick_size is None:
                 # Legacy single-stream layout (strategy format 1).
-                with timed(timings, "compress"):
-                    parts[f"L{lvl.level}/grid"] = self.codec.compress(
-                        result.padded, eb_abs, mode="abs"
-                    )
+                self._encode_streams(
+                    [(f"L{lvl.level}/grid", result.padded)], eb_abs, lvl.level,
+                    parts, timings, meta,
+                )
                 return meta
             # Strategy format 2: chunk the padded grid into independently
             # compressed bricks — one part per brick plus the brick table,
@@ -266,12 +275,13 @@ class TACCompressor(PlanExecutorMixin):
                 brick_size=cfg.brick_size,
             )
             parts[f"L{lvl.level}/bricks"] = serialize_brick_table(table)
-            with timed(timings, "compress"):
-                for brick_idx, box in enumerate(table.boxes()):
-                    sub = result.padded[region_slices(box)]
-                    parts[f"L{lvl.level}/b{brick_idx}"] = self.codec.compress(
-                        sub, eb_abs, mode="abs"
-                    )
+            self._encode_streams(
+                [
+                    (f"L{lvl.level}/b{brick_idx}", result.padded[region_slices(box)])
+                    for brick_idx, box in enumerate(table.boxes())
+                ],
+                eb_abs, lvl.level, parts, timings, meta,
+            )
             meta["strategy_format"] = 2
             meta["bricks"] = {
                 "size": cfg.brick_size,
@@ -287,20 +297,80 @@ class TACCompressor(PlanExecutorMixin):
         }[strategy]
         with timed(timings, "preprocess"):
             extraction = extract(data, lvl.mask, block)
-        with timed(timings, "compress"):
-            parts[f"L{lvl.level}/layout"] = serialize_layout(extraction)
-            for group_idx, shape in enumerate(layout_shapes(extraction)):
-                stacked = extraction.groups[shape]
-                parts[f"L{lvl.level}/g{group_idx}"] = self.codec.compress(
-                    stacked, eb_abs, mode="abs"
-                )
+        parts[f"L{lvl.level}/layout"] = serialize_layout(extraction)
+        self._encode_streams(
+            [
+                (f"L{lvl.level}/g{group_idx}", extraction.groups[shape])
+                for group_idx, shape in enumerate(layout_shapes(extraction))
+            ],
+            eb_abs, lvl.level, parts, timings, meta,
+        )
         meta["n_blocks"] = extraction.n_blocks()
         meta["n_groups"] = len(extraction.groups)
         return meta
 
+    def _encode_streams(
+        self,
+        items: list[tuple[str, np.ndarray]],
+        eb_abs: float,
+        idx: int,
+        parts: dict[str, bytes],
+        timings: TimingRecord,
+        meta: dict,
+    ) -> None:
+        """Entropy-code one level's streams into ``parts``.
+
+        Per-stream mode (default) compresses each array independently —
+        byte-identical to what earlier writers produced.  Shared-table mode
+        histograms every stream first, builds one level-wide code, stores
+        it once as ``L<idx>/table``, and encodes each stream against it
+        with a ``SEC_TABLE_REF``.  Streams that short-circuit (empty,
+        lossless fallback) contribute no counts; if *no* stream needs
+        entropy coding the table part is omitted entirely.
+        """
+        cfg = self.config
+        if not cfg.shared_tables:
+            with timed(timings, "compress"):
+                for name, arr in items:
+                    parts[name] = self.codec.compress(arr, eb_abs, mode="abs")
+            return
+        with timed(timings, "compress"):
+            prepared = [
+                (name, self.codec.prepare(arr, eb_abs, mode="abs")) for name, arr in items
+            ]
+            total = None
+            for _name, prep in prepared:
+                if prep.counts is not None:
+                    total = prep.counts.copy() if total is None else total + prep.counts
+            shared = None
+            if total is not None:
+                shared = SharedHuffmanTable.from_counts(total, max_len=cfg.sz.max_code_len)
+                parts[f"L{idx}/table"] = shared.serialize(
+                    zlib_level=max(cfg.sz.zlib_level, 1)
+                )
+                meta["shared_table"] = {
+                    "part": f"L{idx}/table",
+                    "id": shared.table_id,
+                    "alphabet": shared.alphabet,
+                }
+            for name, prep in prepared:
+                parts[name] = self.codec.encode_prepared(prep, shared=shared)
+
     # ------------------------------------------------------------------
     # decompression (plan/execute split)
     # ------------------------------------------------------------------
+    def _table_resolver(self, comp, level_meta: dict) -> SharedTableResolver | None:
+        """The level's shared-table resolver, if it was written in that mode.
+
+        One resolver per plan/read call: it memoizes the parsed table under
+        a lock, so however many units (or decode workers) a level has, the
+        ``L<idx>/table`` part is fetched and parsed exactly once.
+        """
+        info = level_meta.get("shared_table")
+        if not info:
+            return None
+        return SharedTableResolver(comp.parts, info["part"])
+
     def _delegate(self, comp: CompressedDataset):
         """The §4.4 fallback's reader, if this blob was delegated to it."""
         if comp.meta.get("delegated") != "baseline_3d":
@@ -327,6 +397,8 @@ class TACCompressor(PlanExecutorMixin):
             strategy = level_meta["strategy"]
             if strategy == "empty":
                 continue
+            resolver = self._table_resolver(comp, level_meta)
+            extra = (resolver.part_name,) if resolver is not None else ()
             if strategy in (Strategy.GSP.value, Strategy.ZF.value):
                 bricks = level_meta.get("bricks")
                 if not bricks:
@@ -336,8 +408,10 @@ class TACCompressor(PlanExecutorMixin):
                         DecodeUnit(
                             key=name,
                             level=idx,
-                            part_names=(name,),
-                            decode=lambda name=name: self.codec.decompress(comp.parts[name]),
+                            part_names=(name,) + extra,
+                            decode=lambda name=name, r=resolver: self.codec.decompress(
+                                comp.parts[name], shared_tables=r
+                            ),
                         )
                     )
                     continue
@@ -362,8 +436,10 @@ class TACCompressor(PlanExecutorMixin):
                     DecodeUnit(
                         key=name,
                         level=idx,
-                        part_names=(name,),
-                        decode=lambda name=name: self.codec.decompress(comp.parts[name]),
+                        part_names=(name,) + extra,
+                        decode=lambda name=name, r=resolver: self.codec.decompress(
+                            comp.parts[name], shared_tables=r
+                        ),
                     )
                 )
         return DecompressionPlan(units)
@@ -379,9 +455,16 @@ class TACCompressor(PlanExecutorMixin):
         the brick's padded-grid box *clipped to the level extents*: a
         brick wholly inside the block padding covers nothing visible and
         is prunable by any ROI.
+
+        Shared-table levels append the ``L<idx>/table`` part to every
+        brick's ``part_names`` (prefetch/ROI accounting dedups the repeat
+        name), and every decode closure shares one memoized resolver, so
+        an ROI read fetches the table part once plus only touched bricks.
         """
         shape = tuple(comp.meta["shapes"][idx])
         padded_shape = tuple(level_meta["padded_shape"])
+        resolver = self._table_resolver(comp, level_meta)
+        extra = (resolver.part_name,) if resolver is not None else ()
         out = []
         for brick_idx, bbox in enumerate(
             brick_boxes(padded_shape, level_meta["bricks"]["size"])
@@ -393,8 +476,10 @@ class TACCompressor(PlanExecutorMixin):
             unit = DecodeUnit(
                 key=name,
                 level=idx,
-                part_names=(name,),
-                decode=lambda name=name: self.codec.decompress(comp.parts[name]),
+                part_names=(name,) + extra,
+                decode=lambda name=name, r=resolver: self.codec.decompress(
+                    comp.parts[name], shared_tables=r
+                ),
                 box=clipped,
             )
             out.append((bbox, unit))
@@ -523,12 +608,15 @@ class TACCompressor(PlanExecutorMixin):
             return np.zeros(tuple(hi - lo for lo, hi in box), dtype=np.float32)
         mask = self._level_mask(comp, structure, level, shape)
         region_mask = mask[slices]
+        resolver = self._table_resolver(comp, level_meta)
         if strategy in (Strategy.GSP.value, Strategy.ZF.value):
             if level_meta.get("bricks"):
                 return self._decompress_region_bricks(
                     comp, level, level_meta, box, region_mask, decode_workers
                 )
-            padded = self.codec.decompress(comp.parts[f"L{level}/grid"])
+            padded = self.codec.decompress(
+                comp.parts[f"L{level}/grid"], shared_tables=resolver
+            )
             sliced = padded[: shape[0], : shape[1], : shape[2]][slices]
             return np.where(region_mask, sliced, sliced.dtype.type(0))
         extraction = deserialize_layout(comp.parts[f"L{level}/layout"])
@@ -542,14 +630,15 @@ class TACCompressor(PlanExecutorMixin):
             for group_idx, group_shape in enumerate(shapes)
             if selected[group_shape].size
         ]
+        extra = (resolver.part_name,) if resolver is not None else ()
         plan = DecompressionPlan(
             [
                 DecodeUnit(
                     key=f"L{level}/g{group_idx}",
                     level=level,
-                    part_names=(f"L{level}/g{group_idx}",),
-                    decode=lambda name=f"L{level}/g{group_idx}": self.codec.decompress(
-                        comp.parts[name]
+                    part_names=(f"L{level}/g{group_idx}",) + extra,
+                    decode=lambda name=f"L{level}/g{group_idx}", r=resolver: (
+                        self.codec.decompress(comp.parts[name], shared_tables=r)
                     ),
                 )
                 for group_idx, _shape in needed

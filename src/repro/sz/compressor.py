@@ -35,12 +35,14 @@ that regime is ``eb`` plus a small number of ULPs (pinned by
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
+from typing import Mapping
 
 import numpy as np
 
 from repro.sz import lossless, stream
-from repro.sz.huffman import DEFAULT_MAX_LEN, HuffmanCodec, HuffmanEncoded
+from repro.sz.huffman import DEFAULT_MAX_LEN, HuffmanCodec, HuffmanEncoded, SharedHuffmanTable
 from repro.sz.interp import interp_compress, interp_decompress
 from repro.sz.predictor import SUPPORTED_NDIM, lorenzo_forward, lorenzo_inverse
 from repro.sz.quantizer import ErrorMode, dequantize, quantize, resolve_error_bound
@@ -125,7 +127,64 @@ _SECTION_LABELS = {
     stream.SEC_SIGNS: "signs",
     stream.SEC_ZERO_MASK: "zero_mask",
     stream.SEC_META: "meta",
+    stream.SEC_TABLE_REF: "table_ref",
 }
+
+
+@dataclass
+class PreparedStream:
+    """A stream that has run predict/quantize but not yet entropy coding.
+
+    Produced by :meth:`SZCompressor.prepare` so a caller can histogram many
+    streams before committing to a code table (shared-table mode).  When the
+    pipeline short-circuits (empty array, ``eb == 0`` lossless fallback) the
+    finished ``blob`` is stored instead and ``counts`` is ``None`` — such
+    streams contribute nothing to a shared histogram.
+    """
+
+    header: stream.StreamHeader
+    symbols: np.ndarray | None = None
+    outliers: np.ndarray | None = None
+    counts: np.ndarray | None = None
+    blob: bytes | None = None
+
+
+class SharedTableResolver:
+    """Resolves ``SEC_TABLE_REF`` sections against a level's table part.
+
+    Fetches and parses the table part lazily (at most once — the result is
+    memoized under a lock, so concurrent decode workers share one fetch) and
+    verifies each stream's reference checksum/alphabet against it before
+    handing the code lengths to :meth:`HuffmanCodec.cached`.
+    """
+
+    def __init__(self, parts: Mapping[str, bytes], part_name: str):
+        self._parts = parts
+        self._part_name = part_name
+        self._lock = threading.Lock()
+        self._table: dict | None = None
+
+    @property
+    def part_name(self) -> str:
+        return self._part_name
+
+    def table(self) -> dict:
+        """The parsed shared table (fetching the part on first use)."""
+        with self._lock:
+            if self._table is None:
+                self._table = stream.unpack_shared_table(self._parts[self._part_name])
+            return self._table
+
+    def resolve(self, ref: dict) -> dict:
+        """Validate a stream's table reference and return the parsed table."""
+        table = self.table()
+        if ref["table_id"] != table["table_id"] or ref["alphabet"] != table["alphabet"]:
+            raise ValueError(
+                f"stream references shared table id={ref['table_id']:#010x} "
+                f"alphabet={ref['alphabet']} but part {self._part_name!r} holds "
+                f"id={table['table_id']:#010x} alphabet={table['alphabet']}"
+            )
+        return table
 
 
 class SZCompressor:
@@ -187,9 +246,67 @@ class SZCompressor:
         blob = stream.serialize(header, sections)
         return blob, self._stats(arr, blob, header, dict((t, len(p)) for t, _c, p in sections), n_outliers, timings)
 
+    # -- shared-table mode ----------------------------------------------
+    def prepare(
+        self,
+        data,
+        error_bound: float,
+        mode: ErrorMode | str = ErrorMode.ABS,
+        timings: TimingRecord | None = None,
+    ) -> PreparedStream:
+        """Run the pipeline up to (but not including) entropy coding.
+
+        Returns a :class:`PreparedStream` whose ``counts`` can be summed
+        across streams to build one shared code table; finish each stream
+        with :meth:`encode_prepared`.  ``pw_rel`` mode is not supported
+        (its sections interleave with the lattice sections).
+        """
+        mode = ErrorMode(mode)
+        if mode is ErrorMode.PW_REL:
+            raise ValueError("shared-table preparation does not support pw_rel mode")
+        arr = ensure_ndarray(data, name="data")
+        check_finite(arr, name="data")
+        if arr.ndim not in SUPPORTED_NDIM and arr.size:
+            raise ValueError(f"supported dimensionalities are {SUPPORTED_NDIM}, got {arr.ndim}")
+        eb_user = check_error_bound(error_bound, allow_zero=True)
+        header = stream.StreamHeader(
+            mode=mode.value, dtype=arr.dtype, shape=arr.shape, eb_user=eb_user, eb_abs=0.0
+        )
+        if arr.size == 0:
+            header.flags |= stream.FLAG_EMPTY
+            return PreparedStream(header=header, blob=stream.serialize(header, []))
+        eb_abs = resolve_error_bound(arr, eb_user, mode)
+        header.eb_abs = eb_abs
+        if eb_abs == 0.0:
+            blob, _stats = self._compress_lossless(arr, header, timings or TimingRecord())
+            return PreparedStream(header=header, blob=blob)
+        symbols, outliers, counts = self._prepare_symbols(arr, eb_abs, timings or TimingRecord())
+        return PreparedStream(header=header, symbols=symbols, outliers=outliers, counts=counts)
+
+    def encode_prepared(
+        self,
+        prepared: PreparedStream,
+        shared: SharedHuffmanTable | None = None,
+        timings: TimingRecord | None = None,
+    ) -> bytes:
+        """Entropy-code a :class:`PreparedStream` into a finished blob.
+
+        With ``shared`` the stream is encoded under the shared code and
+        carries a ``SEC_TABLE_REF`` instead of its own ``SEC_CODE_LENGTHS``;
+        without it this is byte-identical to the normal :meth:`compress`
+        path for the same input.
+        """
+        if prepared.blob is not None:
+            return prepared.blob
+        timings = timings if timings is not None else TimingRecord()
+        sections, _n_outliers = self._encode_symbols(
+            prepared.symbols, prepared.outliers, prepared.counts, timings, shared=shared
+        )
+        return stream.serialize(prepared.header, sections)
+
     # -- pipelines -------------------------------------------------------
-    def _encode_lattice(self, arr: np.ndarray, eb_abs: float, timings: TimingRecord):
-        """Steps 2–5 for a plain (abs-bounded) array; returns sections."""
+    def _prepare_symbols(self, arr: np.ndarray, eb_abs: float, timings: TimingRecord):
+        """Steps 2–3 plus symbol mapping; returns (symbols, outliers, counts)."""
         cfg = self.config
         if cfg.predictor == "interp":
             with timed(timings, "predict"):
@@ -213,17 +330,48 @@ class SZCompressor:
             outliers = symbols[positions] - radius
             symbols[positions] = escape
             counts = np.bincount(symbols, minlength=escape + 1)
-            codec = HuffmanCodec.from_counts(counts, max_len=cfg.max_code_len)
+        return symbols, outliers, counts
+
+    def _encode_symbols(
+        self,
+        symbols: np.ndarray,
+        outliers: np.ndarray,
+        counts: np.ndarray,
+        timings: TimingRecord,
+        shared: SharedHuffmanTable | None = None,
+    ):
+        """Steps 4–5: entropy coding + lossless back end; returns sections."""
+        cfg = self.config
+        with timed(timings, "encode"):
+            if shared is not None:
+                codec = shared.codec
+            else:
+                codec = HuffmanCodec.from_counts(counts, max_len=cfg.max_code_len)
             encoded = codec.encode(symbols, block_size=cfg.block_size)
         with timed(timings, "lossless"):
-            sections = self._payload_sections(codec, encoded, outliers)
+            sections = self._payload_sections(codec, encoded, outliers, shared=shared)
         return sections, int(outliers.size)
 
-    def _payload_sections(self, codec: HuffmanCodec, encoded: HuffmanEncoded, outliers: np.ndarray):
+    def _encode_lattice(self, arr: np.ndarray, eb_abs: float, timings: TimingRecord):
+        """Steps 2–5 for a plain (abs-bounded) array; returns sections."""
+        symbols, outliers, counts = self._prepare_symbols(arr, eb_abs, timings)
+        return self._encode_symbols(symbols, outliers, counts, timings)
+
+    def _payload_sections(
+        self,
+        codec: HuffmanCodec,
+        encoded: HuffmanEncoded,
+        outliers: np.ndarray,
+        shared: SharedHuffmanTable | None = None,
+    ):
         level = self.config.zlib_level
         sections: list[tuple[int, int, bytes]] = []
-        c, p = lossless.compress_bytes(codec.lengths.tobytes(), level=max(level, 1))
-        sections.append((stream.SEC_CODE_LENGTHS, c, p))
+        if shared is not None:
+            ref = stream.pack_table_ref(shared.table_id, shared.alphabet)
+            sections.append((stream.SEC_TABLE_REF, lossless.CODEC_RAW, ref))
+        else:
+            c, p = lossless.compress_bytes(codec.lengths.tobytes(), level=max(level, 1))
+            sections.append((stream.SEC_CODE_LENGTHS, c, p))
         # Offsets are monotone; delta encoding makes them byte-cheap.
         deltas = np.diff(encoded.block_offsets, prepend=0)
         c, p = lossless.pack_int_array(deltas.astype(np.int64), level=max(level, 1))
@@ -284,8 +432,17 @@ class SZCompressor:
     # ------------------------------------------------------------------
     # decompression
     # ------------------------------------------------------------------
-    def decompress(self, blob: bytes, timings: TimingRecord | None = None) -> np.ndarray:
-        """Reconstruct the array stored in ``blob``."""
+    def decompress(
+        self,
+        blob: bytes,
+        timings: TimingRecord | None = None,
+        shared_tables: SharedTableResolver | None = None,
+    ) -> np.ndarray:
+        """Reconstruct the array stored in ``blob``.
+
+        ``shared_tables`` supplies the level's shared Huffman table for
+        streams written with ``SEC_TABLE_REF``; per-stream blobs ignore it.
+        """
         parsed = stream.parse(blob)
         header = parsed.header
         shape = header.shape
@@ -297,7 +454,7 @@ class SZCompressor:
             return np.frombuffer(raw, dtype=header.dtype).reshape(shape).copy()
 
         lattice_shape = shape
-        values = self._decode_lattice(parsed, lattice_shape, timings)
+        values = self._decode_lattice(parsed, lattice_shape, timings, shared_tables)
         if header.mode == ErrorMode.PW_REL.value:
             with timed(timings, "transform"):
                 n = values.size
@@ -315,16 +472,32 @@ class SZCompressor:
                 return out.reshape(shape).astype(header.dtype)
         return values.astype(header.dtype, copy=False)
 
-    def _decode_lattice(self, parsed: stream.Stream, shape, timings: TimingRecord | None) -> np.ndarray:
+    def _decode_lattice(
+        self,
+        parsed: stream.Stream,
+        shape,
+        timings: TimingRecord | None,
+        shared_tables: SharedTableResolver | None = None,
+    ) -> np.ndarray:
         header = parsed.header
         meta = stream.unpack_meta(parsed.section(stream.SEC_META)[1])
         with timed(timings, "decode"):
-            codec_tag, payload = parsed.section(stream.SEC_CODE_LENGTHS)
-            lengths = np.frombuffer(
-                lossless.decompress_bytes(codec_tag, payload), dtype=np.uint8
-            )
+            if stream.SEC_TABLE_REF in parsed.sections:
+                if shared_tables is None:
+                    raise ValueError(
+                        "stream was written in shared-table mode (SEC_TABLE_REF) "
+                        "but no shared-table resolver was provided"
+                    )
+                ref = stream.unpack_table_ref(parsed.section(stream.SEC_TABLE_REF)[1])
+                lengths = shared_tables.resolve(ref)["code_lengths"]
+            else:
+                codec_tag, payload = parsed.section(stream.SEC_CODE_LENGTHS)
+                lengths = np.frombuffer(
+                    lossless.decompress_bytes(codec_tag, payload), dtype=np.uint8
+                )
             # Shared LRU codec: the hundreds of per-group streams in one TAC
-            # blob frequently repeat code-length tables, and the dense
+            # blob frequently repeat code-length tables (and in shared-table
+            # mode reference the same table by construction), and the dense
             # decode table is the expensive part of decoder setup.
             codec = HuffmanCodec.cached(lengths, meta["max_len"])
             codec_tag, payload = parsed.section(stream.SEC_BLOCK_OFFSETS)

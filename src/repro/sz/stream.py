@@ -21,9 +21,12 @@ Layout (little-endian)::
 from __future__ import annotations
 
 import struct
+import zlib
 from dataclasses import dataclass, field
 
 import numpy as np
+
+from repro.sz import lossless
 
 MAGIC = b"RPSZ"
 VERSION = 1
@@ -39,6 +42,10 @@ SEC_ZERO_MASK = 7      # pw_rel: packed x==0 bits
 SEC_META = 8           # codec parameters: radius u32, max_len u8, predictor
                        # u8, block u32, total_bits u64, n_symbols u64,
                        # n_outliers u64
+SEC_TABLE_REF = 9      # shared-table mode: reference to a level-shared
+                       # Huffman table (table_id u32, alphabet u32) stored
+                       # once as a container part instead of per-stream
+                       # SEC_CODE_LENGTHS
 
 # dtype codes.
 _DTYPE_CODES = {np.dtype(np.float32): 0, np.dtype(np.float64): 1}
@@ -224,3 +231,99 @@ def parse(blob: bytes) -> Stream:
     if offset != len(view):
         raise ValueError(f"{len(view) - offset} trailing bytes after last section")
     return Stream(header=header, sections=sections)
+
+
+# ---------------------------------------------------------------------------
+# Shared Huffman tables (SEC_TABLE_REF + the level table container part).
+#
+# In shared-table mode every stream of a TAC level is encoded under one
+# canonical code built from the level-wide symbol histogram.  The code
+# lengths are stored once, in their own container part, and each stream
+# carries only a fixed-size reference: the table's checksum id plus the
+# alphabet size, so a decode against the wrong (or corrupted) table fails
+# loudly instead of producing garbage.  Streams written this way require a
+# resolver at decode time; per-stream blobs are unchanged and old archives
+# read forever.
+
+TABLE_MAGIC = b"RPHT"
+TABLE_VERSION = 1
+
+_TABLE_REF_FMT = "<II"  # table_id (crc32 of the length bytes), alphabet size
+_TABLE_HEAD_FMT = "<4sBBIIBQ"  # magic, version, max_len, alphabet, table_id,
+#                                lossless codec tag, stored length
+
+
+def shared_table_id(lengths_bytes: bytes) -> int:
+    """Content id of a shared table: CRC-32 of the raw code-length bytes."""
+    return zlib.crc32(lengths_bytes) & 0xFFFFFFFF
+
+
+def pack_table_ref(table_id: int, alphabet: int) -> bytes:
+    """Serialize a SEC_TABLE_REF payload."""
+    return struct.pack(_TABLE_REF_FMT, table_id, alphabet)
+
+
+def unpack_table_ref(raw: bytes) -> dict:
+    """Parse a SEC_TABLE_REF payload back into ``{table_id, alphabet}``."""
+    if len(raw) != struct.calcsize(_TABLE_REF_FMT):
+        raise ValueError(f"malformed table reference ({len(raw)} bytes)")
+    table_id, alphabet = struct.unpack(_TABLE_REF_FMT, raw)
+    return {"table_id": int(table_id), "alphabet": int(alphabet)}
+
+
+def pack_shared_table(code_lengths: np.ndarray, max_len: int, *, zlib_level: int = 1) -> bytes:
+    """Serialize a level-shared Huffman table as a standalone container part.
+
+    Layout (little-endian)::
+
+        magic b"RPHT" | version u8 | max_len u8 | alphabet u32 | table_id u32
+        codec u8 | length u64 | code-length bytes (raw or DEFLATE)
+    """
+    lengths = np.ascontiguousarray(code_lengths, dtype=np.uint8)
+    raw = lengths.tobytes()
+    codec, payload = lossless.compress_bytes(raw, level=zlib_level)
+    head = struct.pack(
+        _TABLE_HEAD_FMT,
+        TABLE_MAGIC,
+        TABLE_VERSION,
+        int(max_len),
+        lengths.size,
+        shared_table_id(raw),
+        codec,
+        len(payload),
+    )
+    return head + payload
+
+
+def unpack_shared_table(blob: bytes) -> dict:
+    """Parse and verify a shared-table part written by :func:`pack_shared_table`.
+
+    Returns ``{code_lengths, max_len, table_id, alphabet}``; raises
+    ``ValueError`` on bad magic, unknown version, or checksum mismatch.
+    """
+    head_size = struct.calcsize(_TABLE_HEAD_FMT)
+    if len(blob) < head_size:
+        raise ValueError("blob too short to be a shared Huffman table")
+    magic, version, max_len, alphabet, table_id, codec, length = struct.unpack_from(
+        _TABLE_HEAD_FMT, blob, 0
+    )
+    if magic != TABLE_MAGIC:
+        raise ValueError("not a shared Huffman table (bad magic)")
+    if version != TABLE_VERSION:
+        raise ValueError(f"unsupported shared-table version {version}")
+    if len(blob) != head_size + length:
+        raise ValueError("truncated shared Huffman table")
+    raw = lossless.decompress_bytes(codec, blob[head_size:])
+    lengths = np.frombuffer(raw, dtype=np.uint8)
+    if lengths.size != alphabet:
+        raise ValueError(
+            f"shared table stores {lengths.size} code lengths, header says {alphabet}"
+        )
+    if shared_table_id(raw) != table_id:
+        raise ValueError("shared Huffman table checksum mismatch (corrupt part)")
+    return {
+        "code_lengths": lengths,
+        "max_len": int(max_len),
+        "table_id": int(table_id),
+        "alphabet": int(alphabet),
+    }

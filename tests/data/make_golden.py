@@ -125,7 +125,7 @@ def sharded_expectations(blob_v2: bytes) -> dict:
 def gsp_expectations() -> dict:
     """Write and record the GSP strategy-format fixtures.
 
-    Two blobs over the analytic :func:`tests.helpers.golden_gsp_dataset`
+    Three blobs over the analytic :func:`tests.helpers.golden_gsp_dataset`
     (fine level ~70% dense -> GSP, coarse -> OpST):
 
     * ``golden_gsp_legacy.rpbt`` — ``brick_size=None``: the strategy
@@ -134,10 +134,13 @@ def gsp_expectations() -> dict:
       the exact pre-brick bytes and that such blobs stay readable.
     * ``golden_gsp_bricks.rpbt`` — ``brick_size=GSP_BRICK_SIZE``:
       strategy format 2 (brick table part + one part per brick).
+    * ``golden_gsp_shared.rpbt`` — bricks plus ``shared_tables=True``:
+      one Huffman table per level (``L<idx>/table`` part) and per-stream
+      ``SEC_TABLE_REF`` sections.  Pins the shared-table wire format.
 
     The JSON records sha256/bytes, per-level decode stats, and the
     values of a pinned 1/8-domain ROI read on the GSP level, so the
-    partial-read output itself is golden-pinned for both formats.
+    partial-read output itself is golden-pinned for every format.
     """
     ds = golden_gsp_dataset()
     expected: dict = {"eb": EB, "mode": MODE, "brick_size": GSP_BRICK_SIZE,
@@ -145,6 +148,9 @@ def gsp_expectations() -> dict:
     variants = {
         "golden_gsp_legacy": TACCompressor(brick_size=None),
         "golden_gsp_bricks": TACCompressor(brick_size=GSP_BRICK_SIZE),
+        "golden_gsp_shared": TACCompressor(
+            brick_size=GSP_BRICK_SIZE, shared_tables=True
+        ),
     }
     for stem, tac in variants.items():
         comp = tac.compress(ds, EB, mode=MODE)
@@ -169,6 +175,9 @@ def gsp_expectations() -> dict:
         bricks = comp.meta["levels"][0].get("bricks")
         if bricks:
             record["bricks"] = bricks
+        shared = comp.meta["levels"][0].get("shared_table")
+        if shared:
+            record["shared_table"] = shared
         expected["blobs"][stem] = record
     return expected
 

@@ -266,10 +266,14 @@ class TestGoldenGSPFormats:
     existed — its bytes were captured with the pre-brick writer and the
     ``brick_size=None`` path must keep reproducing them exactly.
     ``golden_gsp_bricks.rpbt`` pins strategy format 2 (brick table part +
-    one part per brick).  The JSON also records a 1/8-domain ROI read on
-    the GSP level, so the partial-read *values* are pinned for both
-    formats, not just the wire bytes.
+    one part per brick), and ``golden_gsp_shared.rpbt`` pins the
+    shared-table mode on top of it (one ``L<idx>/table`` part per level,
+    ``SEC_TABLE_REF`` sections in every stream).  The JSON also records a
+    1/8-domain ROI read on the GSP level, so the partial-read *values*
+    are pinned for every format, not just the wire bytes.
     """
+
+    STEMS = ["golden_gsp_legacy", "golden_gsp_bricks", "golden_gsp_shared"]
 
     @pytest.fixture(scope="class")
     def expected_gsp(self) -> dict:
@@ -282,9 +286,9 @@ class TestGoldenGSPFormats:
         from repro.core.tac import TACCompressor
 
         brick = None if stem.endswith("legacy") else expected_gsp["brick_size"]
-        return TACCompressor(brick_size=brick)
+        return TACCompressor(brick_size=brick, shared_tables=stem.endswith("shared"))
 
-    @pytest.mark.parametrize("stem", ["golden_gsp_legacy", "golden_gsp_bricks"])
+    @pytest.mark.parametrize("stem", STEMS)
     def test_fixture_integrity_and_byte_stability(self, stem, expected_gsp):
         from repro.core.container import CompressedDataset
 
@@ -294,7 +298,7 @@ class TestGoldenGSPFormats:
         assert hashlib.sha256(blob).hexdigest() == record["sha256"]
         assert CompressedDataset.from_bytes(blob).to_bytes() == blob
 
-    @pytest.mark.parametrize("stem", ["golden_gsp_legacy", "golden_gsp_bricks"])
+    @pytest.mark.parametrize("stem", STEMS)
     def test_writer_regenerates_fixture_bytes(self, stem, expected_gsp):
         """Re-compressing the analytic dataset reproduces the checked-in
         bytes — for the legacy stem this proves the ``brick_size=None``
@@ -307,7 +311,7 @@ class TestGoldenGSPFormats:
         ).to_bytes()
         assert blob == self._blob(stem)
 
-    @pytest.mark.parametrize("stem", ["golden_gsp_legacy", "golden_gsp_bricks"])
+    @pytest.mark.parametrize("stem", STEMS)
     def test_decode_matches_recorded_stats_and_bound(self, stem, expected_gsp):
         from repro.core.container import CompressedDataset
         from tests.helpers import golden_gsp_dataset
@@ -326,7 +330,7 @@ class TestGoldenGSPFormats:
             )
             assert_error_bounded(orig.values(), lvl.values(), expected_gsp["eb"])
 
-    @pytest.mark.parametrize("stem", ["golden_gsp_legacy", "golden_gsp_bricks"])
+    @pytest.mark.parametrize("stem", STEMS)
     def test_roi_read_matches_recorded_values(self, stem, expected_gsp):
         from repro.core.container import LazyCompressedDataset
 
@@ -366,3 +370,25 @@ class TestGoldenGSPFormats:
         touched = sum(1 for n in roi_parts if n.startswith("L0/b") and n != "L0/bricks")
         assert touched == 8  # 1/8-domain ROI on the 4^3 brick grid
         assert touched < n_bricks
+
+    def test_shared_fixture_roi_reads_table_plus_touched_bricks(self, expected_gsp):
+        """The shared fixture's ROI read fetches only the level's shared
+        table part plus the bricks the ROI intersects — pruning survives
+        the table indirection."""
+        from repro.core.container import MASK_PREFIX, LazyCompressedDataset
+
+        record = expected_gsp["blobs"]["golden_gsp_shared"]
+        roi = tuple(slice(lo, hi) for lo, hi in expected_gsp["roi"])
+        tac = self._codec("golden_gsp_shared", expected_gsp)
+        lazy = LazyCompressedDataset.open(self._blob("golden_gsp_shared"))
+        tac.decompress_region(lazy, 0, roi)
+        parts = {n for n in lazy.parts.accessed() if not n.startswith(MASK_PREFIX)}
+
+        assert record["shared_table"]["part"] in parts
+        touched = sum(1 for n in parts if n.startswith("L0/b") and n != "L0/bricks")
+        assert touched == 8  # same pruning as the per-stream brick fixture
+        assert touched < record["bricks"]["n"]
+        # Only metadata/table parts beyond the touched bricks.
+        assert parts - {"L0/bricks", "L0/table"} == {
+            n for n in parts if n.startswith("L0/b") and n != "L0/bricks"
+        }

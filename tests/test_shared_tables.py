@@ -1,0 +1,316 @@
+"""Shared-histogram Huffman mode: wire format, TAC integration, serving.
+
+One code table per TAC level (``L<idx>/table`` container part), referenced
+by every stream through a fixed-size ``SEC_TABLE_REF`` section.  The tests
+pin the three layers:
+
+* the standalone table part format (``RPHT``) and the reference section
+  round-trip and fail loudly on corruption;
+* TAC writes/reads the mode end-to-end — bit-identical reconstruction
+  against per-stream mode, deterministic bytes under ``level_workers``,
+  pruned ROI reads fetch only the table plus the touched bricks, and the
+  table part is resolved exactly once no matter how many decode workers
+  share it;
+* the serving layer (:class:`repro.serve.reader.ArchiveReader`) resolves
+  the cached table concurrently without tearing.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.core.container import (
+    MASK_PREFIX,
+    LazyCompressedDataset,
+    collapse_part_sizes,
+)
+from repro.core.tac import TACCompressor
+from repro.sz import stream
+from repro.sz.compressor import SharedTableResolver, SZCompressor
+from repro.sz.huffman import SharedHuffmanTable
+from tests.helpers import golden_gsp_dataset
+
+EB = 1e-3
+ROI = (slice(0, 8), slice(0, 8), slice(0, 8))
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return golden_gsp_dataset()
+
+
+@pytest.fixture(scope="module")
+def shared_comp(dataset):
+    return TACCompressor(brick_size=4, shared_tables=True).compress(
+        dataset, EB, mode="abs"
+    )
+
+
+class TestTableWireFormat:
+    def test_table_ref_round_trip(self):
+        raw = stream.pack_table_ref(0xDEADBEEF, 8193)
+        assert len(raw) == 8
+        assert stream.unpack_table_ref(raw) == {
+            "table_id": 0xDEADBEEF,
+            "alphabet": 8193,
+        }
+
+    def test_table_ref_rejects_bad_length(self):
+        with pytest.raises(ValueError, match="malformed table reference"):
+            stream.unpack_table_ref(b"\x00" * 7)
+
+    def test_shared_table_round_trip(self):
+        lengths = np.array([0, 3, 3, 2, 2, 4, 4, 0, 1], dtype=np.uint8)
+        blob = stream.pack_shared_table(lengths, max_len=4)
+        table = stream.unpack_shared_table(blob)
+        assert np.array_equal(table["code_lengths"], lengths)
+        assert table["max_len"] == 4
+        assert table["alphabet"] == lengths.size
+        assert table["table_id"] == stream.shared_table_id(lengths.tobytes())
+
+    def test_shared_table_rejects_bad_magic(self):
+        blob = stream.pack_shared_table(np.ones(4, dtype=np.uint8), max_len=1)
+        with pytest.raises(ValueError, match="bad magic"):
+            stream.unpack_shared_table(b"XXXX" + blob[4:])
+
+    def test_shared_table_rejects_bad_version(self):
+        blob = stream.pack_shared_table(np.ones(4, dtype=np.uint8), max_len=1)
+        bad = blob[:4] + bytes([stream.TABLE_VERSION + 1]) + blob[5:]
+        with pytest.raises(ValueError, match="unsupported shared-table version"):
+            stream.unpack_shared_table(bad)
+
+    def test_shared_table_rejects_truncation(self):
+        blob = stream.pack_shared_table(np.ones(64, dtype=np.uint8), max_len=1)
+        with pytest.raises(ValueError, match="truncated"):
+            stream.unpack_shared_table(blob[:-1])
+        with pytest.raises(ValueError, match="too short"):
+            stream.unpack_shared_table(blob[:8])
+
+    def test_shared_table_detects_corrupt_payload(self):
+        # Flip a bit in the stored (raw-codec) length bytes: the CRC in
+        # the header no longer matches.
+        lengths = np.arange(1, 9, dtype=np.uint8)
+        blob = bytearray(stream.pack_shared_table(lengths, max_len=8))
+        blob[-1] ^= 0x01
+        with pytest.raises(ValueError, match="checksum mismatch"):
+            stream.unpack_shared_table(bytes(blob))
+
+    def test_resolver_validates_reference(self):
+        table = SharedHuffmanTable.from_counts(np.array([5, 3, 2, 1, 1]))
+        resolver = SharedTableResolver({"t": table.serialize()}, "t")
+        good = {"table_id": table.table_id, "alphabet": table.alphabet}
+        assert np.array_equal(
+            resolver.resolve(good)["code_lengths"], table.codec.lengths
+        )
+        with pytest.raises(ValueError, match="table id"):
+            resolver.resolve({"table_id": table.table_id ^ 1, "alphabet": table.alphabet})
+        with pytest.raises(ValueError, match="alphabet"):
+            resolver.resolve({"table_id": table.table_id, "alphabet": table.alphabet + 1})
+
+
+class TestSZSharedEncode:
+    def _streams(self):
+        rng = np.random.default_rng(7)
+        base = rng.normal(size=(6, 512)).astype(np.float64)
+        # Correlated streams: the regime where one table fits all.
+        return [np.cumsum(row).reshape(8, 8, 8) for row in base]
+
+    def test_encode_prepared_matches_compress(self):
+        sz = SZCompressor()
+        for arr in self._streams():
+            prepared = sz.prepare(arr, 1e-3)
+            assert sz.encode_prepared(prepared) == sz.compress(arr, 1e-3)
+
+    def test_shared_streams_decode_identically(self):
+        sz = SZCompressor()
+        arrays = self._streams()
+        prepared = [sz.prepare(a, 1e-3) for a in arrays]
+        total = np.zeros(max(p.counts.size for p in prepared), dtype=np.int64)
+        for p in prepared:
+            total[: p.counts.size] += p.counts
+        shared = SharedHuffmanTable.from_counts(total)
+        resolver = SharedTableResolver({"t": shared.serialize()}, "t")
+        for arr, prep in zip(arrays, prepared):
+            blob = sz.encode_prepared(prep, shared=shared)
+            sizes = stream.parse(blob).section_sizes()
+            assert stream.SEC_CODE_LENGTHS not in sizes
+            assert sizes[stream.SEC_TABLE_REF] == 8
+            out_shared = sz.decompress(blob, shared_tables=resolver)
+            out_per = sz.decompress(sz.compress(arr, 1e-3))
+            assert np.array_equal(out_shared, out_per)
+
+    def test_shared_blob_without_resolver_fails_loudly(self):
+        sz = SZCompressor()
+        arr = self._streams()[0]
+        prep = sz.prepare(arr, 1e-3)
+        shared = SharedHuffmanTable.from_counts(prep.counts)
+        blob = sz.encode_prepared(prep, shared=shared)
+        with pytest.raises(ValueError, match="no shared-table resolver"):
+            sz.decompress(blob)
+
+    def test_prepare_rejects_pw_rel(self):
+        with pytest.raises(ValueError, match="pw_rel"):
+            SZCompressor().prepare(np.ones((4, 4, 4)), 1e-3, mode="pw_rel")
+
+
+class TestTACSharedMode:
+    def test_bit_identical_to_per_stream_decode(self, dataset, shared_comp):
+        per = TACCompressor(brick_size=4)
+        out_per = per.decompress(per.compress(dataset, EB, mode="abs"))
+        out_shared = TACCompressor(brick_size=4, shared_tables=True).decompress(
+            shared_comp
+        )
+        for a, b in zip(out_per.levels, out_shared.levels):
+            assert np.array_equal(a.data, b.data)
+            assert np.array_equal(a.mask, b.mask)
+
+    def test_writes_one_table_part_per_entropy_level(self, shared_comp):
+        tables = [n for n in shared_comp.parts if n.endswith("/table")]
+        metas = [m for m in shared_comp.meta["levels"] if "shared_table" in m]
+        assert tables and len(tables) == len(metas)
+        for meta in metas:
+            info = meta["shared_table"]
+            table = stream.unpack_shared_table(shared_comp.parts[info["part"]])
+            assert table["table_id"] == info["id"]
+            assert table["alphabet"] == info["alphabet"]
+
+    def test_level_workers_bytes_match_serial(self, dataset):
+        tac = TACCompressor(brick_size=4, shared_tables=True)
+        serial = tac.compress(dataset, EB, mode="abs", level_workers=1)
+        threaded = tac.compress(dataset, EB, mode="abs", level_workers=4)
+        assert serial.to_bytes() == threaded.to_bytes()
+
+    def test_decode_workers_match_serial(self, shared_comp):
+        tac = TACCompressor(brick_size=4, shared_tables=True)
+        serial = tac.decompress(shared_comp, decode_workers=1)
+        threaded = tac.decompress(shared_comp, decode_workers=4)
+        for a, b in zip(serial.levels, threaded.levels):
+            assert np.array_equal(a.data, b.data)
+
+    def test_default_config_reader_decodes_shared_blob(self, shared_comp, dataset):
+        """Reading never depends on the writer's config: the resolver comes
+        from the blob's level meta."""
+        restored = TACCompressor().decompress(
+            LazyCompressedDataset.open(shared_comp.to_bytes())
+        )
+        reference = TACCompressor(brick_size=4, shared_tables=True).decompress(
+            shared_comp
+        )
+        for a, b in zip(restored.levels, reference.levels):
+            assert np.array_equal(a.data, b.data)
+
+    def test_roi_fetches_table_plus_touched_bricks_only(self, shared_comp):
+        tac = TACCompressor(brick_size=4, shared_tables=True)
+        lazy = LazyCompressedDataset.open(shared_comp.to_bytes())
+        region = tac.decompress_region(lazy, 0, ROI, decode_workers=4)
+        full = tac.decompress(shared_comp)
+        assert np.array_equal(region, full.levels[0].data[ROI])
+
+        accessed = {
+            n for n in lazy.parts.accessed() if not n.startswith(MASK_PREFIX)
+        }
+        bricks = {n for n in accessed if n.startswith("L0/b") and n != "L0/bricks"}
+        # The bricks index is parsed at plan time (before the logged ROI
+        # fetches); the payload reads are exactly the table + the bricks.
+        assert accessed - {"L0/bricks"} == bricks | {"L0/table"}
+        assert len(bricks) == 8  # 1/8-domain ROI on the 4^3 brick grid
+        # The table part is fetched exactly once, not once per worker.
+        assert lazy.parts.access_counts["L0/table"] == 1
+
+    def test_collapse_groups_table_parts(self, shared_comp):
+        labels = [label for label, _count, _size in collapse_part_sizes(shared_comp.part_sizes())]
+        n_tables = sum(1 for n in shared_comp.parts if n.endswith("/table"))
+        assert n_tables >= 2
+        assert f"L*/table x{n_tables}" in labels
+        assert not any(label.endswith("/table") for label in labels)
+
+    def test_collapse_keeps_single_table_raw(self):
+        labels = [label for label, _c, _s in collapse_part_sizes({"L0/table": 64, "L0/grid": 256})]
+        assert "L0/table" in labels
+
+
+class TestServeSharedTables:
+    @pytest.fixture(scope="class")
+    def archive_path(self, tmp_path_factory):
+        from repro.engine import CompressionEngine, CompressionJob
+
+        job = CompressionJob(
+            golden_gsp_dataset(),
+            codec="tac",
+            error_bound=EB,
+            mode="abs",
+            label="gsp/shared",
+            codec_options={"shared_tables": True, "brick_size": 4},
+        )
+        archive = CompressionEngine().run_to_archive([job])
+        path = tmp_path_factory.mktemp("serve") / "shared.rpbt"
+        path.write_bytes(archive.to_bytes())
+        return path
+
+    def test_concurrent_roi_reads_match_serial(self, archive_path, dataset):
+        """Satellite stress: many threads resolve the cached shared table
+        concurrently through the read service; every ROI must match the
+        serial single-codec reference."""
+        from repro.serve.reader import ArchiveReader
+
+        tac = TACCompressor(brick_size=4, shared_tables=True)
+        blob = archive_path.read_bytes()
+        rois = [
+            (slice(x, x + 8), slice(y, y + 8), slice(0, 16))
+            for x in (0, 4, 8) for y in (0, 4, 8)
+        ]
+        reference = {}
+        for i, roi in enumerate(rois):
+            from repro.engine import BatchArchive
+
+            comp = BatchArchive.from_bytes(blob).get("gsp/shared")
+            reference[i] = tac.decompress_region(comp, 0, roi)
+
+        results: dict[int, np.ndarray] = {}
+        errors: list[BaseException] = []
+        with ArchiveReader(archive_path, decode_workers=2, request_workers=4) as reader:
+            barrier = threading.Barrier(len(rois))
+
+            def worker(i, roi):
+                try:
+                    barrier.wait(timeout=30)
+                    data, _stats = reader.read_region("gsp/shared", 0, roi)
+                    results[i] = data
+                except BaseException as exc:  # noqa: BLE001 - surfaced below
+                    errors.append(exc)
+
+            threads = [
+                threading.Thread(target=worker, args=(i, roi))
+                for i, roi in enumerate(rois)
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join(timeout=60)
+        assert not errors, errors
+        assert len(results) == len(rois)
+        for i in range(len(rois)):
+            assert np.array_equal(results[i], reference[i])
+
+
+class TestCLISharedTables:
+    def test_compress_inspect_decompress(self, tmp_path, capsys):
+        from repro.cli import main
+
+        ds = tmp_path / "ds.npz"
+        archive = tmp_path / "ds.tac"
+        out = tmp_path / "back.npz"
+        assert main(["make", "Run1_Z10", "-o", str(ds), "--scale", "8"]) == 0
+        assert main([
+            "compress", str(ds), "-o", str(archive),
+            "--eb", "1e-3", "--method", "tac",
+            "--brick-size", "4", "--shared-tables",
+        ]) == 0
+        capsys.readouterr()
+        assert main(["inspect", str(archive)]) == 0
+        shown = capsys.readouterr().out
+        assert "shared table 0x" in shown
+        assert main(["decompress", str(archive), "-o", str(out)]) == 0
