@@ -1,0 +1,202 @@
+"""Chaos smoke benchmark: seeded faults through the degraded read path.
+
+The CI gate for the failure model: compress a dataset into a sharded
+v4 archive, then drive one full-level read through
+:class:`repro.serve.ArchiveReader` with a seeded :class:`FaultPlan`
+injecting 5% transient ``OSError``s plus exactly one bit-flipped brick
+part, and assert the properties the robustness layer exists for:
+
+* **bounded degradation** — the degraded read completes within its
+  deadline and reports *exactly* the injected bad brick: one
+  ``integrity`` error row whose box holds fill values while every cell
+  outside it is bit-identical to a fault-free baseline;
+* **transient absorption** — probabilistic ``OSError``s are retried
+  away and never surface as request failures;
+* **recovery** — once the bit-flip's fault budget is spent, a re-read
+  through the same reader is bit-identical to the baseline (nothing
+  fill-valued was cached, nothing stayed poisoned);
+* **audit** — the plan's event log pins every fired fault to the part
+  it hit, so the report can be checked against the injection, not just
+  against "something failed".
+
+The full scenario (plan, fired events, degraded request stats,
+verification verdicts) lands in ``benchmarks/results/chaos_stats.json``
+and is uploaded as a CI artifact by the ``chaos-smoke`` job.
+"""
+
+from __future__ import annotations
+
+import json
+import tempfile
+from pathlib import Path
+
+import numpy as np
+
+from benchmarks.conftest import SCALE
+from repro.core.tac import TACCompressor
+from repro.engine import ShardedArchiveWriter, default_shard_opener
+from repro.faults import FaultPlan, FaultRule, archive_part_spans, faulty_opener
+from repro.serve import ArchiveReader, RetryPolicy
+from repro.sim.datasets import make_dataset
+
+#: Brick edge: small enough that smoke-scale levels still split into
+#: several bricks per dimension (matches bench_read_service).
+BRICK_SIZE = 8
+
+#: Plan seed — the whole scenario is replayable from this one number.
+SEED = 2022
+
+#: Per-read probability of an injected transient ``OSError``.
+TRANSIENT_P = 0.05
+
+#: Request deadline the degraded read must beat (generous: the gate is
+#: "bounded", not "fast" — latency budgets live in bench_read_service).
+DEADLINE = 30.0
+
+#: Fill value for failed bricks.  Negative so it cannot collide with
+#: the strictly positive density field.
+FILL = -1.0
+
+KEY = "chaos/rho/tac"
+
+
+def bench_chaos_degraded_read(benchmark, results_dir):
+    dataset = make_dataset("Run1_Z10", scale=SCALE, field="baryon_density")
+    tac = TACCompressor(brick_size=BRICK_SIZE)
+    comp = tac.compress(dataset, 1e-4, mode="rel")
+    brick_levels = [
+        m["level"] for m in comp.meta["levels"] if m.get("bricks") is not None
+    ]
+    assert brick_levels, "benchmark premise: at least one brick-chunked level"
+    level = brick_levels[0]
+
+    with tempfile.TemporaryDirectory() as tmp:
+        head = Path(tmp) / "chaos.rpbt"
+        with ShardedArchiveWriter(head, shard_size=256 * 1024) as writer:
+            writer.add_entry(KEY, comp)
+
+        # Pick the victim: the first brick part of the brick level, by
+        # its stored span name, so the injection targets a real part.
+        spans = archive_part_spans(head)
+        assert spans, "benchmark premise: archive has payload shards"
+        qualified = sorted(
+            name
+            for per_shard in spans.values()
+            for name in per_shard
+            if name.startswith(f"{KEY}/L{level}/b") and name[-1].isdigit()
+        )
+        assert qualified, f"benchmark premise: level {level} stores brick parts"
+        victim = qualified[0]
+        victim_part = victim[len(KEY) + 1 :]
+
+        # Fault-free baseline through a clean reader.
+        with ArchiveReader(head) as clean:
+            baseline = clean.read_level(KEY, level)[0].data.copy()
+
+        plan = FaultPlan(
+            [
+                FaultRule("oserror", match="*", p=TRANSIENT_P),
+                FaultRule("bitflip", match=victim, times=1),
+            ],
+            seed=SEED,
+        )
+        opener = faulty_opener(default_shard_opener(head.parent), plan, spans)
+        reader = ArchiveReader(
+            head,
+            shard_opener=opener,
+            retry=RetryPolicy(attempts=4, base_delay=0.001),
+            default_deadline=DEADLINE,
+            degraded=True,
+            fill_value=FILL,
+        )
+        try:
+
+            def degraded_read():
+                return reader.read_level(KEY, level)
+
+            lvl, stats = benchmark.pedantic(degraded_read, rounds=1, iterations=1)
+            data = lvl.data
+
+            # Bounded: within deadline, and flagged as degraded.
+            assert stats.seconds < DEADLINE, (
+                f"degraded read blew its deadline: {stats.seconds:.3f}s"
+            )
+            assert stats.degraded
+
+            # The injection fired exactly once, on the chosen brick.
+            flips = plan.fired_events("bitflip")
+            assert len(flips) == 1, f"expected one bit-flip, got {flips}"
+            assert flips[0].target == victim
+
+            # The report names exactly the injected bad box — no more,
+            # no less — and classifies it as an integrity failure.
+            assert len(stats.errors) == 1, (
+                f"expected exactly one error row, got {stats.errors}"
+            )
+            row = stats.errors[0]
+            assert row["unit"] == victim_part, (victim_part, row)
+            assert row["kind"] == "integrity", row
+            box = tuple(tuple(b) for b in row["box"])
+
+            # Inside the reported box: fill values.  Outside: baseline,
+            # bit for bit.
+            sl = tuple(slice(lo, hi) for lo, hi in box)
+            assert np.all(data[sl] == FILL), "bad box not fill-valued"
+            healthy = data.copy()
+            healthy[sl] = baseline[sl]
+            np.testing.assert_array_equal(healthy, baseline)
+
+            # Transients were absorbed by the retry layer (the request
+            # reported no io-class failures), never amplified.
+            assert not [r for r in stats.errors if r["kind"] == "io"]
+            n_transient = len(plan.fired_events("oserror"))
+
+            # Recovery: the bit-flip budget is spent, so a re-read
+            # through the same reader heals bit-identically — in
+            # particular nothing fill-valued survived in the cache.
+            healed_lvl, healed_stats = reader.read_level(KEY, level)
+            np.testing.assert_array_equal(healed_lvl.data, baseline)
+            assert not healed_stats.errors
+            aggregate = reader.stats()
+        finally:
+            reader.close()
+
+    benchmark.extra_info["n_transient_faults"] = n_transient
+    benchmark.extra_info["degraded_seconds"] = round(stats.seconds, 6)
+
+    stats_doc = {
+        "dataset": "Run1_Z10",
+        "scale": SCALE,
+        "brick_size": BRICK_SIZE,
+        "level": level,
+        "seed": SEED,
+        "deadline_seconds": DEADLINE,
+        "fill_value": FILL,
+        "plan": plan.summary(),
+        "n_faults_fired": plan.n_fired,
+        "victim_part": victim,
+        "degraded_request": stats.to_json(),
+        "healed_request": healed_stats.to_json(),
+        "reader": aggregate,
+        "verified": {
+            "within_deadline": stats.seconds < DEADLINE,
+            "exact_bad_box_reported": True,
+            "transients_absorbed": True,
+            "reread_bit_identical": True,
+        },
+    }
+    (results_dir / "chaos_stats.json").write_text(
+        json.dumps(stats_doc, indent=2, sort_keys=True) + "\n"
+    )
+
+    print(
+        f"\n== chaos: level {level} read under seeded faults (scale {SCALE}) ==\n"
+        f"plan        : {TRANSIENT_P:.0%} transient OSErrors + 1 bit-flip on "
+        f"{victim}\n"
+        f"fired       : {n_transient} transient(s), 1 bit-flip "
+        f"({plan.n_fired} total)\n"
+        f"degraded    : {stats.seconds * 1e3:.2f}ms (deadline "
+        f"{DEADLINE:.0f}s), {len(stats.errors)} bad box "
+        f"{list(map(list, box))}\n"
+        f"healed      : re-read bit-identical, {len(healed_stats.errors)} errors"
+    )

@@ -10,6 +10,7 @@ Commands
 ``inspect``     per-part breakdown of a blob/archive (no payload decode)
 ``batch``       compress many ``.npz`` files into one batch archive
 ``serve``       drive concurrent ROI reads through the read service
+``scrub``       re-read and CRC-check every stored part, bounded memory
 ``codecs``      list the codec registry
 ``experiments`` run paper experiments and print their report tables
 
@@ -34,7 +35,11 @@ from pathlib import Path
 import numpy as np
 
 from repro.amr.io import load_dataset, peek_meta, save_dataset
-from repro.core.container import LazyCompressedDataset, collapse_part_sizes
+from repro.core.container import (
+    ContainerIOError,
+    LazyCompressedDataset,
+    collapse_part_sizes,
+)
 from repro.engine import (
     CompressionEngine,
     CompressionJob,
@@ -68,6 +73,11 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_info = sub.add_parser("info", help="summarize an AMR .npz or batch archive")
     p_info.add_argument("path", type=Path)
+    p_info.add_argument(
+        "--verify", action="store_true",
+        help="re-read every payload shard and report per-shard CRC pass/fail "
+             "(exit 1 on any failure; checks all shards, never fail-fast)",
+    )
 
     p_comp = sub.add_parser("compress", help="compress an AMR .npz file")
     p_comp.add_argument("path", type=Path)
@@ -143,6 +153,11 @@ def build_parser() -> argparse.ArgumentParser:
     p_ins.add_argument("path", type=Path)
     p_ins.add_argument(
         "--key", default=None, help="restrict to one batch-archive entry"
+    )
+    p_ins.add_argument(
+        "--verify", action="store_true",
+        help="also re-read every payload shard and report per-shard CRC "
+             "pass/fail (exit 1 on any failure)",
     )
 
     p_batch = sub.add_parser("batch", help="compress many .npz files into one archive")
@@ -226,6 +241,39 @@ def build_parser() -> argparse.ArgumentParser:
         "--json", type=Path, default=None, metavar="PATH",
         help="also write the full stats report as JSON",
     )
+    p_srv.add_argument(
+        "--chaos", default=None, metavar="SPEC",
+        help='deterministic fault injection on shard reads: "kind:key=val,...'
+             ';kind2:..." with kinds oserror/latency/truncate/bitflip, e.g. '
+             '"oserror:p=0.05;bitflip:match=*/L0/b3,times=1"',
+    )
+    p_srv.add_argument(
+        "--chaos-seed", type=int, default=0,
+        help="RNG seed for probabilistic --chaos rules",
+    )
+    p_srv.add_argument(
+        "--deadline", type=float, default=None, metavar="SECONDS",
+        help="per-request wall-time budget; expiry raises DeadlineExceeded "
+             "(or fills late bricks under --degraded)",
+    )
+    p_srv.add_argument(
+        "--degraded", action="store_true",
+        help="serve fill values for corrupt/timed-out/unreachable bricks "
+             "(reported per request) instead of failing the whole request",
+    )
+
+    p_scrub = sub.add_parser(
+        "scrub",
+        help="re-read every stored part and check its CRC-32, bounded memory",
+    )
+    p_scrub.add_argument("path", type=Path)
+    p_scrub.add_argument(
+        "--key", default=None, help="restrict to one batch-archive entry"
+    )
+    p_scrub.add_argument(
+        "--json", type=Path, default=None, metavar="PATH",
+        help="also write the full scrub report as JSON",
+    )
 
     sub.add_parser("codecs", help="list registered codecs")
 
@@ -293,6 +341,23 @@ def cmd_make(args) -> int:
     return 0
 
 
+def _report_shard_verification(archive) -> int:
+    """Print ``verify_shards`` rows (never fail-fast); returns #failed."""
+    rows = archive.verify_shards()
+    if not rows:
+        print("verify: monolithic archive, no payload shards to check")
+        return 0
+    failed = 0
+    for row in rows:
+        if row["ok"]:
+            print(f"verify: shard {row['name']}: {row['n_bytes']} B  ok")
+        else:
+            failed += 1
+            print(f"verify: shard {row['name']}: FAILED: {row['error']}")
+    print(f"verify: {len(rows) - failed}/{len(rows)} shard(s) passed")
+    return failed
+
+
 def cmd_info(args) -> int:
     with open(args.path, "rb") as fh:
         head = fh.read(4)
@@ -312,7 +377,12 @@ def cmd_info(args) -> int:
             for row in manifest:
                 print(f"  {row['key']:40s} {row['method']:12s} "
                       f"{row['compressed_bytes']:>10d} B  {row['n_values']} values")
+            if args.verify:
+                return 1 if _report_shard_verification(archive) else 0
         return 0
+    if args.verify:
+        print("error: --verify only applies to batch archives", file=sys.stderr)
+        return 2
     dataset = load_dataset(args.path)
     print(dataset.summary())
     print(f"field       : {dataset.field}")
@@ -539,7 +609,14 @@ def cmd_inspect(args) -> int:
                 print(f"{key}:")
                 _print_entry_breakdown(entry, indent="  ")
                 _check_no_payload_reads(entry)
+            if args.verify:
+                # Verification re-reads payload bytes by design; it runs
+                # after the zero-payload-read promise has been enforced.
+                return 1 if _report_shard_verification(archive) else 0
         return 0
+    if args.verify:
+        print("error: --verify only applies to batch archives", file=sys.stderr)
+        return 2
     with LazyCompressedDataset.open(args.path) as entry:
         _print_entry_breakdown(entry)
         _check_no_payload_reads(entry)
@@ -641,6 +718,91 @@ def _batch_streamed(args, engine: CompressionEngine, jobs) -> int:
     return 0
 
 
+def _scrub_entry(key: str, entry) -> dict:
+    """Re-read every part of one entry, one bounded read at a time.
+
+    Each part is fetched, checked, and immediately dropped — peak memory
+    is one part (plus the header index), never the whole entry.  With
+    per-part CRCs (container v4) a read is a content check; older
+    containers (v1-v3) only prove every indexed span is still readable.
+    """
+    row = {
+        "key": key,
+        "container_version": entry.container_version,
+        "has_part_crcs": entry.parts.verifies_integrity,
+        "n_parts": len(entry.parts),
+        "checked": 0,
+        "bad": [],
+    }
+    for name in sorted(entry.parts):
+        try:
+            entry.parts[name]
+        except ContainerIOError as exc:
+            row["bad"].append({"part": name, "error": str(exc)})
+        else:
+            row["checked"] += 1
+    return row
+
+
+def cmd_scrub(args) -> int:
+    import json as json_mod
+
+    with open(args.path, "rb") as fh:
+        head = fh.read(4)
+    shard_rows: list[dict] = []
+    entry_rows: list[dict] = []
+    if is_batch_archive(head):
+        with LazyBatchArchive.open(args.path) as archive:
+            if args.key is not None and args.key not in archive:
+                print(f"error: no entry {args.key!r}; archive holds "
+                      f"{archive.keys()}", file=sys.stderr)
+                return 2
+            keys = [args.key] if args.key is not None else archive.keys()
+            # Whole-shard CRCs first (chunked reads, bounded memory),
+            # then the per-part walk — both run to completion so one bad
+            # byte early on does not hide later damage.
+            shard_rows = archive.verify_shards()
+            for key in keys:
+                entry_rows.append(_scrub_entry(key, archive.entry(key)))
+    else:
+        if args.key is not None:
+            print("error: --key only applies to batch archives", file=sys.stderr)
+            return 2
+        with LazyCompressedDataset.open(args.path) as entry:
+            entry_rows.append(_scrub_entry(entry.dataset_name, entry))
+
+    for row in shard_rows:
+        status = "ok" if row["ok"] else f"FAILED: {row['error']}"
+        print(f"shard {row['name']}: {row['n_bytes']} B  {status}")
+    for row in entry_rows:
+        note = "" if row["has_part_crcs"] else (
+            f"  (container v{row['container_version']}: no per-part CRCs, "
+            "spans checked readable only)"
+        )
+        print(f"{row['key']}: {row['checked']}/{row['n_parts']} part(s) ok{note}")
+        for bad in row["bad"]:
+            print(f"  BAD {bad['part']}: {bad['error']}")
+    n_bad_shards = sum(1 for row in shard_rows if not row["ok"])
+    n_bad_parts = sum(len(row["bad"]) for row in entry_rows)
+    ok = n_bad_shards == 0 and n_bad_parts == 0
+    if args.json:
+        report = {
+            "path": str(args.path),
+            "ok": ok,
+            "shards": shard_rows,
+            "entries": entry_rows,
+        }
+        args.json.parent.mkdir(parents=True, exist_ok=True)
+        args.json.write_text(json_mod.dumps(report, indent=2, sort_keys=True) + "\n")
+    if ok:
+        print(f"scrub clean: {sum(r['checked'] for r in entry_rows)} part(s), "
+              f"{len(shard_rows)} shard(s)")
+        return 0
+    print(f"scrub found damage: {n_bad_parts} bad part(s), "
+          f"{n_bad_shards} bad shard(s)", file=sys.stderr)
+    return 1
+
+
 def _percentile(values: list[float], q: float) -> float:
     """Nearest-rank percentile of a non-empty list."""
     ordered = sorted(values)
@@ -661,14 +823,36 @@ def cmd_serve(args) -> int:
         print(f"serve: --roi-frac must be in (0, 1], got {args.roi_frac}",
               file=sys.stderr)
         return 2
+    plan = None
+    shard_opener = None
+    if args.chaos:
+        from repro.engine import default_shard_opener
+        from repro.faults import FaultPlan, archive_part_spans, faulty_opener
+
+        try:
+            plan = FaultPlan.parse(args.chaos, seed=args.chaos_seed)
+        except ValueError as exc:
+            print(f"serve: bad --chaos spec: {exc}", file=sys.stderr)
+            return 2
+        spans = archive_part_spans(args.path)
+        if not spans:
+            print("serve: note: archive has no payload shards; --chaos rules "
+                  "targeting part names will never fire", file=sys.stderr)
+        shard_opener = faulty_opener(
+            default_shard_opener(args.path.parent), plan, spans
+        )
+    chaos_mode = plan is not None or args.deadline is not None
     rng = random.Random(args.seed)
     with ArchiveReader(
         args.path,
+        shard_opener=shard_opener,
         cache_bytes=args.cache_bytes,
         io_workers=args.io_workers,
         decode_workers=args.decode_workers,
         request_workers=args.threads,
         coalesce_gap=args.gap,
+        default_deadline=args.deadline,
+        degraded=args.degraded,
     ) as reader:
         keys = [args.key] if args.key else reader.keys()
         if args.key and args.key not in reader.keys():
@@ -695,10 +879,27 @@ def cmd_serve(args) -> int:
         requests = [rois[i % len(rois)] for i in range(args.requests)]
         rng.shuffle(requests)
         t0 = time.perf_counter()
-        results = reader.read_many(requests)
+        failures: list[tuple[tuple, Exception]] = []
+        if chaos_mode:
+            # Under injected faults or a deadline some requests are
+            # *expected* to fail; collect per-request outcomes instead of
+            # letting the first failure abort the run.
+            futures = [reader.submit(*request) for request in requests]
+            results = []
+            for request, future in zip(requests, futures):
+                try:
+                    results.append(future.result())
+                except Exception as exc:
+                    failures.append((request, exc))
+        else:
+            results = reader.read_many(requests)
         wall = time.perf_counter() - t0
         stats = reader.stats()
 
+    if not results:
+        print(f"serve: all {len(failures)} request(s) failed; first failure: "
+              f"{failures[0][1]}", file=sys.stderr)
+        return 1
     latencies = [req_stats.seconds for _data, req_stats in results]
     report = {
         "archive": str(args.path),
@@ -714,6 +915,20 @@ def cmd_serve(args) -> int:
         "cache": stats["cache"],
         "fetch": stats["fetch"],
     }
+    if chaos_mode:
+        degraded_rows = [req_stats for _data, req_stats in results if req_stats.errors]
+        report["n_failed"] = len(failures)
+        report["failure_kinds"] = sorted({type(exc).__name__ for _req, exc in failures})
+        report["degraded_requests"] = len(degraded_rows)
+        report["fill_boxes"] = sum(len(req_stats.errors) for req_stats in degraded_rows)
+        report["breaker"] = stats["breaker"]
+        if plan is not None:
+            report["chaos"] = {
+                "spec": args.chaos,
+                "seed": args.chaos_seed,
+                "n_fired": plan.n_fired,
+                "rules": plan.summary(),
+            }
     if args.json:
         args.json.parent.mkdir(parents=True, exist_ok=True)
         args.json.write_text(json_mod.dumps(report, indent=2, sort_keys=True) + "\n")
@@ -726,6 +941,11 @@ def cmd_serve(args) -> int:
           f"| cache hit rate {hit_rate} "
           f"| opens {stats['fetch']['opens']} "
           f"retries {stats['fetch']['open_retries'] + stats['fetch']['read_retries']}")
+    if chaos_mode:
+        fired = plan.n_fired if plan is not None else 0
+        print(f"chaos: {fired} fault(s) fired | {report['n_failed']} request(s) "
+              f"failed | {report['degraded_requests']} degraded "
+              f"({report['fill_boxes']} fill box(es))")
     return 0
 
 
@@ -768,6 +988,7 @@ def main(argv: list[str] | None = None) -> int:
         "inspect": cmd_inspect,
         "batch": cmd_batch,
         "serve": cmd_serve,
+        "scrub": cmd_scrub,
         "codecs": cmd_codecs,
         "experiments": cmd_experiments,
     }[args.command]

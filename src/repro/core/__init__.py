@@ -7,8 +7,10 @@ from repro.core.container import (
     CompressedDataset,
     ContainerIOError,
     LazyCompressedDataset,
+    PartIntegrityError,
     StreamingContainerWriter,
     pack_mask,
+    part_level,
     resolve_global_eb,
     stream_dataset,
     unpack_mask,
@@ -42,6 +44,8 @@ __all__ = [
     "Strategy",
     "CompressedDataset",
     "ContainerIOError",
+    "PartIntegrityError",
+    "part_level",
     "LazyCompressedDataset",
     "StreamingContainerWriter",
     "stream_dataset",

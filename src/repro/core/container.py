@@ -32,6 +32,12 @@ Three wire versions coexist:
   writer memory is bounded by the largest single part, not the dataset.
   Readers (eager and lazy) treat v3 identically to v2 once the index is
   located.
+* **version 4** (the integrity layout, default for streamed blobs) — v3
+  plus a CRC-32 per part, recorded as a fourth element of each index
+  row.  Eager reads verify every part at parse time; lazy reads verify
+  each part the moment its bytes arrive, so a flipped bit in one 64³
+  brick names that brick (:class:`PartIntegrityError`) instead of
+  poisoning whole-shard verification or decoding garbage.
 
 All versions deserialize through :meth:`CompressedDataset.from_bytes`
 and re-serialize byte-for-byte (a blob remembers its version), so stored
@@ -56,12 +62,16 @@ from repro.utils.timer import TimingRecord
 _MAGIC = b"RPAM"
 #: Wire version written by default for new blobs.
 CONTAINER_VERSION = 2
-#: Wire version written by :class:`StreamingContainerWriter` (index-at-tail).
-STREAMING_CONTAINER_VERSION = 3
-_SUPPORTED_VERSIONS = (1, 2, 3)
+#: Wire version written by :class:`StreamingContainerWriter` (index-at-tail
+#: with per-part CRC-32 integrity rows).
+STREAMING_CONTAINER_VERSION = 4
+_SUPPORTED_VERSIONS = (1, 2, 3, 4)
+#: Index-at-tail layouts (fixed-width index slot after ``_HEAD``).
+_TAIL_INDEX_VERSIONS = (3, 4)
 _HEAD = struct.Struct("<BQ")
-#: v3 extension after ``_HEAD``: index offset (relative to the blob start)
-#: and index length, zero-filled by the streaming writer until ``close()``.
+#: v3/v4 extension after ``_HEAD``: index offset (relative to the blob
+#: start) and index length, zero-filled by the streaming writer until
+#: ``close()``.
 _V3_INDEX = struct.Struct("<QQ")
 _LEN = struct.Struct("<Q")
 
@@ -76,8 +86,56 @@ class ContainerIOError(OSError, ValueError):
     failures diagnosable.
     """
 
+
+class PartIntegrityError(ContainerIOError):
+    """A stored part's bytes do not match their recorded CRC-32.
+
+    Raised by v4 reads the moment a part's bytes arrive (eager parse,
+    lazy ``__getitem__``, or prefetch staging).  Carries structured
+    context so callers can degrade per brick instead of per request:
+    ``entry`` (dataset name), ``level`` (parsed from the part name),
+    ``part``, ``expected``/``actual`` CRCs, and — when a coalesced
+    prefetch found several damaged parts in one pass — ``bad_parts``
+    mapping every failed part name to its message.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        entry: str | None = None,
+        level: int | None = None,
+        part: str | None = None,
+        expected: int | None = None,
+        actual: int | None = None,
+        bad_parts: dict | None = None,
+    ):
+        super().__init__(message)
+        self.entry = entry
+        self.level = level
+        self.part = part
+        self.expected = expected
+        self.actual = actual
+        self.bad_parts = dict(bad_parts) if bad_parts else ({part: message} if part else {})
+
+
 #: Part-name prefix for per-level validity masks.
 MASK_PREFIX = "mask/"
+
+
+def part_level(name: str) -> int | None:
+    """The AMR level a part name belongs to, or ``None``.
+
+    Understands the level-prefixed naming every codec uses
+    (``L<idx>/...`` payloads, ``mask/L<idx>`` masks); anything else —
+    e.g. a snapshot-scope part — has no level.
+    """
+    stem = name[len(MASK_PREFIX):] if name.startswith(MASK_PREFIX) else name
+    if stem.startswith("L"):
+        digits = stem[1:].split("/", 1)[0]
+        if digits.isdigit():
+            return int(digits)
+    return None
 
 
 def pack_mask(mask: np.ndarray, level: int = 1) -> bytes:
@@ -194,7 +252,10 @@ class CompressedDataset:
         index = []
         offset = 0
         for name, payload in self.parts.items():
-            index.append([name, offset, len(payload)])
+            row = [name, offset, len(payload)]
+            if self.container_version == 4:
+                row.append(zlib.crc32(payload))
+            index.append(row)
             offset += len(payload)
         if self.container_version == 1:
             record["part_names"] = list(self.parts)
@@ -204,7 +265,7 @@ class CompressedDataset:
         out = bytearray()
         out += _MAGIC
         out += _HEAD.pack(self.container_version, len(head))
-        if self.container_version == 3:
+        if self.container_version in _TAIL_INDEX_VERSIONS:
             # Index-at-tail: the fixed-width slot mirrors what the
             # streaming writer patches in after the last part.
             index_blob = json.dumps(index, sort_keys=True).encode("utf-8")
@@ -232,7 +293,7 @@ class CompressedDataset:
         if version not in _SUPPORTED_VERSIONS:
             raise ValueError(f"unsupported container version {version}")
         offset = 4 + _HEAD.size
-        if version == 3:
+        if version in _TAIL_INDEX_VERSIONS:
             index_off, index_len = _V3_INDEX.unpack_from(view, offset)
             offset += _V3_INDEX.size
         head = json.loads(bytes(view[offset : offset + head_len]).decode("utf-8"))
@@ -244,18 +305,33 @@ class CompressedDataset:
                 offset += _LEN.size
                 parts[name] = bytes(view[offset : offset + length])
                 offset += length
-        elif version == 3:
+        elif version in _TAIL_INDEX_VERSIONS:
             if index_off + index_len != len(view):
-                raise ValueError("trailing bytes after v3 part index")
+                raise ValueError("trailing bytes after the tail part index")
             payload_base = offset
             part_index = json.loads(bytes(view[index_off : index_off + index_len]).decode("utf-8"))
-            for name, part_off, length in part_index:
+            for row in part_index:
+                name, part_off, length = row[0], row[1], row[2]
                 lo = payload_base + part_off
                 if part_off < 0 or lo + length > index_off:
                     raise ValueError(
                         f"part {name!r} extends past the payload region (corrupt blob)"
                     )
-                parts[name] = bytes(view[lo : lo + length])
+                payload = bytes(view[lo : lo + length])
+                if version == 4:
+                    actual = zlib.crc32(payload)
+                    if actual != row[3]:
+                        raise PartIntegrityError(
+                            f"part {name!r} of entry {head['dataset_name']!r} failed "
+                            f"its CRC-32 ({actual:#010x} != recorded {row[3]:#010x}); "
+                            "the stored bytes are corrupt",
+                            entry=head["dataset_name"],
+                            level=part_level(name),
+                            part=name,
+                            expected=row[3],
+                            actual=actual,
+                        )
+                parts[name] = payload
             offset = len(view)
         else:
             payload_base = offset
@@ -438,15 +514,54 @@ class LazyPartStore(Mapping):
     ``__getitem__`` of each staged part is served from memory instead of
     issuing another source read.  ``bytes_read`` counts actual source
     I/O — staged hand-offs add an access count but no bytes.
+
+    When the blob carries per-part CRC-32s (container v4), every payload
+    is verified the moment its bytes arrive — direct reads in
+    ``__getitem__``, prefetched parts at staging time (the staged
+    hand-off itself never re-verifies) — and a mismatch raises
+    :class:`PartIntegrityError` naming the entry, level, and part.
     """
 
-    def __init__(self, source, index: dict[str, tuple[int, int]]):
+    def __init__(
+        self,
+        source,
+        index: dict[str, tuple[int, int]],
+        crcs: dict[str, int] | None = None,
+        entry: str | None = None,
+    ):
         self._source = source
         self._index = index
+        self._crcs = crcs or {}
+        self._entry = entry
         self._log_lock = threading.Lock()
         self._staged: dict[str, bytes] = {}
         self.access_counts: dict[str, int] = {}
         self.bytes_read = 0
+
+    @property
+    def verifies_integrity(self) -> bool:
+        """Whether this store holds per-part CRCs to check reads against."""
+        return bool(self._crcs)
+
+    def _verify(self, name: str, payload: bytes) -> None:
+        expected = self._crcs.get(name)
+        if expected is None:
+            return
+        actual = zlib.crc32(payload)
+        if actual == expected:
+            return
+        label = getattr(self._source, "label", "<unknown source>")
+        entry_ctx = f" of entry {self._entry!r}" if self._entry else ""
+        raise PartIntegrityError(
+            f"part {name!r}{entry_ctx} from {label} failed its CRC-32 "
+            f"({actual:#010x} != recorded {expected:#010x}); the stored "
+            "bytes are corrupt",
+            entry=self._entry,
+            level=part_level(name),
+            part=name,
+            expected=expected,
+            actual=actual,
+        )
 
     # -- mapping protocol (no payload reads except __getitem__) ----------
     def __getitem__(self, name: str) -> bytes:
@@ -464,6 +579,7 @@ class LazyPartStore(Mapping):
                 f"failed reading part {name!r} ({length} bytes at offset {offset}) "
                 f"from {label}: {exc}"
             ) from exc
+        self._verify(name, payload)
         with self._log_lock:
             self.access_counts[name] = self.access_counts.get(name, 0) + 1
             self.bytes_read += length
@@ -478,6 +594,12 @@ class LazyPartStore(Mapping):
         bytes_fetched)``: how many source reads were issued and how many
         bytes they covered (including any bridged gap bytes, which is the
         honest transfer cost).  Already-staged parts are not re-fetched.
+
+        Per-part CRCs (container v4) are checked at staging: every part
+        that verifies is staged before the failure surfaces, and the
+        raised :class:`PartIntegrityError` carries *all* damaged names
+        in ``bad_parts`` — a degrading reader fills exactly the bad
+        bricks while their window-mates stay servable.
         """
         with self._log_lock:
             wanted = [name for name in names if name not in self._staged]
@@ -486,6 +608,7 @@ class LazyPartStore(Mapping):
             return (0, 0)
         n_reads = 0
         bytes_fetched = 0
+        bad: dict[str, PartIntegrityError] = {}
         for lo, length in coalesce_spans(list(spans.values()), max_gap):
             try:
                 window = self._source.read_at(lo, length)
@@ -502,9 +625,27 @@ class LazyPartStore(Mapping):
                 for name, (offset, n) in spans.items()
                 if lo <= offset and offset + n <= lo + length
             }
+            for name, payload in list(staged.items()):
+                try:
+                    self._verify(name, payload)
+                except PartIntegrityError as exc:
+                    bad[name] = exc
+                    del staged[name]
             with self._log_lock:
                 self._staged.update(staged)
                 self.bytes_read += length
+        if bad:
+            first = bad[min(bad)]
+            raise PartIntegrityError(
+                f"{len(bad)} part(s) failed CRC-32 during prefetch: "
+                f"{sorted(bad)}; first failure: {first}",
+                entry=first.entry,
+                level=first.level,
+                part=first.part,
+                expected=first.expected,
+                actual=first.actual,
+                bad_parts={name: str(exc) for name, exc in bad.items()},
+            )
         return (n_reads, bytes_fetched)
 
     def discard_staged(self) -> None:
@@ -593,12 +734,13 @@ class LazyCompressedDataset:
         if version not in _SUPPORTED_VERSIONS:
             raise ValueError(f"unsupported container version {version}")
         head_off = base + 4 + _HEAD.size
-        if version == 3:
+        if version in _TAIL_INDEX_VERSIONS:
             index_off, index_len = _V3_INDEX.unpack(src.read_at(head_off, _V3_INDEX.size))
             head_off += _V3_INDEX.size
         head = json.loads(src.read_at(head_off, head_len).decode("utf-8"))
         payload_base = head_off + head_len
         index: dict[str, tuple[int, int]] = {}
+        crcs: dict[str, int] = {}
         if version == 1:
             # No index on the wire: walk the length prefixes (8 bytes per
             # part — cheap even over a file) to build one.
@@ -607,19 +749,23 @@ class LazyCompressedDataset:
                 (length,) = _LEN.unpack(src.read_at(offset, _LEN.size))
                 index[name] = (offset + _LEN.size, length)
                 offset += _LEN.size + length
-        elif version == 3:
+        elif version in _TAIL_INDEX_VERSIONS:
             # Index-at-tail: one extra bounded read locates every part.
             part_index = json.loads(src.read_at(base + index_off, index_len).decode("utf-8"))
-            for name, part_off, length in part_index:
+            for row in part_index:
+                name, part_off, length = row[0], row[1], row[2]
                 if part_off < 0 or payload_base + part_off + length > base + index_off:
                     raise ValueError(
                         f"part {name!r} extends past the payload region (corrupt blob)"
                     )
                 index[name] = (payload_base + part_off, length)
+                if version == 4:
+                    crcs[name] = row[3]
         else:
             for name, part_off, length in head["part_index"]:
                 index[name] = (payload_base + part_off, length)
-        return cls(head, LazyPartStore(src, index), version, src, owns_source=owns_source)
+        parts = LazyPartStore(src, index, crcs=crcs, entry=head["dataset_name"])
+        return cls(head, parts, version, src, owns_source=owns_source)
 
     # -- CompressedDataset surface ----------------------------------------
     def part_sizes(self) -> dict[str, int]:
@@ -673,16 +819,21 @@ class LazyCompressedDataset:
 # streaming writing
 # ----------------------------------------------------------------------
 class StreamingContainerWriter:
-    """Write a version-3 container part-by-part with bounded memory.
+    """Write a tail-indexed container part-by-part with bounded memory.
 
     ``CompressedDataset.to_bytes`` materializes header + every payload in
     one buffer — fine for experiment-sized blobs, quadratically painful
-    for snapshot-scale dumps.  This writer emits the fixed-width v3
+    for snapshot-scale dumps.  This writer emits the fixed-width tail
     header immediately (index offset zero-filled), streams each part to
     the sink the moment it is added, and on :meth:`close` appends the
     part index and patches the header slot — so peak memory is one part,
     never the dataset, and the resulting bytes are **identical** to
-    ``to_bytes()`` with ``container_version=3``.
+    ``to_bytes()`` with the same ``container_version``.
+
+    The default version is 4, which records a CRC-32 per part in the
+    index (computed incrementally as each payload streams through, so
+    the memory bound is unchanged); pass ``container_version=3`` to
+    reproduce the legacy integrity-free layout byte-for-byte.
 
     The sink may be a path (opened/closed by the writer) or a seekable
     binary file positioned where the blob should start — which is how
@@ -700,7 +851,14 @@ class StreamingContainerWriter:
         meta: dict | None = None,
         original_bytes: int = 0,
         n_values: int = 0,
+        container_version: int = STREAMING_CONTAINER_VERSION,
     ):
+        if container_version not in _TAIL_INDEX_VERSIONS:
+            raise ValueError(
+                f"streaming writes need a tail-indexed container version "
+                f"{_TAIL_INDEX_VERSIONS}, got {container_version}"
+            )
+        self.container_version = int(container_version)
         if isinstance(sink, (str, Path)):
             self._fh = open(sink, "wb")
             self._owns = True
@@ -713,7 +871,7 @@ class StreamingContainerWriter:
         record = _head_record(method, dataset_name, meta or {}, original_bytes, n_values)
         head = json.dumps(record, sort_keys=True).encode("utf-8")
         self._fh.write(_MAGIC)
-        self._fh.write(_HEAD.pack(STREAMING_CONTAINER_VERSION, len(head)))
+        self._fh.write(_HEAD.pack(self.container_version, len(head)))
         self._patch_at = self._base + 4 + _HEAD.size
         self._fh.write(_V3_INDEX.pack(0, 0))
         self._fh.write(head)
@@ -736,7 +894,10 @@ class StreamingContainerWriter:
             raise ValueError(f"duplicate part name {name!r}")
         payload = bytes(payload) if not isinstance(payload, bytes) else payload
         self._fh.write(payload)
-        self._index.append([name, self._offset, len(payload)])
+        row = [name, self._offset, len(payload)]
+        if self.container_version >= 4:
+            row.append(zlib.crc32(payload))
+        self._index.append(row)
         self._offset += len(payload)
         self._names.add(name)
         self.largest_part = max(self.largest_part, len(payload))
@@ -796,7 +957,7 @@ class StreamingContainerWriter:
             self.close()
 
 
-def stream_dataset(comp, sink) -> int:
+def stream_dataset(comp, sink, *, container_version: int = STREAMING_CONTAINER_VERSION) -> int:
     """Serialize an existing :class:`CompressedDataset` (or lazy view)
     through :class:`StreamingContainerWriter`, one part at a time.
 
@@ -810,6 +971,7 @@ def stream_dataset(comp, sink) -> int:
         meta=comp.meta,
         original_bytes=comp.original_bytes,
         n_values=comp.n_values,
+        container_version=container_version,
     )
     with writer:
         for name in comp.parts:

@@ -117,10 +117,15 @@ class DecompressionPlan:
         )
 
 
+#: Sentinel marking a unit whose decode failed under error collection.
+_DECODE_FAILED = object()
+
+
 def execute_plan(
     plan: DecompressionPlan,
     decode_workers: int = 1,
     preloaded: dict[str, object] | None = None,
+    errors: dict[str, Exception] | None = None,
 ) -> dict[str, object]:
     """Run every unit and return ``{unit.key: decoded}``.
 
@@ -133,6 +138,11 @@ def execute_plan(
     neither fetched nor decoded — their stored result is carried into the
     output — so a decoded-brick cache can satisfy part of a plan and pay
     I/O + decode only for the misses.
+
+    ``errors`` is the degraded-read seam: when given, a unit whose decode
+    raises is recorded there (``unit.key → exception``) and omitted from
+    the results instead of aborting the whole plan.  When ``None`` (the
+    default) the first failure propagates, as ever.
     """
     decode_workers = check_positive_int(decode_workers, name="decode_workers")
     units = plan.units
@@ -140,12 +150,28 @@ def execute_plan(
     if preloaded:
         results = {u.key: preloaded[u.key] for u in units if u.key in preloaded}
         units = [unit for unit in units if unit.key not in preloaded]
+
+    def run(unit):
+        if errors is None:
+            return unit.decode()
+        try:
+            return unit.decode()
+        except Exception as exc:
+            errors[unit.key] = exc
+            return _DECODE_FAILED
+
     if decode_workers > 1 and len(units) > 1:
         with ThreadPoolExecutor(max_workers=decode_workers) as pool:
-            decoded = list(pool.map(lambda unit: unit.decode(), units))
+            decoded = list(pool.map(run, units))
     else:
-        decoded = [unit.decode() for unit in units]
-    results.update({unit.key: result for unit, result in zip(units, decoded)})
+        decoded = [run(unit) for unit in units]
+    results.update(
+        {
+            unit.key: result
+            for unit, result in zip(units, decoded)
+            if result is not _DECODE_FAILED
+        }
+    )
     return results
 
 

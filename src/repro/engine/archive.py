@@ -47,6 +47,7 @@ from pathlib import Path
 
 from repro.amr.hierarchy import AMRDataset
 from repro.core.container import (
+    STREAMING_CONTAINER_VERSION,
     CompressedDataset,
     ContainerIOError,
     LazyCompressedDataset,
@@ -266,15 +267,28 @@ class BatchArchive:
             fh.write(data)
         return len(data)
 
-    def save_sharded(self, path, shard_size: int = DEFAULT_SHARD_SIZE) -> "ShardedWriteReport":
+    def save_sharded(
+        self,
+        path,
+        shard_size: int = DEFAULT_SHARD_SIZE,
+        *,
+        container_version: int = STREAMING_CONTAINER_VERSION,
+    ) -> "ShardedWriteReport":
         """Write this archive as a v3 head shard plus payload shards.
 
         Entries are streamed in sorted-key order (mirroring
         :meth:`to_bytes` determinism: equal archives produce byte-equal
-        shard sets).  Returns the writer's report (head path, shard
-        paths, sizes).
+        shard sets).  ``container_version`` picks the per-entry blob
+        layout inside the shards (4 = per-part CRC-32s, the default;
+        3 = the legacy integrity-free layout).  Returns the writer's
+        report (head path, shard paths, sizes).
         """
-        with ShardedArchiveWriter(path, shard_size=shard_size, meta=self.meta) as writer:
+        with ShardedArchiveWriter(
+            path,
+            shard_size=shard_size,
+            meta=self.meta,
+            container_version=container_version,
+        ) as writer:
             for key in sorted(self.entries):
                 writer.add_entry(key, self.entries[key])
         return writer.report
@@ -344,11 +358,13 @@ class ShardedArchiveWriter:
         *,
         shard_size: int = DEFAULT_SHARD_SIZE,
         meta: dict | None = None,
+        container_version: int = STREAMING_CONTAINER_VERSION,
     ):
         if shard_size <= 0:
             raise ValueError(f"shard_size must be positive, got {shard_size}")
         self._head_path = Path(head_path)
         self._shard_size = int(shard_size)
+        self._container_version = int(container_version)
         self._meta = dict(meta or {})
         self._dir = self._head_path.parent
         self._index: dict[str, list[int]] = {}
@@ -411,6 +427,7 @@ class ShardedArchiveWriter:
             meta=comp.meta,
             original_bytes=comp.original_bytes,
             n_values=comp.n_values,
+            container_version=self._container_version,
         )
         for name in comp.parts:
             writer.add_part(name, comp.parts[name])
@@ -529,6 +546,15 @@ class _ShardStore:
             name = rec["name"]
             try:
                 src = self._opener(name)
+            except ContainerIOError as exc:
+                if type(exc) is not ContainerIOError:
+                    # A typed subclass (CircuitOpenError, PartIntegrityError)
+                    # carries dispatchable meaning; re-wrapping would bury it.
+                    raise
+                raise ContainerIOError(
+                    f"archive {self._label}: payload shard {name!r} (needed for "
+                    f"entry {key!r}) could not be opened: {exc}"
+                ) from exc
             except (OSError, ValueError) as exc:
                 raise ContainerIOError(
                     f"archive {self._label}: payload shard {name!r} (needed for "
@@ -748,6 +774,40 @@ class LazyBatchArchive:
             return {}
         shard_names = [rec["name"] for rec in self._head["shards"]]
         return {key: shard_names[loc[0]] for key, loc in self._index.items()}
+
+    # -- integrity ---------------------------------------------------------
+    def verify_shards(self) -> list[dict]:
+        """Check every payload shard's recorded size and CRC-32.
+
+        Unlike ``open(verify_shards=True)`` — which verifies each shard
+        on first *use* and raises at the first mismatch — this walks all
+        shards and returns one row per shard, so a damaged archive
+        reports every casualty in one pass::
+
+            [{"name": ..., "n_bytes": ..., "ok": bool, "error": str | None}, ...]
+
+        Each shard is opened fresh, read in bounded chunks, and closed
+        again, so verification never interferes with (or trusts) sources
+        already opened for reads.  Monolithic archives return ``[]``.
+        """
+        if not self.is_sharded:
+            return []
+        rows = []
+        for rec in self._head["shards"]:
+            row = {"name": rec["name"], "n_bytes": rec["n_bytes"], "ok": True, "error": None}
+            src = None
+            try:
+                src = self._shards._opener(rec["name"])
+                self._shards._check_integrity(src, rec)
+            except (OSError, ValueError) as exc:
+                row["ok"] = False
+                row["error"] = str(exc)
+                src = None  # _check_integrity closes on failure; opener failed otherwise
+            finally:
+                if src is not None:
+                    src.close()
+            rows.append(row)
+        return rows
 
     # -- entries -----------------------------------------------------------
     def entry(self, key: str) -> LazyCompressedDataset:

@@ -1,0 +1,26 @@
+"""Deterministic fault injection for archive I/O.
+
+Every retry/recovery claim in the serving stack — backoff on transient
+``OSError``s, CRC-32 part verification, deadlines, degraded reads — is
+only as good as its tests, and real storage faults don't show up on
+demand.  This package makes them show up on demand: a seedable
+:class:`FaultPlan` decides *when* (by part-name glob, call count, byte
+offset, probability) and :class:`FaultInjectingSource` decides *what*
+(transient ``OSError``s, added latency, truncated reads, flipped bits),
+wrapped around any byte source via :func:`faulty_opener` so the same
+plan drives unit tests, ``benchmarks/bench_chaos.py``, and
+``repro serve --chaos``.
+"""
+
+from repro.faults.inject import FaultInjectingSource, archive_part_spans, faulty_opener
+from repro.faults.plan import FAULT_KINDS, FaultEvent, FaultPlan, FaultRule
+
+__all__ = [
+    "FAULT_KINDS",
+    "FaultEvent",
+    "FaultPlan",
+    "FaultRule",
+    "FaultInjectingSource",
+    "archive_part_spans",
+    "faulty_opener",
+]

@@ -1,0 +1,228 @@
+"""Fault plans: seeded, counted, glob-targeted decisions about failure.
+
+A :class:`FaultPlan` is the *policy* half of fault injection — it owns
+the rules, the RNG, and the per-rule counters, and answers one question
+per intercepted read: which faults fire here?  The *mechanism* half
+(actually raising, sleeping, corrupting) lives in
+:mod:`repro.faults.inject`.  Keeping policy separate means one plan can
+be shared across every source an opener produces, so "fail 5% of shard
+reads" is a property of the run, not of one file, and the seeded RNG
+makes the whole run replayable.
+"""
+
+from __future__ import annotations
+
+import fnmatch
+import random
+import threading
+from dataclasses import dataclass
+
+#: The fault kinds the injector knows how to apply.
+FAULT_KINDS = ("oserror", "latency", "truncate", "bitflip")
+
+
+@dataclass(frozen=True)
+class FaultRule:
+    """One fault trigger.
+
+    Attributes
+    ----------
+    kind:
+        What happens when the rule fires — one of :data:`FAULT_KINDS`:
+        ``oserror`` raises a transient ``OSError`` before the read (the
+        retry path's food), ``latency`` sleeps ``delay`` seconds before
+        the read (a slow or stalled store), ``truncate`` returns only
+        the first half of the requested bytes (a torn read), and
+        ``bitflip`` flips bit ``bit`` of one payload byte (bit rot the
+        CRC layer must catch).
+    match:
+        ``fnmatch`` glob tested against the source name *and* — when the
+        injector was given part spans — every ``<entry_key>/<part>``
+        name whose stored span intersects the read.  ``*`` crosses
+        slashes, so ``*/L0/b3`` matches ``toy/tac/L0/b3``.
+    p:
+        Firing probability per matching call (decided by the plan's
+        seeded RNG; ``1.0`` fires deterministically).
+    times:
+        Fire at most this many times (``None`` = unlimited).  A
+        transient fault is ``times=1``: first read fails, retry wins.
+    after:
+        Skip the first ``after`` matching calls before firing.
+    delay:
+        Seconds slept by ``latency`` faults.
+    bit:
+        Bit index (0–7) flipped by ``bitflip`` faults.
+    offset:
+        For ``bitflip``: byte offset *within the matched part* (or the
+        read, when only the source name matched) of the byte to flip.
+        ``None`` flips the first readable byte of the match.
+    """
+
+    kind: str
+    match: str = "*"
+    p: float = 1.0
+    times: int | None = None
+    after: int = 0
+    delay: float = 0.05
+    bit: int = 0
+    offset: int | None = None
+
+    def __post_init__(self):
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(f"unknown fault kind {self.kind!r}; expected one of {FAULT_KINDS}")
+        if not 0.0 <= self.p <= 1.0:
+            raise ValueError(f"fault probability must be in [0, 1], got {self.p}")
+        if not 0 <= self.bit <= 7:
+            raise ValueError(f"bit index must be in [0, 7], got {self.bit}")
+        if self.times is not None and self.times < 0:
+            raise ValueError(f"times must be non-negative, got {self.times}")
+        if self.after < 0:
+            raise ValueError(f"after must be non-negative, got {self.after}")
+        if self.delay < 0:
+            raise ValueError(f"delay must be non-negative, got {self.delay}")
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One fired fault, recorded by the plan (the replayable audit log)."""
+
+    kind: str
+    rule: int
+    target: str
+    #: Stored span of the matched target — the part's ``(offset, len)``
+    #: when a part matched, else the read span itself.
+    span: tuple[int, int]
+    #: The intercepted read's ``(offset, length)``.
+    read: tuple[int, int]
+    delay: float = 0.0
+    bit: int = 0
+    offset: int | None = None
+
+
+_RULE_FIELDS = {
+    "match": str,
+    "p": float,
+    "times": int,
+    "after": int,
+    "delay": float,
+    "bit": int,
+    "offset": int,
+}
+
+
+class FaultPlan:
+    """A seeded, thread-safe set of fault rules with firing counters.
+
+    One plan instance is meant to be shared by every source in a run:
+    counters (``after``/``times``) and the RNG are global to the plan,
+    guarded by a lock, so concurrent reads draw from one deterministic
+    sequence.  Every fired fault is appended to :attr:`events` —
+    benchmarks compare that log against what the degraded read
+    *reported* to prove the report is exact.
+    """
+
+    def __init__(self, rules, seed: int = 0):
+        self.rules: list[FaultRule] = list(rules)
+        self.seed = int(seed)
+        self._rng = random.Random(self.seed)
+        self._lock = threading.Lock()
+        self._matched = [0] * len(self.rules)
+        self._fired = [0] * len(self.rules)
+        self.events: list[FaultEvent] = []
+
+    # -- construction ------------------------------------------------------
+    @classmethod
+    def parse(cls, spec: str, seed: int = 0) -> "FaultPlan":
+        """Build a plan from a CLI spec string.
+
+        Grammar: ``kind:key=val,key=val;kind2:...`` — e.g.::
+
+            oserror:match=*.rpsh,p=0.05,times=3;bitflip:match=*/L0/b2,offset=7
+
+        Keys are :class:`FaultRule` fields; values are coerced to the
+        field's type.  A kind with no options (``latency``) uses the
+        rule defaults.
+        """
+        rules = []
+        for clause in filter(None, (c.strip() for c in spec.split(";"))):
+            kind, _, body = clause.partition(":")
+            kwargs: dict = {}
+            for item in filter(None, (i.strip() for i in body.split(","))):
+                key, eq, value = item.partition("=")
+                if not eq or key not in _RULE_FIELDS:
+                    raise ValueError(
+                        f"bad fault option {item!r} in {clause!r}; "
+                        f"expected key=value with key in {sorted(_RULE_FIELDS)}"
+                    )
+                kwargs[key] = _RULE_FIELDS[key](value)
+            rules.append(FaultRule(kind.strip(), **kwargs))
+        if not rules:
+            raise ValueError(f"fault spec {spec!r} contains no rules")
+        return cls(rules, seed=seed)
+
+    # -- decisions ---------------------------------------------------------
+    def fire(self, source_name: str, offset: int, length: int, part_spans=None):
+        """Decide which rules fire for one ``read_at`` call.
+
+        ``part_spans`` maps qualified part names to their stored
+        ``(offset, length)`` in this source; parts intersecting the read
+        are candidate targets alongside the source name itself.  Returns
+        the fired :class:`FaultEvent` list (also appended to
+        :attr:`events`).
+        """
+        targets: list[tuple[str, tuple[int, int]]] = [(source_name, (offset, length))]
+        for pname, (poff, plen) in (part_spans or {}).items():
+            if poff < offset + length and offset < poff + plen:
+                targets.append((pname, (poff, plen)))
+        fired: list[FaultEvent] = []
+        with self._lock:
+            for idx, rule in enumerate(self.rules):
+                hit = next(
+                    (t for t in targets if fnmatch.fnmatchcase(t[0], rule.match)), None
+                )
+                if hit is None:
+                    continue
+                self._matched[idx] += 1
+                if self._matched[idx] <= rule.after:
+                    continue
+                if rule.times is not None and self._fired[idx] >= rule.times:
+                    continue
+                if rule.p < 1.0 and self._rng.random() >= rule.p:
+                    continue
+                self._fired[idx] += 1
+                event = FaultEvent(
+                    kind=rule.kind,
+                    rule=idx,
+                    target=hit[0],
+                    span=hit[1],
+                    read=(offset, length),
+                    delay=rule.delay,
+                    bit=rule.bit,
+                    offset=rule.offset,
+                )
+                fired.append(event)
+                self.events.append(event)
+        return fired
+
+    # -- accounting --------------------------------------------------------
+    def summary(self) -> list[dict]:
+        """Per-rule ``{kind, match, matched, fired}`` rows."""
+        with self._lock:
+            return [
+                {
+                    "kind": rule.kind,
+                    "match": rule.match,
+                    "matched": self._matched[idx],
+                    "fired": self._fired[idx],
+                }
+                for idx, rule in enumerate(self.rules)
+            ]
+
+    def fired_events(self, kind: str | None = None) -> list[FaultEvent]:
+        with self._lock:
+            return [e for e in self.events if kind is None or e.kind == kind]
+
+    @property
+    def n_fired(self) -> int:
+        with self._lock:
+            return sum(self._fired)

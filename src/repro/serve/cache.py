@@ -67,10 +67,12 @@ class DecodedBrickCache:
             self.hits += 1
             return cached[0]
 
-    def put(self, key: CacheKey, value) -> None:
+    def put(self, key: CacheKey, value) -> bool:
+        """Insert (or refresh) ``key``; returns whether it was cached
+        (``False`` when the value alone exceeds the whole budget)."""
         size = _nbytes(value)
         if size > self.max_bytes:
-            return
+            return False
         with self._lock:
             old = self._entries.pop(key, None)
             if old is not None:
@@ -82,6 +84,7 @@ class DecodedBrickCache:
                 _evicted_key, (_value, evicted_size) = self._entries.popitem(last=False)
                 self.current_bytes -= evicted_size
                 self.evictions += 1
+        return True
 
     def clear(self) -> None:
         with self._lock:

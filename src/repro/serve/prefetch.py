@@ -25,7 +25,8 @@ from __future__ import annotations
 import threading
 import time
 from bisect import bisect_right
-from concurrent.futures import ThreadPoolExecutor, as_completed
+from concurrent.futures import FIRST_COMPLETED, ThreadPoolExecutor, wait
+from concurrent.futures import TimeoutError as _FuturesTimeout
 from dataclasses import dataclass, field
 
 from repro.core.container import coalesce_spans
@@ -35,6 +36,47 @@ from repro.core.plan import DecompressionPlan, execute_plan
 #: one ranged read.  4 KiB bridges part-index padding without dragging in
 #: megabytes of unrequested payload.
 DEFAULT_COALESCE_GAP = 4096
+
+
+class DeadlineExceeded(TimeoutError):
+    """A request's deadline expired before its fetches/decodes finished.
+
+    Raised instead of hanging on a stalled source: the deadline is
+    checked whenever the pipeline waits on a fetch window and before
+    every decode-result collection, so a read against a dead store
+    fails in bounded time even though the blocked I/O thread itself
+    cannot be interrupted.
+    """
+
+
+class Deadline:
+    """A monotonic-clock budget shared across a request's stages.
+
+    Created once per request (``Deadline(seconds)``) and consulted as
+    the request progresses; ``remaining()`` shrinks toward zero and
+    every pipeline wait uses it as its timeout.  ``clock`` is injectable
+    for tests.
+    """
+
+    def __init__(self, seconds: float, clock=time.monotonic):
+        if seconds <= 0:
+            raise ValueError(f"deadline must be positive, got {seconds}")
+        self.seconds = float(seconds)
+        self._clock = clock
+        self._t0 = clock()
+
+    def remaining(self) -> float:
+        return self.seconds - (self._clock() - self._t0)
+
+    def expired(self) -> bool:
+        return self.remaining() <= 0
+
+    @classmethod
+    def coerce(cls, value) -> "Deadline | None":
+        """``None`` passes through, numbers become fresh deadlines."""
+        if value is None or isinstance(value, cls):
+            return value
+        return cls(float(value))
 
 
 @dataclass
@@ -51,6 +93,11 @@ class PipelineStats:
     #: (last_fetch_end) whenever the request spans several windows.
     first_decode_start: float | None = None
     last_fetch_end: float | None = None
+    #: Units that failed under ``allow_partial=True`` (key → exception);
+    #: they are absent from the result dict.
+    unit_errors: dict = field(default_factory=dict)
+    #: Whether the request's deadline expired mid-flight.
+    deadline_hit: bool = False
 
     def overlapped(self) -> bool:
         """Whether any decode started while fetches were still in flight."""
@@ -126,16 +173,39 @@ class PrefetchPipeline:
 
     # -- execution ---------------------------------------------------------
     def execute(
-        self, parts, units, preloaded: dict | None = None
+        self,
+        parts,
+        units,
+        preloaded: dict | None = None,
+        *,
+        deadline: "Deadline | float | None" = None,
+        allow_partial: bool = False,
     ) -> tuple[dict, PipelineStats]:
         """Fetch + decode ``units`` and return ``({key: decoded}, stats)``.
 
         ``parts`` is the entry's part mapping; prefetch only happens for
         lazy stores (``spans``/``prefetch``), eager dicts decode
         directly.  ``preloaded`` results (cache hits) skip both stages.
+
+        ``deadline`` bounds the request in wall time: it is enforced at
+        every fetch-window wait and every decode-result collection, so a
+        stalled source raises :class:`DeadlineExceeded` instead of
+        hanging (in-flight I/O threads finish in the background; their
+        results are discarded).  Eager in-memory part dicts have no
+        fetch stage and are not deadline-checked.
+
+        ``allow_partial=True`` turns failures into casualties instead of
+        aborts: a unit whose fetch window failed, whose decode raised, or
+        whose budget ran out is recorded in ``stats.unit_errors`` (key →
+        exception) and omitted from the results — the caller decides how
+        to degrade.  A window fetch that failed with an aggregated
+        ``bad_parts`` attribute (CRC failures during prefetch stage the
+        *good* parts before raising) only fails the units that actually
+        touch a bad part.
         """
         if self._closed:
             raise RuntimeError("pipeline is closed")
+        deadline = Deadline.coerce(deadline)
         stats = PipelineStats()
         results: dict = {}
         if preloaded:
@@ -148,9 +218,9 @@ class PrefetchPipeline:
             return results, stats
         stats.n_decoded = len(pending)
         if not (hasattr(parts, "spans") and hasattr(parts, "prefetch")):
-            results.update(
-                execute_plan(DecompressionPlan(list(pending)), self._decode_workers)
-            )
+            plan = DecompressionPlan(list(pending))
+            errors = stats.unit_errors if allow_partial else None
+            results.update(execute_plan(plan, self._decode_workers, errors=errors))
             return results, stats
 
         window_plan = _plan_windows(parts.spans(), pending, self.max_gap)
@@ -185,31 +255,103 @@ class PrefetchPipeline:
             unit.key: set(window_plan.unit_windows.get(unit.key, ()))
             for unit in pending
         }
+        failed = stats.unit_errors
         decode_futures = {}
-        for unit in pending:
-            if not waiting[unit.key]:
+
+        def submit_ready(unit) -> None:
+            if (
+                not waiting[unit.key]
+                and unit.key not in decode_futures
+                and unit.key not in failed
+            ):
                 decode_futures[unit.key] = self._decode_pool.submit(decode, unit)
+
+        for unit in pending:
+            submit_ready(unit)
         by_window: dict[int, list] = {}
         for unit in pending:
             for idx in waiting[unit.key]:
                 by_window.setdefault(idx, []).append(unit)
-        try:
-            for future in as_completed(fetch_futures):
-                idx = fetch_futures[future]
-                future.result()
-                for unit in by_window.get(idx, ()):  # decode when last window lands
-                    waiting[unit.key].discard(idx)
-                    if not waiting[unit.key] and unit.key not in decode_futures:
-                        decode_futures[unit.key] = self._decode_pool.submit(decode, unit)
-            results.update(
-                {key: future.result() for key, future in decode_futures.items()}
+
+        def deadline_error() -> DeadlineExceeded:
+            return DeadlineExceeded(
+                f"request deadline of {deadline.seconds:.3f}s expired with "
+                f"{len(in_flight)} fetch window(s) outstanding and "
+                f"{len(decode_futures)} decode(s) submitted"
             )
+
+        in_flight = set(fetch_futures)
+        try:
+            while in_flight:
+                timeout = None if deadline is None else max(0.0, deadline.remaining())
+                done, in_flight = wait(
+                    in_flight, timeout=timeout, return_when=FIRST_COMPLETED
+                )
+                if not done:
+                    # Deadline expired waiting on a stalled fetch.
+                    stats.deadline_hit = True
+                    for future in in_flight:
+                        future.cancel()
+                    if not allow_partial:
+                        raise deadline_error()
+                    for key, waits in waiting.items():
+                        if waits and key not in decode_futures:
+                            failed.setdefault(key, deadline_error())
+                    break
+                for future in done:
+                    idx = fetch_futures[future]
+                    try:
+                        future.result()
+                    except Exception as exc:
+                        if not allow_partial:
+                            raise
+                        bad = getattr(exc, "bad_parts", None)
+                        for unit in by_window.get(idx, ()):
+                            if bad and not (set(unit.part_names) & set(bad)):
+                                # Prefetch staged every good part before
+                                # raising: this unit touches none of the
+                                # bad ones, so its window effectively
+                                # landed.
+                                waiting[unit.key].discard(idx)
+                                submit_ready(unit)
+                            else:
+                                failed.setdefault(unit.key, exc)
+                        continue
+                    expired = deadline is not None and deadline.expired()
+                    if expired:
+                        stats.deadline_hit = True
+                        if not allow_partial:
+                            raise deadline_error()
+                    for unit in by_window.get(idx, ()):
+                        waiting[unit.key].discard(idx)
+                        if expired:
+                            if unit.key not in decode_futures:
+                                failed.setdefault(unit.key, deadline_error())
+                        else:
+                            submit_ready(unit)
+            for key, future in decode_futures.items():
+                timeout = None if deadline is None else max(0.0, deadline.remaining())
+                try:
+                    results[key] = future.result(timeout=timeout)
+                except _FuturesTimeout:
+                    stats.deadline_hit = True
+                    if not allow_partial:
+                        raise deadline_error()
+                    failed.setdefault(key, deadline_error())
+                except Exception as exc:
+                    if not allow_partial:
+                        raise
+                    failed.setdefault(key, exc)
         except Exception:
             # A failed fetch or decode abandons the request: drop anything
             # staged for it so the entry's store does not accrete payloads
             # no one will read.
             parts.discard_staged()
             raise
+        if failed:
+            # Degraded request finished with casualties: their staged
+            # payloads will never be consumed, so drop them.
+            parts.discard_staged()
         return results, stats
 
     # -- lifecycle ---------------------------------------------------------

@@ -33,13 +33,29 @@ from pathlib import Path
 
 import numpy as np
 
-from repro.core.container import MASK_PREFIX
+from repro.core.container import MASK_PREFIX, PartIntegrityError
 from repro.core.plan import normalize_region, region_slices
 from repro.engine import LazyBatchArchive, codec_for_method, default_shard_opener
 from repro.engine.archive import _entry_decompress  # registry-routed full decode
+from repro.serve.breaker import CircuitBreaker, breaking_opener
 from repro.serve.cache import DecodedBrickCache
 from repro.serve.opener import FetchStats, RetryPolicy, retrying_opener
-from repro.serve.prefetch import DEFAULT_COALESCE_GAP, PipelineStats, PrefetchPipeline
+from repro.serve.prefetch import (
+    DEFAULT_COALESCE_GAP,
+    Deadline,
+    DeadlineExceeded,
+    PipelineStats,
+    PrefetchPipeline,
+)
+
+
+def _error_kind(exc: BaseException) -> str:
+    """Classify a degraded-unit failure for the structured report."""
+    if isinstance(exc, PartIntegrityError):
+        return "integrity"
+    if isinstance(exc, DeadlineExceeded):
+        return "timeout"
+    return "io"
 
 
 @dataclass
@@ -57,6 +73,13 @@ class RequestStats:
     n_parts_fetched: int
     n_fetches: int
     overlapped: bool
+    #: Whether this request ran in degraded mode (fill-on-failure).
+    degraded: bool = False
+    #: One row per failed unit in a degraded request: the level-space
+    #: box that holds fill values instead of data, why, and the failure
+    #: class (``integrity`` / ``timeout`` / ``io``).  Empty on clean
+    #: requests.
+    errors: list = field(default_factory=list)
 
     def to_json(self) -> dict:
         return {
@@ -71,6 +94,8 @@ class RequestStats:
             "n_parts_fetched": self.n_parts_fetched,
             "n_fetches": self.n_fetches,
             "overlapped": self.overlapped,
+            "degraded": self.degraded,
+            "errors": self.errors,
         }
 
 
@@ -125,6 +150,26 @@ class ArchiveReader:
     coalesce_gap:
         Adjacent part spans closer than this many bytes merge into one
         ranged read.
+    default_deadline:
+        Wall-time budget (seconds) applied to every request that does
+        not pass its own ``deadline``; ``None`` means unbounded.  An
+        expired deadline raises
+        :class:`~repro.serve.prefetch.DeadlineExceeded` — or, in
+        degraded mode, fills the late bricks.
+    degraded:
+        Default failure mode for requests: ``True`` turns a corrupt,
+        timed-out, or unreachable *brick* into ``fill_value`` cells plus
+        a structured :attr:`RequestStats.errors` report instead of
+        failing the whole request.  Load-bearing units (layouts, shared
+        tables, legacy single-stream levels) still fail loudly — there
+        is nothing partial to serve without them.
+    fill_value:
+        What degraded requests write into failed bricks' boxes.
+    breaker_threshold / breaker_cooldown:
+        Per-shard circuit breaker: after ``breaker_threshold``
+        *consecutive* failures a shard fails fast for
+        ``breaker_cooldown`` seconds instead of burning retry budgets
+        (``breaker_threshold=0`` disables the breaker).
     """
 
     def __init__(
@@ -140,15 +185,32 @@ class ArchiveReader:
         decode_workers: int = 2,
         request_workers: int = 4,
         coalesce_gap: int = DEFAULT_COALESCE_GAP,
+        default_deadline: float | None = None,
+        degraded: bool = False,
+        fill_value: float = 0.0,
+        breaker_threshold: int = 5,
+        breaker_cooldown: float = 30.0,
     ):
         if shard_opener is None and isinstance(source, (str, Path)):
             shard_opener = default_shard_opener(Path(source).parent, mmap=mmap)
         self.fetch_stats = FetchStats()
+        self.default_deadline = default_deadline
+        self.degraded = bool(degraded)
+        self.fill_value = fill_value
+        self.breaker = (
+            CircuitBreaker(breaker_threshold, breaker_cooldown)
+            if breaker_threshold
+            else None
+        )
         opener = None
         if shard_opener is not None:
             opener = retrying_opener(
                 shard_opener, policy=retry or RetryPolicy(), stats=self.fetch_stats
             )
+            if self.breaker is not None:
+                # Breaker outside retry: one exhausted retry budget is one
+                # breaker failure, and an open circuit skips the backoff.
+                opener = breaking_opener(opener, self.breaker)
         self._archive = LazyBatchArchive.open(
             source, mmap=mmap, shard_opener=opener, verify_shards=verify_shards
         )
@@ -199,14 +261,25 @@ class ArchiveReader:
                 self._entries[key] = state
             return state
 
-    def _prefetch_mask(self, comp, level: int) -> int:
+    def _prefetch_mask(self, comp, level: int, degraded: bool = False) -> int:
         """Stage the level's packed mask alongside the payload windows so
-        assembly's mask read is accounted I/O, not a surprise fetch."""
+        assembly's mask read is accounted I/O, not a surprise fetch.
+
+        In degraded mode a failed prefetch is swallowed: assembly reads
+        the mask directly, and only *that* failure (the mask really is
+        unreadable, not just flaky) fails the request — the mask is
+        structural, there is no partial answer without it.
+        """
         name = f"{MASK_PREFIX}L{level}"
         parts = comp.parts
         if not hasattr(parts, "prefetch") or name not in parts:
             return 0
-        _reads, nbytes = parts.prefetch([name])
+        try:
+            _reads, nbytes = parts.prefetch([name])
+        except Exception:
+            if not degraded:
+                raise
+            return 0
         return nbytes
 
     def _record(self, stats: RequestStats) -> RequestStats:
@@ -218,7 +291,13 @@ class ArchiveReader:
         return stats
 
     def _execute_cached(
-        self, key: str, state: _EntryState, level: int, plan_units
+        self,
+        key: str,
+        state: _EntryState,
+        level: int,
+        plan_units,
+        deadline: Deadline | None = None,
+        allow_partial: bool = False,
     ) -> tuple[dict, PipelineStats]:
         preloaded = {}
         if self.cache is not None:
@@ -227,11 +306,18 @@ class ArchiveReader:
                 if hit is not None:
                     preloaded[unit.key] = hit
         results, pstats = self._pipeline.execute(
-            state.comp.parts, plan_units, preloaded
+            state.comp.parts,
+            plan_units,
+            preloaded,
+            deadline=deadline,
+            allow_partial=allow_partial,
         )
         if self.cache is not None:
             for unit in plan_units:
-                if unit.key not in preloaded:
+                # Failed units of a degraded request are absent from the
+                # results — they must never enter the cache (their boxes
+                # hold fill values, not data).
+                if unit.key not in preloaded and unit.key in results:
                     decoded = results[unit.key]
                     # Only immutable-by-convention arrays are shareable
                     # across requests; layout records are mutated during
@@ -240,9 +326,58 @@ class ArchiveReader:
                         self.cache.put((key, level, unit.key), decoded)
         return results, pstats
 
+    def _check_degradable(self, plan_units, unit_errors: dict) -> None:
+        """Re-raise the first failure degradation cannot paper over.
+
+        Only units with a level-space ``box`` (bricks) can be replaced by
+        fill values; layouts, shared tables, grid streams, and any other
+        box-less unit are load-bearing for the whole level.
+        """
+        boxes = {u.key: u.box for u in plan_units}
+        for ukey in sorted(unit_errors):
+            if boxes.get(ukey) is None:
+                raise unit_errors[ukey]
+
+    def _degrade_fill(
+        self, data: np.ndarray, origin, request_box, plan_units, unit_errors: dict
+    ) -> list[dict]:
+        """Write ``fill_value`` into every failed unit's box and return
+        the structured error report (one row per failed unit, boxes in
+        level space, clipped to the request)."""
+        boxes = {u.key: u.box for u in plan_units}
+        report = []
+        for ukey in sorted(unit_errors):
+            exc = unit_errors[ukey]
+            clipped = tuple(
+                (max(ulo, blo), min(uhi, bhi))
+                for (ulo, uhi), (blo, bhi) in zip(boxes[ukey], request_box)
+            )
+            if any(lo >= hi for lo, hi in clipped):
+                continue  # pruned brick: nothing of it was requested
+            slices = tuple(
+                slice(lo - off, hi - off) for (lo, hi), off in zip(clipped, origin)
+            )
+            data[slices] = self.fill_value
+            report.append(
+                {
+                    "unit": ukey,
+                    "box": [list(b) for b in clipped],
+                    "kind": _error_kind(exc),
+                    "error": str(exc),
+                }
+            )
+        return report
+
+    def _resolve_modes(self, deadline, degraded) -> tuple[Deadline | None, bool]:
+        if deadline is None:
+            deadline = self.default_deadline
+        if degraded is None:
+            degraded = self.degraded
+        return Deadline.coerce(deadline), bool(degraded)
+
     # -- serving -----------------------------------------------------------
     def read_region(
-        self, key: str, level: int, region
+        self, key: str, level: int, region, *, deadline=None, degraded=None
     ) -> tuple[np.ndarray, RequestStats]:
         """One entry-level ROI plus its request accounting.
 
@@ -250,8 +385,15 @@ class ArchiveReader:
         the decoded-brick cache is consulted per plan unit before any
         part fetch, and only units whose box intersects the ROI are
         decoded at all.
+
+        ``deadline`` (seconds) and ``degraded`` override the reader's
+        defaults per request.  A degraded request never fails on a bad
+        *brick*: the brick's box is served as ``fill_value`` and reported
+        in ``stats.errors`` — fault-free re-reads of the same ROI are
+        bit-identical to the non-degraded path.
         """
         t0 = time.perf_counter()
+        deadline, degraded = self._resolve_modes(deadline, degraded)
         state = self._entry(key)
         comp, codec = state.comp, state.codec
         shape = tuple(comp.meta["shapes"][level])
@@ -270,10 +412,20 @@ class ArchiveReader:
         plan = state.plan(level)
         if any(unit.box is not None for unit in plan.units):
             plan = plan.for_region(box)
-        mask_bytes = self._prefetch_mask(comp, level)
-        results, pstats = self._execute_cached(key, state, level, plan.units)
+        mask_bytes = self._prefetch_mask(comp, level, degraded)
+        results, pstats = self._execute_cached(
+            key, state, level, plan.units, deadline=deadline, allow_partial=degraded
+        )
+        if pstats.unit_errors:
+            self._check_degradable(plan.units, pstats.unit_errors)
         lvl = codec._assemble_level(comp, level, results, None)
         data = np.ascontiguousarray(lvl.data[region_slices(box)])
+        errors = []
+        if pstats.unit_errors:
+            origin = tuple(lo for lo, _hi in box)
+            errors = self._degrade_fill(
+                data, origin, box, plan.units, pstats.unit_errors
+            )
         seconds = time.perf_counter() - t0
         return data, self._record(
             RequestStats(
@@ -288,12 +440,19 @@ class ArchiveReader:
                 n_parts_fetched=pstats.n_parts,
                 n_fetches=pstats.n_fetches,
                 overlapped=pstats.overlapped(),
+                degraded=degraded,
+                errors=errors,
             )
         )
 
-    def read_level(self, key: str, level: int):
-        """One whole reconstructed level plus its request accounting."""
+    def read_level(self, key: str, level: int, *, deadline=None, degraded=None):
+        """One whole reconstructed level plus its request accounting.
+
+        ``deadline``/``degraded`` behave exactly as in
+        :meth:`read_region` (the request box is the whole level).
+        """
         t0 = time.perf_counter()
+        deadline, degraded = self._resolve_modes(deadline, degraded)
         state = self._entry(key)
         comp, codec = state.comp, state.codec
         if not _has_assemble(codec):
@@ -307,9 +466,20 @@ class ArchiveReader:
                 )
             )
         plan = state.plan(level)
-        mask_bytes = self._prefetch_mask(comp, level)
-        results, pstats = self._execute_cached(key, state, level, plan.units)
+        mask_bytes = self._prefetch_mask(comp, level, degraded)
+        results, pstats = self._execute_cached(
+            key, state, level, plan.units, deadline=deadline, allow_partial=degraded
+        )
+        if pstats.unit_errors:
+            self._check_degradable(plan.units, pstats.unit_errors)
         lvl = codec._assemble_level(comp, level, results, None)
+        errors = []
+        if pstats.unit_errors:
+            shape = tuple(comp.meta["shapes"][level])
+            full_box = tuple((0, dim) for dim in shape)
+            errors = self._degrade_fill(
+                lvl.data, (0,) * len(shape), full_box, plan.units, pstats.unit_errors
+            )
         seconds = time.perf_counter() - t0
         return lvl, self._record(
             RequestStats(
@@ -324,6 +494,8 @@ class ArchiveReader:
                 n_parts_fetched=pstats.n_parts,
                 n_fetches=pstats.n_fetches,
                 overlapped=pstats.overlapped(),
+                degraded=degraded,
+                errors=errors,
             )
         )
 
@@ -335,16 +507,21 @@ class ArchiveReader:
         )
 
     # -- concurrent front-end ----------------------------------------------
-    def submit(self, key: str, level: int, region=None):
+    def submit(self, key: str, level: int, region=None, *, deadline=None, degraded=None):
         """Queue a request; returns a future of ``(data, RequestStats)``.
 
         ``region=None`` queues a whole-level read.  The request pool
         bounds concurrency, so a burst of submissions queues instead of
-        spawning unbounded threads.
+        spawning unbounded threads.  Note a ``deadline`` starts ticking
+        when the request *runs*, not while it queues.
         """
         if region is None:
-            return self._requests.submit(self.read_level, key, level)
-        return self._requests.submit(self.read_region, key, level, region)
+            return self._requests.submit(
+                self.read_level, key, level, deadline=deadline, degraded=degraded
+            )
+        return self._requests.submit(
+            self.read_region, key, level, region, deadline=deadline, degraded=degraded
+        )
 
     def read_many(self, requests) -> list:
         """Serve ``(key, level, region)`` triples concurrently; results
@@ -364,6 +541,7 @@ class ArchiveReader:
             }
         out["cache"] = self.cache.stats() if self.cache is not None else None
         out["fetch"] = self.fetch_stats.snapshot()
+        out["breaker"] = self.breaker.snapshot() if self.breaker is not None else None
         return out
 
     # -- lifecycle ---------------------------------------------------------

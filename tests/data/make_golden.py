@@ -16,7 +16,13 @@ decompressed-value statistics:
   ``golden_batch_v3.json`` — version 3 (sharded streaming layout: a
   manifest-only head whose index points into payload shards, written by
   ``ShardedArchiveWriter``; the shard size is chosen so the four entries
-  span two shards).
+  span two shards);
+* ``golden_batch_v4.rpbt`` + ``golden_batch_v4.shard-NNNN.rpsh`` /
+  ``golden_batch_v4.json`` — the same sharded construction with container
+  v4 entry blobs (per-part CRC-32s in each tail index), plus
+  ``golden_entry_v4.rpam``, the ``golden/tac`` entry written eagerly by
+  ``CompressedDataset.to_bytes`` at ``container_version=4`` — pinning the
+  integrity layout through *both* writers.
 
 All versions differ only in framing: identical codecs, identical payload
 bytes.  Only regenerate when a container version is *intentionally*
@@ -89,21 +95,25 @@ def expectations(blob: bytes) -> dict:
     return expected
 
 
-def sharded_expectations(blob_v2: bytes) -> dict:
-    """Write the v3 fixture from the v2 archive's entries and record it.
+def sharded_expectations(blob_v2: bytes, stem: str, container_version: int) -> dict:
+    """Write one sharded fixture from the v2 archive's entries and record it.
 
-    Deriving v3 from the *stored v2 bytes* (not a fresh compression) pins
-    the writer itself: the regression test replays exactly this
-    construction from the checked-in v2 fixture and asserts byte-equal
-    head + shards.
+    Deriving the shards from the *stored v2 bytes* (not a fresh
+    compression) pins the writer itself: the regression test replays
+    exactly this construction from the checked-in v2 fixture and asserts
+    byte-equal head + shards.  ``container_version`` picks the per-entry
+    blob layout (3 = legacy, 4 = per-part CRCs).
     """
     archive = BatchArchive.from_bytes(blob_v2)
-    head_path = HERE / "golden_batch_v3.rpbt"
-    report = archive.save_sharded(head_path, shard_size=V3_SHARD_SIZE)
+    head_path = HERE / f"{stem}.rpbt"
+    report = archive.save_sharded(
+        head_path, shard_size=V3_SHARD_SIZE, container_version=container_version
+    )
     expected: dict = {
         "eb": EB,
         "mode": MODE,
         "shard_size": V3_SHARD_SIZE,
+        "container_version": container_version,
         "keys": archive.keys(),
         "head": {
             "name": head_path.name,
@@ -120,6 +130,28 @@ def sharded_expectations(blob_v2: bytes) -> dict:
         ],
     }
     return expected
+
+
+def eager_v4_expectations(blob_v2: bytes) -> dict:
+    """Write the eager-writer v4 container fixture and record it.
+
+    One entry (``golden/tac``) from the v2 archive, re-serialized by
+    ``CompressedDataset.to_bytes`` at ``container_version=4`` — same
+    payload bytes as the fixture it came from, new integrity framing.
+    """
+    from repro.core.container import CompressedDataset
+
+    comp = BatchArchive.from_bytes(blob_v2).get("golden/tac")
+    comp.container_version = 4
+    blob = comp.to_bytes()
+    path = HERE / "golden_entry_v4.rpam"
+    path.write_bytes(blob)
+    return {
+        "name": path.name,
+        "key": "golden/tac",
+        "n_bytes": len(blob),
+        "sha256": hashlib.sha256(blob).hexdigest(),
+    }
 
 
 def gsp_expectations() -> dict:
@@ -191,10 +223,13 @@ def main() -> None:
         expected = expectations(blob)
         (HERE / f"{stem}.json").write_text(json.dumps(expected, indent=2) + "\n")
         print(f"wrote {stem}.rpbt ({len(blob)} bytes) and {stem}.json")
-    expected = sharded_expectations(blobs[2])
-    (HERE / "golden_batch_v3.json").write_text(json.dumps(expected, indent=2) + "\n")
-    names = [rec["name"] for rec in expected["shards"]]
-    print(f"wrote golden_batch_v3.rpbt + {names} and golden_batch_v3.json")
+    for stem, container_version in (("golden_batch_v3", 3), ("golden_batch_v4", 4)):
+        expected = sharded_expectations(blobs[2], stem, container_version)
+        if container_version == 4:
+            expected["eager_entry"] = eager_v4_expectations(blobs[2])
+        (HERE / f"{stem}.json").write_text(json.dumps(expected, indent=2) + "\n")
+        names = [rec["name"] for rec in expected["shards"]]
+        print(f"wrote {stem}.rpbt + {names} and {stem}.json")
     expected = gsp_expectations()
     (HERE / "golden_gsp.json").write_text(json.dumps(expected, indent=2) + "\n")
     print(f"wrote {list(expected['blobs'])} fixtures and golden_gsp.json")

@@ -303,14 +303,27 @@ class TestStreamingWriterMemory:
         assert len(lazy.parts) == n_parts
         lazy.close()
 
-    def test_streamed_bytes_equal_eager_v3(self, tmp_path, compressed_batch):
+    @pytest.mark.parametrize("version", [3, 4])
+    def test_streamed_bytes_equal_eager(self, tmp_path, compressed_batch, version):
         comp = compressed_batch.get("toy/tac")
         eager = CompressedDataset.from_bytes(comp.to_bytes())
-        eager.container_version = 3
+        eager.container_version = version
         path = tmp_path / "entry.rpam"
-        total = stream_dataset(comp, path)
+        total = stream_dataset(comp, path, container_version=version)
         assert path.read_bytes() == eager.to_bytes()
         assert total == path.stat().st_size
+
+    def test_streaming_default_is_v4(self, tmp_path, compressed_batch):
+        comp = compressed_batch.get("toy/tac")
+        path = tmp_path / "entry.rpam"
+        stream_dataset(comp, path)
+        with LazyCompressedDataset.open(path) as lazy:
+            assert lazy.container_version == 4
+            assert lazy.parts.verifies_integrity
+
+    def test_streaming_writer_rejects_non_tail_version(self, tmp_path):
+        with pytest.raises(ValueError, match="tail-indexed"):
+            StreamingContainerWriter(tmp_path / "x.rpam", "tac", "x", container_version=2)
 
     def test_writer_rejects_duplicates_and_use_after_close(self, tmp_path):
         writer = StreamingContainerWriter(tmp_path / "x.rpam", "tac", "x")

@@ -388,6 +388,133 @@ class TestServeCommand:
         assert main(["serve", str(archive_file), "--roi-frac", "1.5"]) == 2
         assert "roi-frac" in capsys.readouterr().err
 
+    def test_serve_chaos_transient_faults_absorbed(self, archive_file, tmp_path, capsys):
+        stats_path = tmp_path / "chaos.json"
+        assert main([
+            "serve", str(archive_file), "--requests", "8", "--rois", "2",
+            "--chaos", "oserror:p=0.2,times=4", "--chaos-seed", "3",
+            "--json", str(stats_path),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "chaos:" in out
+        report = json.loads(stats_path.read_text())
+        assert report["chaos"]["spec"] == "oserror:p=0.2,times=4"
+        assert report["chaos"]["n_fired"] >= 1
+        assert report["n_failed"] == 0  # retries absorbed every transient
+
+    def test_serve_chaos_degraded_bitflip_reports_fill_boxes(
+        self, archive_file, tmp_path, capsys
+    ):
+        stats_path = tmp_path / "degr.json"
+        assert main([
+            "serve", str(archive_file), "--requests", "4", "--rois", "1",
+            "--cache-bytes", "0", "--level", "0",
+            "--chaos", "bitflip:match=*/L0/b*,times=1",
+            "--degraded", "--deadline", "30",
+            "--json", str(stats_path),
+        ]) == 0
+        report = json.loads(stats_path.read_text())
+        assert report["n_failed"] == 0
+        if report["chaos"]["n_fired"]:  # the ROI touched the target brick
+            assert report["degraded_requests"] >= 1
+            assert report["fill_boxes"] >= 1
+
+    def test_serve_bad_chaos_spec_fails(self, archive_file, capsys):
+        assert main(["serve", str(archive_file), "--chaos", "segfault:p=1"]) == 2
+        assert "bad --chaos spec" in capsys.readouterr().err
+
+
+class TestScrubCommand:
+    @pytest.fixture
+    def archive_file(self, dataset_file, tmp_path):
+        path = tmp_path / "batch.rpbt"
+        assert main([
+            "batch", str(dataset_file), "-o", str(path), "--method", "tac", "--stream",
+        ]) == 0
+        return path
+
+    def test_scrub_clean_archive_exits_zero(self, archive_file, tmp_path, capsys):
+        report_path = tmp_path / "scrub.json"
+        assert main(["scrub", str(archive_file), "--json", str(report_path)]) == 0
+        out = capsys.readouterr().out
+        assert "scrub clean" in out
+        report = json.loads(report_path.read_text())
+        assert report["ok"] is True
+        assert all(row["ok"] for row in report["shards"])
+        assert all(not row["bad"] for row in report["entries"])
+        assert all(row["has_part_crcs"] for row in report["entries"])  # v4
+
+    def test_scrub_detects_flipped_bit_and_exits_one(
+        self, archive_file, tmp_path, capsys
+    ):
+        shard = next(archive_file.parent.glob("*.rpsh"))
+        blob = bytearray(shard.read_bytes())
+        blob[len(blob) // 2] ^= 0x01
+        shard.write_bytes(bytes(blob))
+        report_path = tmp_path / "scrub.json"
+        assert main(["scrub", str(archive_file), "--json", str(report_path)]) == 1
+        captured = capsys.readouterr()
+        assert "BAD " in captured.out
+        assert "scrub found damage" in captured.err
+        report = json.loads(report_path.read_text())
+        assert report["ok"] is False
+        assert any(not row["ok"] for row in report["shards"])
+        assert any(row["bad"] for row in report["entries"])
+
+    def test_scrub_v3_archive_notes_missing_part_crcs(
+        self, dataset_file, tmp_path, capsys
+    ):
+        from repro.core.tac import TACCompressor
+        from repro.engine.archive import BatchArchive
+
+        dataset = load_dataset(dataset_file)
+        comp = TACCompressor().compress(dataset, 1e-3, mode="rel")
+        archive = BatchArchive()
+        archive.add("d/tac", comp)
+        head = tmp_path / "v3.rpbt"
+        archive.save_sharded(head, container_version=3)
+        assert main(["scrub", str(head)]) == 0
+        assert "no per-part CRCs" in capsys.readouterr().out
+
+    def test_scrub_unknown_key_fails(self, archive_file, capsys):
+        assert main(["scrub", str(archive_file), "--key", "nope"]) == 2
+        assert "no entry" in capsys.readouterr().err
+
+
+class TestVerifyFlag:
+    @pytest.fixture
+    def archive_file(self, dataset_file, tmp_path):
+        path = tmp_path / "batch.rpbt"
+        assert main([
+            "batch", str(dataset_file), "-o", str(path), "--method", "tac", "--stream",
+        ]) == 0
+        return path
+
+    def test_info_verify_clean(self, archive_file, capsys):
+        assert main(["info", str(archive_file), "--verify"]) == 0
+        out = capsys.readouterr().out
+        assert "shard(s) passed" in out
+
+    def test_inspect_verify_clean(self, archive_file, capsys):
+        assert main(["inspect", str(archive_file), "--verify"]) == 0
+        assert "shard(s) passed" in capsys.readouterr().out
+
+    def test_info_verify_detects_damage_checks_all_shards(
+        self, archive_file, capsys
+    ):
+        for shard in archive_file.parent.glob("*.rpsh"):
+            blob = bytearray(shard.read_bytes())
+            blob[len(blob) // 2] ^= 0xFF
+            shard.write_bytes(bytes(blob))
+        assert main(["info", str(archive_file), "--verify"]) == 1
+        out = capsys.readouterr().out
+        # Every shard is reported, not just the first failure.
+        assert out.count("FAILED") == len(list(archive_file.parent.glob("*.rpsh")))
+
+    def test_verify_on_npz_is_a_usage_error(self, dataset_file, capsys):
+        assert main(["info", str(dataset_file), "--verify"]) == 2
+        assert "--verify" in capsys.readouterr().err
+
 
 class TestExperimentsCommand:
     def test_list(self, capsys):

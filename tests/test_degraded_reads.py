@@ -1,0 +1,457 @@
+"""Graceful degradation: deadlines, fill-value reads, circuit breaking.
+
+Every scenario drives the real serving stack (``ArchiveReader`` over a
+sharded v4 archive) through the deterministic fault harness
+(:mod:`repro.faults`), proving the acceptance behaviours end to end:
+a stalled shard raises :class:`DeadlineExceeded` in bounded time, a
+corrupt brick degrades to fill values with an exact error report, a
+fault-free re-read is bit-identical, fill values never enter the
+decoded-brick cache, and a repeatedly-failing shard trips its breaker.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.core.container import ContainerIOError, PartIntegrityError
+from repro.core.tac import TACCompressor
+from repro.engine import default_shard_opener
+from repro.engine.archive import BatchArchive, LazyBatchArchive
+from repro.faults import FaultPlan, FaultRule, archive_part_spans, faulty_opener
+from repro.serve import (
+    ArchiveReader,
+    CircuitBreaker,
+    CircuitOpenError,
+    Deadline,
+    DeadlineExceeded,
+    PrefetchPipeline,
+    RetryPolicy,
+    breaking_opener,
+    retrying_opener,
+)
+from tests.helpers import two_level_dataset
+
+KEY = "toy/tac"
+#: Level 1 of the toy dataset is brick-chunked (8 bricks of 4³); level 0
+#: is group-coded, whose units are box-less and therefore undegradable.
+BRICK_LEVEL = 1
+
+
+@pytest.fixture(scope="module")
+def shard_dir(tmp_path_factory):
+    tac = TACCompressor(brick_size=4)
+    comp = tac.compress(two_level_dataset(n=16, seed=5), 1e-3, mode="abs")
+    archive = BatchArchive()
+    archive.add(KEY, comp)
+    root = tmp_path_factory.mktemp("degraded")
+    archive.save_sharded(root / "arch.rpbt", shard_size=4096)
+    return root
+
+
+@pytest.fixture(scope="module")
+def head(shard_dir):
+    return shard_dir / "arch.rpbt"
+
+
+@pytest.fixture(scope="module")
+def spans(head):
+    return archive_part_spans(head)
+
+
+@pytest.fixture(scope="module")
+def baseline(head):
+    """Fault-free whole-level decode to compare degraded reads against."""
+    with ArchiveReader(head, cache_bytes=0) as reader:
+        lvl, _stats = reader.read_level(KEY, BRICK_LEVEL)
+    return lvl.data.copy()
+
+
+def chaos_reader(head, spans, rules, **kwargs):
+    plan = FaultPlan(rules, seed=0)
+    opener = faulty_opener(default_shard_opener(head.parent), plan, spans)
+    kwargs.setdefault("retry", RetryPolicy(attempts=1))
+    kwargs.setdefault("cache_bytes", 0)
+    return ArchiveReader(head, shard_opener=opener, **kwargs), plan
+
+
+# ---------------------------------------------------------------------------
+# the Deadline primitive
+# ---------------------------------------------------------------------------
+
+
+class TestDeadline:
+    def test_non_positive_rejected(self):
+        with pytest.raises(ValueError, match="deadline"):
+            Deadline(0.0)
+        with pytest.raises(ValueError, match="deadline"):
+            Deadline(-1.0)
+
+    def test_remaining_tracks_injected_clock(self):
+        clock = {"t": 100.0}
+        deadline = Deadline(2.0, clock=lambda: clock["t"])
+        assert deadline.remaining() == pytest.approx(2.0)
+        assert not deadline.expired()
+        clock["t"] = 101.5
+        assert deadline.remaining() == pytest.approx(0.5)
+        clock["t"] = 102.0
+        assert deadline.expired()
+        clock["t"] = 103.0
+        assert deadline.remaining() == pytest.approx(-1.0)
+
+    def test_coerce(self):
+        assert Deadline.coerce(None) is None
+        deadline = Deadline(1.0)
+        assert Deadline.coerce(deadline) is deadline
+        assert isinstance(Deadline.coerce(0.25), Deadline)
+
+
+# ---------------------------------------------------------------------------
+# deadline enforcement through the reader
+# ---------------------------------------------------------------------------
+
+
+class TestDeadlineEnforcement:
+    def test_stalled_window_raises_in_bounded_time(self, head, spans):
+        reader, _plan = chaos_reader(
+            head, spans, [FaultRule("latency", match="*/L1/b0", delay=2.0, times=1)]
+        )
+        with reader:
+            t0 = time.perf_counter()
+            with pytest.raises(DeadlineExceeded, match="deadline"):
+                reader.read_level(KEY, BRICK_LEVEL, deadline=0.15)
+            elapsed = time.perf_counter() - t0
+        assert elapsed < 1.5  # bounded by the deadline, not the 2s stall
+
+    def test_default_deadline_applies_to_every_request(self, head, spans):
+        reader, _plan = chaos_reader(
+            head,
+            spans,
+            [FaultRule("latency", match="*/L1/b0", delay=2.0, times=1)],
+            default_deadline=0.15,
+        )
+        with reader:
+            with pytest.raises(DeadlineExceeded):
+                reader.read_level(KEY, BRICK_LEVEL)
+
+    def test_no_deadline_waits_out_the_stall(self, head, spans, baseline):
+        reader, _plan = chaos_reader(
+            head, spans, [FaultRule("latency", match="*/L1/b0", delay=0.3, times=1)]
+        )
+        with reader:
+            lvl, stats = reader.read_level(KEY, BRICK_LEVEL)
+        assert stats.errors == []
+        np.testing.assert_array_equal(lvl.data, baseline)
+
+
+# ---------------------------------------------------------------------------
+# degraded (fill-on-failure) reads
+# ---------------------------------------------------------------------------
+
+
+class TestDegradedReads:
+    def test_corrupt_brick_fills_exact_box_and_reports_it(
+        self, head, spans, baseline
+    ):
+        reader, plan = chaos_reader(
+            head,
+            spans,
+            [FaultRule("bitflip", match="*/L1/b0", offset=2, times=1)],
+            fill_value=-1.0,
+        )
+        with reader:
+            lvl, stats = reader.read_level(KEY, BRICK_LEVEL, degraded=True)
+            assert stats.degraded
+            assert len(stats.errors) == 1
+            row = stats.errors[0]
+            assert row["unit"] == "L1/b0"
+            assert row["kind"] == "integrity"
+            box = tuple(tuple(b) for b in row["box"])
+            slices = tuple(slice(lo, hi) for lo, hi in box)
+            assert np.all(lvl.data[slices] == -1.0)
+            outside = lvl.data.copy()
+            expected_outside = baseline.copy()
+            outside[slices] = 0
+            expected_outside[slices] = 0
+            np.testing.assert_array_equal(outside, expected_outside)
+
+            # The injected fault was times=1: a re-read fetches clean bytes
+            # and must be bit-identical to the fault-free baseline.
+            lvl2, stats2 = reader.read_level(KEY, BRICK_LEVEL, degraded=True)
+            assert stats2.errors == []
+            np.testing.assert_array_equal(lvl2.data, baseline)
+        assert plan.n_fired == 1
+
+    def test_degraded_region_read_clips_report_to_request(self, head, spans):
+        reader, _plan = chaos_reader(
+            head,
+            spans,
+            [FaultRule("bitflip", match="*/L1/b0", times=1)],
+            fill_value=-1.0,
+            degraded=True,
+        )
+        with reader:
+            region = (slice(0, 3), slice(0, 3), slice(0, 3))
+            data, stats = reader.read_region(KEY, BRICK_LEVEL, region)
+            assert stats.degraded and len(stats.errors) == 1
+            assert stats.errors[0]["box"] == [[0, 3], [0, 3], [0, 3]]
+            assert np.all(data == -1.0)
+
+    def test_unrequested_corruption_is_not_reported(self, head, spans, baseline):
+        # The flipped brick lives at the level's origin; an ROI in the far
+        # corner never touches it, so the read is clean and exact.
+        reader, plan = chaos_reader(
+            head,
+            spans,
+            [FaultRule("bitflip", match="*/L1/b0", times=1)],
+            degraded=True,
+        )
+        with reader:
+            region = (slice(4, 8), slice(4, 8), slice(4, 8))
+            data, stats = reader.read_region(KEY, BRICK_LEVEL, region)
+            assert stats.errors == []
+            np.testing.assert_array_equal(data, baseline[4:8, 4:8, 4:8])
+        assert plan.n_fired == 0
+
+    def test_stalled_brick_degrades_to_timeout_fill_in_bounded_time(
+        self, head, spans
+    ):
+        reader, _plan = chaos_reader(
+            head,
+            spans,
+            [FaultRule("latency", match="*/L1/b0", delay=2.0, times=1)],
+            fill_value=-1.0,
+        )
+        with reader:
+            t0 = time.perf_counter()
+            lvl, stats = reader.read_level(
+                KEY, BRICK_LEVEL, deadline=0.15, degraded=True
+            )
+            elapsed = time.perf_counter() - t0
+            assert elapsed < 1.5
+            assert stats.degraded and stats.errors
+            assert {row["kind"] for row in stats.errors} == {"timeout"}
+
+    def test_boxless_unit_failure_still_raises(self, head, spans):
+        # Level 0 is group-coded: its units carry no box, so there is no
+        # partial answer — degraded mode must re-raise, not fabricate.
+        reader, _plan = chaos_reader(
+            head, spans, [FaultRule("bitflip", match="*/L0/g0", times=1)]
+        )
+        with reader:
+            with pytest.raises(PartIntegrityError):
+                reader.read_level(KEY, 0, degraded=True)
+
+    def test_clean_degraded_read_is_exact(self, head, spans, baseline):
+        reader, _plan = chaos_reader(head, spans, [], degraded=True)
+        with reader:
+            lvl, stats = reader.read_level(KEY, BRICK_LEVEL)
+        assert stats.degraded and stats.errors == []
+        np.testing.assert_array_equal(lvl.data, baseline)
+
+
+# ---------------------------------------------------------------------------
+# decoded-brick cache purity under degradation
+# ---------------------------------------------------------------------------
+
+
+class TestCachePurityUnderDegradation:
+    def test_fill_valued_bricks_never_enter_the_cache(
+        self, head, spans, baseline
+    ):
+        reader, _plan = chaos_reader(
+            head,
+            spans,
+            [FaultRule("bitflip", match="*/L1/b0", times=1)],
+            cache_bytes=64 * 1024 * 1024,
+            fill_value=-1.0,
+        )
+        with reader:
+            _lvl, stats = reader.read_level(KEY, BRICK_LEVEL, degraded=True)
+            assert [row["unit"] for row in stats.errors] == ["L1/b0"]
+            # The failed brick must be absent; its healthy siblings cached.
+            assert reader.cache.get((KEY, BRICK_LEVEL, "L1/b0")) is None
+            assert reader.cache.get((KEY, BRICK_LEVEL, "L1/b1")) is not None
+
+            # Re-read with the fault budget exhausted: the brick decodes
+            # cleanly now, and the result is bit-identical — proof no fill
+            # values were served from cache.
+            lvl2, stats2 = reader.read_level(KEY, BRICK_LEVEL, degraded=True)
+            assert stats2.errors == []
+            np.testing.assert_array_equal(lvl2.data, baseline)
+            assert reader.cache.get((KEY, BRICK_LEVEL, "L1/b0")) is not None
+
+
+# ---------------------------------------------------------------------------
+# pipeline error propagation (no deadlock, no poisoning)
+# ---------------------------------------------------------------------------
+
+
+class TestPipelineErrorPropagation:
+    def test_failed_fetch_fails_request_with_original_exception(
+        self, head, spans
+    ):
+        plan = FaultPlan([FaultRule("oserror", match="*/L1/b*", times=1)])
+        opener = faulty_opener(default_shard_opener(head.parent), plan, spans)
+        tac = TACCompressor(brick_size=4)
+        with LazyBatchArchive.open(head, shard_opener=opener) as lazy:
+            entry = lazy.entry(KEY)
+            units = tac.build_decode_plan(entry, levels=[BRICK_LEVEL]).units
+            with PrefetchPipeline(io_workers=2, decode_workers=2) as pipeline:
+                with pytest.raises(ContainerIOError, match="injected transient fault"):
+                    pipeline.execute(entry.parts, units)
+                # Same pipeline, same store, fault budget spent: the next
+                # request must run clean — no poisoned pools, no stale
+                # staging, no deadlock.
+                results, stats = pipeline.execute(entry.parts, units)
+        assert {unit.key for unit in units} <= set(results)
+        assert stats.unit_errors == {}
+
+    def test_partial_mode_records_error_instead_of_raising(self, head, spans):
+        plan = FaultPlan([FaultRule("oserror", match="*/L1/b0", times=1)])
+        opener = faulty_opener(default_shard_opener(head.parent), plan, spans)
+        tac = TACCompressor(brick_size=4)
+        with LazyBatchArchive.open(head, shard_opener=opener) as lazy:
+            entry = lazy.entry(KEY)
+            units = tac.build_decode_plan(entry, levels=[BRICK_LEVEL]).units
+            with PrefetchPipeline(io_workers=2, decode_workers=2) as pipeline:
+                results, stats = pipeline.execute(
+                    entry.parts, units, allow_partial=True
+                )
+        assert stats.unit_errors  # the window's casualties are recorded
+        for key, exc in stats.unit_errors.items():
+            assert key not in results
+            assert "injected transient fault" in str(exc)
+
+
+# ---------------------------------------------------------------------------
+# circuit breaker
+# ---------------------------------------------------------------------------
+
+
+class TestCircuitBreaker:
+    def make(self, threshold=2, cooldown=10.0):
+        clock = {"t": 0.0}
+        breaker = CircuitBreaker(
+            failure_threshold=threshold, cooldown=cooldown, clock=lambda: clock["t"]
+        )
+        return breaker, clock
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="failure_threshold"):
+            CircuitBreaker(failure_threshold=0)
+        with pytest.raises(ValueError, match="cooldown"):
+            CircuitBreaker(cooldown=0.0)
+
+    def test_opens_after_consecutive_failures(self):
+        breaker, _clock = self.make(threshold=2)
+        assert breaker.record_failure("s") is False
+        assert not breaker.is_open("s")
+        assert breaker.record_failure("s") is True
+        assert breaker.is_open("s")
+        with pytest.raises(CircuitOpenError) as excinfo:
+            breaker.check("s")
+        assert excinfo.value.shard == "s"
+        assert excinfo.value.retry_in == pytest.approx(10.0)
+
+    def test_success_resets_the_streak(self):
+        breaker, _clock = self.make(threshold=2)
+        breaker.record_failure("s")
+        breaker.record_success("s")
+        breaker.record_failure("s")
+        assert not breaker.is_open("s")
+
+    def test_shards_are_independent(self):
+        breaker, _clock = self.make(threshold=1)
+        breaker.record_failure("bad")
+        assert breaker.is_open("bad")
+        breaker.check("good")  # unrelated shard unaffected
+
+    def test_half_open_allows_one_trial(self):
+        breaker, clock = self.make(threshold=1, cooldown=10.0)
+        breaker.record_failure("s")
+        clock["t"] = 11.0
+        breaker.check("s")  # the single half-open trial slot
+        with pytest.raises(CircuitOpenError):
+            breaker.check("s")  # second concurrent caller still blocked
+        breaker.record_success("s")
+        assert not breaker.is_open("s")
+        breaker.check("s")
+
+    def test_failed_trial_reopens_for_a_fresh_cooldown(self):
+        breaker, clock = self.make(threshold=1, cooldown=10.0)
+        breaker.record_failure("s")
+        clock["t"] = 11.0
+        breaker.check("s")
+        breaker.record_failure("s")
+        with pytest.raises(CircuitOpenError) as excinfo:
+            breaker.check("s")
+        assert excinfo.value.retry_in == pytest.approx(10.0)
+
+    def test_snapshot_reports_health(self):
+        breaker, _clock = self.make(threshold=2)
+        breaker.record_failure("s")
+        breaker.record_failure("s")
+        breaker.record_success("other")
+        snap = breaker.snapshot()
+        assert snap["s"] == {
+            "open": True,
+            "consecutive_failures": 2,
+            "total_failures": 2,
+            "total_successes": 0,
+            "n_opens": 1,
+        }
+        assert snap["other"]["total_successes"] == 1
+
+    def test_breaking_opener_fails_fast_once_open(self):
+        breaker, _clock = self.make(threshold=2)
+        calls = {"n": 0}
+
+        def opener(name):
+            calls["n"] += 1
+            raise OSError("down")
+
+        wrapped = breaking_opener(opener, breaker)
+        for _ in range(2):
+            with pytest.raises(OSError):
+                wrapped("s")
+        with pytest.raises(CircuitOpenError):
+            wrapped("s")
+        assert calls["n"] == 2  # the open circuit never touched the opener
+
+    def test_circuit_open_error_is_never_retried(self):
+        waits: list[float] = []
+        calls = {"n": 0}
+
+        def opener(name):
+            calls["n"] += 1
+            raise CircuitOpenError("open", shard="s")
+
+        wrapped = retrying_opener(
+            opener, policy=RetryPolicy(attempts=4, sleep=waits.append)
+        )
+        with pytest.raises(CircuitOpenError):
+            wrapped("s")
+        assert calls["n"] == 1 and waits == []
+
+    def test_reader_trips_breaker_on_persistent_shard_failure(self, head):
+        def opener(name):
+            raise OSError("shard store is down")
+
+        reader = ArchiveReader(
+            head,
+            shard_opener=opener,
+            retry=RetryPolicy(attempts=1),
+            cache_bytes=0,
+            breaker_threshold=2,
+            breaker_cooldown=60.0,
+        )
+        with reader:
+            for _ in range(3):
+                with pytest.raises((ContainerIOError, OSError)):
+                    reader.read_level(KEY, BRICK_LEVEL)
+            snap = reader.stats()["breaker"]
+            assert any(health["open"] for health in snap.values())
+            # Once open, the failure surfaces as the breaker's fast-fail.
+            with pytest.raises(CircuitOpenError):
+                reader.read_level(KEY, BRICK_LEVEL)

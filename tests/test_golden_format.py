@@ -242,7 +242,9 @@ class TestGoldenShardedV3:
         the write path, not just the read path, is golden-pinned."""
         archive = BatchArchive.from_bytes((DATA / "golden_batch_v2.rpbt").read_bytes())
         head = tmp_path / "golden_batch_v3.rpbt"
-        report = archive.save_sharded(head, shard_size=expected_v3["shard_size"])
+        report = archive.save_sharded(
+            head, shard_size=expected_v3["shard_size"], container_version=3
+        )
         assert head.read_bytes() == head_path.read_bytes()
         assert [p.name for p in report.shard_paths] == [
             rec["name"] for rec in expected_v3["shards"]
@@ -256,6 +258,103 @@ class TestGoldenShardedV3:
         assert eager.keys() == v2.keys()
         for key in v2.keys():
             assert eager.get(key).parts == v2.get(key).parts
+
+
+class TestGoldenContainerV4:
+    """The integrity fixtures: container v4 (per-part CRC-32s in the
+    tail index) is pinned through both writers — ``ShardedArchiveWriter``
+    streaming the shard set, ``CompressedDataset.to_bytes`` the eager
+    ``.rpam`` blob — and carries the same payload bytes as the v2 fixture
+    it derives from."""
+
+    @pytest.fixture(scope="class")
+    def expected_v4(self) -> dict:
+        return json.loads((DATA / "golden_batch_v4.json").read_text())
+
+    @pytest.fixture(scope="class")
+    def head_path(self) -> Path:
+        return DATA / "golden_batch_v4.rpbt"
+
+    def test_fixture_integrity(self, expected_v4, head_path):
+        assert expected_v4["container_version"] == 4
+        head = expected_v4["head"]
+        blob = head_path.read_bytes()
+        assert len(blob) == head["n_bytes"]
+        assert hashlib.sha256(blob).hexdigest() == head["sha256"]
+        for record in expected_v4["shards"]:
+            shard = (DATA / record["name"]).read_bytes()
+            assert len(shard) == record["n_bytes"]
+            assert hashlib.sha256(shard).hexdigest() == record["sha256"]
+        eager = expected_v4["eager_entry"]
+        blob = (DATA / eager["name"]).read_bytes()
+        assert len(blob) == eager["n_bytes"]
+        assert hashlib.sha256(blob).hexdigest() == eager["sha256"]
+
+    def test_entries_are_v4_and_verify_on_read(self, head_path):
+        with LazyBatchArchive.open(head_path) as lazy:
+            for key in lazy.keys():
+                entry = lazy.entry(key)
+                assert entry.container_version == 4
+                assert entry.parts.verifies_integrity
+                for name in entry.parts:
+                    entry.parts[name]  # every part passes its CRC
+
+    def test_payloads_identical_to_v2_fixture(self, head_path):
+        v2 = BatchArchive.from_bytes((DATA / "golden_batch_v2.rpbt").read_bytes())
+        with LazyBatchArchive.open(head_path) as lazy:
+            assert lazy.keys() == v2.keys()
+            for key in v2.keys():
+                entry = lazy.entry(key)
+                reference = v2.get(key)
+                assert list(entry.parts) == list(reference.parts)
+                for name in reference.parts:
+                    assert entry.parts[name] == reference.parts[name]
+
+    def test_streaming_writer_regenerates_fixture_bytes(
+        self, expected_v4, head_path, tmp_path
+    ):
+        archive = BatchArchive.from_bytes((DATA / "golden_batch_v2.rpbt").read_bytes())
+        head = tmp_path / "golden_batch_v4.rpbt"
+        # v4 is the streaming default: no explicit container_version.
+        report = archive.save_sharded(head, shard_size=expected_v4["shard_size"])
+        assert head.read_bytes() == head_path.read_bytes()
+        assert [p.name for p in report.shard_paths] == [
+            rec["name"] for rec in expected_v4["shards"]
+        ]
+        for path, record in zip(report.shard_paths, expected_v4["shards"]):
+            assert path.read_bytes() == (DATA / record["name"]).read_bytes()
+
+    def test_eager_writer_regenerates_fixture_bytes(self, expected_v4):
+        eager = expected_v4["eager_entry"]
+        comp = BatchArchive.from_bytes(
+            (DATA / "golden_batch_v2.rpbt").read_bytes()
+        ).get(eager["key"])
+        comp.container_version = 4
+        assert comp.to_bytes() == (DATA / eager["name"]).read_bytes()
+
+    def test_eager_v4_blob_round_trips(self, expected_v4):
+        from repro.core.container import CompressedDataset, LazyCompressedDataset
+
+        blob = (DATA / expected_v4["eager_entry"]["name"]).read_bytes()
+        comp = CompressedDataset.from_bytes(blob)
+        assert comp.container_version == 4
+        assert comp.to_bytes() == blob
+        with LazyCompressedDataset.open(blob) as lazy:
+            assert lazy.parts.verifies_integrity
+            for name in comp.parts:
+                assert lazy.parts[name] == comp.parts[name]
+
+    def test_flipped_payload_bit_raises_part_integrity_error(self, expected_v4):
+        from repro.core.container import LazyCompressedDataset, PartIntegrityError
+
+        blob = bytearray((DATA / expected_v4["eager_entry"]["name"]).read_bytes())
+        with LazyCompressedDataset.open(bytes(blob)) as lazy:
+            name = next(iter(lazy.parts))
+            offset, length = lazy.parts.spans()[name]
+        blob[offset + length // 2] ^= 0x01
+        with LazyCompressedDataset.open(bytes(blob)) as lazy:
+            with pytest.raises(PartIntegrityError, match="CRC-32"):
+                lazy.parts[name]
 
 
 class TestGoldenGSPFormats:

@@ -416,6 +416,73 @@ class TestRetryingOpener:
             RetryPolicy(attempts=0)
         with pytest.raises(ValueError, match="multiplier"):
             RetryPolicy(multiplier=0.5)
+        with pytest.raises(ValueError, match="jitter"):
+            RetryPolicy(jitter=1.5)
+        with pytest.raises(ValueError, match="jitter"):
+            RetryPolicy(jitter=-0.1)
+        with pytest.raises(ValueError, match="max_elapsed"):
+            RetryPolicy(max_elapsed=-1.0)
+
+    def test_jitter_spreads_delays_deterministically(self):
+        # rng is injectable: a fixed sequence gives exact expected waits.
+        rolls = iter([0.0, 0.5, 1.0])
+        policy = RetryPolicy(
+            attempts=4, base_delay=0.1, multiplier=2.0, max_delay=10.0,
+            jitter=0.5, rng=lambda: next(rolls),
+        )
+        waits = list(policy.delays())
+        # rng=0.0 → ×(1-jitter), rng=0.5 → ×1, rng=1.0 → ×(1+jitter)
+        assert waits == pytest.approx([0.05, 0.2, 0.6])
+
+    def test_jitter_never_exceeds_max_delay(self):
+        policy = RetryPolicy(
+            attempts=5, base_delay=1.0, multiplier=4.0, max_delay=2.0,
+            jitter=1.0, rng=lambda: 1.0,
+        )
+        assert all(wait <= 2.0 for wait in policy.delays())
+
+    def test_zero_jitter_keeps_exact_geometric_backoff(self):
+        policy = RetryPolicy(attempts=4, base_delay=0.01, multiplier=2.0)
+        assert list(policy.delays()) == pytest.approx([0.01, 0.02, 0.04])
+
+    def test_max_elapsed_clamps_and_truncates(self):
+        # Nominal waits 0.1, 0.2, 0.4, 0.8; a 0.25s budget yields 0.1 then
+        # the clamped remainder 0.15, then nothing.
+        policy = RetryPolicy(
+            attempts=5, base_delay=0.1, multiplier=2.0, max_elapsed=0.25
+        )
+        waits = list(policy.delays())
+        assert waits == pytest.approx([0.1, 0.15])
+        assert sum(waits) <= 0.25
+
+    def test_max_elapsed_zero_disables_retries(self):
+        waits: list[float] = []
+        policy = RetryPolicy(attempts=5, max_elapsed=0.0, sleep=waits.append)
+        calls = {"n": 0}
+
+        def opener(name):
+            calls["n"] += 1
+            raise OSError("still down")
+
+        wrapped = retrying_opener(opener, policy=policy)
+        with pytest.raises(ContainerIOError, match="still failing"):
+            wrapped("s")
+        assert calls["n"] == 1 and waits == []
+
+    def test_max_elapsed_bounds_total_sleep_under_retry(self):
+        slept: list[float] = []
+        policy = RetryPolicy(
+            attempts=8, base_delay=0.1, multiplier=2.0, max_elapsed=0.5,
+            sleep=slept.append,
+        )
+
+        def opener(name):
+            raise OSError("down")
+
+        wrapped = retrying_opener(opener, policy=policy)
+        with pytest.raises(ContainerIOError):
+            wrapped("s")
+        assert sum(slept) <= 0.5 + 1e-9
 
 
 # ---------------------------------------------------------------------------
