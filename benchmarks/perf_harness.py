@@ -357,12 +357,64 @@ def _codec_ops(scale: int, repeats: int) -> dict:
     return ops
 
 
+def _ingest_ops(scale: int, repeats: int) -> dict:
+    """Streamed ingest hot paths: ``compress_iter`` and a delta session.
+
+    ``tac_compress_iter`` drains the chunked compressor over the same
+    dataset/bound as ``tac_compress``, so the two entries stay directly
+    comparable (chunked presentation must not cost throughput).
+    ``ingest_session_delta`` times a short end-to-end temporal-delta
+    session — generate-free (the series is prebuilt), so the number is
+    compress + closed-loop decode + streamed shard write.
+    """
+    import shutil
+    import tempfile
+
+    from repro.core.tac import TACCompressor
+    from repro.ingest import IngestConfig, IngestSession
+    from repro.sim.datasets import make_dataset
+    from repro.sim.timesteps import make_timestep_series
+
+    dataset = make_dataset("Run1_Z3", scale=scale)
+    nbytes = dataset.original_bytes()
+    codec = TACCompressor()
+
+    def drain_iter():
+        for _chunk in codec.compress_iter(dataset, 1e-4, "rel"):
+            pass
+
+    steps = 3
+    series = list(make_timestep_series("Run1_Z10", steps=steps, scale=scale))
+    series_bytes = sum(ds.original_bytes() for ds in series)
+
+    def delta_session():
+        workdir = Path(tempfile.mkdtemp(prefix="ingest_bench_"))
+        try:
+            cfg = IngestConfig(error_bound=1e-4, mode="rel", keyframe_interval=steps)
+            with IngestSession(workdir / "series.rpbt", cfg) as session:
+                session.extend(series)
+        finally:
+            shutil.rmtree(workdir, ignore_errors=True)
+
+    return {
+        "tac_compress_iter": op_entry(
+            time_op(drain_iter, repeats), dataset.total_points(), nbytes
+        ),
+        "ingest_session_delta": op_entry(
+            time_op(delta_session, repeats),
+            sum(ds.total_points() for ds in series),
+            series_bytes,
+        ),
+    }
+
+
 OP_GROUPS = {
     "huffman": _huffman_ops,
     "blocks": _blocks_ops,
     "sz": _sz_ops,
     "shared_tables": _shared_tables_ops,
     "codecs": _codec_ops,
+    "ingest": _ingest_ops,
 }
 
 
@@ -383,6 +435,7 @@ GROUP_OPS = {
     "codecs": tuple(
         f"{c}_{op}" for c in ("tac", "1d", "zmesh", "3d") for op in ("compress", "decompress")
     ) + ("tac_preprocess",),
+    "ingest": ("tac_compress_iter", "ingest_session_delta"),
 }
 
 

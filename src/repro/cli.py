@@ -9,6 +9,7 @@ Commands
 ``extract``     partial decompression: one entry, level subset, or ROI
 ``inspect``     per-part breakdown of a blob/archive (no payload decode)
 ``batch``       compress many ``.npz`` files into one batch archive
+``ingest``      stream a snapshot series into a sharded archive (in-situ)
 ``serve``       drive concurrent ROI reads through the read service
 ``scrub``       re-read and CRC-check every stored part, bounded memory
 ``codecs``      list the codec registry
@@ -193,6 +194,60 @@ def build_parser() -> argparse.ArgumentParser:
              "64M, 512K, or plain bytes (implies --stream)",
     )
 
+    p_ing = sub.add_parser(
+        "ingest",
+        help="stream a snapshot series into a sharded archive "
+             "(in-situ pipeline: bounded memory, optional temporal deltas)",
+    )
+    p_ing.add_argument(
+        "inputs", nargs="*", type=Path,
+        help="AMR .npz snapshots in chronological order (omit with --sim)",
+    )
+    p_ing.add_argument("-o", "--output", required=True, type=Path)
+    p_ing.add_argument(
+        "--sim", default=None, metavar="NAME", choices=sorted(TABLE1),
+        help="synthesize a Table 1 timestep series instead of reading files",
+    )
+    p_ing.add_argument("--steps", type=int, default=4, help="series length (--sim)")
+    p_ing.add_argument("--scale", type=int, default=4, help="grid divisor (--sim)")
+    p_ing.add_argument("--field", default="baryon_density", help="field (--sim)")
+    p_ing.add_argument("--seed", type=int, default=None, help="RNG seed (--sim)")
+    p_ing.add_argument(
+        "--sigma-step", type=float, default=0.05,
+        help="per-step field evolution rate (--sim)",
+    )
+    p_ing.add_argument(
+        "--refresh-every", type=int, default=0,
+        help="re-evaluate the refinement criterion every N steps (--sim; "
+             "0 freezes the AMR hierarchy at step 0)",
+    )
+    p_ing.add_argument("--eb", type=float, default=1e-4, help="error bound")
+    p_ing.add_argument("--mode", choices=["rel", "abs"], default="rel")
+    p_ing.add_argument("--method", choices=method_choices, default="tac")
+    p_ing.add_argument(
+        "--keyframe-interval", type=int, default=1, metavar="K",
+        help="temporal delta cadence: K>1 stores closed-loop residuals "
+             "between keyframes (1 = every snapshot independent)",
+    )
+    p_ing.add_argument(
+        "--shard-size", type=_parse_size, default=None, metavar="SIZE",
+        help="payload-shard roll-over size, e.g. 64M, 512K, or plain bytes",
+    )
+    p_ing.add_argument(
+        "--max-inflight", type=int, default=1,
+        help="snapshots in flight at once (1 = synchronous, strict "
+             "one-level memory bound; >1 overlaps encode and write)",
+    )
+    p_ing.add_argument(
+        "--workers", type=int, default=1,
+        help="encoder threads when --max-inflight > 1",
+    )
+    p_ing.add_argument(
+        "--eager", action="store_true",
+        help="whole-entry container writes instead of per-level streamed "
+             "(deferred-head) entries",
+    )
+
     p_srv = sub.add_parser(
         "serve",
         help="drive concurrent ROI reads against an archive and report "
@@ -275,7 +330,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="also write the full scrub report as JSON",
     )
 
-    sub.add_parser("codecs", help="list registered codecs")
+    p_cod = sub.add_parser("codecs", help="list registered codecs")
+    p_cod.add_argument(
+        "--schema", action="store_true",
+        help="also print each codec's accepted options (name, type, default)",
+    )
 
     p_exp = sub.add_parser("experiments", help="run paper experiments")
     p_exp.add_argument(
@@ -660,8 +719,10 @@ def cmd_batch(args) -> int:
         level_workers=args.level_workers,
     )
     if args.stream or args.shard_size is not None:
-        return _batch_streamed(args, engine, jobs)
-    batch = engine.run(jobs)
+        return _batch_streamed(args, jobs)
+    # The internal entry point: the CLI is a supported front-end, its
+    # stderr should not carry the Python-API deprecation notice.
+    batch = engine._run(jobs)
     for row in batch.summary_rows():
         if row["error"] is None:
             print(f"  {row['label']:40s} ratio {row['ratio']:>8.2f}x  "
@@ -684,9 +745,16 @@ def cmd_batch(args) -> int:
     return 0
 
 
-def _batch_streamed(args, engine: CompressionEngine, jobs) -> int:
-    """``repro batch --stream/--shard-size``: bounded-memory sharded write."""
+def _batch_streamed(args, jobs) -> int:
+    """``repro batch --stream/--shard-size``: bounded-memory sharded write.
+
+    Routed through :class:`repro.ingest.IngestSession` — the same
+    pipeline behind ``repro ingest`` — in its eager (whole-entry) mode,
+    so the archive bytes match what this flag always produced.
+    """
     from repro.engine import DEFAULT_SHARD_SIZE
+    from repro.engine.engine import CompressionEngine as _Engine
+    from repro.ingest import IngestConfig, IngestError, IngestSession
 
     if args.profile:
         print(
@@ -695,26 +763,115 @@ def _batch_streamed(args, engine: CompressionEngine, jobs) -> int:
             file=sys.stderr,
         )
     shard_size = args.shard_size if args.shard_size is not None else DEFAULT_SHARD_SIZE
+    labels = _Engine._unique_labels(jobs)
+    walls: dict[str, float] = {}
+    pipelined = args.workers > 1 and len(jobs) > 1
+    config = IngestConfig(
+        codec=args.method,
+        error_bound=args.eb,
+        mode=args.mode,
+        shard_size=shard_size,
+        streaming=False,
+        max_inflight=2 * args.workers if pipelined else 1,
+        workers=args.workers,
+        level_workers=args.level_workers,
+    )
+    session = IngestSession(
+        args.output,
+        config,
+        meta={"tool": "repro batch", "method": args.method, "eb": args.eb,
+              "mode": args.mode},
+        on_written=lambda key, _comp, wall: walls.__setitem__(key, wall),
+    )
     try:
-        sharded = engine.run_to_shards(
-            jobs, args.output, shard_size=shard_size,
-            tool="repro batch", method=args.method, eb=args.eb, mode=args.mode,
-        )
-    except RuntimeError as exc:
+        with session:
+            for label, job in zip(labels, jobs):
+                session.submit(job.dataset, key=label,
+                               codec_options=job.codec_options)
+    except IngestError as exc:
         print(f"error: {exc}; no archive written", file=sys.stderr)
         return 1
-    rows = {row["key"]: row for row in sharded.manifest()}
-    for result in sharded:
-        row = rows[result.label]
-        print(f"  {result.label:40s} {row['compressed_bytes']:>10d} B  "
-              f"{result.wall_seconds:.3f}s")
-    report = sharded.report
-    for path in report.shard_paths:
+    report = session.report
+    rows = {row["key"]: row for row in report.manifest()}
+    for label in labels:
+        print(f"  {label:40s} {rows[label]['compressed_bytes']:>10d} B  "
+              f"{walls[label]:.3f}s")
+    write = report.write
+    for path in write.shard_paths:
         print(f"  shard {path.name}: {path.stat().st_size} bytes")
-    print(f"wrote {report.head_path} (head) + {len(report.shard_paths)} payload "
-          f"shard(s): {report.n_entries} entries, {report.total_bytes()} bytes, "
-          f"ratio {sharded.ratio():.2f}x, wall {sharded.wall_seconds:.3f}s "
+    print(f"wrote {write.head_path} (head) + {len(write.shard_paths)} payload "
+          f"shard(s): {write.n_entries} entries, {write.total_bytes()} bytes, "
+          f"ratio {report.ratio():.2f}x, wall {report.wall_seconds:.3f}s "
           f"({args.workers} worker(s))")
+    return 0
+
+
+def cmd_ingest(args) -> int:
+    """``repro ingest``: snapshot series → sharded archive via IngestSession."""
+    from repro.engine import DEFAULT_SHARD_SIZE
+    from repro.ingest import IngestConfig, IngestError, IngestSession
+
+    if args.sim is None and not args.inputs:
+        print("error: give snapshot files or --sim NAME", file=sys.stderr)
+        return 2
+    if args.sim is not None and args.inputs:
+        print("error: --sim and file inputs are mutually exclusive", file=sys.stderr)
+        return 2
+    if args.sim is not None:
+        from repro.sim import make_timestep_series
+
+        snapshots = make_timestep_series(
+            args.sim, steps=args.steps, scale=args.scale, field=args.field,
+            seed=args.seed, sigma_step=args.sigma_step,
+            refresh_every=args.refresh_every,
+        )
+    else:
+        missing = [str(p) for p in args.inputs if not p.is_file()]
+        if missing:
+            print(f"error: input file(s) not found: {missing}", file=sys.stderr)
+            return 2
+        # Load lazily, one snapshot per submit: in-memory submissions join
+        # their (name, field) chain, so file series delta-code too — and
+        # peak memory stays one snapshot, not the series.
+        snapshots = (load_dataset(path) for path in args.inputs)
+    config = IngestConfig(
+        codec=args.method,
+        error_bound=args.eb,
+        mode=args.mode,
+        shard_size=args.shard_size if args.shard_size is not None else DEFAULT_SHARD_SIZE,
+        keyframe_interval=args.keyframe_interval,
+        max_inflight=args.max_inflight,
+        workers=args.workers,
+        streaming=not args.eager,
+    )
+    session = IngestSession(
+        args.output,
+        config,
+        meta={"tool": "repro ingest", "method": args.method, "eb": args.eb,
+              "mode": args.mode},
+    )
+    try:
+        with session:
+            session.extend(snapshots)
+    except IngestError as exc:
+        print(f"error: {exc}; no archive written", file=sys.stderr)
+        return 1
+    report = session.report
+    rows = {row["key"]: row for row in report.manifest()}
+    for entry in report.entries:
+        temporal = entry["temporal"]
+        kind = temporal["mode"] if temporal else "keyframe"
+        print(f"  {entry['key']:40s} {kind:8s} "
+              f"{rows[entry['key']]['compressed_bytes']:>10d} B  "
+              f"{entry['wall_seconds']:.3f}s")
+    write = report.write
+    for path in write.shard_paths:
+        print(f"  shard {path.name}: {path.stat().st_size} bytes")
+    print(f"wrote {write.head_path} (head) + {len(write.shard_paths)} payload "
+          f"shard(s): {report.n_entries} entries "
+          f"({report.n_keyframes} keyframe(s), {report.n_deltas} delta(s)), "
+          f"{write.total_bytes()} bytes, ratio {report.ratio():.2f}x, "
+          f"wall {report.wall_seconds:.3f}s")
     return 0
 
 
@@ -950,10 +1107,20 @@ def cmd_serve(args) -> int:
 
 
 def cmd_codecs(args) -> int:
+    from repro.engine.registry import config_schema
+
     for spec in all_specs():
         aliases = f" (aliases: {', '.join(spec.aliases)})" if spec.aliases else ""
         print(f"{spec.name:12s} method={spec.method_name:12s} "
               f"{spec.description}{aliases}")
+        if args.schema:
+            schema = config_schema(spec.name)
+            if schema is None:
+                print("    options: unconstrained (factory takes arbitrary keywords)")
+            else:
+                for option, info in schema.items():
+                    print(f"    {option:18s} {info['type']:30s} "
+                          f"default {info['default']!r}")
     return 0
 
 
@@ -987,6 +1154,7 @@ def main(argv: list[str] | None = None) -> int:
         "extract": cmd_extract,
         "inspect": cmd_inspect,
         "batch": cmd_batch,
+        "ingest": cmd_ingest,
         "serve": cmd_serve,
         "scrub": cmd_scrub,
         "codecs": cmd_codecs,

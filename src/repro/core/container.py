@@ -38,6 +38,18 @@ Three wire versions coexist:
   each part the moment its bytes arrive, so a flipped bit in one 64³
   brick names that brick (:class:`PartIntegrityError`) instead of
   poisoning whole-shard verification or decoding garbage.
+* **version 5** (the deferred-head layout, written by the in-situ ingest
+  path) — v4 with the JSON head moved *behind* the payloads, immediately
+  before the tail index, and the fixed-width header's ``head_len`` slot
+  patched at close alongside the index slot.  v3/v4 must know the full
+  metadata before the first payload byte, which forces a level-wise
+  compressor to finish the whole entry first; v5 lets
+  :class:`StreamingContainerWriter` stream parts as each AMR level is
+  compressed and seal the per-level metadata afterwards
+  (:meth:`StreamingContainerWriter.set_meta`), so peak writer memory is
+  one level's parts, not one entry's.  Readers locate the head at
+  ``index_off - head_len`` and treat everything else exactly like v4
+  (same CRC rows, same lazy part index).
 
 All versions deserialize through :meth:`CompressedDataset.from_bytes`
 and re-serialize byte-for-byte (a blob remembers its version), so stored
@@ -65,9 +77,14 @@ CONTAINER_VERSION = 2
 #: Wire version written by :class:`StreamingContainerWriter` (index-at-tail
 #: with per-part CRC-32 integrity rows).
 STREAMING_CONTAINER_VERSION = 4
-_SUPPORTED_VERSIONS = (1, 2, 3, 4)
+#: Wire version whose head is deferred to the tail (metadata sealed after
+#: the payloads), written by the per-level ingest stream path.
+DEFERRED_META_CONTAINER_VERSION = 5
+_SUPPORTED_VERSIONS = (1, 2, 3, 4, 5)
 #: Index-at-tail layouts (fixed-width index slot after ``_HEAD``).
-_TAIL_INDEX_VERSIONS = (3, 4)
+_TAIL_INDEX_VERSIONS = (3, 4, 5)
+#: Versions whose index rows carry a per-part CRC-32.
+_CRC_VERSIONS = (4, 5)
 _HEAD = struct.Struct("<BQ")
 #: v3/v4 extension after ``_HEAD``: index offset (relative to the blob
 #: start) and index length, zero-filled by the streaming writer until
@@ -253,7 +270,7 @@ class CompressedDataset:
         offset = 0
         for name, payload in self.parts.items():
             row = [name, offset, len(payload)]
-            if self.container_version == 4:
+            if self.container_version in _CRC_VERSIONS:
                 row.append(zlib.crc32(payload))
             index.append(row)
             offset += len(payload)
@@ -265,6 +282,18 @@ class CompressedDataset:
         out = bytearray()
         out += _MAGIC
         out += _HEAD.pack(self.container_version, len(head))
+        if self.container_version == DEFERRED_META_CONTAINER_VERSION:
+            # Deferred head: payloads first, then head + index at the
+            # tail — byte-identical to what the streaming writer patches
+            # in after the last level's parts.
+            index_blob = json.dumps(index, sort_keys=True).encode("utf-8")
+            payload_base = 4 + _HEAD.size + _V3_INDEX.size
+            out += _V3_INDEX.pack(payload_base + offset + len(head), len(index_blob))
+            for payload in self.parts.values():
+                out += payload
+            out += head
+            out += index_blob
+            return bytes(out)
         if self.container_version in _TAIL_INDEX_VERSIONS:
             # Index-at-tail: the fixed-width slot mirrors what the
             # streaming writer patches in after the last part.
@@ -296,8 +325,17 @@ class CompressedDataset:
         if version in _TAIL_INDEX_VERSIONS:
             index_off, index_len = _V3_INDEX.unpack_from(view, offset)
             offset += _V3_INDEX.size
-        head = json.loads(bytes(view[offset : offset + head_len]).decode("utf-8"))
-        offset += head_len
+        if version == DEFERRED_META_CONTAINER_VERSION:
+            # Deferred head: payloads start right after the index slot and
+            # the head sits at the tail, immediately before the index.
+            payload_limit = index_off - head_len
+            if payload_limit < offset:
+                raise ValueError("deferred head overlaps the payload region (corrupt blob)")
+            head = json.loads(bytes(view[payload_limit:index_off]).decode("utf-8"))
+        else:
+            head = json.loads(bytes(view[offset : offset + head_len]).decode("utf-8"))
+            offset += head_len
+            payload_limit = index_off if version in _TAIL_INDEX_VERSIONS else None
         parts: dict[str, bytes] = {}
         if version == 1:
             for name in head["part_names"]:
@@ -313,12 +351,12 @@ class CompressedDataset:
             for row in part_index:
                 name, part_off, length = row[0], row[1], row[2]
                 lo = payload_base + part_off
-                if part_off < 0 or lo + length > index_off:
+                if part_off < 0 or lo + length > payload_limit:
                     raise ValueError(
                         f"part {name!r} extends past the payload region (corrupt blob)"
                     )
                 payload = bytes(view[lo : lo + length])
-                if version == 4:
+                if version in _CRC_VERSIONS:
                     actual = zlib.crc32(payload)
                     if actual != row[3]:
                         raise PartIntegrityError(
@@ -350,6 +388,100 @@ class CompressedDataset:
             n_values=head["n_values"],
             container_version=version,
         )
+
+
+# ----------------------------------------------------------------------
+# streaming compression (per-level part groups)
+# ----------------------------------------------------------------------
+@dataclass
+class LevelChunk:
+    """One level's worth of parts, produced incrementally by a compressor.
+
+    ``level``/``meta`` are ``None`` for opaque chunks (e.g. the §4.4
+    baseline delegation, which emits the whole entry as one group).
+    Part order inside ``parts`` is the wire order.
+    """
+
+    level: int | None
+    meta: dict | None
+    parts: dict[str, bytes]
+
+    def nbytes(self) -> int:
+        return sum(len(p) for p in self.parts.values())
+
+
+class StreamingCompression:
+    """A compressed entry produced one :class:`LevelChunk` at a time.
+
+    The entry header fields (``method``, ``dataset_name``,
+    ``original_bytes``, ``n_values``) are known up-front so a deferred-head
+    container writer can start emitting payloads immediately; the full
+    ``meta`` (with its ``"levels"`` list) is only final once every chunk
+    has been consumed — reading :attr:`meta` earlier raises.  Single-pass:
+    iterate it exactly once.
+    """
+
+    def __init__(
+        self,
+        *,
+        method: str,
+        dataset_name: str,
+        original_bytes: int,
+        n_values: int,
+        chunks,
+        base_meta: dict | None = None,
+        final_meta: dict | None = None,
+    ):
+        self.method = method
+        self.dataset_name = dataset_name
+        self.original_bytes = original_bytes
+        self.n_values = n_values
+        self._chunks = iter(chunks)
+        self._base_meta = base_meta
+        self._final_meta = final_meta
+        self._level_meta: list[dict] = []
+        self._exhausted = False
+
+    def __iter__(self) -> "StreamingCompression":
+        return self
+
+    def __next__(self) -> LevelChunk:
+        try:
+            chunk = next(self._chunks)
+        except StopIteration:
+            if not self._exhausted:
+                self._exhausted = True
+                if self._final_meta is None:
+                    self._final_meta = {**(self._base_meta or {}), "levels": self._level_meta}
+            raise
+        if chunk.meta is not None:
+            self._level_meta.append(chunk.meta)
+        return chunk
+
+    @property
+    def exhausted(self) -> bool:
+        return self._exhausted
+
+    @property
+    def meta(self) -> dict:
+        if not self._exhausted:
+            raise RuntimeError(
+                "entry metadata is only final after every chunk has been consumed"
+            )
+        return self._final_meta
+
+    def collect(self) -> CompressedDataset:
+        """Drain the remaining chunks into an eager :class:`CompressedDataset`."""
+        out = CompressedDataset(
+            method=self.method,
+            dataset_name=self.dataset_name,
+            original_bytes=self.original_bytes,
+            n_values=self.n_values,
+        )
+        for chunk in self:
+            out.parts.update(chunk.parts)
+        out.meta = self.meta
+        return out
 
 
 # ----------------------------------------------------------------------
@@ -737,8 +869,20 @@ class LazyCompressedDataset:
         if version in _TAIL_INDEX_VERSIONS:
             index_off, index_len = _V3_INDEX.unpack(src.read_at(head_off, _V3_INDEX.size))
             head_off += _V3_INDEX.size
-        head = json.loads(src.read_at(head_off, head_len).decode("utf-8"))
-        payload_base = head_off + head_len
+        if version == DEFERRED_META_CONTAINER_VERSION:
+            # Deferred head: payloads follow the index slot directly; the
+            # head sits at the tail, immediately before the part index.
+            payload_base = head_off
+            payload_limit = base + index_off - head_len
+            if payload_limit < payload_base:
+                raise ValueError("deferred head overlaps the payload region (corrupt blob)")
+            head = json.loads(src.read_at(payload_limit, head_len).decode("utf-8"))
+        else:
+            head = json.loads(src.read_at(head_off, head_len).decode("utf-8"))
+            payload_base = head_off + head_len
+            payload_limit = (
+                base + index_off if version in _TAIL_INDEX_VERSIONS else None
+            )
         index: dict[str, tuple[int, int]] = {}
         crcs: dict[str, int] = {}
         if version == 1:
@@ -754,12 +898,12 @@ class LazyCompressedDataset:
             part_index = json.loads(src.read_at(base + index_off, index_len).decode("utf-8"))
             for row in part_index:
                 name, part_off, length = row[0], row[1], row[2]
-                if part_off < 0 or payload_base + part_off + length > base + index_off:
+                if part_off < 0 or payload_base + part_off + length > payload_limit:
                     raise ValueError(
                         f"part {name!r} extends past the payload region (corrupt blob)"
                     )
                 index[name] = (payload_base + part_off, length)
-                if version == 4:
+                if version in _CRC_VERSIONS:
                     crcs[name] = row[3]
         else:
             for name, part_off, length in head["part_index"]:
@@ -835,6 +979,15 @@ class StreamingContainerWriter:
     the memory bound is unchanged); pass ``container_version=3`` to
     reproduce the legacy integrity-free layout byte-for-byte.
 
+    Version 5 defers the JSON head to the tail: the fixed-width header
+    is written with a zero ``head_len``, payloads stream immediately,
+    and :meth:`close` appends head + index and patches both slots.
+    That is the in-situ seam — a level-wise compressor can stream each
+    level's parts as they are produced and only then seal the per-level
+    metadata via :meth:`set_meta`, which v3/v4 (head before payloads)
+    structurally cannot.  Bytes are identical to ``to_bytes()`` at
+    ``container_version=5`` for the same final metadata.
+
     The sink may be a path (opened/closed by the writer) or a seekable
     binary file positioned where the blob should start — which is how
     :class:`~repro.engine.archive.ShardedArchiveWriter` streams whole
@@ -868,14 +1021,27 @@ class StreamingContainerWriter:
         else:
             raise TypeError(f"cannot stream to {type(sink).__name__!r}: need a path or seekable file")
         self._base = self._fh.tell()
-        record = _head_record(method, dataset_name, meta or {}, original_bytes, n_values)
-        head = json.dumps(record, sort_keys=True).encode("utf-8")
+        self._method = method
+        self._dataset_name = dataset_name
+        self._meta = dict(meta or {})
+        self._original_bytes = original_bytes
+        self._n_values = n_values
+        self._deferred_head = container_version == DEFERRED_META_CONTAINER_VERSION
         self._fh.write(_MAGIC)
-        self._fh.write(_HEAD.pack(self.container_version, len(head)))
-        self._patch_at = self._base + 4 + _HEAD.size
-        self._fh.write(_V3_INDEX.pack(0, 0))
-        self._fh.write(head)
-        self._payload_base = 4 + _HEAD.size + _V3_INDEX.size + len(head)
+        if self._deferred_head:
+            # head_len stays zero until close() seals the metadata.
+            self._fh.write(_HEAD.pack(self.container_version, 0))
+            self._patch_at = self._base + 4
+            self._fh.write(_V3_INDEX.pack(0, 0))
+            self._payload_base = 4 + _HEAD.size + _V3_INDEX.size
+        else:
+            record = _head_record(method, dataset_name, self._meta, original_bytes, n_values)
+            head = json.dumps(record, sort_keys=True).encode("utf-8")
+            self._fh.write(_HEAD.pack(self.container_version, len(head)))
+            self._patch_at = self._base + 4 + _HEAD.size
+            self._fh.write(_V3_INDEX.pack(0, 0))
+            self._fh.write(head)
+            self._payload_base = 4 + _HEAD.size + _V3_INDEX.size + len(head)
         self._index: list[list] = []
         self._offset = 0
         self._names: set[str] = set()
@@ -895,7 +1061,7 @@ class StreamingContainerWriter:
         payload = bytes(payload) if not isinstance(payload, bytes) else payload
         self._fh.write(payload)
         row = [name, self._offset, len(payload)]
-        if self.container_version >= 4:
+        if self.container_version in _CRC_VERSIONS:
             row.append(zlib.crc32(payload))
         self._index.append(row)
         self._offset += len(payload)
@@ -910,6 +1076,37 @@ class StreamingContainerWriter:
         for item in items:
             self.add_part(item[0], item[1])
             del item
+
+    def set_meta(
+        self,
+        meta: dict | None = None,
+        *,
+        original_bytes: int | None = None,
+        n_values: int | None = None,
+    ) -> None:
+        """Seal the header record before :meth:`close` (version 5 only).
+
+        The deferred-head layout exists so metadata that is only known
+        after the payloads — per-level records from a streaming
+        compressor — can still land in the head.  v3/v4 blobs write
+        their head before the first payload, so late metadata would be
+        silently dropped; rejecting it here keeps that a loud error.
+        """
+        if self._closed:
+            raise ValueError("writer is closed")
+        if not self._deferred_head:
+            raise ValueError(
+                "set_meta requires the deferred-head layout (container "
+                f"version {DEFERRED_META_CONTAINER_VERSION}); this writer "
+                f"is version {self.container_version}, whose head is "
+                "already on the wire"
+            )
+        if meta is not None:
+            self._meta = dict(meta)
+        if original_bytes is not None:
+            self._original_bytes = int(original_bytes)
+        if n_values is not None:
+            self._n_values = int(n_values)
 
     @property
     def n_parts(self) -> int:
@@ -928,11 +1125,25 @@ class StreamingContainerWriter:
         if self._closed:
             raise ValueError("writer is already closed")
         index_blob = json.dumps(self._index, sort_keys=True).encode("utf-8")
-        index_off = self._payload_base + self._offset
-        self._fh.write(index_blob)
-        end = self._fh.tell()
-        self._fh.seek(self._patch_at)
-        self._fh.write(_V3_INDEX.pack(index_off, len(index_blob)))
+        if self._deferred_head:
+            record = _head_record(
+                self._method, self._dataset_name, self._meta,
+                self._original_bytes, self._n_values,
+            )
+            head = json.dumps(record, sort_keys=True).encode("utf-8")
+            index_off = self._payload_base + self._offset + len(head)
+            self._fh.write(head)
+            self._fh.write(index_blob)
+            end = self._fh.tell()
+            self._fh.seek(self._patch_at)
+            self._fh.write(_HEAD.pack(self.container_version, len(head)))
+            self._fh.write(_V3_INDEX.pack(index_off, len(index_blob)))
+        else:
+            index_off = self._payload_base + self._offset
+            self._fh.write(index_blob)
+            end = self._fh.tell()
+            self._fh.seek(self._patch_at)
+            self._fh.write(_V3_INDEX.pack(index_off, len(index_blob)))
         self._fh.seek(end)
         self._closed = True
         self.total_bytes = index_off + len(index_blob)

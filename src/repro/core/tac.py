@@ -29,6 +29,8 @@ from repro.core.akdtree import akdtree_extract
 from repro.core.container import (
     MASK_PREFIX,
     CompressedDataset,
+    LevelChunk,
+    StreamingCompression,
     pack_mask,
     resolve_global_eb,
     unpack_mask,
@@ -200,12 +202,7 @@ class TACCompressor(PlanExecutorMixin):
             timings=timings,
         )
         def level_task(lvl: AMRLevel) -> tuple[dict, dict, TimingRecord]:
-            parts: dict[str, bytes] = {}
-            record = TimingRecord()
-            meta = self._compress_level(lvl, base_eb * scales[lvl.level], parts, record)
-            if cfg.store_masks:
-                parts[f"{MASK_PREFIX}L{lvl.level}"] = pack_mask(lvl.mask)
-            return meta, parts, record
+            return self._level_task(lvl, base_eb * scales[lvl.level])
 
         if level_workers > 1 and dataset.n_levels > 1:
             with ThreadPoolExecutor(max_workers=level_workers) as pool:
@@ -228,6 +225,80 @@ class TACCompressor(PlanExecutorMixin):
             "levels": level_meta,
         }
         return out
+
+    def compress_iter(
+        self,
+        dataset: AMRDataset,
+        error_bound: float,
+        mode: str = "rel",
+        per_level_scale=None,
+        timings: TimingRecord | None = None,
+    ) -> StreamingCompression:
+        """Compress level by level, yielding each level's parts as produced.
+
+        Returns a :class:`repro.core.container.StreamingCompression`: the
+        entry header fields are available immediately, iterating yields one
+        :class:`LevelChunk` per level (finest first, same part order as
+        :meth:`compress`), and ``.meta`` becomes available once the stream
+        is exhausted.  A deferred-head container writer consuming the
+        chunks therefore holds at most one level's parts in memory and its
+        output is byte-identical to ``compress(...).to_bytes()`` at the
+        deferred-head wire version.
+
+        The §4.4 baseline delegation has no level-wise decomposition; that
+        regime falls back to an eager compress wrapped as a single chunk.
+        """
+        timings = timings if timings is not None else TimingRecord()
+        cfg = self.config
+        if cfg.adaptive_baseline and dataset.finest_density() >= cfg.t2:
+            out = self.compress(dataset, error_bound, mode, per_level_scale, timings=timings)
+            return StreamingCompression(
+                method=out.method,
+                dataset_name=out.dataset_name,
+                original_bytes=out.original_bytes,
+                n_values=out.n_values,
+                chunks=[LevelChunk(level=None, meta=None, parts=dict(out.parts))],
+                final_meta=out.meta,
+            )
+        base_eb = resolve_global_eb(dataset, error_bound, mode)
+        scales = _resolve_scales(per_level_scale, dataset.n_levels)
+        base_meta = {
+            "name": dataset.name,
+            "field": dataset.field,
+            "ratio": dataset.ratio,
+            "box_size": dataset.box_size,
+            "shapes": [list(lvl.shape) for lvl in dataset.levels],
+        }
+
+        def produce():
+            for lvl in dataset.levels:
+                meta, parts, record = self._level_task(lvl, base_eb * scales[lvl.level])
+                for span, seconds in record.spans.items():
+                    timings.add(span, seconds)
+                yield LevelChunk(level=lvl.level, meta=meta, parts=parts)
+
+        return StreamingCompression(
+            method=self.method_name,
+            dataset_name=dataset.name,
+            original_bytes=dataset.original_bytes(),
+            n_values=dataset.total_points(),
+            chunks=produce(),
+            base_meta=base_meta,
+        )
+
+    def _level_task(self, lvl: AMRLevel, eb_abs: float) -> tuple[dict, dict, TimingRecord]:
+        """One level's complete output: ``(meta, parts, timings)``.
+
+        The single source of per-level part production — ``compress`` and
+        ``compress_iter`` both route through it, so their part names,
+        order, and bytes cannot drift apart.
+        """
+        parts: dict[str, bytes] = {}
+        record = TimingRecord()
+        meta = self._compress_level(lvl, eb_abs, parts, record)
+        if self.config.store_masks:
+            parts[f"{MASK_PREFIX}L{lvl.level}"] = pack_mask(lvl.mask)
+        return meta, parts, record
 
     def _compress_level(
         self, lvl: AMRLevel, eb_abs: float, parts: dict[str, bytes], timings: TimingRecord
@@ -259,6 +330,8 @@ class TACCompressor(PlanExecutorMixin):
                 else:
                     result = zero_fill(data, lvl.mask, block)
             meta["padded_shape"] = list(result.padded.shape)
+            orig_shape = data.shape
+            del data  # the padded grid supersedes the masked copy
             if cfg.brick_size is None:
                 # Legacy single-stream layout (strategy format 1).
                 self._encode_streams(
@@ -271,7 +344,7 @@ class TACCompressor(PlanExecutorMixin):
             # so an ROI read decodes only the bricks it touches.
             table = BrickTable(
                 padded_shape=result.padded.shape,
-                orig_shape=data.shape,
+                orig_shape=orig_shape,
                 brick_size=cfg.brick_size,
             )
             parts[f"L{lvl.level}/bricks"] = serialize_brick_table(table)
@@ -297,6 +370,7 @@ class TACCompressor(PlanExecutorMixin):
         }[strategy]
         with timed(timings, "preprocess"):
             extraction = extract(data, lvl.mask, block)
+        del data  # the extracted groups supersede the masked copy
         parts[f"L{lvl.level}/layout"] = serialize_layout(extraction)
         self._encode_streams(
             [

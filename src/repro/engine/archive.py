@@ -47,6 +47,7 @@ from pathlib import Path
 
 from repro.amr.hierarchy import AMRDataset
 from repro.core.container import (
+    DEFERRED_META_CONTAINER_VERSION,
     STREAMING_CONTAINER_VERSION,
     CompressedDataset,
     ContainerIOError,
@@ -405,9 +406,8 @@ class ShardedArchiveWriter:
         )
 
     # -- writing -----------------------------------------------------------
-    def add_entry(self, key: str, comp) -> None:
-        """Stream one compressed dataset (eager or lazy view) into the
-        current payload shard; the payload bytes are not retained."""
+    def _begin_entry(self, key: str) -> int:
+        """Validate ``key``, roll the shard if due, return the start offset."""
         if self._closed:
             raise ValueError("writer is closed")
         if not key:
@@ -419,7 +419,28 @@ class ShardedArchiveWriter:
         elif self._shard_offset >= self._shard_size:
             self._finalize_shard()
             self._open_shard()
-        start = self._shard_offset
+        return self._shard_offset
+
+    def _record_entry(
+        self, key: str, start: int, length: int, writer, method, dataset_name,
+        original_bytes, n_values,
+    ) -> None:
+        self._shard_offset = start + length
+        self._index[key] = [len(self._shard_paths) - 1, start, length]
+        self._manifest[key] = {
+            "key": key,
+            "method": method,
+            "dataset": dataset_name,
+            "original_bytes": original_bytes,
+            "compressed_bytes": writer.bytes_written,
+            "n_values": n_values,
+            "n_parts": writer.n_parts,
+        }
+
+    def add_entry(self, key: str, comp) -> None:
+        """Stream one compressed dataset (eager or lazy view) into the
+        current payload shard; the payload bytes are not retained."""
+        start = self._begin_entry(key)
         writer = StreamingContainerWriter(
             self._fh,
             comp.method,
@@ -432,17 +453,42 @@ class ShardedArchiveWriter:
         for name in comp.parts:
             writer.add_part(name, comp.parts[name])
         length = writer.close()
-        self._shard_offset = start + length
-        self._index[key] = [len(self._shard_paths) - 1, start, length]
-        self._manifest[key] = {
-            "key": key,
-            "method": comp.method,
-            "dataset": comp.dataset_name,
-            "original_bytes": comp.original_bytes,
-            "compressed_bytes": writer.bytes_written,
-            "n_values": comp.n_values,
-            "n_parts": writer.n_parts,
-        }
+        self._record_entry(
+            key, start, length, writer,
+            comp.method, comp.dataset_name, comp.original_bytes, comp.n_values,
+        )
+
+    def add_entry_stream(self, key: str, stream) -> None:
+        """Drain a :class:`~repro.core.container.StreamingCompression` into
+        the current payload shard, one level chunk at a time.
+
+        The entry is written at the deferred-head wire version
+        (:data:`~repro.core.container.DEFERRED_META_CONTAINER_VERSION`):
+        each chunk's parts go to disk as they arrive and are not retained,
+        so peak memory is one *level's* parts, not the entry's — and the
+        entry metadata (only final once the stream is exhausted) is sealed
+        into the head at the tail.  The resulting bytes are identical to
+        ``add_entry`` with the eagerly-compressed dataset at the same wire
+        version.
+        """
+        start = self._begin_entry(key)
+        writer = StreamingContainerWriter(
+            self._fh,
+            stream.method,
+            stream.dataset_name,
+            original_bytes=stream.original_bytes,
+            n_values=stream.n_values,
+            container_version=DEFERRED_META_CONTAINER_VERSION,
+        )
+        for chunk in stream:
+            for name, payload in chunk.parts.items():
+                writer.add_part(name, payload)
+        writer.set_meta(stream.meta)
+        length = writer.close()
+        self._record_entry(
+            key, start, length, writer,
+            stream.method, stream.dataset_name, stream.original_bytes, stream.n_values,
+        )
 
     # -- lifecycle ---------------------------------------------------------
     def close(self) -> ShardedWriteReport:

@@ -23,7 +23,9 @@ requiring the codec to be registered at ``repro.engine`` import time.
 
 from __future__ import annotations
 
+import copy
 import time
+import warnings
 from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -36,7 +38,6 @@ from repro.engine import registry
 from repro.engine.archive import (
     DEFAULT_SHARD_SIZE,
     BatchArchive,
-    ShardedArchiveWriter,
     ShardedWriteReport,
 )
 from repro.engine.registry import supports_kwarg
@@ -234,7 +235,10 @@ class ShardedBatchResult:
 
 def _execute_job(job: CompressionJob, level_workers: int) -> tuple[CompressedDataset, float]:
     """Run one job to completion (top-level so process pools can pickle it)."""
-    codec = registry.get_codec(job.codec, **job.codec_options)
+    # Jobs are often built from one shared options dict; hand the factory
+    # its own deep copy so a codec that mutates (or lazily normalizes) its
+    # kwargs can never corrupt a sibling job's configuration.
+    codec = registry.get_codec(job.codec, **copy.deepcopy(job.codec_options))
     kwargs: dict = {}
     if job.per_level_scale is not None:
         kwargs["per_level_scale"] = job.per_level_scale
@@ -289,11 +293,26 @@ class CompressionEngine:
     def run(self, jobs: Iterable[CompressionJob], raise_errors: bool = False) -> BatchResult:
         """Execute every job and return results in submission order.
 
+        .. deprecated::
+            ``run`` remains for in-memory batch results, but new code
+            should go through :class:`repro.ingest.IngestSession`, which
+            adds bounded-memory streamed writes and temporal delta
+            coding behind the same per-entry overrides.
+
         With ``raise_errors=False`` (default) a failing job is reported in
         its :class:`JobResult` and the rest of the batch completes; with
         ``raise_errors=True`` the first failure re-raises after the batch
         finishes (never mid-flight, so no sibling work is wasted).
         """
+        warnings.warn(
+            "CompressionEngine.run is deprecated; use repro.ingest.IngestSession "
+            "(session.submit(...) / session.close()) instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self._run(jobs, raise_errors)
+
+    def _run(self, jobs: Iterable[CompressionJob], raise_errors: bool = False) -> BatchResult:
         jobs = list(jobs)
         labels = self._unique_labels(jobs)
         results = [
@@ -321,7 +340,7 @@ class CompressionEngine:
 
     def run_to_archive(self, jobs: Iterable[CompressionJob], **meta) -> BatchArchive:
         """``run`` + pack into one :class:`BatchArchive` (all jobs must succeed)."""
-        return self.run(jobs).to_archive(**meta)
+        return self._run(jobs).to_archive(**meta)
 
     def run_to_shards(
         self,
@@ -334,63 +353,70 @@ class CompressionEngine:
     ) -> "ShardedBatchResult":
         """Compress a batch straight into a sharded (v3) archive.
 
-        The streaming counterpart of :meth:`run_to_archive`: workers
-        compress jobs concurrently while the caller's thread drains
-        finished results *in submission order* into a
-        :class:`~repro.engine.archive.ShardedArchiveWriter`, releasing
-        each entry's payloads as soon as they hit disk.  Submission is
-        windowed (``2 * max_workers`` jobs outstanding), so even when
-        the batch's slowest job is first, peak memory is the window —
-        never the whole compressed batch — while shard layout,
-        manifest, and payload bytes stay deterministic for a given job
-        list.
+        .. deprecated::
+            A thin shim over :class:`repro.ingest.IngestSession`, kept
+            for its result shape.  New code should open a session
+            directly — the ingest pipeline adds per-level streamed
+            container writes and temporal delta coding this entry point
+            never will.  (The session's pipeline is thread-based; an
+            ``executor="process"`` engine still gets correct — and
+            byte-identical — output through the shim, just on threads.)
 
-        All jobs must succeed: a failure aborts the write, removes every
-        file already written, and re-raises (chained), so a crashed
-        batch never leaves a half-archive behind.  ``keep_payloads=True``
-        retains each ``JobResult.compressed`` for callers that want both
-        the files and the in-memory batch (tests, small batches).
+        The streaming counterpart of :meth:`run_to_archive`: entries
+        land in submission order with bounded in-flight depth, each
+        entry's payloads released as soon as they hit disk.  All jobs
+        must succeed: a failure aborts the write, removes every file
+        already written, and raises (chained), so a crashed batch never
+        leaves a half-archive behind.  ``keep_payloads=True`` retains
+        each ``JobResult.compressed`` for callers that want both the
+        files and the in-memory batch (tests, small batches).
         """
+        warnings.warn(
+            "CompressionEngine.run_to_shards is deprecated; use "
+            "repro.ingest.IngestSession (session.submit(...) / session.close()) instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        from repro.ingest import IngestConfig, IngestSession
+
         jobs = list(jobs)
         labels = self._unique_labels(jobs)
         results = [
             JobResult(label=labels[i], codec=job.codec, index=i)
             for i, job in enumerate(jobs)
         ]
+        by_label = {result.label: result for result in results}
+
+        def on_written(key, comp, wall_seconds):
+            result = by_label[key]
+            if keep_payloads:
+                result.compressed = comp
+            result.wall_seconds = wall_seconds
+
+        pipelined = self.max_workers > 1 and len(jobs) > 1
+        config = IngestConfig(
+            shard_size=shard_size,
+            streaming=False,  # the established eager per-entry container bytes
+            max_inflight=2 * self.max_workers if pipelined else 1,
+            workers=self.max_workers,
+            level_workers=self.level_workers,
+        )
         start = time.perf_counter()
-        writer = ShardedArchiveWriter(head_path, shard_size=shard_size, meta=dict(meta))
+        session = IngestSession(head_path, config, meta=dict(meta), on_written=on_written)
         try:
-            if self.max_workers == 1 or len(jobs) <= 1:
-                for i, job in enumerate(jobs):
-                    self._fill(results[i], job)
-                    self._stream_result(writer, results[i], keep_payloads)
-            else:
-                # Bounded submission window: with everything submitted up
-                # front, a slow job 0 would let every other result pile up
-                # inside undrained futures — the memory profile streaming
-                # exists to avoid.  Keeping 2x max_workers outstanding
-                # feeds the pool without unbounding the backlog.
-                window = 2 * self.max_workers
-                futures: dict[int, object] = {}
-                with self._make_pool() as pool:
-                    try:
-                        submitted = 0
-                        for i in range(len(jobs)):
-                            while submitted < len(jobs) and submitted < i + window:
-                                futures[submitted] = pool.submit(
-                                    _execute_job, jobs[submitted], self.level_workers
-                                )
-                                submitted += 1
-                            self._fill(results[i], jobs[i], futures.pop(i))
-                            self._stream_result(writer, results[i], keep_payloads)
-                    except BaseException:
-                        # Abort promptly: never wait for doomed siblings.
-                        for future in futures.values():
-                            future.cancel()
-                        raise
-            report = writer.close()
+            for i, job in enumerate(jobs):
+                session.submit(
+                    job.dataset,
+                    key=labels[i],
+                    codec=job.codec,
+                    error_bound=job.error_bound,
+                    mode=job.mode,
+                    per_level_scale=job.per_level_scale,
+                    codec_options=job.codec_options,
+                )
+            report = session.close().write
         except BaseException:
-            writer.abort()
+            session.abort()
             raise
         return ShardedBatchResult(
             results=results,
@@ -399,19 +425,6 @@ class CompressionEngine:
             max_workers=self.max_workers,
             executor=self.executor,
         )
-
-    @staticmethod
-    def _stream_result(
-        writer: ShardedArchiveWriter, result: JobResult, keep_payloads: bool
-    ) -> None:
-        """Write one finished job into the shard writer and drop its payloads."""
-        if not result.ok:
-            raise RuntimeError(
-                f"job {result.label!r} (#{result.index}) failed: {result.error}"
-            ) from result.error
-        writer.add_entry(result.label, result.compressed)
-        if not keep_payloads:
-            result.compressed = None
 
     # ------------------------------------------------------------------
     def _make_pool(self) -> Executor:

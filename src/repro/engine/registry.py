@@ -24,6 +24,8 @@ workers that merely ``import repro.engine``.
 
 from __future__ import annotations
 
+import copy
+import dataclasses
 import inspect
 from dataclasses import dataclass, field
 from typing import Callable, Protocol, runtime_checkable
@@ -128,6 +130,11 @@ class CodecSpec:
         Alternate lookup names (e.g. the experiments' ``"baseline_1d"``).
     description:
         One-line summary for ``repro batch --help`` style listings.
+    config_cls:
+        Optional config dataclass whose fields define the codec's valid
+        keyword options (what :func:`config_schema` enumerates and
+        :func:`validate_codec_options` checks against).  Codecs whose
+        factory signature is directly enumerable don't need one.
     """
 
     name: str
@@ -136,6 +143,7 @@ class CodecSpec:
     aliases: tuple[str, ...] = ()
     description: str = ""
     supports_per_level_eb: bool = True
+    config_cls: type | None = None
 
 
 _SPECS: dict[str, CodecSpec] = {}
@@ -151,6 +159,7 @@ def register(
     aliases: tuple[str, ...] | list[str] = (),
     description: str = "",
     supports_per_level_eb: bool = True,
+    config_cls: type | None = None,
     replace: bool = False,
 ):
     """Register a codec factory under ``name`` (and ``aliases``).
@@ -181,6 +190,7 @@ def register(
             aliases=tuple(aliases),
             description=description,
             supports_per_level_eb=supports_per_level_eb,
+            config_cls=config_cls,
         )
         spellings = (name, *spec.aliases)
         for spelling in spellings:
@@ -231,6 +241,72 @@ def get_codec(name: str, **options) -> Codec:
     return get_spec(name).factory(**options)
 
 
+def config_schema(name: str) -> dict[str, dict] | None:
+    """The enumerable option schema for codec ``name``, if there is one.
+
+    Maps option name → ``{"type": ..., "default": ...}`` (either key may
+    be absent when the source carries no annotation/default).  Derived
+    from the spec's ``config_cls`` dataclass when registered, else from
+    the factory's signature.  Returns ``None`` when the options are not
+    enumerable (a bare ``**kwargs`` factory with no config class) — in
+    that case validation is necessarily permissive.
+    """
+    spec = get_spec(name)
+    if spec.config_cls is not None and dataclasses.is_dataclass(spec.config_cls):
+        schema: dict[str, dict] = {}
+        for fld in dataclasses.fields(spec.config_cls):
+            row: dict = {"type": str(fld.type)}
+            if fld.default is not dataclasses.MISSING:
+                row["default"] = fld.default
+            elif fld.default_factory is not dataclasses.MISSING:
+                row["default"] = fld.default_factory()
+            schema[fld.name] = row
+        return schema
+    try:
+        signature = inspect.signature(spec.factory)
+    except (TypeError, ValueError):
+        return None
+    schema = {}
+    for parameter in signature.parameters.values():
+        if parameter.kind in (
+            inspect.Parameter.VAR_KEYWORD,
+            inspect.Parameter.VAR_POSITIONAL,
+        ):
+            return None
+        if parameter.name in ("self", "config"):
+            continue
+        row = {}
+        if parameter.annotation is not inspect.Parameter.empty:
+            row["type"] = str(parameter.annotation)
+        if parameter.default is not inspect.Parameter.empty:
+            row["default"] = parameter.default
+        schema[parameter.name] = row
+    return schema
+
+
+def validate_codec_options(name: str, options: dict | None) -> dict:
+    """A validated deep copy of ``options`` for codec ``name``.
+
+    Unknown keys fail loudly *here* — at session/CLI construction time —
+    instead of as a ``TypeError`` deep inside a worker once the first job
+    runs.  The deep copy severs shared-by-reference option dicts, so a
+    caller (or retry logic) mutating its dict after submission cannot
+    reconfigure in-flight jobs.  Codecs without an enumerable schema skip
+    the key check but still get the copy.
+    """
+    options = copy.deepcopy(dict(options or {}))
+    schema = config_schema(name)
+    if schema is None:
+        return options
+    unknown = sorted(set(options) - set(schema))
+    if unknown:
+        raise ValueError(
+            f"unknown option(s) {', '.join(map(repr, unknown))} for codec "
+            f"{name!r}; valid options: {', '.join(sorted(schema))}"
+        )
+    return options
+
+
 def codec_names(include_aliases: bool = False) -> list[str]:
     """Sorted canonical names (optionally with every accepted alias)."""
     if include_aliases:
@@ -273,12 +349,14 @@ register(
     "tac",
     TACCompressor,
     description="TAC hybrid level-wise compressor (OpST/AKDTree/GSP + SZ)",
+    config_cls=TACConfig,
 )
 register(
     "tac-hybrid",
     _tac_hybrid_factory,
     method_name="tac",
     description="TAC with the adaptive 3D-baseline fallback (paper §4.4)",
+    config_cls=TACConfig,
 )
 register(
     "1d",

@@ -1,0 +1,83 @@
+"""Typed configuration for the in-situ ingest pipeline.
+
+One dataclass carries every knob the old entry points scattered across
+``CompressionEngine`` constructor arguments, ``run_to_shards`` keywords,
+and raw ``codec_options`` dicts.  Validation happens at construction:
+codec options are checked against the registered codec's schema
+(:func:`repro.engine.registry.validate_codec_options`) and deep-copied,
+so a bad key fails before the first snapshot is submitted — not deep
+inside a worker thread — and mutating the caller's dict afterwards
+cannot reconfigure the session.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.engine import registry
+from repro.engine.archive import DEFAULT_SHARD_SIZE
+from repro.utils.validation import check_positive_int
+
+
+@dataclass(frozen=True)
+class IngestConfig:
+    """Everything an :class:`~repro.ingest.IngestSession` needs to run.
+
+    Attributes
+    ----------
+    codec:
+        Registry spelling of the default codec (per-submit overridable).
+    codec_options:
+        Keyword options for the codec factory, validated against the
+        codec's config schema here (unknown keys raise ``ValueError``).
+    error_bound / mode / per_level_scale:
+        Default compression parameters, forwarded to the codec.
+    shard_size:
+        Payload-shard roll-over threshold in bytes.
+    keyframe_interval:
+        Temporal delta cadence per (name, field) chain: ``1`` writes
+        every snapshot as an independent keyframe (delta coding off);
+        ``k > 1`` writes a keyframe every ``k`` steps and residuals
+        against the running reconstruction in between.  A hierarchy
+        change forces a keyframe regardless.
+    max_inflight:
+        Snapshots allowed in flight at once.  ``1`` runs the pipeline
+        synchronously on the caller's thread — with ``streaming`` on,
+        that is the strict one-level memory bound.  ``> 1`` overlaps
+        snapshot production with encode/write at the cost of buffering
+        up to that many encoded entries.
+    workers:
+        Encoder thread-pool width (effective when ``max_inflight > 1``;
+        independent chains encode concurrently, one chain stays serial).
+    level_workers:
+        Within-entry level parallelism for codecs that support it (only
+        used on the eager path — the streaming path is level-sequential
+        by construction).
+    streaming:
+        ``True`` writes per-level deferred-head (v5) entries via the
+        codec's ``compress_iter`` when it has one; ``False`` compresses
+        eagerly and writes the established v4 entries (the byte-stable
+        path the deprecated ``run_to_shards`` shim uses).
+    """
+
+    codec: str = "tac"
+    codec_options: dict = field(default_factory=dict)
+    error_bound: float = 1e-4
+    mode: str = "rel"
+    per_level_scale: Sequence[float] | None = None
+    shard_size: int = DEFAULT_SHARD_SIZE
+    keyframe_interval: int = 1
+    max_inflight: int = 1
+    workers: int = 1
+    level_workers: int = 1
+    streaming: bool = True
+
+    def __post_init__(self):
+        check_positive_int(self.shard_size, name="shard_size")
+        check_positive_int(self.keyframe_interval, name="keyframe_interval")
+        check_positive_int(self.max_inflight, name="max_inflight")
+        check_positive_int(self.workers, name="workers")
+        check_positive_int(self.level_workers, name="level_workers")
+        validated = registry.validate_codec_options(self.codec, self.codec_options)
+        object.__setattr__(self, "codec_options", validated)

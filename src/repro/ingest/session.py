@@ -1,0 +1,594 @@
+"""The one ingest front-end: submit snapshots, get a sharded archive.
+
+:class:`IngestSession` subsumes the batch (``CompressionEngine.run``),
+streaming (``run_to_shards``), and CLI entry points behind a single
+surface::
+
+    with IngestSession("out.rpbt", IngestConfig(keyframe_interval=4)) as s:
+        for snapshot in make_timestep_series("Run1_Z10", steps=16):
+            s.submit(snapshot)
+    report = s.report
+
+Pipeline shape
+--------------
+Each submitted snapshot becomes one archive entry.  Entries belonging to
+the same ``(name, field)`` chain are encoded strictly in submission
+order (temporal delta coding makes step *t* depend on the running
+reconstruction after step *t−1*); independent chains encode concurrently
+on the worker pool.  The caller's thread drains finished entries — again
+in global submission order — into a
+:class:`~repro.engine.archive.ShardedArchiveWriter`, so shard layout and
+manifest are deterministic for a given submission sequence.
+
+Memory
+------
+``max_inflight=1`` (default) runs synchronously: with ``streaming`` on,
+each entry's parts flow level-by-level from ``compress_iter`` straight
+into a deferred-head (v5) container entry, so the writer-side peak is
+one *level's* parts, never one entry's.  ``max_inflight > 1`` overlaps
+snapshot production, encode, and shard write across timesteps, buffering
+at most ``max_inflight`` encoded entries.
+
+Failure
+-------
+Any failure — encoder exception, writer error, bad submission — aborts
+the session: in-flight work is cancelled, every file written so far is
+removed (a pre-existing archive head survives, matching the writer's
+abort semantics), and an :class:`IngestError` naming the failed entry is
+raised with the original exception chained.
+"""
+
+from __future__ import annotations
+
+import copy
+import time
+from collections import deque
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.amr.hierarchy import AMRDataset, AMRLevel
+from repro.amr.io import load_dataset
+from repro.core.container import (
+    CompressedDataset,
+    StreamingCompression,
+    resolve_global_eb,
+)
+from repro.engine import registry
+from repro.engine.archive import ShardedArchiveWriter, ShardedWriteReport
+from repro.engine.registry import supports_kwarg
+from repro.ingest.config import IngestConfig
+from repro.ingest.delta import accumulate, hierarchy_signature, residual_dataset
+
+
+class IngestError(RuntimeError):
+    """One submitted snapshot failed; the session has been aborted."""
+
+    def __init__(self, message: str, *, key: str | None = None, index: int | None = None):
+        super().__init__(message)
+        self.key = key
+        self.index = index
+
+
+@dataclass
+class IngestReport:
+    """What a completed session produced: files, entries, accounting."""
+
+    head_path: Path
+    write: ShardedWriteReport
+    entries: list[dict]
+    wall_seconds: float = 0.0
+
+    @property
+    def n_entries(self) -> int:
+        return len(self.entries)
+
+    @property
+    def n_keyframes(self) -> int:
+        return sum(
+            1
+            for row in self.entries
+            if row["temporal"] is None or row["temporal"]["mode"] == "keyframe"
+        )
+
+    @property
+    def n_deltas(self) -> int:
+        return self.n_entries - self.n_keyframes
+
+    def manifest(self) -> list[dict]:
+        """Per-entry manifest rows, read back from the head shard alone
+        (cached — the head is immutable once written)."""
+        if getattr(self, "_manifest_rows", None) is None:
+            from repro.engine.archive import LazyBatchArchive
+
+            with LazyBatchArchive.open(self.head_path) as archive:
+                self._manifest_rows = archive.manifest()
+        return self._manifest_rows
+
+    def ratio(self) -> float:
+        rows = self.manifest()
+        original = sum(row["original_bytes"] for row in rows)
+        compressed = sum(row["compressed_bytes"] for row in rows)
+        return original / compressed if compressed else float("inf")
+
+
+@dataclass
+class _Chain:
+    """Per-(name, field) temporal state; jobs of one chain are serialized."""
+
+    ident: tuple
+    step: int = 0
+    since_keyframe: int = 0
+    signature: tuple | None = None
+    last_key: str | None = None
+    keyframe_key: str | None = None
+    eb_abs: float | None = None
+    rec: AMRDataset | None = None
+    tail: object | None = None  # last scheduled Future of this chain
+
+
+@dataclass
+class _Entry:
+    """One encoded entry on its way to the writer."""
+
+    key: str
+    index: int
+    codec: str
+    temporal: dict | None
+    stream: object | None = None  # StreamingCompression-like (v5 write)
+    comp: CompressedDataset | None = None  # eager dataset (v4 write)
+    assembler: object | None = None  # pending closed-loop decode (sync mode)
+    chain: _Chain | None = None
+    is_keyframe: bool = True
+    track_rec: bool = False
+    wall_seconds: float = 0.0
+
+
+class _RecAssembler:
+    """Closed-loop decode of an entry from its chunks as they stream by.
+
+    Level chunks decode independently (a pseudo single-level container
+    keeps the memory bound at one level); opaque chunks (the §4.4
+    delegation) collect and decode whole at :meth:`finish`.
+    """
+
+    def __init__(self, codec, structure: AMRDataset):
+        self._codec = codec
+        self._structure = structure
+        self._base_meta = {
+            "name": structure.name,
+            "field": structure.field,
+            "ratio": structure.ratio,
+            "box_size": structure.box_size,
+            "shapes": [list(lvl.shape) for lvl in structure.levels],
+        }
+        self._levels: dict[int, AMRLevel] = {}
+        self._opaque: dict[str, bytes] = {}
+
+    def add_chunk(self, stream, chunk) -> None:
+        if chunk.level is None:
+            self._opaque.update(chunk.parts)
+            return
+        pseudo = CompressedDataset(
+            method=stream.method,
+            dataset_name=stream.dataset_name,
+            parts=dict(chunk.parts),
+            meta={**self._base_meta, "levels": [chunk.meta]},
+        )
+        self._levels[chunk.level] = self._codec.decompress_level(
+            pseudo, chunk.level, structure=self._structure
+        )
+
+    def finish(self, stream) -> AMRDataset:
+        if self._opaque:
+            comp = CompressedDataset(
+                method=stream.method,
+                dataset_name=stream.dataset_name,
+                parts=self._opaque,
+                meta=stream.meta,
+            )
+            return self._codec.decompress(comp, structure=self._structure)
+        levels = [self._levels[idx] for idx in sorted(self._levels)]
+        return AMRDataset(
+            levels=levels,
+            name=self._structure.name,
+            field=self._structure.field,
+            ratio=self._structure.ratio,
+            box_size=self._structure.box_size,
+        )
+
+
+class _TemporalStream:
+    """Chunk-stream adapter: stamps temporal metadata, feeds the rec loop."""
+
+    def __init__(self, inner, temporal: dict | None, assembler, *, delta: bool):
+        self._inner = inner
+        self._temporal = temporal
+        self._assembler = assembler
+        self._delta = delta
+        self.method = inner.method
+        self.dataset_name = inner.dataset_name
+        self.original_bytes = inner.original_bytes
+        self.n_values = inner.n_values
+
+    def __iter__(self):
+        return self
+
+    def __next__(self):
+        chunk = next(self._inner)
+        if self._delta and chunk.meta is not None:
+            chunk.meta["temporal"] = "delta"
+        if self._assembler is not None:
+            self._assembler.add_chunk(self, chunk)
+        return chunk
+
+    @property
+    def exhausted(self) -> bool:
+        return self._inner.exhausted
+
+    @property
+    def meta(self) -> dict:
+        meta = dict(self._inner.meta)
+        if self._temporal is not None:
+            meta["temporal"] = self._temporal
+        return meta
+
+
+class IngestSession:
+    """Submit snapshots; get a sharded archive (see module docstring).
+
+    Parameters
+    ----------
+    head_path:
+        Where the v3 archive head lands; payload shards go next to it.
+    config:
+        An :class:`IngestConfig`, or pass its fields as keyword overrides
+        (``IngestSession(path, keyframe_interval=4)``) — not both.
+    meta:
+        Archive-level metadata recorded in the head.
+    on_written:
+        Optional observer ``(key, comp_or_None, wall_seconds)`` called
+        after each entry hits the shard — ``comp`` is the eager payload
+        on the non-streaming path, ``None`` on the streaming path.  The
+        deprecated engine shims use it to keep their result shape.
+    """
+
+    def __init__(
+        self,
+        head_path,
+        config: IngestConfig | None = None,
+        *,
+        meta: dict | None = None,
+        on_written=None,
+        **overrides,
+    ):
+        if config is not None and overrides:
+            raise TypeError("pass either an IngestConfig or keyword overrides, not both")
+        self.config = config if config is not None else IngestConfig(**overrides)
+        self._writer = ShardedArchiveWriter(
+            head_path, shard_size=self.config.shard_size, meta=dict(meta or {})
+        )
+        self._on_written = on_written
+        self._chains: dict[tuple, _Chain] = {}
+        self._keys: set[str] = set()
+        self._pending: deque = deque()  # (Future[_Entry], key, index)
+        self._entries: list[dict] = []
+        self._n_submitted = 0
+        self._closed = False
+        self._start = time.perf_counter()
+        self._pool = None
+        if self.config.max_inflight > 1:
+            from concurrent.futures import ThreadPoolExecutor
+
+            self._pool = ThreadPoolExecutor(max_workers=self.config.workers)
+        #: Set by :meth:`close`.
+        self.report: IngestReport | None = None
+
+    # -- public surface ----------------------------------------------------
+    def submit(
+        self,
+        dataset,
+        *,
+        key: str | None = None,
+        codec: str | None = None,
+        error_bound: float | None = None,
+        mode: str | None = None,
+        per_level_scale=None,
+        codec_options: dict | None = None,
+    ) -> str:
+        """Queue one snapshot (an :class:`AMRDataset` or an ``.npz`` path)
+        for compression and return its archive key.
+
+        Per-call keywords override the session config for this entry
+        only.  Path submissions load inside the worker and are always
+        written as independent keyframes (no temporal state to diff
+        against); in-memory submissions join their ``(name, field)``
+        chain and participate in delta coding when the session's
+        ``keyframe_interval > 1``.
+        """
+        self._check_open()
+        cfg = self.config
+        codec_name = codec if codec is not None else cfg.codec
+        eb = cfg.error_bound if error_bound is None else error_bound
+        use_mode = cfg.mode if mode is None else mode
+        pls = cfg.per_level_scale if per_level_scale is None else per_level_scale
+
+        try:
+            if codec_options is not None:
+                # Validation deep-copies, so later caller-side mutation of
+                # the dict cannot leak into an in-flight entry.
+                options = registry.validate_codec_options(codec_name, codec_options)
+            elif codec_name == cfg.codec:
+                options = copy.deepcopy(cfg.codec_options)
+            else:
+                options = {}
+            entry_args = self._plan_entry(dataset, key, cfg)
+        except Exception as exc:
+            self._fail(exc, key=key, index=self._n_submitted)
+        key, chain, is_keyframe, temporal, track_rec = entry_args
+        index = self._n_submitted
+        self._n_submitted += 1
+        self._keys.add(key)
+
+        args = (
+            dataset, key, index, chain, is_keyframe, temporal, track_rec,
+            codec_name, options, eb, use_mode, pls,
+            chain.tail if chain is not None else None,
+        )
+        if self._pool is None:
+            try:
+                entry = self._encode(*args)
+                self._write(entry)
+            except Exception as exc:
+                self._fail(exc, key=key, index=index)
+        else:
+            future = self._pool.submit(self._encode, *args)
+            if chain is not None:
+                chain.tail = future
+            self._pending.append((future, key, index))
+            self._drain(max_pending=self.config.max_inflight)
+        return key
+
+    def extend(self, snapshots) -> list[str]:
+        """Submit every snapshot of an iterable; returns their keys."""
+        return [self.submit(snapshot) for snapshot in snapshots]
+
+    async def extend_async(self, snapshots) -> list[str]:
+        """Submit every snapshot of an async iterator; returns their keys.
+
+        Each (possibly blocking) ``submit`` runs in the event loop's
+        default executor, so a producer coroutine keeps control while
+        the pipeline back-pressures.
+        """
+        import asyncio
+
+        loop = asyncio.get_running_loop()
+        keys = []
+        async for snapshot in snapshots:
+            keys.append(await loop.run_in_executor(None, self.submit, snapshot))
+        return keys
+
+    def close(self) -> IngestReport:
+        """Drain the pipeline, seal the archive, return the report."""
+        self._check_open()
+        try:
+            self._drain(max_pending=0)
+            write_report = self._writer.close()
+        except Exception as exc:
+            self._fail(exc)
+        self._closed = True
+        self._shutdown_pool()
+        self.report = IngestReport(
+            head_path=write_report.head_path,
+            write=write_report,
+            entries=self._entries,
+            wall_seconds=time.perf_counter() - self._start,
+        )
+        return self.report
+
+    def abort(self) -> None:
+        """Cancel in-flight work and remove every file written (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        for future, _key, _index in self._pending:
+            future.cancel()
+        self._pending.clear()
+        self._shutdown_pool()
+        self._writer.abort()
+
+    def __enter__(self) -> "IngestSession":
+        return self
+
+    def __exit__(self, exc_type, *exc) -> None:
+        if exc_type is not None:
+            self.abort()
+        elif not self._closed:
+            self.close()
+
+    # -- planning ----------------------------------------------------------
+    def _plan_entry(self, dataset, key, cfg):
+        """Submission-order bookkeeping: key, chain, keyframe decision."""
+        if isinstance(dataset, (str, Path)):
+            key = key if key is not None else Path(dataset).stem
+            self._check_key(key)
+            return key, None, True, None, False
+        if not isinstance(dataset, AMRDataset):
+            raise TypeError(
+                f"submit() takes an AMRDataset or a dataset path, got {type(dataset)!r}"
+            )
+        chain = self._chains.setdefault(
+            (dataset.name, dataset.field), _Chain(ident=(dataset.name, dataset.field))
+        )
+        delta_on = cfg.keyframe_interval > 1
+        signature = hierarchy_signature(dataset) if delta_on else None
+        is_keyframe = (
+            not delta_on
+            or chain.step == 0
+            or chain.since_keyframe + 1 >= cfg.keyframe_interval
+            or signature != chain.signature
+        )
+        key = key if key is not None else f"{dataset.name}/{dataset.field}/t{chain.step:04d}"
+        self._check_key(key)
+        if delta_on:
+            temporal = (
+                {"mode": "keyframe", "step": chain.step}
+                if is_keyframe
+                else {
+                    "mode": "delta",
+                    "base": chain.last_key,
+                    "keyframe": chain.keyframe_key,
+                    "step": chain.step,
+                }
+            )
+        else:
+            # Delta off: leave metadata untouched so entries stay
+            # byte-identical to the pre-session batch writers.
+            temporal = None
+        chain.step += 1
+        chain.since_keyframe = 0 if is_keyframe else chain.since_keyframe + 1
+        chain.signature = signature
+        chain.last_key = key
+        if is_keyframe:
+            chain.keyframe_key = key
+        return key, chain, is_keyframe, temporal, delta_on
+
+    def _check_key(self, key: str) -> None:
+        if not key:
+            raise ValueError("entry key must be a non-empty string")
+        if key in self._keys:
+            raise ValueError(f"duplicate ingest key {key!r}")
+
+    # -- encode (worker side) ----------------------------------------------
+    def _encode(
+        self, dataset, key, index, chain, is_keyframe, temporal, track_rec,
+        codec_name, options, eb, mode, pls, wait_for,
+    ) -> _Entry:
+        if wait_for is not None:
+            # Chain serialization: step t needs the reconstruction after
+            # step t-1; a failed predecessor re-raises here.
+            wait_for.result()
+        start = time.perf_counter()
+        if isinstance(dataset, (str, Path)):
+            dataset = load_dataset(dataset)
+        codec = registry.get_codec(codec_name, **options)
+        if is_keyframe:
+            source, use_eb, use_mode = dataset, eb, mode
+            if track_rec:
+                chain.eb_abs = resolve_global_eb(dataset, eb, mode)
+        else:
+            source = residual_dataset(dataset, chain.rec)
+            use_eb, use_mode = chain.eb_abs, "abs"
+        kwargs: dict = {}
+        if pls is not None:
+            kwargs["per_level_scale"] = pls
+
+        entry = _Entry(
+            key=key, index=index, codec=codec_name, temporal=temporal,
+            chain=chain, is_keyframe=is_keyframe, track_rec=track_rec,
+        )
+        if self.config.streaming and hasattr(codec, "compress_iter"):
+            inner = codec.compress_iter(source, use_eb, use_mode, **kwargs)
+            assembler = _RecAssembler(codec, dataset) if track_rec else None
+            stream = _TemporalStream(inner, temporal, assembler, delta=not is_keyframe)
+            if self._pool is not None:
+                # Pipelined mode: do the encode work *here*, in the
+                # worker, trading the one-level bound for overlap.
+                chunks = list(stream)
+                meta = stream.meta
+                self._finish_rec(entry, assembler, stream)
+                stream = StreamingCompression(
+                    method=stream.method,
+                    dataset_name=stream.dataset_name,
+                    original_bytes=stream.original_bytes,
+                    n_values=stream.n_values,
+                    chunks=chunks,
+                    final_meta=meta,
+                )
+            else:
+                entry.assembler = assembler
+            entry.stream = stream
+        else:
+            if self.config.level_workers > 1 and supports_kwarg(
+                codec.compress, "level_workers"
+            ):
+                kwargs["level_workers"] = self.config.level_workers
+            comp = codec.compress(source, use_eb, mode=use_mode, **kwargs)
+            if temporal is not None:
+                comp.meta["temporal"] = temporal
+                if not is_keyframe:
+                    for level_meta in comp.meta.get("levels", []):
+                        level_meta["temporal"] = "delta"
+            if track_rec:
+                decoded = codec.decompress(comp, structure=dataset)
+                chain.rec = decoded if is_keyframe else accumulate(chain.rec, decoded)
+            entry.comp = comp
+        entry.wall_seconds = time.perf_counter() - start
+        return entry
+
+    def _finish_rec(self, entry_or_none, assembler, stream) -> None:
+        if assembler is None:
+            return
+        entry = entry_or_none
+        decoded = assembler.finish(stream)
+        chain = entry.chain
+        chain.rec = decoded if entry.is_keyframe else accumulate(chain.rec, decoded)
+
+    # -- write (caller side) -----------------------------------------------
+    def _write(self, entry: _Entry) -> None:
+        # In sync streaming mode the encode work happens *here*, as the
+        # writer drains the chunk stream — fold it into the entry's wall.
+        start = time.perf_counter()
+        if entry.stream is not None:
+            self._writer.add_entry_stream(entry.key, entry.stream)
+            # Sync mode decodes during the drain above; seal the rec now.
+            self._finish_rec(entry, entry.assembler, entry.stream)
+            entry.assembler = None
+        else:
+            self._writer.add_entry(entry.key, entry.comp)
+        entry.wall_seconds += time.perf_counter() - start
+        if self._on_written is not None:
+            self._on_written(entry.key, entry.comp, entry.wall_seconds)
+        entry.comp = None
+        entry.stream = None
+        self._entries.append(
+            {
+                "key": entry.key,
+                "index": entry.index,
+                "codec": entry.codec,
+                "temporal": entry.temporal,
+                "wall_seconds": entry.wall_seconds,
+            }
+        )
+
+    def _drain(self, max_pending: int) -> None:
+        while self._pending and (
+            len(self._pending) > max_pending or self._pending[0][0].done()
+        ):
+            future, key, index = self._pending.popleft()
+            try:
+                entry = future.result()
+                self._write(entry)
+            except Exception as exc:
+                self._fail(exc, key=key, index=index)
+
+    # -- failure -----------------------------------------------------------
+    def _fail(self, exc: Exception, key: str | None = None, index: int | None = None):
+        self.abort()
+        if isinstance(exc, IngestError):
+            raise exc
+        raise IngestError(
+            f"ingest entry {key!r} (#{index}) failed: {exc}"
+            if key is not None
+            else f"ingest session failed: {exc}",
+            key=key,
+            index=index,
+        ) from exc
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise ValueError("IngestSession is closed")
+
+    def _shutdown_pool(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=False, cancel_futures=True)
+            self._pool = None

@@ -243,6 +243,15 @@ class ArchiveReader:
         state = self._entry(key)
         return [tuple(shape) for shape in state.comp.meta["shapes"]]
 
+    def entry_meta(self, key: str) -> dict:
+        """One entry's metadata record (reads metadata only).
+
+        This is how temporal-delta chains are resolved: an ingest-written
+        entry carries ``meta["temporal"]`` naming its base and keyframe
+        keys (see :mod:`repro.ingest.delta`).
+        """
+        return self._entry(key).comp.meta
+
     # -- internals ---------------------------------------------------------
     def _entry(self, key: str) -> _EntryState:
         with self._entries_lock:

@@ -4,8 +4,10 @@ from repro.sim.datasets import DATASET_NAMES, TABLE1, DatasetSpec, make_all, mak
 from repro.sim.gaussian_field import FieldGenerator
 from repro.sim.nyx import NYX_FIELDS, generate_field, generate_snapshot, lognormal_density
 from repro.sim.refinement import build_amr
+from repro.sim.timesteps import make_timestep_series
 
 __all__ = [
+    "make_timestep_series",
     "FieldGenerator",
     "NYX_FIELDS",
     "generate_field",

@@ -1,0 +1,112 @@
+"""Synthetic snapshot *time series* — the reference in-situ producer.
+
+The registry (:mod:`repro.sim.datasets`) freezes one moment; an in-situ
+ingest pipeline sees a simulation evolve.  This module turns a Table 1
+entry into a lazily generated sequence of timesteps with the two
+properties the ingest layer exploits:
+
+* **Smooth temporal evolution.**  Every step reuses the *same* Gaussian
+  realization (fixed seed) and only the clustering strength σ advances
+  (``sigma_step`` per step), mirroring how Run 1's σ grows from z=10 to
+  z=2.  The log-normal density ``ρ̄ exp(σδ − σ²/2)`` is smooth in σ, so
+  consecutive snapshots differ by a small, spatially-correlated residual
+  — exactly the regime where temporal delta coding wins.
+* **A stable hierarchy.**  The refinement criterion is evaluated once at
+  step 0 and reused, so every step shares one mask set (AMR codes only
+  re-grid every few steps).  ``refresh_every=k`` re-evaluates the
+  criterion at the *current* σ every ``k`` steps, changing the masks —
+  the knob that exercises the delta coder's same-hierarchy guard.
+
+Each yielded :class:`~repro.amr.AMRDataset` records its ``step`` and the
+σ it was generated at in ``meta``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+from repro.amr.hierarchy import AMRDataset
+from repro.sim.datasets import TABLE1, resolve_scale
+from repro.sim.nyx import NYX_FIELDS, generate_field
+from repro.sim.refinement import build_amr
+
+
+def make_timestep_series(
+    name: str = "Run1_Z10",
+    *,
+    steps: int = 4,
+    scale: int = 4,
+    field: str = "baryon_density",
+    seed: int | None = None,
+    sigma_step: float = 0.05,
+    refine_block: int = 4,
+    refresh_every: int = 0,
+    dtype=np.float32,
+) -> Iterator[AMRDataset]:
+    """Lazily generate ``steps`` consecutive snapshots of one dataset.
+
+    Parameters
+    ----------
+    name:
+        Table 1 registry key; its σ and seed anchor step 0.
+    steps:
+        Number of timesteps to yield.
+    scale:
+        Power-of-two grid divisor (clamped as in ``make_dataset``).
+    field:
+        Nyx field to generate each step.
+    seed:
+        Override the registry seed (the realization stays fixed across
+        steps either way — only σ advances).
+    sigma_step:
+        Per-step increment of the clustering strength σ.
+    refresh_every:
+        ``0`` freezes the refinement criterion at step 0 (one hierarchy
+        for the whole series); ``k > 0`` re-evaluates it every ``k``
+        steps, so the masks change and a temporal delta coder must fall
+        back to a keyframe there.
+    """
+    if name not in TABLE1:
+        raise KeyError(f"unknown dataset {name!r}; available: {list(TABLE1)}")
+    if field not in NYX_FIELDS:
+        raise ValueError(f"unknown field {field!r}; choose from {NYX_FIELDS}")
+    if steps < 1:
+        raise ValueError(f"steps must be >= 1, got {steps}")
+    if sigma_step < 0:
+        raise ValueError(f"sigma_step must be non-negative, got {sigma_step}")
+    if refresh_every < 0:
+        raise ValueError(f"refresh_every must be >= 0, got {refresh_every}")
+    spec = TABLE1[name]
+    scale = resolve_scale(spec, scale)
+    n = spec.finest_n // scale
+    use_seed = spec.seed if seed is None else int(seed)
+
+    criterion: np.ndarray | None = None
+    for step in range(steps):
+        sigma = spec.sigma + step * sigma_step
+        truth = generate_field(field, n, seed=use_seed, sigma=sigma, dtype=dtype)
+        if criterion is None or (refresh_every and step % refresh_every == 0):
+            if field == "baryon_density":
+                criterion = truth
+            else:
+                criterion = generate_field(
+                    "baryon_density", n, seed=use_seed, sigma=sigma, dtype=dtype
+                )
+        yield build_amr(
+            truth,
+            list(spec.densities),
+            criterion=criterion,
+            refine_block=refine_block,
+            name=spec.name,
+            field=field,
+            meta={
+                "scale": scale,
+                "seed": use_seed,
+                "sigma": sigma,
+                "step": step,
+                "paper_grids": spec.grids(1),
+                "paper_densities": spec.densities,
+            },
+        )

@@ -214,6 +214,80 @@ def gsp_expectations() -> dict:
     return expected
 
 
+#: Keyframe cadence of the ingest fixture: 3 steps -> kf, delta, kf.
+INGEST_KF_INTERVAL = 2
+INGEST_STEPS = 3
+#: ROI pinned by the delta-chain partial-read expectation (one octant).
+INGEST_ROI = (slice(0, 4), slice(0, 4), slice(0, 4))
+
+
+def ingest_expectations() -> dict:
+    """Write and record the temporal-delta ingest fixture.
+
+    ``golden_ingest_delta.rpbt`` (+ shards) is an analytic 3-step series
+    written through :class:`repro.ingest.IngestSession` with
+    ``keyframe_interval=2``: entry t0000 is a keyframe, t0001 a
+    closed-loop residual against t0000's reconstruction, t0002 the
+    cadence keyframe.  Pins the deferred-head (v5) streamed entries, the
+    ``temporal`` entry/level metadata, and — via recorded per-level
+    reconstruction stats and a pinned ROI read — the read-side chain
+    summation.
+    """
+    from repro.ingest import IngestConfig, IngestSession, read_timestep_level, read_timestep_region
+    from repro.serve.reader import ArchiveReader
+    from tests.helpers import golden_timestep_series
+
+    series = golden_timestep_series(INGEST_STEPS)
+    head_path = HERE / "golden_ingest_delta.rpbt"
+    config = IngestConfig(
+        error_bound=EB, mode=MODE,
+        keyframe_interval=INGEST_KF_INTERVAL, shard_size=V3_SHARD_SIZE,
+    )
+    with IngestSession(head_path, config, meta={"fixture": "golden-ingest"}) as session:
+        keys = session.extend(series)
+    report = session.report
+    expected: dict = {
+        "eb": EB,
+        "mode": MODE,
+        "keyframe_interval": INGEST_KF_INTERVAL,
+        "shard_size": V3_SHARD_SIZE,
+        "roi": [[s.start, s.stop] for s in INGEST_ROI],
+        "keys": keys,
+        "temporal": [row["temporal"] for row in report.entries],
+        "head": {
+            "name": head_path.name,
+            "n_bytes": head_path.stat().st_size,
+            "sha256": hashlib.sha256(head_path.read_bytes()).hexdigest(),
+        },
+        "shards": [
+            {
+                "name": path.name,
+                "n_bytes": path.stat().st_size,
+                "sha256": hashlib.sha256(path.read_bytes()).hexdigest(),
+            }
+            for path in report.write.shard_paths
+        ],
+        "reconstructed": {},
+    }
+    with ArchiveReader(head_path) as reader:
+        for key in keys:
+            rows = []
+            for level in range(len(series[0].levels)):
+                lvl, _stats = read_timestep_level(reader, key, level)
+                rows.append(
+                    {
+                        "level": level,
+                        "n_points": int(lvl.mask.sum()),
+                        "sum": float(lvl.data[lvl.mask].sum(dtype=np.float64)),
+                    }
+                )
+            expected["reconstructed"][key] = rows
+        roi, _stats = read_timestep_region(reader, keys[1], 0, INGEST_ROI)
+        expected["roi_sum"] = float(roi.sum(dtype=np.float64))
+        expected["roi_nonzero"] = int(np.count_nonzero(roi))
+    return expected
+
+
 def main() -> None:
     blobs = {}
     for version, stem in ((1, "golden_batch"), (2, "golden_batch_v2")):
@@ -233,6 +307,10 @@ def main() -> None:
     expected = gsp_expectations()
     (HERE / "golden_gsp.json").write_text(json.dumps(expected, indent=2) + "\n")
     print(f"wrote {list(expected['blobs'])} fixtures and golden_gsp.json")
+    expected = ingest_expectations()
+    (HERE / "golden_ingest_delta.json").write_text(json.dumps(expected, indent=2) + "\n")
+    names = [rec["name"] for rec in expected["shards"]]
+    print(f"wrote golden_ingest_delta.rpbt + {names} and golden_ingest_delta.json")
 
 
 if __name__ == "__main__":

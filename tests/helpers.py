@@ -160,3 +160,31 @@ def assert_error_bounded(original, reconstructed, bound: float, rtol: float = 1e
     err = float(np.max(np.abs(a - b.astype(np.float64))))
     limit = bound * (1.0 + rtol) + 0.5 * ulp + 1e-12
     assert err <= limit, f"max error {err:g} exceeds bound {bound:g} (+ulp/2 {ulp / 2:g})"
+
+
+def golden_timestep_series(steps: int = 3, n: int = 8) -> list:
+    """Analytic timestep series over :func:`golden_dataset` (no RNG).
+
+    Step ``k`` scales the base field by ``1 + 0.07 k`` in float32 —
+    masks stay constant (one temporal-delta chain) and consecutive steps
+    differ by a small smooth residual, while the whole construction is
+    closed-form so the ingest golden fixture is reproducible on any
+    platform/numpy forever.
+    """
+    base = golden_dataset(n)
+    series = []
+    for k in range(steps):
+        factor = np.float32(1.0 + 0.07 * k)
+        series.append(
+            AMRDataset(
+                levels=[
+                    AMRLevel(data=lvl.data * factor, mask=lvl.mask.copy(), level=lvl.level)
+                    for lvl in base.levels
+                ],
+                name=base.name,
+                field=base.field,
+                ratio=base.ratio,
+                box_size=base.box_size,
+            )
+        )
+    return series

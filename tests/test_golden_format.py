@@ -491,3 +491,112 @@ class TestGoldenGSPFormats:
         assert parts - {"L0/bricks", "L0/table"} == {
             n for n in parts if n.startswith("L0/b") and n != "L0/bricks"
         }
+
+
+class TestGoldenIngestDelta:
+    """The temporal-delta ingest fixture: a 3-step analytic series written
+    through :class:`~repro.ingest.IngestSession` with ``keyframe_interval=2``
+    (keyframe, closed-loop delta, cadence keyframe).  Pins the deferred-head
+    streamed entries, the ``temporal`` entry/level metadata, the write path
+    (full session replay must regenerate the bytes) and the read-side chain
+    summation (per-level stats plus one pinned ROI)."""
+
+    @pytest.fixture(scope="class")
+    def expected_ingest(self) -> dict:
+        return json.loads((DATA / "golden_ingest_delta.json").read_text())
+
+    @pytest.fixture(scope="class")
+    def head_path(self) -> Path:
+        return DATA / "golden_ingest_delta.rpbt"
+
+    def test_fixture_integrity(self, expected_ingest, head_path):
+        head = expected_ingest["head"]
+        blob = head_path.read_bytes()
+        assert len(blob) == head["n_bytes"]
+        assert hashlib.sha256(blob).hexdigest() == head["sha256"]
+        assert is_batch_archive(blob)
+        for record in expected_ingest["shards"]:
+            shard = (DATA / record["name"]).read_bytes()
+            assert len(shard) == record["n_bytes"]
+            assert hashlib.sha256(shard).hexdigest() == record["sha256"]
+
+    def test_temporal_metadata(self, expected_ingest, head_path):
+        assert expected_ingest["temporal"][0]["mode"] == "keyframe"
+        assert expected_ingest["temporal"][1]["mode"] == "delta"
+        with LazyBatchArchive.open(head_path) as lazy:
+            assert lazy.keys() == expected_ingest["keys"]
+            for key, temporal in zip(
+                expected_ingest["keys"], expected_ingest["temporal"]
+            ):
+                meta = lazy.entry(key).meta
+                assert meta["temporal"] == temporal
+                level_tags = {
+                    lm.get("temporal") for lm in meta["levels"]
+                }
+                if temporal["mode"] == "delta":
+                    assert level_tags == {"delta"}
+                else:
+                    assert level_tags == {None}
+
+    def test_session_replay_regenerates_fixture_bytes(
+        self, expected_ingest, head_path, tmp_path
+    ):
+        """Re-running the exact fixture construction — fresh series through
+        a fresh IngestSession — must reproduce the checked-in bytes, so the
+        whole write path (compress_iter chunking, residual encoding, v5
+        deferred-head layout, shard packing) is golden-pinned."""
+        from repro.ingest import IngestConfig, IngestSession
+        from tests.helpers import golden_timestep_series
+
+        series = golden_timestep_series(len(expected_ingest["keys"]))
+        head = tmp_path / "golden_ingest_delta.rpbt"
+        config = IngestConfig(
+            error_bound=expected_ingest["eb"],
+            mode=expected_ingest["mode"],
+            keyframe_interval=expected_ingest["keyframe_interval"],
+            shard_size=expected_ingest["shard_size"],
+        )
+        with IngestSession(head, config, meta={"fixture": "golden-ingest"}) as session:
+            keys = session.extend(series)
+        assert keys == expected_ingest["keys"]
+        assert head.read_bytes() == head_path.read_bytes()
+        for path, record in zip(
+            session.report.write.shard_paths, expected_ingest["shards"]
+        ):
+            assert path.name == record["name"]
+            assert path.read_bytes() == (DATA / record["name"]).read_bytes()
+
+    def test_reconstructions_match_recorded_stats_and_bound(
+        self, expected_ingest, head_path
+    ):
+        from repro.ingest import read_timestep_level
+        from repro.serve.reader import ArchiveReader
+        from tests.helpers import golden_timestep_series
+
+        series = golden_timestep_series(len(expected_ingest["keys"]))
+        with ArchiveReader(head_path) as reader:
+            for key, snapshot in zip(expected_ingest["keys"], series):
+                for record in expected_ingest["reconstructed"][key]:
+                    lvl, _stats = read_timestep_level(reader, key, record["level"])
+                    assert int(lvl.mask.sum()) == record["n_points"]
+                    got = float(lvl.data[lvl.mask].sum(dtype=np.float64))
+                    assert got == record["sum"]  # bit-stable chain sum
+                    want = snapshot.levels[record["level"]]
+                    assert_error_bounded(
+                        want.data[want.mask],
+                        lvl.data[lvl.mask],
+                        expected_ingest["eb"],
+                    )
+
+    def test_pinned_roi_read(self, expected_ingest, head_path):
+        from repro.ingest import read_timestep_region
+        from repro.serve.reader import ArchiveReader
+
+        roi = tuple(slice(lo, hi) for lo, hi in expected_ingest["roi"])
+        with ArchiveReader(head_path) as reader:
+            data, stats = read_timestep_region(
+                reader, expected_ingest["keys"][1], 0, roi
+            )
+        assert len(stats) == 2  # keyframe + delta
+        assert float(data.sum(dtype=np.float64)) == expected_ingest["roi_sum"]
+        assert int(np.count_nonzero(data)) == expected_ingest["roi_nonzero"]

@@ -1,0 +1,502 @@
+"""Ingest pipeline tests: streamed parity, temporal delta, session contract.
+
+The load-bearing invariants:
+
+* ``compress_iter`` is a *presentation* change, not a format change — part
+  bytes, part order, and final metadata match ``compress`` exactly, for
+  every strategy/bricking configuration (property-tested);
+* the streamed writer's peak memory is bounded by a couple of level
+  chunks, never the whole entry (measured on a synthetic chunk stream
+  whose total dwarfs any one chunk);
+* temporal delta coding is **closed-loop**: every reconstructed timestep
+  honors the chain keyframe's absolute bound with no error accumulation,
+  and ROI reads of a delta chain are bit-identical to slicing the full
+  reconstruction;
+* :class:`IngestSession` subsumes the old entry points — the deprecated
+  shims still work (and say so), codec options can no longer leak between
+  jobs by reference, and failures abort the session cleanly.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import tracemalloc
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.amr.hierarchy import AMRDataset, AMRLevel
+from repro.amr.io import save_dataset
+from repro.core.container import (
+    CompressedDataset,
+    LevelChunk,
+    StreamingCompression,
+    resolve_global_eb,
+)
+from repro.core.tac import TACCompressor
+from repro.engine import CompressionEngine, CompressionJob, register, unregister
+from repro.engine.archive import LazyBatchArchive, ShardedArchiveWriter
+from repro.engine.registry import config_schema, validate_codec_options
+from repro.ingest import (
+    IngestConfig,
+    IngestError,
+    IngestSession,
+    hierarchy_signature,
+    read_timestep_level,
+    read_timestep_region,
+    temporal_chain,
+)
+from repro.serve.reader import ArchiveReader
+from tests.helpers import assert_error_bounded, two_level_dataset
+
+EB = 1e-3
+
+
+def scaled(ds: AMRDataset, factor: float) -> AMRDataset:
+    """The same hierarchy with data scaled by ``factor`` (one delta chain)."""
+    return AMRDataset(
+        levels=[
+            AMRLevel(data=lvl.data * np.float32(factor), mask=lvl.mask, level=lvl.level)
+            for lvl in ds.levels
+        ],
+        name=ds.name,
+        field=ds.field,
+        ratio=ds.ratio,
+        box_size=ds.box_size,
+    )
+
+
+def timestep_series(steps: int, *, n: int = 16, seed: int = 0) -> list[AMRDataset]:
+    """A smooth series over one hierarchy: step k scales by 1 + 0.05 k."""
+    base = two_level_dataset(n=n, fine_fraction=0.3, seed=seed)
+    return [scaled(base, 1.0 + 0.05 * k) for k in range(steps)]
+
+
+def archive_entries(head_path) -> dict[str, tuple[dict, dict]]:
+    """``key -> (parts bytes in wire order, meta)`` for every entry."""
+    out = {}
+    with LazyBatchArchive.open(head_path) as archive:
+        for row in archive.manifest():
+            entry = archive.entry(row["key"])
+            out[row["key"]] = (
+                {name: bytes(entry.parts[name]) for name in entry.parts},
+                entry.meta,
+            )
+    return out
+
+
+# ----------------------------------------------------------------------
+# compress vs compress_iter parity
+# ----------------------------------------------------------------------
+class TestCompressIterParity:
+    @settings(max_examples=6, deadline=None)
+    @given(
+        brick=st.sampled_from([None, 8]),
+        shared=st.booleans(),
+        seed=st.integers(min_value=0, max_value=3),
+    )
+    def test_chunked_output_is_byte_identical(self, brick, shared, seed):
+        ds = two_level_dataset(n=16, fine_fraction=0.3, seed=seed)
+        options = {"shared_tables": shared}
+        if brick is not None:
+            options["brick_size"] = brick
+        eager = TACCompressor(**options).compress(ds, EB)
+        stream = TACCompressor(**options).compress_iter(ds, EB)
+        streamed = stream.collect()
+        assert list(streamed.parts) == list(eager.parts)
+        for name in eager.parts:
+            assert streamed.parts[name] == eager.parts[name], name
+        assert streamed.meta == eager.meta
+        assert streamed.original_bytes == eager.original_bytes
+        assert streamed.n_values == eager.n_values
+
+    def test_chunks_arrive_finest_first_one_level_each(self):
+        ds = two_level_dataset(n=16, fine_fraction=0.3, seed=1)
+        levels = [c.level for c in TACCompressor().compress_iter(ds, EB)]
+        assert levels == [0, 1]
+
+    def test_session_streamed_matches_eager_entries(self, tmp_path):
+        series = timestep_series(3)
+        heads = {}
+        for label, streaming in (("stream", True), ("eager", False)):
+            head = tmp_path / f"{label}.rpbt"
+            cfg = IngestConfig(
+                error_bound=EB, keyframe_interval=2, streaming=streaming
+            )
+            with IngestSession(head, cfg) as session:
+                session.extend(series)
+            heads[label] = archive_entries(head)
+        assert heads["stream"].keys() == heads["eager"].keys()
+        for key in heads["eager"]:
+            s_parts, s_meta = heads["stream"][key]
+            e_parts, e_meta = heads["eager"][key]
+            assert list(s_parts) == list(e_parts)
+            assert s_parts == e_parts
+            assert s_meta == e_meta
+
+    def test_async_pipeline_matches_sync(self, tmp_path):
+        series = timestep_series(4)
+        heads = {}
+        for label, overrides in (
+            ("sync", {}),
+            ("async", {"max_inflight": 3, "workers": 2}),
+        ):
+            head = tmp_path / f"{label}.rpbt"
+            cfg = IngestConfig(error_bound=EB, keyframe_interval=2, **overrides)
+            with IngestSession(head, cfg) as session:
+                session.extend(series)
+            heads[label] = archive_entries(head)
+        assert heads["sync"] == heads["async"]
+
+
+# ----------------------------------------------------------------------
+# streamed-writer memory bound
+# ----------------------------------------------------------------------
+class TestStreamingWriterMemory:
+    def test_peak_is_chunks_not_entry(self, tmp_path):
+        """Writing an 8-chunk/8 MiB synthetic entry must not buffer it.
+
+        The chunk generator materializes one ~1 MiB payload at a time;
+        ``add_entry_stream`` writes each chunk before pulling the next,
+        so the peak should sit near a couple of chunks — far below the
+        entry total.  Synthetic chunks make the bound deterministic
+        (codec working-set noise would otherwise dominate).
+        """
+        chunk_bytes = 1 << 20
+        n_chunks = 8
+
+        def chunks():
+            for idx in range(n_chunks):
+                payload = idx.to_bytes(1, "little") * chunk_bytes
+                yield LevelChunk(
+                    level=idx, meta={"level": idx}, parts={f"L{idx}/data": payload}
+                )
+
+        writer = ShardedArchiveWriter(tmp_path / "mem.rpbt")
+        stream = StreamingCompression(
+            method="fake",
+            dataset_name="mem",
+            original_bytes=n_chunks * chunk_bytes,
+            n_values=n_chunks * chunk_bytes,
+            chunks=chunks(),
+            base_meta={"shapes": []},
+        )
+        tracemalloc.start()
+        try:
+            writer.add_entry_stream("mem", stream)
+            _, peak = tracemalloc.get_traced_memory()
+        finally:
+            tracemalloc.stop()
+            writer.close()
+        total = n_chunks * chunk_bytes
+        assert peak < 3 * chunk_bytes, f"peak {peak} ~ entry total {total}"
+
+
+# ----------------------------------------------------------------------
+# temporal delta coding
+# ----------------------------------------------------------------------
+class TestTemporalDelta:
+    @pytest.fixture(scope="class")
+    def delta_archive(self, tmp_path_factory):
+        series = timestep_series(5)
+        head = tmp_path_factory.mktemp("delta") / "series.rpbt"
+        cfg = IngestConfig(error_bound=EB, mode="rel", keyframe_interval=3)
+        with IngestSession(head, cfg) as session:
+            keys = session.extend(series)
+        return head, keys, series, session.report
+
+    def test_keyframe_cadence_and_metadata(self, delta_archive):
+        head, keys, _series, report = delta_archive
+        modes = [row["temporal"]["mode"] for row in report.entries]
+        assert modes == ["keyframe", "delta", "delta", "keyframe", "delta"]
+        assert report.n_keyframes == 2 and report.n_deltas == 3
+        entries = archive_entries(head)
+        for i, key in enumerate(keys):
+            _parts, meta = entries[key]
+            temporal = meta["temporal"]
+            assert temporal["step"] == i
+            if temporal["mode"] == "delta":
+                assert temporal["base"] == keys[i - 1]
+                assert temporal["keyframe"] == keys[3 if i > 3 else 0]
+                assert all(
+                    lm.get("temporal") == "delta" for lm in meta["levels"]
+                )
+            else:
+                assert all("temporal" not in lm for lm in meta["levels"])
+
+    def test_closed_loop_bound_every_step(self, delta_archive):
+        head, keys, series, _report = delta_archive
+        kf_for = [0, 0, 0, 3, 3]
+        with ArchiveReader(head) as reader:
+            for i, key in enumerate(keys):
+                eb_abs = resolve_global_eb(series[kf_for[i]], EB, "rel")
+                for level_idx in range(len(series[i].levels)):
+                    lvl, _stats = read_timestep_level(reader, key, level_idx)
+                    want = series[i].levels[level_idx]
+                    mask = want.mask
+                    assert_error_bounded(
+                        want.data[mask], lvl.data[mask], eb_abs
+                    )
+
+    def test_temporal_chain_walk(self, delta_archive):
+        head, keys, _series, _report = delta_archive
+        with ArchiveReader(head) as reader:
+            assert temporal_chain(reader, keys[2]) == keys[:3]
+            assert temporal_chain(reader, keys[0]) == [keys[0]]
+            assert temporal_chain(reader, keys[4]) == keys[3:]
+
+    def test_deltas_compress_better_than_keyframes(self, tmp_path):
+        series = timestep_series(5)
+        sizes = {}
+        for interval in (1, 5):
+            head = tmp_path / f"kf{interval}.rpbt"
+            cfg = IngestConfig(error_bound=EB, keyframe_interval=interval)
+            with IngestSession(head, cfg) as session:
+                session.extend(series)
+            report = session.report
+            sizes[interval] = sum(
+                row["compressed_bytes"] for row in report.manifest()
+            )
+        assert sizes[5] < sizes[1]
+
+    def test_hierarchy_change_forces_keyframe(self, tmp_path):
+        a = two_level_dataset(n=16, fine_fraction=0.3, seed=0)
+        b = two_level_dataset(n=16, fine_fraction=0.3, seed=7)  # new masks
+        assert hierarchy_signature(a) != hierarchy_signature(b)
+        series = [a, scaled(a, 1.05), b, scaled(b, 1.05)]
+        head = tmp_path / "guard.rpbt"
+        cfg = IngestConfig(error_bound=EB, keyframe_interval=10)
+        with IngestSession(head, cfg) as session:
+            session.extend(series)
+        modes = [row["temporal"]["mode"] for row in session.report.entries]
+        assert modes == ["keyframe", "delta", "keyframe", "delta"]
+
+    def test_interval_one_writes_no_temporal_metadata(self, tmp_path):
+        head = tmp_path / "plain.rpbt"
+        with IngestSession(head, IngestConfig(error_bound=EB)) as session:
+            session.submit(two_level_dataset(n=16, seed=0))
+        ((_parts, meta),) = archive_entries(head).values()
+        assert "temporal" not in meta
+        assert all("temporal" not in lm for lm in meta["levels"])
+
+
+# ----------------------------------------------------------------------
+# delta-aware reads
+# ----------------------------------------------------------------------
+class TestDeltaReads:
+    def test_region_read_matches_full_reconstruction(self, tmp_path):
+        series = timestep_series(3)
+        head = tmp_path / "roi.rpbt"
+        cfg = IngestConfig(error_bound=EB, keyframe_interval=3)
+        with IngestSession(head, cfg) as session:
+            keys = session.extend(series)
+        roi = (slice(2, 10), slice(0, 8), slice(4, 12))
+        with ArchiveReader(head) as reader:
+            for key in keys:
+                full, _ = read_timestep_level(reader, key, 0)
+                region, stats = read_timestep_region(reader, key, 0, roi)
+                np.testing.assert_array_equal(region, full.data[roi])
+                assert len(stats) == len(temporal_chain(reader, key))
+
+
+# ----------------------------------------------------------------------
+# session contract
+# ----------------------------------------------------------------------
+class TestSessionContract:
+    def test_default_keys_and_report(self, tmp_path):
+        head = tmp_path / "out.rpbt"
+        with IngestSession(head, IngestConfig(error_bound=EB)) as session:
+            keys = session.extend(timestep_series(2))
+        assert keys == ["toy2/test_field/t0000", "toy2/test_field/t0001"]
+        report = session.report
+        assert report.n_entries == 2
+        assert report.head_path == head
+        assert report.ratio() > 1.0
+        assert all(row["wall_seconds"] > 0 for row in report.entries)
+
+    def test_path_submission_uses_stem_key(self, tmp_path):
+        ds = two_level_dataset(n=16, seed=0)
+        src = tmp_path / "snap_0001.npz"
+        save_dataset(ds, src)
+        head = tmp_path / "out.rpbt"
+        with IngestSession(head, IngestConfig(error_bound=EB)) as session:
+            key = session.submit(src)
+        assert key == "snap_0001"
+        assert "snap_0001" in archive_entries(head)
+
+    def test_duplicate_key_aborts_with_ingest_error(self, tmp_path):
+        head = tmp_path / "dup.rpbt"
+        session = IngestSession(head, IngestConfig(error_bound=EB))
+        session.submit(two_level_dataset(n=16, seed=0), key="same")
+        with pytest.raises(IngestError, match="'same'") as excinfo:
+            session.submit(two_level_dataset(n=16, seed=1), key="same")
+        assert excinfo.value.key == "same"
+        assert excinfo.value.index == 1
+        assert not head.exists()  # aborted: files removed
+        with pytest.raises(ValueError, match="closed"):
+            session.submit(two_level_dataset(n=16, seed=2))
+
+    def test_failing_entry_names_key_and_index(self, tmp_path):
+        head = tmp_path / "fail.rpbt"
+        session = IngestSession(head, IngestConfig(error_bound=EB))
+        session.submit(two_level_dataset(n=16, seed=0))
+        with pytest.raises(IngestError, match=r"'missing' \(#1\)"):
+            session.submit(tmp_path / "missing.npz", key="missing")
+        assert not head.exists()
+
+    def test_context_manager_aborts_on_exception(self, tmp_path):
+        head = tmp_path / "ctx.rpbt"
+        with pytest.raises(RuntimeError, match="producer died"):
+            with IngestSession(head, IngestConfig(error_bound=EB)) as session:
+                session.submit(two_level_dataset(n=16, seed=0))
+                raise RuntimeError("producer died")
+        assert not head.exists()
+        assert not list(tmp_path.glob("*.rpsh"))
+
+    def test_abort_is_idempotent(self, tmp_path):
+        session = IngestSession(tmp_path / "a.rpbt", IngestConfig(error_bound=EB))
+        session.abort()
+        session.abort()
+        with pytest.raises(ValueError, match="closed"):
+            session.close()
+
+    def test_config_and_overrides_are_exclusive(self, tmp_path):
+        with pytest.raises(TypeError, match="not both"):
+            IngestSession(
+                tmp_path / "x.rpbt", IngestConfig(), keyframe_interval=2
+            )
+
+    def test_extend_async_backpressures_producer(self, tmp_path):
+        series = timestep_series(3)
+
+        async def produce():
+            for snapshot in series:
+                await asyncio.sleep(0)
+                yield snapshot
+
+        async def main():
+            head = tmp_path / "async.rpbt"
+            cfg = IngestConfig(error_bound=EB, keyframe_interval=2, max_inflight=2)
+            with IngestSession(head, cfg) as session:
+                keys = await session.extend_async(produce())
+            return head, keys
+
+        head, keys = asyncio.run(main())
+        assert len(keys) == 3
+        assert set(archive_entries(head)) == set(keys)
+
+
+# ----------------------------------------------------------------------
+# codec-options safety
+# ----------------------------------------------------------------------
+class _MutatingCodec:
+    """Fake codec whose compress() mutates its (nested) options in place —
+    the shared-by-reference leak vector the engine deep-copy guards."""
+
+    method_name = "mut"
+
+    def __init__(self, knobs=()):
+        self.knobs = list(knobs) if not isinstance(knobs, list) else knobs
+        self.knobs_at_build = tuple(self.knobs)
+
+    def compress(self, dataset, error_bound, mode="rel", **kwargs):
+        self.knobs.append("tainted")  # mutates the caller's list if shared
+        return CompressedDataset(
+            method="mut",
+            dataset_name=dataset.name,
+            parts={"blob": b"\0" * 64},
+            meta={"levels": []},
+            original_bytes=sum(lvl.data.nbytes for lvl in dataset.levels),
+            n_values=sum(lvl.data.size for lvl in dataset.levels),
+        )
+
+    def decompress(self, comp, structure=None, **kwargs):  # pragma: no cover
+        raise NotImplementedError
+
+
+class TestCodecOptionsSafety:
+    def test_engine_jobs_do_not_share_option_objects(self):
+        register("mut-codec", _MutatingCodec, description="test only")
+        try:
+            shared = {"knobs": ["a", "b"]}
+            ds = two_level_dataset(n=16, seed=0)
+            jobs = [
+                CompressionJob(
+                    ds, codec="mut-codec", error_bound=EB,
+                    label=f"j{i}", codec_options=shared,
+                )
+                for i in range(3)
+            ]
+            batch = CompressionEngine(max_workers=1)._run(jobs)
+            assert all(res.error is None for res in batch.results)
+            # The caller's dict came through unmutated...
+            assert shared == {"knobs": ["a", "b"]}
+        finally:
+            unregister("mut-codec")
+
+    def test_ingest_config_rejects_unknown_options(self):
+        with pytest.raises(ValueError, match="bogus"):
+            IngestConfig(codec_options={"bogus": 1})
+
+    def test_submit_validates_per_call_options(self, tmp_path):
+        session = IngestSession(tmp_path / "v.rpbt", IngestConfig(error_bound=EB))
+        with pytest.raises(IngestError, match="bogus"):
+            session.submit(
+                two_level_dataset(n=16, seed=0), codec_options={"bogus": 1}
+            )
+
+    def test_validate_returns_deep_copy(self):
+        options = {"brick_size": 8}
+        out = validate_codec_options("tac", options)
+        assert out == options and out is not options
+
+    def test_tac_schema_is_enumerable(self):
+        schema = config_schema("tac")
+        assert schema is not None
+        assert "brick_size" in schema and "shared_tables" in schema
+        assert schema["brick_size"]["default"] == 64
+
+
+# ----------------------------------------------------------------------
+# deprecation shims
+# ----------------------------------------------------------------------
+class TestDeprecationShims:
+    @pytest.fixture()
+    def jobs(self):
+        return [
+            CompressionJob(
+                two_level_dataset(n=16, seed=s), codec="tac",
+                error_bound=EB, label=f"f{s}",
+            )
+            for s in range(2)
+        ]
+
+    def test_run_warns(self, jobs):
+        engine = CompressionEngine()
+        with pytest.warns(DeprecationWarning, match="IngestSession"):
+            batch = engine.run(jobs)
+        assert len(batch.results) == 2
+
+    def test_run_to_shards_warns_and_matches_session(self, jobs, tmp_path):
+        engine = CompressionEngine()
+        with pytest.warns(DeprecationWarning, match="IngestSession"):
+            sharded = engine.run_to_shards(
+                jobs, tmp_path / "shim.rpbt", keep_payloads=True
+            )
+        assert [res.label for res in sharded] == ["f0", "f1"]
+        assert all(res.compressed is not None for res in sharded)
+        assert sharded.wall_seconds > 0
+        entries = archive_entries(tmp_path / "shim.rpbt")
+        assert set(entries) == {"f0", "f1"}
+        assert all("temporal" not in meta for _parts, meta in entries.values())
+
+    def test_run_to_archive_is_quiet(self, jobs):
+        import warnings
+
+        engine = CompressionEngine()
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            archive = engine.run_to_archive(jobs)
+        assert len(archive.entries) == 2
