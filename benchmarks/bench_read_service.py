@@ -104,9 +104,9 @@ def bench_read_service_overlapping_rois(benchmark, results_dir):
             aggregate = reader.stats()
 
             # Correctness: spot-check every distinct ROI against direct decode.
-            for key, lvl, roi in pool:
+            for _key, lvl, roi in pool:
                 expected = tac.decompress_region(comp, lvl, roi)
-                for (data, req), (_k, _l, r) in zip(results, requests):
+                for (data, _req), (_k, _l, r) in zip(results, requests):
                     if r == roi:
                         np.testing.assert_array_equal(data, expected)
                         break

@@ -336,6 +336,16 @@ def build_parser() -> argparse.ArgumentParser:
         help="also print each codec's accepted options (name, type, default)",
     )
 
+    p_lint = sub.add_parser(
+        "lint",
+        help="run reprolint, the repo's invariant-aware static analysis",
+    )
+    p_lint.add_argument(
+        "lint_args",
+        nargs=argparse.REMAINDER,
+        help="arguments forwarded to tools.reprolint (try 'repro lint -- --help')",
+    )
+
     p_exp = sub.add_parser("experiments", help="run paper experiments")
     p_exp.add_argument(
         "names", nargs="*", help="experiment ids (default: all paper experiments)"
@@ -1144,7 +1154,35 @@ def cmd_experiments(args) -> int:
     return 0
 
 
+def cmd_lint(args) -> int:
+    """Run tools.reprolint from the repo checkout.
+
+    The lint suite is developer tooling, deliberately not shipped inside
+    the library package — so it is resolved relative to this source tree
+    and only works from a checkout.
+    """
+    root = Path(__file__).resolve().parents[2]
+    if not (root / "tools" / "reprolint").is_dir():
+        print(
+            "error: tools/reprolint not found; 'repro lint' needs a repo checkout",
+            file=sys.stderr,
+        )
+        return 2
+    if str(root) not in sys.path:
+        sys.path.insert(0, str(root))
+    from tools.reprolint.cli import main as lint_main
+
+    forwarded = [arg for arg in args.lint_args if arg != "--"]
+    return lint_main(forwarded)
+
+
 def main(argv: list[str] | None = None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "lint":
+        # Forwarded verbatim: argparse's REMAINDER would reject leading
+        # optionals ('repro lint --list-rules') before reaching them.
+        return cmd_lint(argparse.Namespace(command="lint", lint_args=argv[1:]))
     args = build_parser().parse_args(argv)
     handler = {
         "make": cmd_make,
@@ -1157,6 +1195,7 @@ def main(argv: list[str] | None = None) -> int:
         "ingest": cmd_ingest,
         "serve": cmd_serve,
         "scrub": cmd_scrub,
+        "lint": cmd_lint,
         "codecs": cmd_codecs,
         "experiments": cmd_experiments,
     }[args.command]

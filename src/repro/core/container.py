@@ -810,11 +810,13 @@ class LazyPartStore(Mapping):
     # -- access accounting ------------------------------------------------
     @property
     def n_reads(self) -> int:
-        return sum(self.access_counts.values())
+        with self._log_lock:
+            return sum(self.access_counts.values())
 
     def accessed(self) -> set[str]:
         """Names of every part fetched since the last reset."""
-        return set(self.access_counts)
+        with self._log_lock:
+            return set(self.access_counts)
 
     def reset_access_log(self) -> None:
         with self._log_lock:
@@ -1020,28 +1022,36 @@ class StreamingContainerWriter:
             self._owns = False
         else:
             raise TypeError(f"cannot stream to {type(sink).__name__!r}: need a path or seekable file")
-        self._base = self._fh.tell()
-        self._method = method
-        self._dataset_name = dataset_name
-        self._meta = dict(meta or {})
-        self._original_bytes = original_bytes
-        self._n_values = n_values
-        self._deferred_head = container_version == DEFERRED_META_CONTAINER_VERSION
-        self._fh.write(_MAGIC)
-        if self._deferred_head:
-            # head_len stays zero until close() seals the metadata.
-            self._fh.write(_HEAD.pack(self.container_version, 0))
-            self._patch_at = self._base + 4
-            self._fh.write(_V3_INDEX.pack(0, 0))
-            self._payload_base = 4 + _HEAD.size + _V3_INDEX.size
-        else:
-            record = _head_record(method, dataset_name, self._meta, original_bytes, n_values)
-            head = json.dumps(record, sort_keys=True).encode("utf-8")
-            self._fh.write(_HEAD.pack(self.container_version, len(head)))
-            self._patch_at = self._base + 4 + _HEAD.size
-            self._fh.write(_V3_INDEX.pack(0, 0))
-            self._fh.write(head)
-            self._payload_base = 4 + _HEAD.size + _V3_INDEX.size + len(head)
+        try:
+            self._base = self._fh.tell()
+            self._method = method
+            self._dataset_name = dataset_name
+            self._meta = dict(meta or {})
+            self._original_bytes = original_bytes
+            self._n_values = n_values
+            self._deferred_head = container_version == DEFERRED_META_CONTAINER_VERSION
+            self._fh.write(_MAGIC)
+            if self._deferred_head:
+                # head_len stays zero until close() seals the metadata.
+                self._fh.write(_HEAD.pack(self.container_version, 0))
+                self._patch_at = self._base + 4
+                self._fh.write(_V3_INDEX.pack(0, 0))
+                self._payload_base = 4 + _HEAD.size + _V3_INDEX.size
+            else:
+                record = _head_record(method, dataset_name, self._meta, original_bytes, n_values)
+                head = json.dumps(record, sort_keys=True).encode("utf-8")
+                self._fh.write(_HEAD.pack(self.container_version, len(head)))
+                self._patch_at = self._base + 4 + _HEAD.size
+                self._fh.write(_V3_INDEX.pack(0, 0))
+                self._fh.write(head)
+                self._payload_base = 4 + _HEAD.size + _V3_INDEX.size + len(head)
+        except BaseException:
+            # A failed head write (bad tell on a pipe-like sink, ENOSPC)
+            # must not leak the handle this writer opened: the caller
+            # never gets an object to close.
+            if self._owns:
+                self._fh.close()
+            raise
         self._index: list[list] = []
         self._offset = 0
         self._names: set[str] = set()

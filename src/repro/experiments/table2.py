@@ -29,11 +29,14 @@ PAPER_ERROR_BOUNDS = (1e8, 1e9, 1e10)
 #: Methods in Table 2's column order.
 METHOD_ORDER = ("baseline_1d", "baseline_3d", "tac")
 
+#: Every Table 1 dataset, in declaration order.
+ALL_DATASETS = tuple(TABLE1)
+
 
 def run(
     scale: int | None = None,
     error_bounds=PAPER_ERROR_BOUNDS,
-    datasets=tuple(TABLE1),
+    datasets=ALL_DATASETS,
 ) -> ExperimentResult:
     scale = experiment_scale(scale)
     result = ExperimentResult(

@@ -45,6 +45,7 @@ import time
 from collections import deque
 from dataclasses import dataclass
 from pathlib import Path
+from typing import NoReturn
 
 from repro.amr.hierarchy import AMRDataset, AMRLevel
 from repro.amr.io import load_dataset
@@ -267,19 +268,26 @@ class IngestSession:
         self._writer = ShardedArchiveWriter(
             head_path, shard_size=self.config.shard_size, meta=dict(meta or {})
         )
-        self._on_written = on_written
-        self._chains: dict[tuple, _Chain] = {}
-        self._keys: set[str] = set()
-        self._pending: deque = deque()  # (Future[_Entry], key, index)
-        self._entries: list[dict] = []
-        self._n_submitted = 0
-        self._closed = False
-        self._start = time.perf_counter()
-        self._pool = None
-        if self.config.max_inflight > 1:
-            from concurrent.futures import ThreadPoolExecutor
+        try:
+            self._on_written = on_written
+            self._chains: dict[tuple, _Chain] = {}
+            self._keys: set[str] = set()
+            self._pending: deque = deque()  # (Future[_Entry], key, index)
+            self._entries: list[dict] = []
+            self._n_submitted = 0
+            self._closed = False
+            self._start = time.perf_counter()
+            self._pool = None
+            if self.config.max_inflight > 1:
+                from concurrent.futures import ThreadPoolExecutor
 
-            self._pool = ThreadPoolExecutor(max_workers=self.config.workers)
+                self._pool = ThreadPoolExecutor(max_workers=self.config.workers)
+        except BaseException:
+            # Pool construction can fail (thread limits, interrupts); the
+            # caller never sees the session, so the writer's head/shard
+            # state must be torn down here or it leaks.
+            self._writer.abort()
+            raise
         #: Set by :meth:`close`.
         self.report: IngestReport | None = None
 
@@ -572,7 +580,9 @@ class IngestSession:
                 self._fail(exc, key=key, index=index)
 
     # -- failure -----------------------------------------------------------
-    def _fail(self, exc: Exception, key: str | None = None, index: int | None = None):
+    def _fail(
+        self, exc: Exception, key: str | None = None, index: int | None = None
+    ) -> NoReturn:
         self.abort()
         if isinstance(exc, IngestError):
             raise exc

@@ -98,6 +98,11 @@ class PipelineStats:
     unit_errors: dict = field(default_factory=dict)
     #: Whether the request's deadline expired mid-flight.
     deadline_hit: bool = False
+    #: Fetch/decode futures that outlived a deadline — ``cancel()`` found
+    #: them already running, so they were reaped on completion instead:
+    #: exception retrieved, late-staged payloads discarded.  Incremented
+    #: from pool threads, possibly *after* execute() has returned.
+    n_stragglers: int = 0
 
     def overlapped(self) -> bool:
         """Whether any decode started while fetches were still in flight."""
@@ -273,6 +278,23 @@ class PrefetchPipeline:
             for idx in waiting[unit.key]:
                 by_window.setdefault(idx, []).append(unit)
 
+        def reap_fetch_straggler(future) -> None:
+            # Runs on the I/O pool when a cancelled-but-already-running
+            # fetch finally lands: retrieve its exception (a worker crash
+            # must not vanish into the pool) and drop whatever it staged
+            # after the request moved on — nobody will ever read it.
+            future.exception()
+            parts.discard_staged()
+            with time_lock:
+                stats.n_stragglers += 1
+
+        def reap_decode_straggler(future) -> None:
+            # Decode stragglers consume their own staged parts, so only
+            # the exception needs retrieving.
+            future.exception()
+            with time_lock:
+                stats.n_stragglers += 1
+
         def deadline_error() -> DeadlineExceeded:
             return DeadlineExceeded(
                 f"request deadline of {deadline.seconds:.3f}s expired with "
@@ -291,7 +313,8 @@ class PrefetchPipeline:
                     # Deadline expired waiting on a stalled fetch.
                     stats.deadline_hit = True
                     for future in in_flight:
-                        future.cancel()
+                        if not future.cancel():
+                            future.add_done_callback(reap_fetch_straggler)
                     if not allow_partial:
                         raise deadline_error()
                     for key, waits in waiting.items():
@@ -335,8 +358,10 @@ class PrefetchPipeline:
                     results[key] = future.result(timeout=timeout)
                 except _FuturesTimeout:
                     stats.deadline_hit = True
+                    if not future.cancel():
+                        future.add_done_callback(reap_decode_straggler)
                     if not allow_partial:
-                        raise deadline_error()
+                        raise deadline_error() from None
                     failed.setdefault(key, deadline_error())
                 except Exception as exc:
                     if not allow_partial:

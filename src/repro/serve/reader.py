@@ -214,14 +214,21 @@ class ArchiveReader:
         self._archive = LazyBatchArchive.open(
             source, mmap=mmap, shard_opener=opener, verify_shards=verify_shards
         )
-        self.cache = DecodedBrickCache(cache_bytes) if cache_bytes else None
-        self._pipeline = PrefetchPipeline(
-            io_workers=io_workers, decode_workers=decode_workers, max_gap=coalesce_gap
-        )
-        self._decode_workers = decode_workers
-        self._requests = ThreadPoolExecutor(
-            max_workers=request_workers, thread_name_prefix="serve-request"
-        )
+        try:
+            self.cache = DecodedBrickCache(cache_bytes) if cache_bytes else None
+            self._pipeline = PrefetchPipeline(
+                io_workers=io_workers, decode_workers=decode_workers, max_gap=coalesce_gap
+            )
+            self._decode_workers = decode_workers
+            self._requests = ThreadPoolExecutor(
+                max_workers=request_workers, thread_name_prefix="serve-request"
+            )
+        except BaseException:
+            # Bad cache/worker parameters surface as exceptions *after*
+            # the archive (and its shard handles) opened; the caller
+            # never sees the reader, so close the archive here.
+            self._archive.close()
+            raise
         self._entries: dict[str, _EntryState] = {}
         self._entries_lock = threading.Lock()
         self._stats_lock = threading.Lock()

@@ -120,7 +120,7 @@ def make_dataset(
         criterion = generate_field(
             "baryon_density", n, seed=use_seed, sigma=spec.sigma, dtype=dtype
         )
-    dataset = build_amr(
+    return build_amr(
         truth,
         list(spec.densities),
         criterion=criterion,
@@ -135,7 +135,6 @@ def make_dataset(
             "paper_densities": spec.densities,
         },
     )
-    return dataset
 
 
 def make_all(scale: int = 4, field: str = "baryon_density") -> dict[str, AMRDataset]:

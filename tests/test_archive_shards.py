@@ -455,3 +455,43 @@ class TestEngineStreamedBatch:
         rows = sharded.manifest()
         assert rows[0]["key"] == "f/1d"
         assert sharded.ratio() > 1.0
+
+
+class TestStreamingWriterInitFailure:
+    def test_head_write_failure_closes_owned_handle(self, tmp_path, monkeypatch):
+        """RL002: a failed head write in __init__ must close the file the
+        writer itself opened — the caller never gets an object to close."""
+        import builtins
+
+        import repro.core.container as container_mod
+
+        opened = []
+        real_open = builtins.open
+
+        def spy_open(*args, **kwargs):
+            fh = real_open(*args, **kwargs)
+            opened.append(fh)
+            return fh
+
+        monkeypatch.setattr(builtins, "open", spy_open)
+
+        def boom(*args, **kwargs):
+            raise RuntimeError("head record failed")
+
+        monkeypatch.setattr(container_mod, "_head_record", boom)
+        with pytest.raises(RuntimeError, match="head record failed"):
+            container_mod.StreamingContainerWriter(tmp_path / "x.rpam", "tac", "d")
+        assert opened, "writer never opened its sink"
+        assert all(fh.closed for fh in opened), "sink handle leaked on init failure"
+
+    def test_borrowed_handle_stays_open_on_init_failure(self, tmp_path, monkeypatch):
+        import repro.core.container as container_mod
+
+        def boom(*args, **kwargs):
+            raise RuntimeError("head record failed")
+
+        monkeypatch.setattr(container_mod, "_head_record", boom)
+        with open(tmp_path / "x.rpam", "wb") as fh:
+            with pytest.raises(RuntimeError, match="head record failed"):
+                container_mod.StreamingContainerWriter(fh, "tac", "d")
+            assert not fh.closed, "writer closed a handle it does not own"

@@ -566,3 +566,17 @@ class TestProfileFlag:
         archive = tmp_path / "noprof.tac"
         assert main(["compress", str(dataset_file), "-o", str(archive)]) == 0
         assert "profile     :" not in capsys.readouterr().out
+
+
+class TestLintCommand:
+    def test_lint_list_rules(self, capsys):
+        assert main(["lint", "--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule_id in ("RL001", "RL002", "RL003", "RL004", "RL005"):
+            assert rule_id in out
+
+    def test_lint_repo_is_clean(self, capsys):
+        # The committed tree must lint clean against the committed
+        # baseline; CI's static-analysis job enforces the same gate.
+        assert main(["lint"]) == 0
+        assert "0 new" in capsys.readouterr().out

@@ -86,9 +86,10 @@ class TestLayoutSerialization:
         assert restored.coords == {}
 
     def test_corrupt_layout_rejected(self, rng):
+        import struct
         import zlib
 
-        with pytest.raises(Exception):
+        with pytest.raises(struct.error):
             deserialize_layout(zlib.compress(b"garbage"))
 
     def test_metadata_overhead_is_small(self, rng):

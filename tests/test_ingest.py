@@ -500,3 +500,29 @@ class TestDeprecationShims:
             warnings.simplefilter("error", DeprecationWarning)
             archive = engine.run_to_archive(jobs)
         assert len(archive.entries) == 2
+
+
+class TestSessionInitFailure:
+    def test_pool_construction_failure_aborts_writer(self, tmp_path, monkeypatch):
+        """RL002: IngestSession.__init__ creates the sharded writer before
+        the worker pool; a pool failure must abort the writer or its
+        head/shard state leaks with no owner."""
+        import concurrent.futures as cf
+
+        aborted = []
+        real_abort = ShardedArchiveWriter.abort
+
+        def spy_abort(self):
+            aborted.append(True)
+            return real_abort(self)
+
+        monkeypatch.setattr(ShardedArchiveWriter, "abort", spy_abort)
+
+        class BoomPool:
+            def __init__(self, *args, **kwargs):
+                raise RuntimeError("no threads available")
+
+        monkeypatch.setattr(cf, "ThreadPoolExecutor", BoomPool)
+        with pytest.raises(RuntimeError, match="no threads available"):
+            IngestSession(tmp_path / "batch.rpbt", workers=2, max_inflight=4)
+        assert aborted, "writer was not aborted when __init__ failed"

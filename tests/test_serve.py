@@ -919,3 +919,120 @@ class TestArchiveReader:
             snap = reader.fetch_stats.snapshot()
             assert snap["opens"] == 1
             assert snap["bytes_fetched"] > 0
+
+
+# ---------------------------------------------------------------------------
+# lifecycle regressions surfaced by reprolint (RL001/RL002/RL004)
+# ---------------------------------------------------------------------------
+
+
+class TestArchiveReaderInitFailure:
+    def test_failed_init_closes_opened_archive(self, tmp_path, tac_blob, monkeypatch):
+        """RL002: ArchiveReader.__init__ opens the archive first; a bad
+        pipeline parameter afterwards must not leak its shard handles."""
+        codec, comp = tac_blob
+        head = write_sharded(tmp_path, [("k", comp)])
+        closed: list[int] = []
+        real_close = LazyBatchArchive.close
+
+        def spy_close(self):
+            closed.append(id(self))
+            return real_close(self)
+
+        monkeypatch.setattr(LazyBatchArchive, "close", spy_close)
+        with pytest.raises(ValueError, match="io_workers"):
+            ArchiveReader(head, io_workers=0)
+        assert closed, "archive opened by __init__ was not closed on failure"
+
+
+class TestAccessLogLocking:
+    def test_n_reads_and_accessed_take_the_log_lock(self):
+        """RL001: access_counts is mutated under _log_lock by readers on
+        other threads; the accounting views must snapshot under it too."""
+        src = CountingSource(bytes(256))
+        store = LazyPartStore(src, {"a": (0, 16)})
+
+        class RecordingLock:
+            def __init__(self, inner):
+                self._inner = inner
+                self.entries = 0
+
+            def __enter__(self):
+                self.entries += 1
+                return self._inner.__enter__()
+
+            def __exit__(self, *exc):
+                return self._inner.__exit__(*exc)
+
+        recording = RecordingLock(store._log_lock)
+        store._log_lock = recording
+        _ = store["a"]
+        before = recording.entries
+        assert store.n_reads == 1
+        assert store.accessed() == {"a"}
+        assert recording.entries >= before + 2, (
+            "n_reads/accessed read access_counts without holding _log_lock"
+        )
+
+
+class TestDeadlineStragglers:
+    def _gated_store(self, gate: threading.Event, started: threading.Event):
+        payload = bytes(512)
+
+        class GatedSource:
+            label = "<gated>"
+
+            def read_at(self, offset: int, length: int) -> bytes:
+                started.set()
+                if not gate.wait(timeout=10):
+                    raise RuntimeError("test gate never opened")
+                return payload[offset : offset + length]
+
+            def close(self) -> None:
+                pass
+
+        return LazyPartStore(GatedSource(), {"a": (0, 32)})
+
+    def test_fetch_straggler_is_reaped_after_deadline(self):
+        """RL004 shape: cancel() on a running fetch is a no-op — the
+        straggler must still have its exception retrieved and its
+        late-staged payloads discarded once it lands."""
+        gate = threading.Event()
+        started = threading.Event()
+        store = self._gated_store(gate, started)
+        units = [
+            DecodeUnit(key="a", level=0, part_names=("a",), decode=lambda: store["a"])
+        ]
+        with PrefetchPipeline(io_workers=1, decode_workers=1, max_gap=0) as pipeline:
+            results, stats = pipeline.execute(
+                store, units, deadline=0.3, allow_partial=True
+            )
+            assert started.is_set(), "fetch never started before the deadline"
+            assert results == {}
+            assert stats.deadline_hit
+            assert "a" in stats.unit_errors
+            gate.set()
+        # close() joins the pools, so the straggler (and its done-callback)
+        # has finished by here.
+        assert stats.n_stragglers == 1
+        assert store._staged == {}, "straggler left staged payloads behind"
+
+    def test_decode_straggler_is_reaped_after_deadline(self):
+        gate = threading.Event()
+        src = CountingSource(bytes(512))
+        store = LazyPartStore(src, {"a": (0, 32)})
+
+        def slow_decode():
+            if not gate.wait(timeout=10):
+                raise RuntimeError("test gate never opened")
+            return store["a"]
+
+        units = [DecodeUnit(key="a", level=0, part_names=("a",), decode=slow_decode)]
+        with PrefetchPipeline(io_workers=1, decode_workers=1, max_gap=0) as pipeline:
+            results, stats = pipeline.execute(
+                store, units, deadline=0.3, allow_partial=True
+            )
+            assert results == {}
+            assert stats.deadline_hit
+            gate.set()
+        assert stats.n_stragglers == 1

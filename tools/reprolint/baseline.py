@@ -1,0 +1,90 @@
+"""The committed baseline: grandfathered findings, keyed by fingerprint.
+
+``tools/reprolint/baseline.json`` maps each accepted finding's
+line-number-free fingerprint to a record with a human ``justification``.
+The gate is *ratchet-shaped*:
+
+* a finding whose fingerprint is in the baseline is reported as
+  "baselined" and does not fail the run;
+* a finding **not** in the baseline is *new* and fails the run;
+* a baseline row whose finding no longer occurs is *stale* and also
+  fails the run — fixing the underlying issue must shrink the baseline
+  in the same PR, so it can only ever ratchet toward empty.
+
+Regenerate with ``repro lint --update-baseline`` (existing
+justifications are preserved; new rows get a ``FIXME`` placeholder that
+the PR author must replace).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable
+
+from tools.reprolint.core import Finding
+
+#: Repo-relative default location of the committed baseline.
+DEFAULT_BASELINE = "tools/reprolint/baseline.json"
+
+_PLACEHOLDER = "FIXME: justify this baseline entry or fix the finding"
+
+
+@dataclass
+class Baseline:
+    """fingerprint -> record (rule/path/context/message/justification)."""
+
+    entries: dict[str, dict] = field(default_factory=dict)
+
+    @classmethod
+    def load(cls, path: Path) -> "Baseline":
+        if not path.is_file():
+            return cls()
+        data = json.loads(path.read_text(encoding="utf-8"))
+        return cls(entries=dict(data.get("findings", {})))
+
+    def partition(
+        self, findings: Iterable[Finding]
+    ) -> tuple[list[Finding], list[Finding], list[str]]:
+        """Split into (new, baselined) and list stale fingerprints."""
+        new: list[Finding] = []
+        baselined: list[Finding] = []
+        seen: set[str] = set()
+        for finding in findings:
+            fingerprint = finding.fingerprint()
+            if fingerprint in self.entries:
+                baselined.append(finding)
+                seen.add(fingerprint)
+            else:
+                new.append(finding)
+        stale = sorted(fp for fp in self.entries if fp not in seen)
+        return new, baselined, stale
+
+    def write(self, path: Path, findings: Iterable[Finding]) -> None:
+        """Rewrite the baseline to exactly ``findings``.
+
+        Justifications already present for a fingerprint are kept; rows
+        for new fingerprints get a placeholder the author must edit.
+        """
+        rows: dict[str, dict] = {}
+        for finding in findings:
+            fingerprint = finding.fingerprint()
+            old = self.entries.get(fingerprint, {})
+            rows[fingerprint] = {
+                "rule": finding.rule,
+                "path": finding.path,
+                "context": finding.context,
+                "message": finding.message,
+                "justification": old.get("justification", _PLACEHOLDER),
+            }
+        payload = {
+            "_comment": (
+                "reprolint baseline: grandfathered findings by fingerprint. "
+                "Shrink-only; regenerate with 'repro lint --update-baseline' "
+                "and justify every row."
+            ),
+            "findings": dict(sorted(rows.items())),
+        }
+        path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+        self.entries = rows

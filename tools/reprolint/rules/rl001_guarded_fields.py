@@ -1,0 +1,236 @@
+"""RL001 — guarded-field access.
+
+If any method of a class writes ``self.X`` while holding a lock
+(``with self._lock: self.X = ...``), then ``X`` is part of that class's
+lock-guarded state and **every** access to it — read or write — must
+happen under a lock.  An unguarded read is not "mostly fine": iterating
+a dict while a locked writer mutates it raises ``RuntimeError``, and
+torn read-modify-write cycles lose updates.  This is the invariant the
+``_ShardStore`` close-vs-open race (PR 6) violated.
+
+Mechanics
+---------
+* A "lock block" is any ``with`` statement whose context expression's
+  final name component contains ``lock`` (``self._lock``,
+  ``self._log_lock``, a local ``open_lock`` …).
+* The guarded set is the attribute names assigned (plain, augmented,
+  subscript/element) under a lock block in any method except
+  ``__init__`` / ``__post_init__``.
+* ``__init__`` / ``__post_init__`` / ``__del__`` are exempt accessors:
+  no other thread can hold a reference yet (resp. anymore).
+* Private methods (``_name``) whose *every* intra-class call site holds
+  a lock are treated as lock-held themselves (one-level call-graph
+  fixpoint) — the ``caller-holds-lock`` helper idiom
+  (``_ShardStore._check_open``) stays clean without annotations.
+* Code inside nested ``def``/``lambda`` is treated as running *outside*
+  the enclosing lock block: closures routinely execute on other threads
+  (pool callbacks), which is exactly when the guard matters.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from tools.reprolint.core import Finding, ParsedModule, dotted_name
+from tools.reprolint.rules import Rule, register
+
+_EXEMPT_METHODS = {"__init__", "__post_init__", "__del__", "__copy__", "__deepcopy__"}
+
+
+def _is_lock_expr(node: ast.AST) -> bool:
+    name = dotted_name(node)
+    if not name:
+        return False
+    tail = name.rsplit(".", 1)[-1]
+    return "lock" in tail.lower()
+
+
+@dataclass
+class _Access:
+    attr: str
+    line: int
+    col: int
+    locked: bool
+    is_write: bool
+
+
+@dataclass
+class _MethodInfo:
+    name: str
+    node: ast.AST
+    accesses: list[_Access] = field(default_factory=list)
+    #: (callee_method_name, locked) for every ``self.m(...)`` call.
+    calls: list[tuple[str, bool]] = field(default_factory=list)
+
+
+class _MethodScanner(ast.NodeVisitor):
+    """Walk one method body tracking lock depth (nested defs reset it)."""
+
+    def __init__(self, info: _MethodInfo, self_name: str):
+        self.info = info
+        self.self_name = self_name
+        self.depth = 0
+
+    def _is_self_attr(self, node: ast.AST) -> bool:
+        return (
+            isinstance(node, ast.Attribute)
+            and isinstance(node.value, ast.Name)
+            and node.value.id == self.self_name
+        )
+
+    def visit_With(self, node: ast.With) -> None:
+        self._handle_with(node)
+
+    def visit_AsyncWith(self, node: ast.AsyncWith) -> None:
+        self._handle_with(node)
+
+    def _handle_with(self, node) -> None:
+        locked = any(_is_lock_expr(item.context_expr) for item in node.items)
+        for item in node.items:
+            self.visit(item.context_expr)
+            if item.optional_vars is not None:
+                self.visit(item.optional_vars)
+        if locked:
+            self.depth += 1
+        for stmt in node.body:
+            self.visit(stmt)
+        if locked:
+            self.depth -= 1
+
+    def visit_FunctionDef(self, node) -> None:
+        self._nested_def(node)
+
+    def visit_AsyncFunctionDef(self, node) -> None:
+        self._nested_def(node)
+
+    def visit_Lambda(self, node) -> None:
+        self._nested_def(node)
+
+    def _nested_def(self, node) -> None:
+        # A closure may run on another thread: its body is scanned with
+        # the lock considered NOT held, whatever the lexical context.
+        saved = self.depth
+        self.depth = 0
+        for child in ast.iter_child_nodes(node):
+            self.visit(child)
+        self.depth = saved
+
+    def visit_Call(self, node: ast.Call) -> None:
+        if self._is_self_attr(node.func):
+            self.info.calls.append((node.func.attr, self.depth > 0))
+        self.generic_visit(node)
+
+    def visit_Attribute(self, node: ast.Attribute) -> None:
+        if self._is_self_attr(node):
+            is_write = isinstance(node.ctx, (ast.Store, ast.Del))
+            self.info.accesses.append(
+                _Access(node.attr, node.lineno, node.col_offset, self.depth > 0, is_write)
+            )
+        self.generic_visit(node)
+
+    def visit_Subscript(self, node: ast.Subscript) -> None:
+        # ``self.X[k] = v`` / ``del self.X[k]`` mutate X's value: record
+        # the inner attribute load as a *write* so it defines guarding.
+        if isinstance(node.ctx, (ast.Store, ast.Del)) and self._is_self_attr(node.value):
+            self.info.accesses.append(
+                _Access(
+                    node.value.attr,
+                    node.value.lineno,
+                    node.value.col_offset,
+                    self.depth > 0,
+                    True,
+                )
+            )
+            self.visit(node.slice)
+            return
+        self.generic_visit(node)
+
+
+def _self_name(node) -> str | None:
+    args = node.args.posonlyargs + node.args.args
+    if not args:
+        return None
+    first = args[0].arg
+    return first if first in ("self", "cls") else None
+
+
+def _lock_held_methods(methods: dict[str, _MethodInfo]) -> set[str]:
+    """Fixpoint: private methods every intra-class call site of which
+    holds a lock (directly or via an already lock-held caller)."""
+    held: set[str] = set()
+    call_sites: dict[str, list[tuple[str, bool]]] = {}
+    for info in methods.values():
+        for callee, locked in info.calls:
+            call_sites.setdefault(callee, []).append((info.name, locked))
+    changed = True
+    while changed:
+        changed = False
+        for name, sites in call_sites.items():
+            if name in held or name not in methods or not name.startswith("_"):
+                continue
+            if name.startswith("__") and name.endswith("__"):
+                continue  # dunders are externally callable by protocol
+            if all(locked or caller in held for caller, locked in sites):
+                held.add(name)
+                changed = True
+    return held
+
+
+@register
+class GuardedFieldAccess(Rule):
+    rule_id = "RL001"
+    name = "guarded-field-access"
+    description = (
+        "attributes written under a lock must never be read or written "
+        "outside a lock block in that class"
+    )
+
+    def check_module(self, module: ParsedModule) -> Iterable[Finding]:
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.ClassDef):
+                yield from self._check_class(module, node)
+
+    def _check_class(self, module: ParsedModule, cls: ast.ClassDef) -> Iterable[Finding]:
+        methods: dict[str, _MethodInfo] = {}
+        for stmt in cls.body:
+            if not isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            self_name = _self_name(stmt)
+            if self_name is None:
+                continue
+            info = _MethodInfo(stmt.name, stmt)
+            scanner = _MethodScanner(info, self_name)
+            for child in stmt.body:
+                scanner.visit(child)
+            methods[stmt.name] = info
+
+        guarded: set[str] = set()
+        for info in methods.values():
+            if info.name in _EXEMPT_METHODS:
+                continue
+            for access in info.accesses:
+                if access.locked and access.is_write:
+                    guarded.add(access.attr)
+        if not guarded:
+            return
+
+        held = _lock_held_methods(methods)
+        for info in methods.values():
+            if info.name in _EXEMPT_METHODS or info.name in held:
+                continue
+            for access in info.accesses:
+                if access.attr in guarded and not access.locked:
+                    verb = "written" if access.is_write else "read"
+                    yield Finding(
+                        rule=self.rule_id,
+                        path=module.relpath,
+                        line=access.line,
+                        col=access.col,
+                        message=(
+                            f"attribute '{access.attr}' is lock-guarded elsewhere in "
+                            f"class '{cls.name}' but {verb} here without holding a lock"
+                        ),
+                        context=f"{cls.name}.{info.name}",
+                    )

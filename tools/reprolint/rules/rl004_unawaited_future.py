@@ -1,0 +1,194 @@
+"""RL004 — unawaited executor future.
+
+``executor.submit(fn)`` returns a ``Future`` that swallows any exception
+``fn`` raises until someone calls ``result()`` / ``exception()``.  A
+submit whose future is dropped — or kept only to be ``cancel()``\\ ed —
+turns worker crashes into silence: the batch "succeeds" while encode
+threads died.  (The prefetch pipeline's deadline path had exactly this
+shape: cancelled stragglers whose staged payloads and errors vanished.)
+
+Flagged shapes (function-local):
+
+* a bare ``pool.submit(...)`` expression statement — the future is
+  discarded on the spot;
+* ``f = pool.submit(...)`` where every later use of ``f`` is one of the
+  non-consuming probes ``cancel`` / ``cancelled`` / ``done`` /
+  ``running`` (or there is no later use at all).
+
+Consumption — anything that can surface the exception or transfers the
+future to code that will — clears the flag: ``f.result()``,
+``f.exception()``, ``f.add_done_callback(...)``, ``await f``, passing
+``f`` (or a container built from the submit) to any call
+(``as_completed``, ``wait``, ``list.append``…), returning or yielding
+it, or storing it into an attribute / subscript / container.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Iterable
+
+from tools.reprolint.core import (
+    Finding,
+    ParsedModule,
+    call_name,
+    qualname_of,
+    walk_scope,
+)
+from tools.reprolint.rules import Rule, register
+
+#: Future methods that do NOT retrieve the exception.
+_NON_CONSUMING = {"cancel", "cancelled", "done", "running"}
+
+
+def _is_submit_call(node: ast.AST) -> bool:
+    if not isinstance(node, ast.Call):
+        return False
+    name = call_name(node)
+    return name.rsplit(".", 1)[-1] == "submit" and "." in name
+
+
+@dataclass
+class _Tracked:
+    var: str
+    line: int
+    col: int
+    consumed: bool = False
+
+
+class _FunctionScan:
+    """One function body: dropped submits + per-variable consumption."""
+
+    def __init__(self, func):
+        self.func = func
+        self.dropped: list[ast.Call] = []
+        self.tracked: list[_Tracked] = []
+        self._by_var: dict[str, _Tracked] = {}
+        self._scan()
+
+    def _scan(self) -> None:
+        for node in self._own_nodes():
+            if isinstance(node, ast.Expr) and _is_submit_call(node.value):
+                self.dropped.append(node.value)
+            elif isinstance(node, ast.Assign) and _is_submit_call(node.value):
+                for target in node.targets:
+                    if isinstance(target, ast.Name):
+                        tracked = _Tracked(target.id, node.lineno, node.col_offset)
+                        self.tracked.append(tracked)
+                        self._by_var[target.id] = tracked
+                    else:
+                        # ``d[k] = submit(...)`` / ``self.f = submit(...)``:
+                        # moved into a longer-lived structure, assume the
+                        # owner drains it.
+                        pass
+        if not self._by_var:
+            return
+        for node in self._own_nodes():
+            self._record_consumption(node)
+
+    def _own_nodes(self) -> Iterable[ast.AST]:
+        return walk_scope(self.func)
+
+    def _mark(self, name: str) -> None:
+        tracked = self._by_var.get(name)
+        if tracked is not None:
+            tracked.consumed = True
+
+    def _names_in(self, node: ast.AST) -> Iterable[str]:
+        for sub in ast.walk(node):
+            if isinstance(sub, ast.Name):
+                yield sub.id
+
+    def _record_consumption(self, node: ast.AST) -> None:
+        if isinstance(node, ast.Call):
+            # ``f.result()`` etc. — any method except the pure probes.
+            func = node.func
+            if (
+                isinstance(func, ast.Attribute)
+                and isinstance(func.value, ast.Name)
+                and func.value.id in self._by_var
+            ):
+                if func.attr not in _NON_CONSUMING:
+                    self._mark(func.value.id)
+            # ``wait(f)`` / ``futures.append(f)`` / ``as_completed([f, g])``.
+            for arg in list(node.args) + [kw.value for kw in node.keywords]:
+                for name in self._names_in(arg):
+                    self._mark(name)
+        elif isinstance(node, (ast.Return, ast.Yield, ast.YieldFrom)):
+            if node.value is not None:
+                for name in self._names_in(node.value):
+                    self._mark(name)
+        elif isinstance(node, ast.Await):
+            for name in self._names_in(node.value):
+                self._mark(name)
+        elif isinstance(node, ast.Assign):
+            # Storing the future (or a container mentioning it) anywhere
+            # other than a plain rebind counts as a transfer.
+            if any(
+                isinstance(t, (ast.Attribute, ast.Subscript)) for t in node.targets
+            ) or not isinstance(node.value, ast.Name):
+                for name in self._names_in(node.value):
+                    self._mark(name)
+
+
+@register
+class UnawaitedExecutorFuture(Rule):
+    rule_id = "RL004"
+    name = "unawaited-executor-future"
+    description = (
+        "submit() futures must have their result/exception retrieved (or be "
+        "handed to code that will); cancel() alone swallows worker crashes"
+    )
+
+    def check_module(self, module: ParsedModule) -> Iterable[Finding]:
+        stack: list[ast.AST] = []
+
+        def visit(node: ast.AST):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                stack.append(node)
+                yield from self._check_function(module, node, qualname_of(stack))
+                for child in ast.iter_child_nodes(node):
+                    yield from visit(child)
+                stack.pop()
+                return
+            if isinstance(node, ast.ClassDef):
+                stack.append(node)
+                for child in ast.iter_child_nodes(node):
+                    yield from visit(child)
+                stack.pop()
+                return
+            for child in ast.iter_child_nodes(node):
+                yield from visit(child)
+
+        yield from visit(module.tree)
+
+    def _check_function(self, module, func, context) -> Iterable[Finding]:
+        scan = _FunctionScan(func)
+        for call in scan.dropped:
+            yield Finding(
+                rule=self.rule_id,
+                path=module.relpath,
+                line=call.lineno,
+                col=call.col_offset,
+                message=(
+                    "result of submit() is discarded; a worker exception here "
+                    "can never be retrieved"
+                ),
+                context=context,
+            )
+        for tracked in scan.tracked:
+            if tracked.consumed:
+                continue
+            yield Finding(
+                rule=self.rule_id,
+                path=module.relpath,
+                line=tracked.line,
+                col=tracked.col,
+                message=(
+                    f"future '{tracked.var}' is never consumed: no result()/"
+                    f"exception()/add_done_callback() and it never escapes "
+                    f"(cancel() alone does not retrieve exceptions)"
+                ),
+                context=context,
+            )

@@ -1,0 +1,124 @@
+"""RL005 — nondeterminism in codec paths.
+
+The compression pipeline must be byte-reproducible: the same snapshot,
+config, and library version must produce the same archive bytes, or the
+golden-fixture tests and cross-run CRC comparisons are meaningless.
+Wall-clock values, unseeded RNG draws, and fresh UUIDs smuggled into
+``core/``, ``sz/``, or ``ingest/`` break that silently — usually via an
+innocent-looking ``"created": time.time()`` in metadata.
+
+Banned in the watched zones (``src/repro/core/``, ``src/repro/sz/``,
+``src/repro/ingest/``):
+
+* wall clock: ``time.time`` / ``time.time_ns`` / ``datetime.now`` /
+  ``datetime.utcnow`` / ``date.today``;
+* unseeded randomness: module-level ``random.<draw>`` calls,
+  ``np.random.<draw>`` legacy global-state calls, and
+  ``np.random.default_rng()`` / ``random.Random()`` called with **no
+  seed argument**;
+* ambient uniqueness/entropy: ``uuid.uuid1`` / ``uuid.uuid4``,
+  ``os.urandom``, ``secrets.*``.
+
+Allowed: ``time.monotonic`` / ``time.perf_counter`` (stats timing — the
+values land in run *reports*, never in archive bytes), and explicitly
+seeded constructors (``random.Random(seed)``,
+``np.random.default_rng(seed)``).  Code that genuinely needs ambient
+entropy (none does today) should take it as a parameter so callers — and
+tests — control it.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from tools.reprolint.core import Finding, ParsedModule, call_name, qualname_of
+from tools.reprolint.rules import Rule, register
+
+#: Repo-relative directories that must stay deterministic.
+WATCHED_ZONES = ("src/repro/core/", "src/repro/sz/", "src/repro/ingest/")
+
+#: Dotted-name tails banned outright (matched against the full call name).
+_BANNED_EXACT = {
+    "time.time": "wall-clock read",
+    "time.time_ns": "wall-clock read",
+    "datetime.now": "wall-clock read",
+    "datetime.utcnow": "wall-clock read",
+    "datetime.datetime.now": "wall-clock read",
+    "datetime.datetime.utcnow": "wall-clock read",
+    "date.today": "wall-clock read",
+    "uuid.uuid1": "ambient uniqueness",
+    "uuid.uuid4": "ambient uniqueness",
+    "os.urandom": "ambient entropy",
+}
+
+#: Seedable constructors: banned only when called with no arguments.
+_SEEDABLE = {"random.Random", "np.random.default_rng", "numpy.random.default_rng"}
+
+#: ``random.<draw>`` / ``np.random.<draw>`` global-state draws.
+_GLOBAL_RNG_PREFIXES = ("random.", "np.random.", "numpy.random.")
+#: Names under the global-RNG prefixes that are *not* draws.
+_GLOBAL_RNG_OK_TAILS = {"Random", "default_rng", "Generator", "SeedSequence"}
+
+
+def _classify(node: ast.Call) -> str | None:
+    """Reason string when the call is banned, else ``None``."""
+    name = call_name(node)
+    if not name:
+        return None
+    if name in _BANNED_EXACT:
+        return _BANNED_EXACT[name]
+    if name.startswith("secrets."):
+        return "ambient entropy"
+    if name in _SEEDABLE:
+        if not node.args and not node.keywords:
+            return "unseeded RNG construction"
+        return None
+    if name.startswith(_GLOBAL_RNG_PREFIXES):
+        tail = name.rsplit(".", 1)[-1]
+        if tail not in _GLOBAL_RNG_OK_TAILS:
+            return "global-state RNG draw"
+    return None
+
+
+@register
+class NondeterminismInCodecPath(Rule):
+    rule_id = "RL005"
+    name = "nondeterminism-in-codec-path"
+    description = (
+        "codec zones (core/, sz/, ingest/) must not read wall clocks, draw "
+        "from unseeded RNGs, or mint UUIDs — archives must be byte-reproducible"
+    )
+
+    def check_module(self, module: ParsedModule) -> Iterable[Finding]:
+        if not module.relpath.startswith(WATCHED_ZONES):
+            return
+        stack: list[ast.AST] = []
+
+        def visit(node: ast.AST):
+            is_scope = isinstance(
+                node, (ast.ClassDef, ast.FunctionDef, ast.AsyncFunctionDef)
+            )
+            if is_scope:
+                stack.append(node)
+            if isinstance(node, ast.Call):
+                reason = _classify(node)
+                if reason is not None:
+                    yield Finding(
+                        rule=self.rule_id,
+                        path=module.relpath,
+                        line=node.lineno,
+                        col=node.col_offset,
+                        message=(
+                            f"{reason} '{call_name(node)}' in a codec path; "
+                            f"archives must be byte-reproducible — take the "
+                            f"value as a parameter or seed it explicitly"
+                        ),
+                        context=qualname_of(stack),
+                    )
+            for child in ast.iter_child_nodes(node):
+                yield from visit(child)
+            if is_scope:
+                stack.pop()
+
+        yield from visit(module.tree)
